@@ -1,0 +1,150 @@
+//! The Appendix-B baseline (Algorithm 6 in the paper): use a ranked
+//! enumerator for the *full* join query — with weight zero on non-projection
+//! attributes — and de-duplicate consecutive answers.
+//!
+//! This "reuse an existing any-k algorithm" approach is correct but its
+//! delay degrades to the number of full-join answers that share one
+//! projected answer, which can be `Ω(|D|^{ℓ-1})` (the paper's lower bound
+//! example); the benchmark `appendix_b_blowup` reproduces exactly that gap.
+
+use crate::projected_ranking::ProjectedRanking;
+use rankedenum_core::{AcyclicEnumerator, EnumError};
+use re_query::JoinProjectQuery;
+use re_ranking::Ranking;
+use re_storage::{Attr, Database, Tuple};
+
+/// Ranked enumeration of a join-project query through full-query any-k
+/// enumeration plus duplicate filtering.
+pub struct FullAnyKEngine<R: Ranking + Clone> {
+    inner: AcyclicEnumerator<ProjectedRanking<R>>,
+    /// Positions of the projection attributes inside the full query output.
+    positions: Vec<usize>,
+    last: Option<Tuple>,
+    /// Number of full-query answers consumed so far (the blow-up metric).
+    full_answers: u64,
+}
+
+impl<R: Ranking + Clone> FullAnyKEngine<R> {
+    /// Build the baseline for an acyclic join-project query.
+    pub fn new(query: &JoinProjectQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
+        let full_query = query.to_full_query();
+        let projected = ProjectedRanking::new(ranking, query.projection().to_vec());
+        let inner = AcyclicEnumerator::new(&full_query, db, projected)?;
+        let positions: Vec<usize> = query
+            .projection()
+            .iter()
+            .map(|a: &Attr| {
+                full_query
+                    .projection()
+                    .iter()
+                    .position(|x| x == a)
+                    .expect("projection attribute is part of the full query output")
+            })
+            .collect();
+        Ok(FullAnyKEngine {
+            inner,
+            positions,
+            last: None,
+            full_answers: 0,
+        })
+    }
+
+    /// Number of full-query answers that had to be enumerated so far to
+    /// produce the projected answers returned so far.
+    pub fn full_answers_enumerated(&self) -> u64 {
+        self.full_answers
+    }
+}
+
+impl<R: Ranking + Clone> Iterator for FullAnyKEngine<R> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            let full = self.inner.next()?;
+            self.full_answers += 1;
+            let projected: Tuple = self.positions.iter().map(|&p| full[p]).collect();
+            if self.last.as_ref() == Some(&projected) {
+                continue;
+            }
+            self.last = Some(projected.clone());
+            return Some(projected);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_query::QueryBuilder;
+    use re_ranking::SumRanking;
+    use re_storage::{attr::attrs, Relation};
+    use std::collections::HashSet;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "AP",
+                attrs(["aid", "pid"]),
+                vec![
+                    vec![1, 10],
+                    vec![2, 10],
+                    vec![3, 10],
+                    vec![1, 11],
+                    vec![4, 11],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn two_hop() -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("AP1", "AP", ["a1", "p"])
+            .atom("AP2", "AP", ["a2", "p"])
+            .project(["a1", "a2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn produces_the_same_answer_set_in_rank_order() {
+        let db = db();
+        let q = two_hop();
+        let ours: Vec<Tuple> = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum())
+            .unwrap()
+            .collect();
+        let baseline: Vec<Tuple> = FullAnyKEngine::new(&q, &db, SumRanking::value_sum())
+            .unwrap()
+            .collect();
+        // Same set, both sorted by rank; the tie order may differ because
+        // the baseline ranks full-query outputs.
+        let ranking = SumRanking::value_sum();
+        let keys: Vec<_> = baseline
+            .iter()
+            .map(|t| ranking.key_of(&attrs(["a1", "a2"]), t))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let a: HashSet<Tuple> = ours.into_iter().collect();
+        let b: HashSet<Tuple> = baseline.into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_duplicate_consecutive_answers_and_blowup_counter() {
+        let db = db();
+        let q = two_hop();
+        let mut engine = FullAnyKEngine::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let answers: Vec<Tuple> = engine.by_ref().collect();
+        let distinct: HashSet<Tuple> = answers.iter().cloned().collect();
+        assert_eq!(answers.len(), distinct.len(), "no duplicates expected here");
+        // The full 2-hop join has 9 + 4 + 0 = 13... (3 authors² + 2²) = 13
+        // full answers versus 13 distinct pairs minus the shared (1,1):
+        // crucially the engine had to walk *all* full answers.
+        assert_eq!(engine.full_answers_enumerated(), 13);
+        assert_eq!(distinct.len(), 12);
+    }
+}

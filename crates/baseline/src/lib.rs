@@ -1,0 +1,33 @@
+//! Baseline engines reproduced from the paper's experimental evaluation.
+//!
+//! The paper compares its enumeration algorithms ("LinDelay") against three
+//! kinds of baselines; each is reimplemented here so the figures can be
+//! regenerated without the original systems:
+//!
+//! * [`MaterializeSortEngine`] — the blocking plan every evaluated engine
+//!   (MariaDB, PostgreSQL, Neo4j) executes for
+//!   `SELECT DISTINCT ... ORDER BY ... LIMIT k`: materialise the full join
+//!   with binary hash joins, de-duplicate, sort, cut off at `k`. Its cost is
+//!   dominated by the size of the *unprojected* join and is independent of
+//!   both `k` and the ranking function — exactly the behaviour the paper
+//!   observes.
+//! * [`BfsSortEngine`] — the paper's hand-written "BFS and sort" strategy:
+//!   enumerate the de-duplicated projection directly (Algorithm-3 style
+//!   backtracking, no ranking), then sort. Cheaper than full
+//!   materialisation, but still blocking and only viable when the distinct
+//!   output fits in memory.
+//! * [`FullAnyKEngine`] — the Appendix-B reduction: run ranked enumeration
+//!   for the *full* query with weight zero on the non-projection attributes
+//!   and de-duplicate consecutive answers. Its delay degrades to the size
+//!   of the full join, which is why a dedicated algorithm for projections is
+//!   needed.
+
+pub mod bfs_sort;
+pub mod full_anyk;
+pub mod materialize_sort;
+pub mod projected_ranking;
+
+pub use bfs_sort::BfsSortEngine;
+pub use full_anyk::FullAnyKEngine;
+pub use materialize_sort::{MaterializeReport, MaterializeSortEngine};
+pub use projected_ranking::ProjectedRanking;

@@ -1,0 +1,98 @@
+//! A ranking adapter that scores a tuple by looking only at a subset of its
+//! attributes.
+//!
+//! Appendix B of the paper reduces ranked enumeration *with* projections to
+//! ranked enumeration of the full query by "assigning weight zero to all
+//! values of non-projection attributes". [`ProjectedRanking`] is the general
+//! form of that trick: it wraps any ranking function and makes the
+//! attributes outside the projection list irrelevant to the key, so a full
+//! query enumerated under it comes out ordered by the projected rank.
+
+use re_ranking::Ranking;
+use re_storage::{Attr, Value};
+
+/// Ranking over a designated subset of attributes; all other attributes
+/// contribute nothing to the key.
+#[derive(Clone, Debug)]
+pub struct ProjectedRanking<R> {
+    inner: R,
+    projection: Vec<Attr>,
+}
+
+impl<R> ProjectedRanking<R> {
+    /// Wrap `inner`, keeping only `projection` attributes relevant.
+    pub fn new(inner: R, projection: impl IntoIterator<Item = impl Into<Attr>>) -> Self {
+        ProjectedRanking {
+            inner,
+            projection: projection.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The projection attributes the ranking looks at.
+    pub fn projection(&self) -> &[Attr] {
+        &self.projection
+    }
+}
+
+/// Plan: which positions of the tuple participate, and the wrapped plan for
+/// the participating attributes.
+#[derive(Clone, Debug)]
+pub struct ProjectedPlan<P> {
+    positions: Vec<usize>,
+    inner: P,
+}
+
+impl<R: Ranking> Ranking for ProjectedRanking<R> {
+    type Key = R::Key;
+    type Plan = ProjectedPlan<R::Plan>;
+
+    fn plan(&self, attrs: &[Attr]) -> Self::Plan {
+        let mut kept_attrs = Vec::new();
+        let mut positions = Vec::new();
+        for (i, a) in attrs.iter().enumerate() {
+            if self.projection.contains(a) {
+                kept_attrs.push(a.clone());
+                positions.push(i);
+            }
+        }
+        ProjectedPlan {
+            positions,
+            inner: self.inner.plan(&kept_attrs),
+        }
+    }
+
+    fn key(&self, plan: &Self::Plan, values: &[Value]) -> Self::Key {
+        let projected: Vec<Value> = plan.positions.iter().map(|&p| values[p]).collect();
+        self.inner.key(&plan.inner, &projected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_ranking::{SumRanking, Weight};
+    use re_storage::attr::attrs;
+
+    #[test]
+    fn ignores_non_projection_attributes() {
+        let r = ProjectedRanking::new(SumRanking::value_sum(), ["a", "c"]);
+        let key = r.key_of(&attrs(["a", "b", "c"]), &[1, 1000, 2]);
+        assert_eq!(key, Weight::new(3.0));
+    }
+
+    #[test]
+    fn empty_intersection_gives_constant_key() {
+        let r = ProjectedRanking::new(SumRanking::value_sum(), ["z"]);
+        let k1 = r.key_of(&attrs(["a", "b"]), &[1, 2]);
+        let k2 = r.key_of(&attrs(["a", "b"]), &[100, 200]);
+        assert_eq!(k1, k2);
+        assert_eq!(k1, Weight::ZERO);
+    }
+
+    #[test]
+    fn ordering_matches_projected_sum() {
+        let r = ProjectedRanking::new(SumRanking::value_sum(), ["x"]);
+        let a = attrs(["x", "junk"]);
+        assert!(r.key_of(&a, &[1, 999]) < r.key_of(&a, &[2, 0]));
+    }
+}

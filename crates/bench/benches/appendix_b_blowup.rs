@@ -1,0 +1,53 @@
+//! Appendix B: the gap between projection-aware ranked enumeration and the
+//! "reuse a full-query any-k algorithm with zero weights" reduction, on the
+//! worst-case instance where the full join is `n^ℓ` but the projected output
+//! is only `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rankedenum_core::AcyclicEnumerator;
+use re_baseline::FullAnyKEngine;
+use re_datagen::worst_case_path_instance;
+use re_query::{JoinProjectQuery, QueryBuilder};
+use re_ranking::SumRanking;
+use std::time::Duration;
+
+fn star_query(arms: usize) -> JoinProjectQuery {
+    let mut builder = QueryBuilder::new();
+    for i in 1..=arms {
+        builder = builder.atom(format!("A{i}"), format!("R{i}"), [format!("x{i}"), "y".into()]);
+    }
+    builder.project(["x1"]).build().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let arms = 3usize;
+    let query = star_query(arms);
+
+    let mut group = c.benchmark_group("appendix_b_blowup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for n in [40usize, 80] {
+        let db = worst_case_path_instance(arms, n);
+        group.bench_with_input(BenchmarkId::new("LinDelay", n), &n, |b, _| {
+            b.iter(|| {
+                AcyclicEnumerator::new(&query, &db, SumRanking::value_sum())
+                    .unwrap()
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("FullAnyK", n), &n, |b, _| {
+            b.iter(|| {
+                FullAnyKEngine::new(&query, &db, SumRanking::value_sum())
+                    .unwrap()
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(appendix_b, bench);
+criterion_main!(appendix_b);

@@ -1,0 +1,41 @@
+//! Figure 10 (table): cyclic query performance on the DBLP workload for
+//! different values of k in the LIMIT clause (four / six / eight cycle and
+//! the bowtie query), under SUM ranking.
+//!
+//! Each measurement covers GHD bag materialisation (Theorem 3) plus ranked
+//! enumeration of the top-k answers. The paper's observation — runtime is
+//! dominated by the bags, so it grows slowly with k and steeply with the
+//! query size — is the shape to check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_cyclic, Scale};
+use re_workloads::membership::WeightScheme;
+use re_workloads::DblpWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let dblp = DblpWorkload::generate(1_200 * factor, 42, WeightScheme::Random);
+
+    let mut group = c.benchmark_group("fig10_cyclic_dblp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let mut workloads = vec![dblp.cycle(2), dblp.cycle(3), dblp.cycle(4)];
+    workloads.push(dblp.bowtie());
+    for (spec, plan) in workloads {
+        for k in [10usize, 1_000] {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.clone(), k),
+                &k,
+                |b, &k| b.iter(|| run_cyclic(&spec, &plan, dblp.db(), k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig10, bench);
+criterion_main!(fig10);

@@ -1,0 +1,62 @@
+//! Figure 12 (a–h): LEXICOGRAPHIC ranking on the IMDB workload and on the
+//! large-scale social workloads.
+//!
+//! As in Figure 6, the point is that LinDelay exploits the lexicographic
+//! structure (Algorithm 3) while the baselines are ranking-agnostic; on the
+//! large-scale datasets only LinDelay is measured because the baselines did
+//! not finish in the paper either.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_lex_engine, Engine, Scale};
+use re_workloads::membership::WeightScheme;
+use re_workloads::social::SocialFlavor;
+use re_workloads::{ImdbWorkload, SocialWorkload};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let imdb = ImdbWorkload::generate(4_000 * factor, 43, WeightScheme::Random);
+
+    let mut group = c.benchmark_group("fig12_lex_imdb_large");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // IMDB 2-hop / 3-hop / 4-hop / 3-star under lexicographic ranking.
+    for spec in [
+        imdb.two_hop(),
+        imdb.three_hop(),
+        imdb.four_hop(),
+        imdb.three_star(),
+    ] {
+        for k in [10usize, 1_000] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/LinDelay-lex", spec.name), k),
+                &k,
+                |b, &k| b.iter(|| run_lex_engine(Engine::LinDelay, &spec, imdb.db(), k)),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("{}/MaterializeSort-lex", spec.name), 10usize),
+            &10usize,
+            |b, &k| b.iter(|| run_lex_engine(Engine::MaterializeSort, &spec, imdb.db(), k)),
+        );
+    }
+
+    // Large-scale social workloads, LinDelay only.
+    for flavor in [SocialFlavor::Friendster, SocialFlavor::Memetracker] {
+        let w = SocialWorkload::generate(flavor, 30_000 * factor, 7);
+        for spec in [w.two_hop(), w.three_hop()] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/LinDelay-lex", spec.name), 1_000usize),
+                &1_000usize,
+                |b, &k| b.iter(|| run_lex_engine(Engine::LinDelay, &spec, w.db(), k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig12, bench);
+criterion_main!(fig12);

@@ -1,0 +1,53 @@
+//! Figure 14a: the empirical delay profile — for the DBLP 2-hop query, the
+//! fraction of answers that required a given number of priority-queue
+//! operations.
+//!
+//! The CDF itself is printed to stdout (the figure's data series); a small
+//! Criterion group additionally measures the full enumeration that produces
+//! it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use re_bench::{lin_delay_enumerator, Scale};
+use re_workloads::membership::WeightScheme;
+use re_workloads::DblpWorkload;
+use std::time::Duration;
+
+fn print_cdf() {
+    let factor = Scale::from_env().factor();
+    let dblp = DblpWorkload::generate(5_000 * factor, 42, WeightScheme::Random);
+    let spec = dblp.two_hop();
+    let mut enumerator = lin_delay_enumerator(&spec, dblp.db());
+    let total = enumerator.by_ref().count();
+    let stats = enumerator.stats();
+    println!("fig14a: {} answers enumerated for {}", total, spec.name);
+    println!("fig14a: PQ ops per answer CDF (operations -> fraction of answers)");
+    for ops in [1u64, 2, 4, 8, 16, 22, 32, 64, 128, 256, stats.max_ops_per_answer()] {
+        println!("fig14a: {:>6} -> {:.4}", ops, stats.cdf_at(ops));
+    }
+    println!(
+        "fig14a: max PQ operations for a single answer = {}",
+        stats.max_ops_per_answer()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_cdf();
+    let dblp = DblpWorkload::generate(5_000, 42, WeightScheme::Random);
+    let spec = dblp.two_hop();
+    let mut group = c.benchmark_group("fig14a_delay_profile");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("DBLP2hop/full_enumeration", |b| {
+        b.iter(|| {
+            let mut e = lin_delay_enumerator(&spec, dblp.db());
+            let n = e.by_ref().count();
+            (n, e.stats().max_ops_per_answer())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(fig14a, bench);
+criterion_main!(fig14a);

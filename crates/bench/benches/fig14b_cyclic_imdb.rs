@@ -1,0 +1,33 @@
+//! Figure 14b (table): cyclic query performance on the IMDB workload for
+//! different values of k (four / six / eight cycle and bowtie), SUM ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_cyclic, Scale};
+use re_workloads::membership::WeightScheme;
+use re_workloads::ImdbWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let imdb = ImdbWorkload::generate(1_000 * factor, 43, WeightScheme::Random);
+
+    let mut group = c.benchmark_group("fig14b_cyclic_imdb");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let mut workloads = vec![imdb.cycle(2), imdb.cycle(3), imdb.cycle(4)];
+    workloads.push(imdb.bowtie());
+    for (spec, plan) in workloads {
+        for k in [10usize, 1_000] {
+            group.bench_with_input(BenchmarkId::new(spec.name.clone(), k), &k, |b, &k| {
+                b.iter(|| run_cyclic(&spec, &plan, imdb.db(), k))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig14b, bench);
+criterion_main!(fig14b);

@@ -1,0 +1,51 @@
+//! Figure 5 (a–h): total time to return the top-k answers under SUM
+//! ranking on the small-scale DBLP and IMDB workloads, for the paper's
+//! 2-hop, 3-hop, 4-hop and 3-star queries.
+//!
+//! Series: LinDelay (this paper), MaterializeSort (the MariaDB / PostgreSQL
+//! / Neo4j plan) and BfsSort, each at several values of the LIMIT k. The
+//! shape to look for: the blocking engines cost the same for every k, while
+//! LinDelay grows with k and wins by orders of magnitude at small k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_sum_engine, Engine, Scale};
+use re_storage::Database;
+use re_workloads::membership::WeightScheme;
+use re_workloads::{DblpWorkload, ImdbWorkload, MembershipWorkload, QuerySpec};
+use std::time::Duration;
+
+fn specs(w: &MembershipWorkload) -> Vec<QuerySpec> {
+    vec![w.two_hop(), w.three_hop(), w.four_hop(), w.three_star()]
+}
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let dblp = DblpWorkload::generate(5_000 * factor, 42, WeightScheme::Random);
+    let imdb = ImdbWorkload::generate(4_000 * factor, 43, WeightScheme::Random);
+
+    let mut group = c.benchmark_group("fig5_sum_small_scale");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let mut run = |db: &Database, specs: Vec<QuerySpec>| {
+        for spec in specs {
+            for k in [10usize, 1_000] {
+                for engine in [Engine::LinDelay, Engine::MaterializeSort, Engine::BfsSort] {
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("{}/{}", spec.name, engine.label()), k),
+                        &k,
+                        |b, &k| b.iter(|| run_sum_engine(engine, &spec, db, k)),
+                    );
+                }
+            }
+        }
+    };
+    run(dblp.db(), specs(&dblp));
+    run(imdb.db(), specs(&imdb));
+    group.finish();
+}
+
+criterion_group!(fig5, bench);
+criterion_main!(fig5);

@@ -1,0 +1,54 @@
+//! Figure 6 (a–d): the same small-scale DBLP queries under LEXICOGRAPHIC
+//! ranking.
+//!
+//! The paper's two findings reproduced here: (i) the baselines take exactly
+//! the same time as for SUM (they are agnostic to the ranking function),
+//! and (ii) LinDelay's specialised lexicographic algorithm (Algorithm 3)
+//! beats its own SUM variant by roughly 2–3× because it avoids priority
+//! queues altogether.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_lex_engine, run_sum_engine, Engine, Scale};
+use re_workloads::membership::WeightScheme;
+use re_workloads::DblpWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let dblp = DblpWorkload::generate(5_000 * factor, 42, WeightScheme::Random);
+
+    let mut group = c.benchmark_group("fig6_lex_dblp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for spec in [
+        dblp.two_hop(),
+        dblp.three_hop(),
+        dblp.four_hop(),
+        dblp.three_star(),
+    ] {
+        for k in [10usize, 1_000] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/LinDelay-lex", spec.name), k),
+                &k,
+                |b, &k| b.iter(|| run_lex_engine(Engine::LinDelay, &spec, dblp.db(), k)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/LinDelay-sum", spec.name), k),
+                &k,
+                |b, &k| b.iter(|| run_sum_engine(Engine::LinDelay, &spec, dblp.db(), k)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/MaterializeSort-lex", spec.name), k),
+                &k,
+                |b, &k| b.iter(|| run_lex_engine(Engine::MaterializeSort, &spec, dblp.db(), k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig6, bench);
+criterion_main!(fig6);

@@ -1,0 +1,61 @@
+//! Figure 7 (a–d): the preprocessing/enumeration tradeoff of Theorem 2.
+//!
+//! For the star-shaped queries (2-hop and 3-star) the degree threshold δ is
+//! swept from "materialise everything" (δ = 1) to "materialise nothing"
+//! (δ = ∞); each benchmark measures building the δ-structure plus
+//! enumerating the *entire* result, mirroring the paper's setting of k
+//! large enough to produce all answers. The heavy-output sizes (the space
+//! axis of the figure) are printed once at start-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_star_tradeoff, Scale};
+use re_workloads::membership::WeightScheme;
+use re_workloads::{DblpWorkload, ImdbWorkload};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let dblp = DblpWorkload::generate(3_000 * factor, 42, WeightScheme::Random);
+    let imdb = ImdbWorkload::generate(2_500 * factor, 43, WeightScheme::Random);
+    let deltas = [1usize, 16, 128, 1024, usize::MAX];
+
+    // Print the space side of the tradeoff once (Figure 7's x axis).
+    for (db, spec) in [
+        (dblp.db(), dblp.two_hop()),
+        (dblp.db(), dblp.three_star()),
+        (imdb.db(), imdb.two_hop()),
+    ] {
+        for &delta in &deltas {
+            let (prep, enumerate, heavy) = run_star_tradeoff(&spec, db, delta);
+            println!(
+                "fig7 {:<12} delta={:<20} heavy_answers={:<10} preprocess={:?} enumerate={:?}",
+                spec.name, delta, heavy, prep, enumerate
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig7_tradeoff");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (db, spec) in [
+        (dblp.db(), dblp.two_hop()),
+        (dblp.db(), dblp.three_star()),
+        (imdb.db(), imdb.two_hop()),
+        (imdb.db(), imdb.three_star()),
+    ] {
+        for &delta in &deltas {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.clone(), format!("delta_{delta}")),
+                &delta,
+                |b, &delta| b.iter(|| run_star_tradeoff(&spec, db, delta)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig7, bench);
+criterion_main!(fig7);

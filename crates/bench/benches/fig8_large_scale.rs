@@ -1,0 +1,40 @@
+//! Figure 8 (a–d): the large-scale experiments — 2-hop and 3-hop
+//! neighbourhood queries on Memetracker- and Friendster-style membership
+//! graphs, under SUM ranking.
+//!
+//! In the paper none of the baseline engines finished within five hours on
+//! these datasets, so (exactly like the paper's figure) only LinDelay is
+//! measured here; the instances are scaled down from hundreds of millions
+//! of tuples to laptop scale, which is recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_sum_engine, Engine, Scale};
+use re_workloads::SocialWorkload;
+use re_workloads::social::SocialFlavor;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let mut group = c.benchmark_group("fig8_large_scale");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for flavor in [SocialFlavor::Memetracker, SocialFlavor::Friendster] {
+        let w = SocialWorkload::generate(flavor, 40_000 * factor, 7);
+        for spec in [w.two_hop(), w.three_hop()] {
+            for k in [10usize, 1_000, 10_000] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/LinDelay", spec.name), k),
+                    &k,
+                    |b, &k| b.iter(|| run_sum_engine(Engine::LinDelay, &spec, w.db(), k)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig8, bench);
+criterion_main!(fig8);

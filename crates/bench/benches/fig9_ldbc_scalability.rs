@@ -1,0 +1,35 @@
+//! Figure 9 (table): scalability of the LDBC-like UCQ workloads Q3, Q10 and
+//! Q11 with the scale factor, top-10 answers under SUM ranking.
+//!
+//! The paper reports near-linear growth of LinDelay's running time in the
+//! scale factor while every baseline engine needs more than three hours
+//! even at SF = 10; this harness measures LinDelay across scale factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re_bench::{run_union, Scale};
+use re_workloads::LdbcWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let mut group = c.benchmark_group("fig9_ldbc_scalability");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for sf in [1usize, 2, 4] {
+        let w = LdbcWorkload::generate(sf * factor, 99);
+        for spec in [w.q3(), w.q10(), w.q11()] {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.clone(), format!("SF{}", sf * factor)),
+                &sf,
+                |b, _| b.iter(|| run_union(&spec, w.db(), 10)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig9, bench);
+criterion_main!(fig9);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks and ablations of the core enumeration machinery:
+//! preprocessing versus enumeration split, the cost of the full reducer, and
+//! the per-answer delay of the general algorithm versus the specialised
+//! lexicographic one — the design choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rankedenum_core::{AcyclicEnumerator, LexiEnumerator};
+use re_bench::Scale;
+use re_join::full_reduce;
+use re_query::JoinTree;
+use re_workloads::membership::WeightScheme;
+use re_workloads::DblpWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let factor = Scale::from_env().factor();
+    let dblp = DblpWorkload::generate(8_000 * factor, 42, WeightScheme::Random);
+    let spec2 = dblp.two_hop();
+    let spec4 = dblp.four_hop();
+
+    let mut group = c.benchmark_group("micro_core");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Ablation: the Yannakakis full-reducer pass alone.
+    for spec in [&spec2, &spec4] {
+        let tree = JoinTree::build(&spec.query).unwrap();
+        group.bench_function(BenchmarkId::new("full_reduce", &spec.name), |b| {
+            b.iter(|| full_reduce(&spec.query, &tree, dblp.db()).unwrap().len())
+        });
+    }
+
+    // Preprocessing only (cell + queue construction).
+    for spec in [&spec2, &spec4] {
+        group.bench_function(BenchmarkId::new("preprocess", &spec.name), |b| {
+            b.iter(|| {
+                AcyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking())
+                    .unwrap()
+                    .cell_count()
+            })
+        });
+    }
+
+    // Per-answer delay after preprocessing: enumerate 1000 answers from a
+    // pre-built enumerator (construction excluded via iter_batched).
+    group.bench_function("enumerate_1000_after_preprocessing/DBLP2hop", |b| {
+        b.iter_batched(
+            || AcyclicEnumerator::new(&spec2.query, dblp.db(), spec2.sum_ranking()).unwrap(),
+            |e| e.take(1000).count(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Ablation: general algorithm vs the specialised lexicographic one on
+    // the same lexicographic ranking (the paper's 2–3× observation).
+    let lex = spec2.lex_ranking();
+    group.bench_function("lex_via_general_algorithm/DBLP2hop", |b| {
+        b.iter(|| {
+            AcyclicEnumerator::new(&spec2.query, dblp.db(), lex.clone())
+                .unwrap()
+                .take(1000)
+                .count()
+        })
+    });
+    group.bench_function("lex_via_algorithm3/DBLP2hop", |b| {
+        b.iter(|| {
+            LexiEnumerator::new(&spec2.query, dblp.db(), &lex)
+                .unwrap()
+                .take(1000)
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(micro, bench);
+criterion_main!(micro);

@@ -1,0 +1,134 @@
+//! Print the table-shaped figures of the paper (Figure 9, Figure 10,
+//! Figure 14b and the Appendix-B blow-up) from single measured runs, in the
+//! paper's row/column layout.
+//!
+//! Run with: `cargo run -p re-bench --bin paper_tables --release`
+
+use rankedenum_core::AcyclicEnumerator;
+use re_baseline::FullAnyKEngine;
+use re_bench::{print_table, run_cyclic, run_union, time_once, Scale};
+use re_datagen::worst_case_path_instance;
+use re_query::QueryBuilder;
+use re_ranking::SumRanking;
+use re_workloads::membership::WeightScheme;
+use re_workloads::{DblpWorkload, ImdbWorkload, LdbcWorkload};
+
+fn fig9_ldbc() {
+    let factor = Scale::from_env().factor();
+    let scale_factors: Vec<usize> = [1usize, 2, 3, 4, 5].iter().map(|s| s * factor).collect();
+    let mut header = vec!["query".to_string()];
+    header.extend(scale_factors.iter().map(|sf| format!("SF = {sf}")));
+    let mut rows = Vec::new();
+    for q in ["Q3", "Q10", "Q11"] {
+        let mut row = vec![q.to_string()];
+        for &sf in &scale_factors {
+            let w = LdbcWorkload::generate(sf, 99);
+            let spec = match q {
+                "Q3" => w.q3(),
+                "Q10" => w.q10(),
+                _ => w.q11(),
+            };
+            let (t, _) = time_once(|| run_union(&spec, w.db(), 10));
+            row.push(format!("{:.2?}", t));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 9: LDBC-like scalability (top-10, SUM)",
+        &header,
+        &rows,
+    );
+}
+
+fn cyclic_table(title: &str, dblp: bool) {
+    let factor = Scale::from_env().factor();
+    let ks = [10usize, 100, 1_000, 10_000];
+    let mut header = vec!["query".to_string()];
+    header.extend(ks.iter().map(|k| format!("k = {k}")));
+
+    let (workloads, db) = if dblp {
+        let w = DblpWorkload::generate(1_200 * factor, 42, WeightScheme::Random);
+        let mut v = vec![w.cycle(2), w.cycle(3), w.cycle(4)];
+        v.push(w.bowtie());
+        (v, w.db().clone())
+    } else {
+        let w = ImdbWorkload::generate(1_000 * factor, 43, WeightScheme::Random);
+        let mut v = vec![w.cycle(2), w.cycle(3), w.cycle(4)];
+        v.push(w.bowtie());
+        (v, w.db().clone())
+    };
+    cyclic_rows(title, workloads, db, &header, ks);
+}
+
+fn cyclic_rows(
+    title: &str,
+    workloads: Vec<(re_workloads::QuerySpec, re_query::GhdPlan)>,
+    db: re_storage::Database,
+    header: &[String],
+    ks: [usize; 4],
+) {
+    let mut rows = Vec::new();
+    for (spec, plan) in workloads {
+        let mut row = vec![spec.name.clone()];
+        for k in ks {
+            let (t, _) = time_once(|| run_cyclic(&spec, &plan, &db, k));
+            row.push(format!("{:.2?}", t));
+        }
+        rows.push(row);
+    }
+    print_table(title, header, &rows);
+}
+
+fn appendix_b_table() {
+    let arms = 3usize;
+    let header = vec![
+        "n".to_string(),
+        "projected answers".to_string(),
+        "full answers walked by Appendix-B baseline".to_string(),
+        "LinDelay".to_string(),
+        "FullAnyK".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for n in [40usize, 80, 120] {
+        let db = worst_case_path_instance(arms, n);
+        let mut builder = QueryBuilder::new();
+        for i in 1..=arms {
+            builder = builder.atom(format!("A{i}"), format!("R{i}"), [format!("x{i}"), "y".into()]);
+        }
+        let query = builder.project(["x1"]).build().unwrap();
+        let (ours_t, ours) = time_once(|| {
+            AcyclicEnumerator::new(&query, &db, SumRanking::value_sum())
+                .unwrap()
+                .count()
+        });
+        let mut engine = FullAnyKEngine::new(&query, &db, SumRanking::value_sum()).unwrap();
+        let (theirs_t, theirs) = time_once(|| engine.by_ref().count());
+        assert_eq!(ours, theirs);
+        rows.push(vec![
+            n.to_string(),
+            ours.to_string(),
+            engine.full_answers_enumerated().to_string(),
+            format!("{ours_t:.2?}"),
+            format!("{theirs_t:.2?}"),
+        ]);
+    }
+    print_table(
+        "Appendix B: full-query any-k blow-up on the worst-case instance",
+        &header,
+        &rows,
+    );
+}
+
+fn main() {
+    println!("paper_tables: single-shot measurements (use `cargo bench` for statistics)");
+    fig9_ldbc();
+    cyclic_table(
+        "Figure 10: cyclic query performance on DBLP (SUM, time for top-k)",
+        true,
+    );
+    cyclic_table(
+        "Figure 14b: cyclic query performance on IMDB (SUM, time for top-k)",
+        false,
+    );
+    appendix_b_table();
+}

@@ -1,0 +1,237 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! Every figure and table of the paper's evaluation section has a Criterion
+//! bench target in `benches/`; this library provides the pieces they share:
+//! workload construction at a bench-friendly scale, the three competing
+//! execution strategies ("engines"), and plain-text table printing for the
+//! table-shaped figures (9, 10, 14b).
+//!
+//! Scales are deliberately smaller than the paper's datasets so that
+//! `cargo bench --workspace` terminates in minutes on a laptop; the *shape*
+//! of the results (who wins, how the gap grows with k and with the query
+//! size) is what the harness reproduces. Set the environment variable
+//! `RE_BENCH_SCALE=large` for bigger instances.
+
+use rankedenum_core::{top_k, AcyclicEnumerator, CyclicEnumerator, LexiEnumerator, StarEnumerator, UnionEnumerator};
+use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
+use re_query::GhdPlan;
+use re_ranking::{LexRanking, SumRanking};
+use re_storage::{Database, Tuple};
+use re_workloads::{QuerySpec, UnionSpec};
+use std::time::{Duration, Instant};
+
+/// Benchmark scale preset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Default: finishes in minutes.
+    Small,
+    /// Closer to the paper's sizes; expect long runtimes.
+    Large,
+}
+
+impl Scale {
+    /// Read the scale from `RE_BENCH_SCALE` (`small` by default).
+    pub fn from_env() -> Self {
+        match std::env::var("RE_BENCH_SCALE").as_deref() {
+            Ok("large") | Ok("LARGE") => Scale::Large,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Multiplier applied to the base edge counts.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Large => 8,
+        }
+    }
+}
+
+/// The engines compared throughout the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// This paper's ranked enumeration (Theorem 1 / 2 / 3).
+    LinDelay,
+    /// The RDBMS-style blocking plan (MariaDB / PostgreSQL / Neo4j stand-in).
+    MaterializeSort,
+    /// The hand-written BFS + sort strategy.
+    BfsSort,
+    /// The Appendix-B full-query any-k baseline.
+    FullAnyK,
+}
+
+impl Engine {
+    /// Label used in benchmark ids and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::LinDelay => "LinDelay",
+            Engine::MaterializeSort => "MaterializeSort",
+            Engine::BfsSort => "BfsSort",
+            Engine::FullAnyK => "FullAnyK",
+        }
+    }
+}
+
+/// Run one engine on a query spec under SUM ranking and return the top-k
+/// answers (the measured unit of Figures 5, 8, 10, 14b).
+pub fn run_sum_engine(engine: Engine, spec: &QuerySpec, db: &Database, k: usize) -> Vec<Tuple> {
+    let ranking = spec.sum_ranking();
+    match engine {
+        Engine::LinDelay => top_k(&spec.query, db, ranking, k).expect("lin-delay run"),
+        Engine::MaterializeSort => {
+            MaterializeSortEngine::new()
+                .top_k(&spec.query, db, &ranking, k)
+                .expect("materialise run")
+                .0
+        }
+        Engine::BfsSort => {
+            BfsSortEngine::new()
+                .top_k(&spec.query, db, &ranking, k)
+                .expect("bfs run")
+                .0
+        }
+        Engine::FullAnyK => FullAnyKEngine::new(&spec.query, db, ranking)
+            .expect("full any-k run")
+            .take(k)
+            .collect(),
+    }
+}
+
+/// Run one engine under LEXICOGRAPHIC ranking (Figures 6 and 12). For
+/// `LinDelay` this uses the specialised Algorithm 3; the baselines behave
+/// identically to the SUM case (they are agnostic to the ranking function).
+pub fn run_lex_engine(engine: Engine, spec: &QuerySpec, db: &Database, k: usize) -> Vec<Tuple> {
+    let lex: LexRanking = spec.lex_ranking();
+    match engine {
+        Engine::LinDelay => LexiEnumerator::new(&spec.query, db, &lex)
+            .expect("lexi run")
+            .take(k)
+            .collect(),
+        Engine::MaterializeSort => {
+            MaterializeSortEngine::new()
+                .top_k(&spec.query, db, &lex, k)
+                .expect("materialise run")
+                .0
+        }
+        Engine::BfsSort => {
+            BfsSortEngine::new()
+                .top_k(&spec.query, db, &lex, k)
+                .expect("bfs run")
+                .0
+        }
+        Engine::FullAnyK => FullAnyKEngine::new(&spec.query, db, lex)
+            .expect("full any-k run")
+            .take(k)
+            .collect(),
+    }
+}
+
+/// The general (priority-queue based) algorithm under SUM — used when the
+/// caller needs the enumerator object (e.g. statistics).
+pub fn lin_delay_enumerator(
+    spec: &QuerySpec,
+    db: &Database,
+) -> AcyclicEnumerator<SumRanking> {
+    AcyclicEnumerator::new(&spec.query, db, spec.sum_ranking()).expect("enumerator")
+}
+
+/// Run the star-query tradeoff (Figure 7): build the δ-threshold structure
+/// and enumerate everything, returning (preprocessing, enumeration, heavy
+/// output size).
+pub fn run_star_tradeoff(
+    spec: &QuerySpec,
+    db: &Database,
+    delta: usize,
+) -> (Duration, Duration, usize) {
+    let start = Instant::now();
+    let enumerator = StarEnumerator::new(&spec.query, db, spec.sum_ranking(), delta)
+        .expect("star enumerator");
+    let preprocessing = start.elapsed();
+    let heavy = enumerator.heavy_output_size();
+    let start = Instant::now();
+    let _count = enumerator.count();
+    (preprocessing, start.elapsed(), heavy)
+}
+
+/// Run a cyclic query with its GHD plan and return the top-k answers
+/// (Figures 10 and 14b).
+pub fn run_cyclic(spec: &QuerySpec, plan: &GhdPlan, db: &Database, k: usize) -> Vec<Tuple> {
+    CyclicEnumerator::new(&spec.query, db, spec.sum_ranking(), plan)
+        .expect("cyclic enumerator")
+        .take(k)
+        .collect()
+}
+
+/// Run a UCQ workload and return the top-k answers (Figure 9).
+pub fn run_union(spec: &UnionSpec, db: &Database, k: usize) -> Vec<Tuple> {
+    UnionEnumerator::new(&spec.query, db, spec.sum_ranking())
+        .expect("union enumerator")
+        .take(k)
+        .collect()
+}
+
+/// Time a closure once (used by the table printer, where Criterion's
+/// statistics are unnecessary).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Print a paper-style table: a header row followed by one row per entry.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_workloads::membership::WeightScheme;
+    use re_workloads::DblpWorkload;
+
+    #[test]
+    fn engines_agree_on_a_small_workload() {
+        let w = DblpWorkload::generate(300, 1, WeightScheme::Random);
+        let spec = w.two_hop();
+        let a = run_sum_engine(Engine::LinDelay, &spec, w.db(), 20);
+        let b = run_sum_engine(Engine::MaterializeSort, &spec, w.db(), 20);
+        let c = run_sum_engine(Engine::BfsSort, &spec, w.db(), 20);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let d = run_sum_engine(Engine::FullAnyK, &spec, w.db(), 20);
+        assert_eq!(
+            a.iter().collect::<std::collections::HashSet<_>>(),
+            d.iter().collect::<std::collections::HashSet<_>>()
+        );
+    }
+
+    #[test]
+    fn lex_engines_agree() {
+        let w = DblpWorkload::generate(250, 2, WeightScheme::Random);
+        let spec = w.two_hop();
+        let a = run_lex_engine(Engine::LinDelay, &spec, w.db(), 15);
+        let b = run_lex_engine(Engine::MaterializeSort, &spec, w.db(), 15);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_small() {
+        assert_eq!(Scale::from_env(), Scale::Small);
+        assert_eq!(Scale::Small.factor(), 1);
+        assert!(Scale::Large.factor() > 1);
+    }
+
+    #[test]
+    fn star_tradeoff_returns_consistent_numbers() {
+        let w = DblpWorkload::generate(300, 3, WeightScheme::Random);
+        let spec = w.two_hop();
+        let (_p, _e, heavy_eager) = run_star_tradeoff(&spec, w.db(), 1);
+        let (_p, _e, heavy_lazy) = run_star_tradeoff(&spec, w.db(), usize::MAX);
+        assert!(heavy_eager > 0);
+        assert_eq!(heavy_lazy, 0);
+    }
+}

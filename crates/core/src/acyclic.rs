@@ -1,0 +1,683 @@
+//! The general ranked-enumeration algorithm for acyclic join-project
+//! queries (Algorithms 1 and 2 of the paper, Theorem 1).
+//!
+//! Each join-tree node incrementally materialises — in rank order and
+//! without duplicates — the partial answers over its subtree projection
+//! attributes `Aπ_i`, keyed by the node's anchor value. The materialisation
+//! is driven by per-anchor-value priority queues whose elements are
+//! [`Cell`]s; the `next` chain of a cell records the ranked order so that
+//! every parent tuple reuses the same computation. Popping the root queue
+//! repeatedly yields the final answers in rank order; a last-answer check
+//! removes duplicates (equal outputs are adjacent because ties are broken
+//! by the output tuple).
+//!
+//! Guarantees (Lemmas 1–3): `O(|D|)` preprocessing (after the full-reducer
+//! pass), `O(|D| log |D|)` worst-case delay, answers emitted in
+//! non-decreasing rank order without duplicates. For free-connex queries
+//! the same code achieves `O(log |D|)` delay (Appendix E), because the
+//! pruned join tree then contains projection attributes only.
+
+use crate::cell::{Cell, CellId, HeapEntry, NextPtr};
+use crate::error::EnumError;
+use crate::stats::EnumStats;
+use re_join::full_reduce;
+use re_query::{JoinProjectQuery, JoinTree};
+use re_ranking::Ranking;
+use re_storage::{Attr, Database, Relation, Tuple};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Per-node state: the reduced relation, positional plans, the cell arena
+/// and the anchor-keyed priority queues.
+struct NodeState<R: Ranking> {
+    relation: Relation,
+    /// Positions (in `relation`) of the node's anchor attributes.
+    anchor_pos: Vec<usize>,
+    /// Positions (in `relation`) of the projection attributes owned by this node.
+    own_proj_pos: Vec<usize>,
+    /// Child node indices, in tree order.
+    children: Vec<usize>,
+    /// For every child, the positions (in `relation`) of that child's anchor
+    /// attributes — used to locate the child queue a tuple joins with.
+    child_anchor_pos: Vec<Vec<usize>>,
+    /// Permutation that reorders this node's subtree-order output by the
+    /// *global* projection-attribute order (the user's projection order).
+    /// Heap entries carry the reordered tuple, so tie-breaking is globally
+    /// consistent across all nodes — the property that makes equal outputs
+    /// adjacent in pop order (and, at the root, makes the emitted tie order
+    /// equal to the user projection order).
+    tie_perm: Vec<usize>,
+    /// Ranking plan over the node's subtree-order output attributes.
+    plan: <R as Ranking>::Plan,
+    /// Cell arena.
+    cells: Vec<Cell<R::Key>>,
+    /// `PQ_i[u]`: one priority queue per anchor value.
+    queues: HashMap<Tuple, BinaryHeap<Reverse<HeapEntry<R::Key>>>>,
+}
+
+/// Ranked enumerator for acyclic join-project queries.
+///
+/// ```
+/// use rankedenum_core::AcyclicEnumerator;
+/// use re_query::QueryBuilder;
+/// use re_ranking::SumRanking;
+/// use re_storage::{attr::attrs, Database, Relation};
+///
+/// let mut db = Database::new();
+/// db.add_relation(Relation::with_tuples("AP", attrs(["aid", "pid"]),
+///     vec![vec![1, 10], vec![2, 10], vec![3, 11]]).unwrap()).unwrap();
+/// let q = QueryBuilder::new()
+///     .atom("AP1", "AP", ["a1", "p"])
+///     .atom("AP2", "AP", ["a2", "p"])
+///     .project(["a1", "a2"])
+///     .build().unwrap();
+/// let top: Vec<_> = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum())
+///     .unwrap().take(3).collect();
+/// assert_eq!(top, vec![vec![1, 1], vec![1, 2], vec![2, 1]]);
+/// ```
+pub struct AcyclicEnumerator<R: Ranking + Clone> {
+    ranking: R,
+    tree: JoinTree,
+    nodes: Vec<NodeState<R>>,
+    /// Projection attributes in the user-requested order (the order of the
+    /// emitted tuples and of rank tie-breaking).
+    projection: Vec<Attr>,
+    /// Output of the last emitted answer (for deduplication).
+    last_emitted: Option<Tuple>,
+    stats: EnumStats,
+    exhausted: bool,
+}
+
+impl<R: Ranking + Clone> AcyclicEnumerator<R> {
+    /// Build the enumerator with a default join tree.
+    pub fn new(query: &JoinProjectQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
+        let tree = JoinTree::build(query)?;
+        Self::with_tree(query, db, ranking, tree)
+    }
+
+    /// Build the enumerator with an explicit join tree (any root is valid;
+    /// the complexity guarantees do not depend on the choice).
+    pub fn with_tree(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        tree: JoinTree,
+    ) -> Result<Self, EnumError> {
+        query.validate_against(db)?;
+        let tree = tree.prune_non_projecting();
+        let reduced = full_reduce(query, &tree, db)?;
+        Self::from_reduced(query.projection().to_vec(), ranking, tree, reduced)
+    }
+
+    /// Build the enumerator from per-node relations that are already bound
+    /// to query variables and fully reduced. Used by the star-query and
+    /// GHD-based enumerators which prepare their own instances.
+    pub fn from_reduced(
+        projection: Vec<Attr>,
+        ranking: R,
+        tree: JoinTree,
+        reduced: Vec<Relation>,
+    ) -> Result<Self, EnumError> {
+        assert_eq!(tree.len(), reduced.len());
+        let mut stats = EnumStats::new();
+        let empty_result = reduced.iter().any(|r| r.is_empty());
+
+        // Global position of each projection attribute: its index in the
+        // user projection order. Tie-break tuples at every node list the
+        // subtree's values in this global order, which keeps comparisons
+        // consistent across the whole tree.
+        let global_pos = |a: &Attr| -> usize {
+            projection
+                .iter()
+                .position(|x| x == a)
+                .expect("projection attribute missing from join tree output")
+        };
+
+        // Static per-node info.
+        let mut nodes: Vec<NodeState<R>> = Vec::with_capacity(tree.len());
+        for (idx, rel) in reduced.into_iter().enumerate() {
+            let node = tree.node(idx);
+            let anchor_pos = rel.positions(&node.anchor)?;
+            let own_proj_pos = rel.positions(&node.own_proj)?;
+            let child_anchor_pos = node
+                .children
+                .iter()
+                .map(|&c| rel.positions(&tree.node(c).anchor))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut tie_perm: Vec<usize> = (0..node.subtree_proj.len()).collect();
+            tie_perm.sort_by_key(|&i| global_pos(&node.subtree_proj[i]));
+            nodes.push(NodeState {
+                anchor_pos,
+                own_proj_pos,
+                children: node.children.clone(),
+                child_anchor_pos,
+                tie_perm,
+                plan: ranking.plan(&node.subtree_proj),
+                relation: rel,
+                cells: Vec::new(),
+                queues: HashMap::new(),
+            });
+        }
+
+        // Preprocessing (Algorithm 1): bottom-up cell construction.
+        if !empty_result {
+            for &u in &tree.post_order() {
+                let mut new_cells: Vec<Cell<R::Key>> = Vec::with_capacity(nodes[u].relation.len());
+                let mut inserts: Vec<(Tuple, HeapEntry<R::Key>)> =
+                    Vec::with_capacity(nodes[u].relation.len());
+                {
+                    let ns = &nodes[u];
+                    'rows: for (row, t) in ns.relation.iter().enumerate() {
+                        let mut child_ptrs: Vec<CellId> = Vec::with_capacity(ns.children.len());
+                        let mut output: Tuple =
+                            ns.own_proj_pos.iter().map(|&p| t[p]).collect();
+                        for (ci, &child) in ns.children.iter().enumerate() {
+                            let key: Tuple =
+                                ns.child_anchor_pos[ci].iter().map(|&p| t[p]).collect();
+                            let Some(top) =
+                                nodes[child].queues.get(&key).and_then(|q| q.peek())
+                            else {
+                                // A dangling tuple; cannot happen on a fully
+                                // reduced instance but skipping it keeps the
+                                // enumerator correct regardless.
+                                debug_assert!(false, "dangling tuple on reduced instance");
+                                continue 'rows;
+                            };
+                            let top_cell = top.0.cell;
+                            child_ptrs.push(top_cell);
+                            output.extend(
+                                nodes[child].cells[top_cell as usize].output.iter().copied(),
+                            );
+                        }
+                        let key = ranking.key(&ns.plan, &output);
+                        let tie: Tuple = ns.tie_perm.iter().map(|&p| output[p]).collect();
+                        let anchor_key: Tuple = ns.anchor_pos.iter().map(|&p| t[p]).collect();
+                        let cell_id = new_cells.len() as CellId;
+                        new_cells.push(Cell {
+                            row: row as u32,
+                            child_ptrs,
+                            next: NextPtr::NotComputed,
+                            output,
+                            key: key.clone(),
+                        });
+                        inserts.push((
+                            anchor_key,
+                            HeapEntry {
+                                key,
+                                output: tie,
+                                cell: cell_id,
+                            },
+                        ));
+                    }
+                }
+                stats.cells_created += new_cells.len() as u64;
+                stats.pq_pushes += inserts.len() as u64;
+                let ns = &mut nodes[u];
+                ns.cells = new_cells;
+                for (anchor_key, entry) in inserts {
+                    ns.queues.entry(anchor_key).or_default().push(Reverse(entry));
+                }
+            }
+        }
+
+        Ok(AcyclicEnumerator {
+            ranking,
+            tree,
+            nodes,
+            projection,
+            last_emitted: None,
+            stats,
+            exhausted: empty_result,
+        })
+    }
+
+    /// The projection attributes, in output order.
+    pub fn output_attrs(&self) -> &[Attr] {
+        &self.projection
+    }
+
+    /// The ranking function used by this enumerator.
+    pub fn ranking(&self) -> &R {
+        &self.ranking
+    }
+
+    /// Enumeration statistics collected so far.
+    pub fn stats(&self) -> &EnumStats {
+        &self.stats
+    }
+
+    /// Total number of cells currently allocated — the dominant part of the
+    /// enumerator's memory footprint.
+    pub fn cell_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.cells.len()).sum()
+    }
+
+    /// Rank key of an output tuple (in user projection order).
+    pub fn key_of_output(&self, tuple: &[re_storage::Value]) -> R::Key {
+        self.ranking.key_of(&self.projection, tuple)
+    }
+
+    /// Compute the output tuple and key of a (row, child-pointer) combination
+    /// at `node`.
+    fn make_output(&self, node: usize, row: u32, ptrs: &[CellId]) -> (Tuple, R::Key) {
+        let ns = &self.nodes[node];
+        let t = ns.relation.tuple(row as usize);
+        let mut out: Tuple = ns.own_proj_pos.iter().map(|&p| t[p]).collect();
+        for (ci, &child) in ns.children.iter().enumerate() {
+            out.extend(
+                self.nodes[child].cells[ptrs[ci] as usize]
+                    .output
+                    .iter()
+                    .copied(),
+            );
+        }
+        let key = self.ranking.key(&ns.plan, &out);
+        (out, key)
+    }
+
+    /// Insert a freshly created cell into `node`'s arena and queue.
+    fn push_cell(
+        &mut self,
+        node: usize,
+        row: u32,
+        ptrs: Vec<CellId>,
+        output: Tuple,
+        key: R::Key,
+        anchor_key: &Tuple,
+    ) -> CellId {
+        let ns = &mut self.nodes[node];
+        let id = ns.cells.len() as CellId;
+        let tie: Tuple = ns.tie_perm.iter().map(|&p| output[p]).collect();
+        ns.cells.push(Cell {
+            row,
+            child_ptrs: ptrs,
+            next: NextPtr::NotComputed,
+            output,
+            key: key.clone(),
+        });
+        ns.queues
+            .entry(anchor_key.clone())
+            .or_default()
+            .push(Reverse(HeapEntry {
+                key,
+                output: tie,
+                cell: id,
+            }));
+        self.stats.record_cell();
+        self.stats.record_push();
+        id
+    }
+
+    /// The `Topdown` procedure of Algorithm 2: advance the ranked
+    /// materialisation of `node`'s queue past the cell `cell`, returning the
+    /// id of the next distinct partial answer (or `None` when exhausted).
+    fn topdown(&mut self, cell: CellId, node: usize) -> Option<CellId> {
+        match self.nodes[node].cells[cell as usize].next {
+            NextPtr::Cell(c) => return Some(c),
+            NextPtr::Exhausted => return None,
+            NextPtr::NotComputed => {}
+        }
+        let is_root = node == self.tree.root();
+        let anchor_key: Tuple = {
+            let ns = &self.nodes[node];
+            let t = ns.relation.tuple(ns.cells[cell as usize].row as usize);
+            ns.anchor_pos.iter().map(|&p| t[p]).collect()
+        };
+        let mut first_iteration = true;
+        loop {
+            let popped = {
+                let ns = &mut self.nodes[node];
+                ns.queues
+                    .get_mut(&anchor_key)
+                    .and_then(|q| q.pop())
+                    .map(|Reverse(e)| e)
+            };
+            let Some(popped) = popped else {
+                if !is_root {
+                    self.nodes[node].cells[cell as usize].next = NextPtr::Exhausted;
+                }
+                return None;
+            };
+            self.stats.record_pop();
+            if first_iteration {
+                // When `next` is unset the cell is the current chain end and
+                // therefore the top of its queue.
+                debug_assert_eq!(popped.cell, cell, "expanded cell must be the queue top");
+                first_iteration = false;
+            }
+
+            // Generate the successor cells of the popped cell: advance one
+            // child pointer at a time (lines 13–16 of Algorithm 2).
+            let children = self.nodes[node].children.clone();
+            for (ci, &child) in children.iter().enumerate() {
+                let child_cell = self.nodes[node].cells[popped.cell as usize].child_ptrs[ci];
+                if let Some(next_child) = self.topdown(child_cell, child) {
+                    let row = self.nodes[node].cells[popped.cell as usize].row;
+                    let mut ptrs = self.nodes[node].cells[popped.cell as usize].child_ptrs.clone();
+                    ptrs[ci] = next_child;
+                    let (output, key) = self.make_output(node, row, &ptrs);
+                    self.push_cell(node, row, ptrs, output, key, &anchor_key);
+                }
+            }
+
+            // Chain to the new top; keep popping while it duplicates the
+            // output we just advanced past (lines 17–19).
+            let (next_ptr, duplicate) = {
+                let ns = &self.nodes[node];
+                match ns.queues.get(&anchor_key).and_then(|q| q.peek()) {
+                    None => (NextPtr::Exhausted, false),
+                    Some(Reverse(e)) => (NextPtr::Cell(e.cell), e.output == popped.output),
+                }
+            };
+            if !is_root {
+                self.nodes[node].cells[cell as usize].next = next_ptr;
+            }
+            if !duplicate {
+                return match next_ptr {
+                    NextPtr::Cell(c) if !is_root => Some(c),
+                    _ => None,
+                };
+            }
+        }
+    }
+}
+
+impl<R: Ranking + Clone> Iterator for AcyclicEnumerator<R> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.exhausted {
+            return None;
+        }
+        loop {
+            let root = self.tree.root();
+            let root_key: Tuple = Vec::new();
+            let top = self.nodes[root]
+                .queues
+                .get(&root_key)
+                .and_then(|q| q.peek())
+                .map(|Reverse(e)| (e.output.clone(), e.cell));
+            let Some((output, cell)) = top else {
+                self.exhausted = true;
+                return None;
+            };
+            let is_new = self.last_emitted.as_ref() != Some(&output);
+            self.topdown(cell, root);
+            if is_new {
+                self.last_emitted = Some(output.clone());
+                self.stats.record_answer();
+                return Some(output);
+            }
+            // Duplicate of the previous answer (possible only through rank
+            // ties introduced by later insertions); skip and continue.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_query::QueryBuilder;
+    use re_ranking::{LexRanking, SumRanking, WeightAssignment};
+    use re_storage::attr::attrs;
+
+    /// The instance of Example 4 in the paper.
+    fn paper_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "R1",
+                attrs(["A", "B"]),
+                vec![vec![1, 1], vec![2, 1], vec![1, 2], vec![3, 2]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::with_tuples("R2", attrs(["B", "C"]), vec![vec![1, 1], vec![2, 1]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::with_tuples("R3", attrs(["C", "D"]), vec![vec![1, 1], vec![1, 2]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::with_tuples("R4", attrs(["D", "E"]), vec![vec![1, 1], vec![1, 2]]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    /// The 4-path query of Example 2: `π_{A,E}(R1 ⋈ R2 ⋈ R3 ⋈ R4)`.
+    fn paper_query() -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("R1", "R1", ["A", "B"])
+            .atom("R2", "R2", ["B", "C"])
+            .atom("R3", "R3", ["C", "D"])
+            .atom("R4", "R4", ["D", "E"])
+            .project(["A", "E"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_running_example_sum_order() {
+        let db = paper_db();
+        let q = paper_query();
+        let tree = JoinTree::build_rooted(&q, 2).unwrap();
+        let e = AcyclicEnumerator::with_tree(&q, &db, SumRanking::value_sum(), tree).unwrap();
+        let results: Vec<Tuple> = e.collect();
+        // Distinct (A, E) pairs: A ∈ {1,2,3}, E ∈ {1,2}; ranked by A+E with
+        // ties broken by the output tuple.
+        assert_eq!(
+            results,
+            vec![
+                vec![1, 1],
+                vec![1, 2],
+                vec![2, 1],
+                vec![2, 2],
+                vec![3, 1],
+                vec![3, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn first_answer_matches_example_5() {
+        let db = paper_db();
+        let q = paper_query();
+        let mut e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        assert_eq!(e.next(), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn every_root_choice_gives_the_same_answer_sequence() {
+        let db = paper_db();
+        let q = paper_query();
+        let reference: Vec<Tuple> =
+            AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap().collect();
+        for root in 0..4 {
+            let tree = JoinTree::build_rooted(&q, root).unwrap();
+            let got: Vec<Tuple> =
+                AcyclicEnumerator::with_tree(&q, &db, SumRanking::value_sum(), tree)
+                    .unwrap()
+                    .collect();
+            assert_eq!(got, reference, "root {root} changed the output");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_and_sorted_by_rank() {
+        let db = paper_db();
+        let q = paper_query();
+        let e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let ranking = SumRanking::value_sum();
+        let results: Vec<Tuple> = e.collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut last_key = None;
+        for t in &results {
+            assert!(seen.insert(t.clone()), "duplicate answer {t:?}");
+            let k = ranking.key_of(&attrs(["A", "E"]), t);
+            if let Some(prev) = last_key {
+                assert!(k >= prev, "answers out of order");
+            }
+            last_key = Some(k);
+        }
+        assert_eq!(results.len(), 6);
+    }
+
+    #[test]
+    fn two_hop_self_join() {
+        // Authors 1,2 share paper 10; author 3 alone on paper 11.
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "AP",
+                attrs(["aid", "pid"]),
+                vec![vec![1, 10], vec![2, 10], vec![3, 11]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("AP1", "AP", ["a1", "p"])
+            .atom("AP2", "AP", ["a2", "p"])
+            .project(["a1", "a2"])
+            .build()
+            .unwrap();
+        let e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let results: Vec<Tuple> = e.collect();
+        assert_eq!(
+            results,
+            vec![
+                vec![1, 1],
+                vec![1, 2],
+                vec![2, 1],
+                vec![2, 2],
+                vec![3, 3],
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_join_yields_no_answers() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("R", attrs(["a", "b"]), vec![vec![1, 1]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::with_tuples("S", attrs(["b", "c"]), vec![vec![9, 5]]).unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .atom("S", "S", ["b", "c"])
+            .project(["a", "c"])
+            .build()
+            .unwrap();
+        let mut e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        assert_eq!(e.next(), None);
+        assert_eq!(e.next(), None);
+    }
+
+    #[test]
+    fn lexicographic_ranking_through_general_algorithm() {
+        let db = paper_db();
+        let q = paper_query();
+        let lex = LexRanking::new(["E", "A"], WeightAssignment::value_as_weight());
+        let e = AcyclicEnumerator::new(&q, &db, lex).unwrap();
+        let results: Vec<Tuple> = e.collect();
+        // Ordered by E first, then A.
+        assert_eq!(
+            results,
+            vec![
+                vec![1, 1],
+                vec![2, 1],
+                vec![3, 1],
+                vec![1, 2],
+                vec![2, 2],
+                vec![3, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let db = paper_db();
+        let q = paper_query();
+        let mut e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        assert!(e.stats().pq_pushes > 0, "preprocessing must insert cells");
+        let pre_cells = e.cell_count();
+        assert!(pre_cells > 0);
+        let _ = e.by_ref().take(3).collect::<Vec<_>>();
+        assert_eq!(e.stats().answers, 3);
+        assert_eq!(e.stats().ops_per_answer.len(), 3);
+        assert!(e.stats().pq_pops > 0);
+    }
+
+    #[test]
+    fn single_atom_query_projects_and_dedups() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "R",
+                attrs(["a", "b"]),
+                vec![vec![2, 7], vec![1, 8], vec![2, 9]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .project(["a"])
+            .build()
+            .unwrap();
+        let e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let results: Vec<Tuple> = e.collect();
+        assert_eq!(results, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn cartesian_product_enumeration() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("R", attrs(["a"]), vec![vec![1], vec![3]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::with_tuples("S", attrs(["b"]), vec![vec![2], vec![4]]).unwrap())
+            .unwrap();
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a"])
+            .atom("S", "S", ["b"])
+            .project(["a", "b"])
+            .build()
+            .unwrap();
+        let e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let results: Vec<Tuple> = e.collect();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], vec![1, 2]);
+        assert_eq!(results[3], vec![3, 4]);
+    }
+
+    #[test]
+    fn projection_order_is_respected_in_output() {
+        let db = paper_db();
+        // Same query but projecting (E, A) — outputs must come in that order.
+        let q = QueryBuilder::new()
+            .atom("R1", "R1", ["A", "B"])
+            .atom("R2", "R2", ["B", "C"])
+            .atom("R3", "R3", ["C", "D"])
+            .atom("R4", "R4", ["D", "E"])
+            .project(["E", "A"])
+            .build()
+            .unwrap();
+        let e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let first = e.take(1).next().unwrap();
+        assert_eq!(first, vec![1, 1]);
+        assert_eq!(
+            AcyclicEnumerator::new(&q, &db, SumRanking::value_sum())
+                .unwrap()
+                .output_attrs(),
+            &[Attr::new("E"), Attr::new("A")]
+        );
+    }
+}

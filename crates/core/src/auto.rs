@@ -1,0 +1,147 @@
+//! Convenience dispatcher that picks an enumeration strategy from the query
+//! structure, plus a one-call `top_k` helper.
+
+use crate::acyclic::AcyclicEnumerator;
+use crate::cyclic::CyclicEnumerator;
+use crate::error::EnumError;
+use crate::stats::EnumStats;
+use re_query::{Hypergraph, JoinProjectQuery};
+use re_ranking::Ranking;
+use re_storage::{Attr, Database, Tuple};
+
+/// A ranked enumerator for any join-project query: acyclic queries go to
+/// [`AcyclicEnumerator`], cyclic ones to [`CyclicEnumerator`] with an
+/// automatically chosen GHD plan.
+pub enum RankedEnumerator<R: Ranking + Clone> {
+    /// The query is acyclic (Theorem 1).
+    Acyclic(AcyclicEnumerator<R>),
+    /// The query is cyclic and evaluated through a GHD (Theorem 3).
+    Cyclic(CyclicEnumerator<R>),
+}
+
+impl<R: Ranking + Clone> RankedEnumerator<R> {
+    /// Build an enumerator for `query` over `db` under `ranking`.
+    pub fn new(query: &JoinProjectQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
+        if Hypergraph::of_query(query).is_acyclic() {
+            Ok(RankedEnumerator::Acyclic(AcyclicEnumerator::new(
+                query, db, ranking,
+            )?))
+        } else {
+            Ok(RankedEnumerator::Cyclic(CyclicEnumerator::new_auto(
+                query, db, ranking,
+            )?))
+        }
+    }
+
+    /// Whether the acyclic strategy was selected.
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self, RankedEnumerator::Acyclic(_))
+    }
+
+    /// The projection attributes, in output order.
+    pub fn output_attrs(&self) -> &[Attr] {
+        match self {
+            RankedEnumerator::Acyclic(e) => e.output_attrs(),
+            RankedEnumerator::Cyclic(e) => e.output_attrs(),
+        }
+    }
+
+    /// Enumeration statistics.
+    pub fn stats(&self) -> &EnumStats {
+        match self {
+            RankedEnumerator::Acyclic(e) => e.stats(),
+            RankedEnumerator::Cyclic(e) => e.stats(),
+        }
+    }
+}
+
+impl<R: Ranking + Clone> Iterator for RankedEnumerator<R> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            RankedEnumerator::Acyclic(e) => e.next(),
+            RankedEnumerator::Cyclic(e) => e.next(),
+        }
+    }
+}
+
+/// The `LIMIT k` entry point: the `k` highest-ranked distinct answers of a
+/// join-project query, in rank order. The enumeration stops after `k`
+/// answers — the whole point of the paper is that this costs far less than
+/// materialising the full join.
+pub fn top_k<R: Ranking + Clone>(
+    query: &JoinProjectQuery,
+    db: &Database,
+    ranking: R,
+    k: usize,
+) -> Result<Vec<Tuple>, EnumError> {
+    Ok(RankedEnumerator::new(query, db, ranking)?.take(k).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_query::QueryBuilder;
+    use re_ranking::SumRanking;
+    use re_storage::attr::attrs;
+    use re_storage::Relation;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "E",
+                attrs(["s", "t"]),
+                vec![vec![1, 2], vec![2, 3], vec![3, 1], vec![2, 4]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn dispatches_acyclic() {
+        let q = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        let e = RankedEnumerator::new(&q, &db(), SumRanking::value_sum()).unwrap();
+        assert!(e.is_acyclic());
+        let results: Vec<Tuple> = e.collect();
+        assert_eq!(results.len(), 4); // (1,3),(2,1),(3,2),(2,4)... distinct x,z pairs
+    }
+
+    #[test]
+    fn dispatches_cyclic() {
+        let q = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .atom("E3", "E", ["z", "x"])
+            .project(["x", "y"])
+            .build()
+            .unwrap();
+        let e = RankedEnumerator::new(&q, &db(), SumRanking::value_sum()).unwrap();
+        assert!(!e.is_acyclic());
+        let results: Vec<Tuple> = e.collect();
+        // Triangle rotations projected to (x, y), ranked by x + y.
+        assert_eq!(results, vec![vec![1, 2], vec![3, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let q = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        let top2 = top_k(&q, &db(), SumRanking::value_sum(), 2).unwrap();
+        assert_eq!(top2.len(), 2);
+        let all = top_k(&q, &db(), SumRanking::value_sum(), 100).unwrap();
+        assert_eq!(&all[..2], &top2[..]);
+    }
+}

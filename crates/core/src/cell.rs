@@ -1,0 +1,134 @@
+//! The *cell* data structure of the paper (Definition 1) and the heap
+//! entries built from it.
+//!
+//! A cell `⟨t, [p_1, ..., p_k], next⟩` represents one partial answer at a
+//! join-tree node: a tuple `t` of the node's relation together with one
+//! pointer per child selecting which ranked partial answer of that child the
+//! cell combines with. The `next` pointer chains cells of the same node in
+//! rank order, materialising the node's ranked, de-duplicated sub-output so
+//! it can be reused by every parent tuple (the memoisation that gives the
+//! `O(|D| log |D|)` delay bound).
+//!
+//! Cells live in per-node arenas; "pointers" are `u32` indices into the
+//! child node's arena.
+
+use re_storage::Tuple;
+use std::cmp::Ordering;
+
+/// Index of a cell inside a node's arena.
+pub type CellId = u32;
+
+/// The `next` pointer of a cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NextPtr {
+    /// Not computed yet (`⊥` in the paper).
+    NotComputed,
+    /// The next distinct-output cell of this node, in rank order.
+    Cell(CellId),
+    /// The node's ranked output is exhausted after this cell.
+    Exhausted,
+}
+
+/// One cell of a join-tree node.
+#[derive(Clone, Debug)]
+pub struct Cell<K> {
+    /// Row index of the node tuple `t` inside the node's (reduced) relation.
+    pub row: u32,
+    /// One pointer per child of the node, in child order.
+    pub child_ptrs: Vec<CellId>,
+    /// Chaining pointer to the next distinct partial answer of this node.
+    pub next: NextPtr,
+    /// The materialised partial output of this cell over the node's subtree
+    /// projection attributes (`output(c)` in the paper, cached because it is
+    /// needed by every comparison).
+    pub output: Tuple,
+    /// The rank key of `output`, cached for the same reason.
+    pub key: K,
+}
+
+/// A priority-queue entry: the cell's key and output (for ordering and
+/// tie-breaking) plus the cell id. Ordered by `(key, output, cell)` so that
+/// equal outputs are adjacent in pop order — the property that makes
+/// last-answer deduplication correct — and so that the heap order is total.
+#[derive(Clone, Debug)]
+pub struct HeapEntry<K> {
+    /// Rank key of the cell's output.
+    pub key: K,
+    /// The cell's output tuple (tie-breaker).
+    pub output: Tuple,
+    /// The cell id.
+    pub cell: CellId,
+}
+
+impl<K: Ord> PartialEq for HeapEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<K: Ord> Eq for HeapEntry<K> {}
+
+impl<K: Ord> PartialOrd for HeapEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for HeapEntry<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| self.output.cmp(&other.output))
+            .then_with(|| self.cell.cmp(&other.cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_entry_orders_by_key_then_output() {
+        let a = HeapEntry {
+            key: 1,
+            output: vec![5],
+            cell: 0,
+        };
+        let b = HeapEntry {
+            key: 1,
+            output: vec![6],
+            cell: 1,
+        };
+        let c = HeapEntry {
+            key: 2,
+            output: vec![0],
+            cell: 2,
+        };
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn heap_entry_equal_outputs_tie_break_on_cell() {
+        let a = HeapEntry {
+            key: 1,
+            output: vec![5],
+            cell: 3,
+        };
+        let b = HeapEntry {
+            key: 1,
+            output: vec![5],
+            cell: 4,
+        };
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn next_ptr_states() {
+        assert_ne!(NextPtr::NotComputed, NextPtr::Exhausted);
+        assert_eq!(NextPtr::Cell(3), NextPtr::Cell(3));
+        assert_ne!(NextPtr::Cell(3), NextPtr::Cell(4));
+    }
+}

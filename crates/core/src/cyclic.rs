@@ -1,0 +1,215 @@
+//! Ranked enumeration for cyclic queries via GHDs (Theorem 3).
+//!
+//! A cyclic join-project query is evaluated by materialising each bag of a
+//! [`GhdPlan`] (a sub-join of width ≤ fhw), after which the residual query
+//! over the bag relations is acyclic and is handed to the
+//! [`AcyclicEnumerator`]. The preprocessing cost grows to
+//! `O(|D|^{fhw} log |D|)` — the price the paper shows is unavoidable under
+//! standard hardness conjectures (Appendix F).
+
+use crate::acyclic::AcyclicEnumerator;
+use crate::error::EnumError;
+use crate::stats::EnumStats;
+use re_join::materialize_bag;
+use re_query::{Atom, GhdPlan, JoinProjectQuery, JoinTree, QueryError};
+use re_ranking::Ranking;
+use re_storage::{Attr, Database, Tuple};
+
+/// Ranked enumerator for (possibly) cyclic queries, driven by a GHD plan.
+pub struct CyclicEnumerator<R: Ranking + Clone> {
+    inner: AcyclicEnumerator<R>,
+    bag_sizes: Vec<usize>,
+}
+
+impl<R: Ranking + Clone> CyclicEnumerator<R> {
+    /// Build the enumerator from an explicit GHD plan.
+    pub fn new(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        plan: &GhdPlan,
+    ) -> Result<Self, EnumError> {
+        query.validate_against(db)?;
+        let mut bag_db = Database::new();
+        let mut atoms = Vec::with_capacity(plan.len());
+        let mut bag_sizes = Vec::with_capacity(plan.len());
+        for bag in plan.bags() {
+            let rel = materialize_bag(query, db, bag)?;
+            bag_sizes.push(rel.len());
+            atoms.push(Atom::new(bag.name.clone(), bag.name.clone(), bag.attrs.clone()));
+            bag_db.set_relation(rel);
+        }
+        let residual = JoinProjectQuery::new(atoms, query.projection().to_vec())?;
+        let tree = match JoinTree::build(&residual) {
+            Ok(t) => t,
+            Err(QueryError::NotAcyclic) => return Err(EnumError::ResidualCyclic),
+            Err(e) => return Err(EnumError::Query(e)),
+        };
+        let inner = AcyclicEnumerator::with_tree(&residual, &bag_db, ranking, tree)?;
+        Ok(CyclicEnumerator { inner, bag_sizes })
+    }
+
+    /// Build the enumerator choosing a plan automatically: the cycle
+    /// decomposition of Figure 2 when the query's atoms form a cycle in
+    /// declaration order, otherwise the single-bag (full materialisation)
+    /// fallback.
+    pub fn new_auto(query: &JoinProjectQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
+        let plan = GhdPlan::for_cycle(query).unwrap_or_else(|_| GhdPlan::single_bag(query));
+        Self::new(query, db, ranking, &plan)
+    }
+
+    /// Sizes of the materialised bag relations (preprocessing cost proxy).
+    pub fn bag_sizes(&self) -> &[usize] {
+        &self.bag_sizes
+    }
+
+    /// The projection attributes, in output order.
+    pub fn output_attrs(&self) -> &[Attr] {
+        self.inner.output_attrs()
+    }
+
+    /// Statistics of the residual acyclic enumeration.
+    pub fn stats(&self) -> &EnumStats {
+        self.inner.stats()
+    }
+}
+
+impl<R: Ranking + Clone> Iterator for CyclicEnumerator<R> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_query::QueryBuilder;
+    use re_ranking::{Ranking, SumRanking};
+    use re_storage::attr::attrs;
+    use re_storage::Relation;
+
+    fn edge_db(edges: &[(u64, u64)]) -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "E",
+                attrs(["src", "dst"]),
+                edges.iter().map(|&(a, b)| vec![a, b]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn four_cycle_query() -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("R1", "E", ["a1", "a2"])
+            .atom("R2", "E", ["a2", "a3"])
+            .atom("R3", "E", ["a3", "a4"])
+            .atom("R4", "E", ["a4", "a1"])
+            .project(["a1", "a3"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn four_cycle_enumeration_in_rank_order() {
+        // Two squares: 1-2-3-4 and 5-6-7-8, plus noise edges.
+        let db = edge_db(&[
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 5),
+            (1, 9),
+            (9, 3),
+        ]);
+        let q = four_cycle_query();
+        let plan = GhdPlan::for_cycle(&q).unwrap();
+        let e = CyclicEnumerator::new(&q, &db, SumRanking::value_sum(), &plan).unwrap();
+        let results: Vec<Tuple> = e.collect();
+        // Expected distinct (a1, a3) pairs of 4-cycles: from square 1:
+        // (1,3),(2,4),(3,1),(4,2); via the 1-9-3 chord with 3-4-1 we get a
+        // 4-cycle 1-9-3-4? edges 1→9, 9→3, 3→4, 4→1: yes → (1,3) again and
+        // (9,4)? that cycle's (a1,a3) rotations: a1=1,a3=3 and a1=9,a3=1 ...
+        // Instead of enumerating by hand, just check ordering & distinctness.
+        assert!(!results.is_empty());
+        let ranking = SumRanking::value_sum();
+        let mut last = None;
+        let mut seen = std::collections::HashSet::new();
+        for t in &results {
+            assert!(seen.insert(t.clone()), "duplicate {t:?}");
+            let k = ranking.key_of(&attrs(["a1", "a3"]), t);
+            if let Some(prev) = last {
+                assert!(k >= prev);
+            }
+            last = Some(k);
+        }
+        assert!(results.contains(&vec![1, 3]));
+        assert!(results.contains(&vec![2, 4]));
+    }
+
+    #[test]
+    fn cycle_plan_and_single_bag_agree() {
+        let db = edge_db(&[
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+            (2, 5),
+            (5, 4),
+            (7, 7),
+        ]);
+        let q = four_cycle_query();
+        let via_cycle: Vec<Tuple> =
+            CyclicEnumerator::new(&q, &db, SumRanking::value_sum(), &GhdPlan::for_cycle(&q).unwrap())
+                .unwrap()
+                .collect();
+        let via_single: Vec<Tuple> =
+            CyclicEnumerator::new(&q, &db, SumRanking::value_sum(), &GhdPlan::single_bag(&q))
+                .unwrap()
+                .collect();
+        assert_eq!(via_cycle, via_single);
+        // A self-loop vertex forms a 4-cycle with itself.
+        assert!(via_cycle.contains(&vec![7, 7]));
+    }
+
+    #[test]
+    fn triangle_via_single_bag() {
+        let db = edge_db(&[(1, 2), (2, 3), (3, 1), (4, 5)]);
+        let q = QueryBuilder::new()
+            .atom("R1", "E", ["x", "y"])
+            .atom("R2", "E", ["y", "z"])
+            .atom("R3", "E", ["z", "x"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        let e = CyclicEnumerator::new_auto(&q, &db, SumRanking::value_sum()).unwrap();
+        let results: Vec<Tuple> = e.collect();
+        // (x,z) projections of the triangle's rotations, ranked by x+z.
+        assert_eq!(results, vec![vec![2, 1], vec![1, 3], vec![3, 2]]);
+    }
+
+    #[test]
+    fn bag_sizes_are_reported() {
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        let q = four_cycle_query();
+        let e = CyclicEnumerator::new_auto(&q, &db, SumRanking::value_sum()).unwrap();
+        assert_eq!(e.bag_sizes().len(), 2);
+        assert!(e.bag_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn empty_cyclic_result() {
+        let db = edge_db(&[(1, 2), (3, 4)]);
+        let q = four_cycle_query();
+        let mut e = CyclicEnumerator::new_auto(&q, &db, SumRanking::value_sum()).unwrap();
+        assert_eq!(e.next(), None);
+    }
+}

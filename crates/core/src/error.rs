@@ -1,0 +1,60 @@
+//! Error type for the enumeration layer.
+
+use re_join::JoinError;
+use re_query::QueryError;
+use re_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while preprocessing or enumerating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumError {
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Query-layer failure (e.g. cyclic query without a GHD plan).
+    Query(QueryError),
+    /// Join-layer failure.
+    Join(String),
+    /// The residual query produced by a GHD plan is still cyclic.
+    ResidualCyclic,
+    /// The degree threshold of the star-query algorithm must be at least 1.
+    InvalidThreshold,
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::Storage(e) => write!(f, "storage error: {e}"),
+            EnumError::Query(e) => write!(f, "query error: {e}"),
+            EnumError::Join(e) => write!(f, "join error: {e}"),
+            EnumError::ResidualCyclic => {
+                write!(f, "the residual query over the GHD bags is still cyclic")
+            }
+            EnumError::InvalidThreshold => {
+                write!(f, "the star-query degree threshold must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+impl From<StorageError> for EnumError {
+    fn from(e: StorageError) -> Self {
+        EnumError::Storage(e)
+    }
+}
+
+impl From<QueryError> for EnumError {
+    fn from(e: QueryError) -> Self {
+        EnumError::Query(e)
+    }
+}
+
+impl From<JoinError> for EnumError {
+    fn from(e: JoinError) -> Self {
+        match e {
+            JoinError::Storage(s) => EnumError::Storage(s),
+            JoinError::Query(q) => EnumError::Query(q),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Ranked-stream merging.
+//!
+//! Both the star-query enumerator (Algorithm 5's `(m+1)`-way merge) and the
+//! UCQ enumerator (Theorem 4) interleave several ranked answer streams into
+//! one. [`MergeEntry`] is the priority-queue element used for that merge:
+//! ordered by `(key, tuple, source)` so the merged stream is itself sorted
+//! by `(key, tuple)` and equal tuples from different sources are adjacent.
+
+use re_storage::Tuple;
+use std::cmp::Ordering;
+
+/// One pending answer of a merged ranked stream.
+#[derive(Clone, Debug)]
+pub struct MergeEntry<K> {
+    /// Rank key of the answer.
+    pub key: K,
+    /// The answer tuple (in output order).
+    pub tuple: Tuple,
+    /// Which source stream produced it.
+    pub source: usize,
+}
+
+impl<K: Ord> PartialEq for MergeEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<K: Ord> Eq for MergeEntry<K> {}
+
+impl<K: Ord> PartialOrd for MergeEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for MergeEntry<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| self.tuple.cmp(&other.tuple))
+            .then_with(|| self.source.cmp(&other.source))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn merge_entries_order_by_key_then_tuple() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(MergeEntry {
+            key: 5,
+            tuple: vec![1],
+            source: 0,
+        }));
+        heap.push(Reverse(MergeEntry {
+            key: 3,
+            tuple: vec![9],
+            source: 1,
+        }));
+        heap.push(Reverse(MergeEntry {
+            key: 3,
+            tuple: vec![2],
+            source: 2,
+        }));
+        let order: Vec<(i32, Vec<u64>)> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| (e.key, e.tuple))
+            .collect();
+        assert_eq!(order, vec![(3, vec![2]), (3, vec![9]), (5, vec![1])]);
+    }
+
+    #[test]
+    fn equal_tuples_from_different_sources_are_adjacent() {
+        let a = MergeEntry {
+            key: 1,
+            tuple: vec![4, 4],
+            source: 0,
+        };
+        let b = MergeEntry {
+            key: 1,
+            tuple: vec![4, 4],
+            source: 3,
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Enumeration statistics.
+//!
+//! The paper's Figure 14a plots, for the DBLP 2-hop query, the fraction of
+//! answers that required a given number of priority-queue operations — a
+//! proxy for the *empirical* delay between consecutive answers. The
+//! enumerators keep exactly those counters so the figure can be regenerated
+//! (and so the tests can assert the theoretical delay bound is respected).
+
+/// Counters collected while an enumerator runs.
+#[derive(Clone, Debug, Default)]
+pub struct EnumStats {
+    /// Total priority-queue insertions.
+    pub pq_pushes: u64,
+    /// Total priority-queue pops.
+    pub pq_pops: u64,
+    /// Total cells allocated (including preprocessing).
+    pub cells_created: u64,
+    /// Number of answers emitted so far.
+    pub answers: u64,
+    /// Priority-queue operations (pushes + pops) spent between consecutive
+    /// answers; one entry per emitted answer.
+    pub ops_per_answer: Vec<u64>,
+    /// Operations accumulated since the last emitted answer.
+    ops_since_last: u64,
+}
+
+impl EnumStats {
+    /// Create zeroed statistics.
+    pub fn new() -> Self {
+        EnumStats::default()
+    }
+
+    /// Record one priority-queue push.
+    pub fn record_push(&mut self) {
+        self.pq_pushes += 1;
+        self.ops_since_last += 1;
+    }
+
+    /// Record one priority-queue pop.
+    pub fn record_pop(&mut self) {
+        self.pq_pops += 1;
+        self.ops_since_last += 1;
+    }
+
+    /// Record a cell allocation.
+    pub fn record_cell(&mut self) {
+        self.cells_created += 1;
+    }
+
+    /// Record that an answer was emitted, folding the per-answer operation
+    /// count into the histogram.
+    pub fn record_answer(&mut self) {
+        self.answers += 1;
+        self.ops_per_answer.push(self.ops_since_last);
+        self.ops_since_last = 0;
+    }
+
+    /// Maximum priority-queue operations spent on a single answer — the
+    /// observed worst-case delay in PQ operations.
+    pub fn max_ops_per_answer(&self) -> u64 {
+        self.ops_per_answer.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The fraction of answers that needed at most `ops` PQ operations
+    /// (the CDF plotted in Figure 14a).
+    pub fn cdf_at(&self, ops: u64) -> f64 {
+        if self.ops_per_answer.is_empty() {
+            return 1.0;
+        }
+        let within = self.ops_per_answer.iter().filter(|&&o| o <= ops).count();
+        within as f64 / self.ops_per_answer.len() as f64
+    }
+
+    /// Merge another statistics object into this one (used by composite
+    /// enumerators such as the star and union enumerators).
+    pub fn merge(&mut self, other: &EnumStats) {
+        self.pq_pushes += other.pq_pushes;
+        self.pq_pops += other.pq_pops;
+        self.cells_created += other.cells_created;
+        // answers / histogram are tracked by the composite itself
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_ops_between_answers() {
+        let mut s = EnumStats::new();
+        s.record_push();
+        s.record_pop();
+        s.record_answer();
+        s.record_push();
+        s.record_answer();
+        s.record_answer();
+        assert_eq!(s.answers, 3);
+        assert_eq!(s.ops_per_answer, vec![2, 1, 0]);
+        assert_eq!(s.max_ops_per_answer(), 2);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut s = EnumStats::new();
+        for ops in [1u64, 1, 3, 7] {
+            for _ in 0..ops {
+                s.record_push();
+            }
+            s.record_answer();
+        }
+        assert!(s.cdf_at(0) <= s.cdf_at(1));
+        assert_eq!(s.cdf_at(1), 0.5);
+        assert_eq!(s.cdf_at(7), 1.0);
+        assert_eq!(s.cdf_at(100), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = EnumStats::new();
+        a.record_push();
+        let mut b = EnumStats::new();
+        b.record_pop();
+        b.record_cell();
+        a.merge(&b);
+        assert_eq!(a.pq_pushes, 1);
+        assert_eq!(a.pq_pops, 1);
+        assert_eq!(a.cells_created, 1);
+    }
+
+    #[test]
+    fn empty_cdf_is_one() {
+        let s = EnumStats::new();
+        assert_eq!(s.cdf_at(0), 1.0);
+    }
+}

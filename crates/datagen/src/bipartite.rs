@@ -1,0 +1,227 @@
+//! Bipartite membership graphs.
+//!
+//! Stand-ins for the paper's DBLP (`AuthorPapers(aid, pid)`), IMDB
+//! (`PersonMovie(pid, mid)`), Friendster (user–group) and Memetracker
+//! (user–meme) relations: a bipartite edge relation whose endpoints are
+//! drawn from Zipf distributions, so a few entities are very prolific and
+//! most appear only a handful of times — the skew that makes the full join
+//! of 2-hop / 3-hop queries explode relative to the distinct output.
+
+use crate::weights::{log_degree_weights, random_weights};
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use re_ranking::Weight;
+use re_storage::{Attr, Relation, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of a bipartite membership graph.
+#[derive(Clone, Debug)]
+pub struct BipartiteConfig {
+    /// Name of the generated relation (e.g. `"AuthorPapers"`).
+    pub relation_name: String,
+    /// Attribute name of the left side (e.g. `"aid"`).
+    pub left_attr: String,
+    /// Attribute name of the right side (e.g. `"pid"`).
+    pub right_attr: String,
+    /// Number of left entities (authors / persons / users).
+    pub left_entities: usize,
+    /// Number of right entities (papers / movies / groups).
+    pub right_entities: usize,
+    /// Number of distinct edges to generate.
+    pub edges: usize,
+    /// Zipf exponent of the left endpoint distribution.
+    pub left_skew: f64,
+    /// Zipf exponent of the right endpoint distribution.
+    pub right_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BipartiteConfig {
+    /// A DBLP-like configuration scaled by `scale` (≈ `scale` edges).
+    pub fn dblp_like(scale: usize, seed: u64) -> Self {
+        BipartiteConfig {
+            relation_name: "AuthorPapers".into(),
+            left_attr: "aid".into(),
+            right_attr: "pid".into(),
+            left_entities: (scale / 3).max(10),
+            right_entities: (scale / 2).max(10),
+            edges: scale,
+            left_skew: 0.8,
+            right_skew: 0.6,
+            seed,
+        }
+    }
+
+    /// An IMDB-like configuration (denser right side: movies have larger
+    /// casts than papers have authors).
+    pub fn imdb_like(scale: usize, seed: u64) -> Self {
+        BipartiteConfig {
+            relation_name: "PersonMovie".into(),
+            left_attr: "pid".into(),
+            right_attr: "mid".into(),
+            left_entities: (scale / 4).max(10),
+            right_entities: (scale / 8).max(10),
+            edges: scale,
+            left_skew: 0.9,
+            right_skew: 0.7,
+            seed,
+        }
+    }
+
+    /// A social-network-like membership configuration (Friendster user–group
+    /// or Memetracker user–meme): strong skew on both sides.
+    pub fn social_like(scale: usize, seed: u64) -> Self {
+        BipartiteConfig {
+            relation_name: "Membership".into(),
+            left_attr: "uid".into(),
+            right_attr: "gid".into(),
+            left_entities: (scale / 5).max(10),
+            right_entities: (scale / 10).max(10),
+            edges: scale,
+            left_skew: 1.0,
+            right_skew: 0.9,
+            seed,
+        }
+    }
+}
+
+/// A generated bipartite dataset: the membership relation plus weight tables
+/// for both entity classes.
+#[derive(Clone, Debug)]
+pub struct BipartiteDataset {
+    /// The membership relation `R(left, right)`.
+    pub relation: Relation,
+    /// Random weights for left entities.
+    pub left_random_weights: HashMap<Value, Weight>,
+    /// Random weights for right entities.
+    pub right_random_weights: HashMap<Value, Weight>,
+    /// `log2(1 + degree)` weights for left entities.
+    pub left_log_weights: HashMap<Value, Weight>,
+    /// `log2(1 + degree)` weights for right entities.
+    pub right_log_weights: HashMap<Value, Weight>,
+    config: BipartiteConfig,
+}
+
+impl BipartiteDataset {
+    /// Generate a dataset from a configuration.
+    pub fn generate(config: BipartiteConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let left_sampler = ZipfSampler::new(config.left_entities, config.left_skew);
+        let right_sampler = ZipfSampler::new(config.right_entities, config.right_skew);
+        let mut relation = Relation::new(
+            config.relation_name.clone(),
+            [config.left_attr.clone(), config.right_attr.clone()],
+        );
+        let mut seen: HashSet<(Value, Value)> = HashSet::with_capacity(config.edges);
+        // Cap the number of attempts so pathological configurations (more
+        // requested edges than possible pairs) still terminate.
+        let max_attempts = config.edges.saturating_mul(20).max(1000);
+        let mut attempts = 0;
+        while seen.len() < config.edges && attempts < max_attempts {
+            attempts += 1;
+            let l = left_sampler.sample(&mut rng) as Value + 1;
+            let r = right_sampler.sample(&mut rng) as Value + 1;
+            if seen.insert((l, r)) {
+                relation.push_unchecked(&[l, r]);
+            }
+        }
+        let left_attr = Attr::new(&config.left_attr);
+        let right_attr = Attr::new(&config.right_attr);
+        let left_ids: Vec<Value> = (1..=config.left_entities as Value).collect();
+        let right_ids: Vec<Value> = (1..=config.right_entities as Value).collect();
+        BipartiteDataset {
+            left_random_weights: random_weights(left_ids, config.seed ^ 0xA5A5),
+            right_random_weights: random_weights(right_ids, config.seed ^ 0x5A5A),
+            left_log_weights: log_degree_weights(&relation, &left_attr),
+            right_log_weights: log_degree_weights(&relation, &right_attr),
+            relation,
+            config,
+        }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &BipartiteConfig {
+        &self.config
+    }
+
+    /// Left attribute name.
+    pub fn left_attr(&self) -> Attr {
+        Attr::new(&self.config.left_attr)
+    }
+
+    /// Right attribute name.
+    pub fn right_attr(&self) -> Attr {
+        Attr::new(&self.config.right_attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_storage::DegreeIndex;
+
+    #[test]
+    fn generates_requested_number_of_distinct_edges() {
+        let ds = BipartiteDataset::generate(BipartiteConfig::dblp_like(2000, 1));
+        assert_eq!(ds.relation.len(), 2000);
+        let mut seen = HashSet::new();
+        for t in ds.relation.iter() {
+            assert!(seen.insert(t.to_vec()), "duplicate edge generated");
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = BipartiteDataset::generate(BipartiteConfig::dblp_like(500, 42));
+        let b = BipartiteDataset::generate(BipartiteConfig::dblp_like(500, 42));
+        let c = BipartiteDataset::generate(BipartiteConfig::dblp_like(500, 43));
+        let rows = |r: &Relation| r.iter().map(|t| t.to_vec()).collect::<Vec<_>>();
+        assert_eq!(rows(&a.relation), rows(&b.relation));
+        assert_ne!(rows(&a.relation), rows(&c.relation));
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let ds = BipartiteDataset::generate(BipartiteConfig::social_like(5000, 7));
+        let deg = DegreeIndex::build(&ds.relation, &ds.right_attr()).unwrap();
+        // the most popular group should be far above the average degree
+        let avg = ds.relation.len() as f64 / deg.distinct_values() as f64;
+        assert!(
+            (deg.max_degree() as f64) > 4.0 * avg,
+            "max {} avg {}",
+            deg.max_degree(),
+            avg
+        );
+    }
+
+    #[test]
+    fn weight_tables_cover_all_entities_seen() {
+        let ds = BipartiteDataset::generate(BipartiteConfig::imdb_like(1000, 3));
+        for t in ds.relation.iter() {
+            assert!(ds.left_random_weights.contains_key(&t[0]));
+            assert!(ds.right_random_weights.contains_key(&t[1]));
+            assert!(ds.left_log_weights.contains_key(&t[0]));
+            assert!(ds.right_log_weights.contains_key(&t[1]));
+        }
+    }
+
+    #[test]
+    fn impossible_edge_counts_terminate() {
+        // only 4 possible pairs but 100 requested
+        let cfg = BipartiteConfig {
+            relation_name: "T".into(),
+            left_attr: "l".into(),
+            right_attr: "r".into(),
+            left_entities: 2,
+            right_entities: 2,
+            edges: 100,
+            left_skew: 0.0,
+            right_skew: 0.0,
+            seed: 0,
+        };
+        let ds = BipartiteDataset::generate(cfg);
+        assert!(ds.relation.len() <= 4);
+    }
+}

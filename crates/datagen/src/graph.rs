@@ -1,0 +1,128 @@
+//! Directed edge graphs for the cyclic-query experiments (Section 6.2.2).
+
+use crate::weights::{log_degree_weights, random_weights};
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use re_ranking::Weight;
+use re_storage::{Attr, Relation, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of a random directed graph.
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Name of the edge relation.
+    pub relation_name: String,
+    /// Source attribute name.
+    pub src_attr: String,
+    /// Destination attribute name.
+    pub dst_attr: String,
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of distinct edges.
+    pub edges: usize,
+    /// Zipf exponent of endpoint popularity.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GraphConfig {
+    /// A default configuration with moderate skew.
+    pub fn new(vertices: usize, edges: usize, seed: u64) -> Self {
+        GraphConfig {
+            relation_name: "Edge".into(),
+            src_attr: "src".into(),
+            dst_attr: "dst".into(),
+            vertices,
+            edges,
+            skew: 0.7,
+            seed,
+        }
+    }
+}
+
+/// A generated directed graph with vertex weight tables.
+#[derive(Clone, Debug)]
+pub struct GraphDataset {
+    /// The edge relation `E(src, dst)`.
+    pub edges: Relation,
+    /// Uniform random vertex weights.
+    pub random_weights: HashMap<Value, Weight>,
+    /// `log2(1 + out-degree)` vertex weights.
+    pub log_weights: HashMap<Value, Weight>,
+    config: GraphConfig,
+}
+
+impl GraphDataset {
+    /// Generate a graph from a configuration.
+    pub fn generate(config: GraphConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sampler = ZipfSampler::new(config.vertices, config.skew);
+        let mut edges = Relation::new(
+            config.relation_name.clone(),
+            [config.src_attr.clone(), config.dst_attr.clone()],
+        );
+        let mut seen: HashSet<(Value, Value)> = HashSet::with_capacity(config.edges);
+        let max_attempts = config.edges.saturating_mul(20).max(1000);
+        let mut attempts = 0;
+        while seen.len() < config.edges && attempts < max_attempts {
+            attempts += 1;
+            let s = sampler.sample(&mut rng) as Value + 1;
+            let t = sampler.sample(&mut rng) as Value + 1;
+            if s == t {
+                continue;
+            }
+            if seen.insert((s, t)) {
+                edges.push_unchecked(&[s, t]);
+            }
+        }
+        let ids: Vec<Value> = (1..=config.vertices as Value).collect();
+        GraphDataset {
+            random_weights: random_weights(ids, config.seed ^ 0xC3C3),
+            log_weights: log_degree_weights(&edges, &Attr::new(&config.src_attr)),
+            edges,
+            config,
+        }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_distinct_loop_free_edges() {
+        let g = GraphDataset::generate(GraphConfig::new(200, 1500, 11));
+        assert_eq!(g.edges.len(), 1500);
+        let mut seen = HashSet::new();
+        for t in g.edges.iter() {
+            assert_ne!(t[0], t[1], "self loops excluded");
+            assert!(seen.insert(t.to_vec()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GraphDataset::generate(GraphConfig::new(100, 500, 5));
+        let b = GraphDataset::generate(GraphConfig::new(100, 500, 5));
+        assert_eq!(
+            a.edges.iter().collect::<Vec<_>>(),
+            b.edges.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn weights_cover_vertices() {
+        let g = GraphDataset::generate(GraphConfig::new(50, 200, 9));
+        for t in g.edges.iter() {
+            assert!(g.random_weights.contains_key(&t[0]));
+            assert!(g.random_weights.contains_key(&t[1]));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! An LDBC-SNB-like synthetic social network, parameterised by a scale
+//! factor, for the scalability experiment of Figure 9.
+//!
+//! The real benchmark's interactive queries Q3/Q10/Q11 are neighbourhood
+//! analyses with `ORDER BY`/`LIMIT` over the person–knows–person graph
+//! joined with messages, group memberships and work-at relations, several
+//! of them as UNIONs. The generator below produces the three relations
+//! those query shapes need; the concrete UCQ workloads live in
+//! `re-workloads::ldbc`.
+
+use crate::weights::random_weights;
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use re_ranking::Weight;
+use re_storage::{Relation, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the LDBC-like generator.
+#[derive(Clone, Debug)]
+pub struct LdbcConfig {
+    /// Scale factor; relation cardinalities grow linearly with it.
+    pub scale_factor: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LdbcConfig {
+    /// Create a configuration for the given scale factor.
+    pub fn new(scale_factor: usize, seed: u64) -> Self {
+        LdbcConfig { scale_factor, seed }
+    }
+
+    fn persons(&self) -> usize {
+        (self.scale_factor * 300).max(50)
+    }
+
+    fn knows_edges(&self) -> usize {
+        self.scale_factor * 2_000
+    }
+
+    fn posts(&self) -> usize {
+        self.scale_factor * 1_000
+    }
+
+    fn likes_edges(&self) -> usize {
+        self.scale_factor * 3_000
+    }
+
+    fn forums(&self) -> usize {
+        (self.scale_factor * 50).max(10)
+    }
+
+    fn member_edges(&self) -> usize {
+        self.scale_factor * 1_500
+    }
+}
+
+/// The generated LDBC-like instance.
+#[derive(Clone, Debug)]
+pub struct LdbcDataset {
+    /// `Knows(p1, p2)` — the friendship graph (symmetric closure).
+    pub knows: Relation,
+    /// `PostCreator(post, person)` — message authorship.
+    pub post_creator: Relation,
+    /// `Likes(person, post)` — likes.
+    pub likes: Relation,
+    /// `ForumMember(forum, person)` — group membership.
+    pub forum_member: Relation,
+    /// Random person weights (used as the ORDER BY score).
+    pub person_weights: HashMap<Value, Weight>,
+    config: LdbcConfig,
+}
+
+impl LdbcDataset {
+    /// Generate the instance.
+    pub fn generate(config: LdbcConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let persons = config.persons();
+        let person_sampler = ZipfSampler::new(persons, 0.8);
+
+        let mut knows = Relation::new("Knows", ["p1", "p2"]);
+        let mut seen: HashSet<(Value, Value)> = HashSet::new();
+        let mut attempts = 0usize;
+        while seen.len() < config.knows_edges() * 2 && attempts < config.knows_edges() * 30 {
+            attempts += 1;
+            let a = person_sampler.sample(&mut rng) as Value + 1;
+            let b = person_sampler.sample(&mut rng) as Value + 1;
+            if a == b {
+                continue;
+            }
+            if seen.insert((a, b)) {
+                knows.push_unchecked(&[a, b]);
+            }
+            if seen.insert((b, a)) {
+                knows.push_unchecked(&[b, a]);
+            }
+        }
+
+        let posts = config.posts();
+        let mut post_creator = Relation::new("PostCreator", ["post", "person"]);
+        for post in 1..=posts as Value {
+            let creator = person_sampler.sample(&mut rng) as Value + 1;
+            post_creator.push_unchecked(&[post, creator]);
+        }
+
+        let post_sampler = ZipfSampler::new(posts, 0.9);
+        let mut likes = Relation::new("Likes", ["person", "post"]);
+        let mut seen_likes: HashSet<(Value, Value)> = HashSet::new();
+        attempts = 0;
+        while seen_likes.len() < config.likes_edges() && attempts < config.likes_edges() * 30 {
+            attempts += 1;
+            let person = person_sampler.sample(&mut rng) as Value + 1;
+            let post = post_sampler.sample(&mut rng) as Value + 1;
+            if seen_likes.insert((person, post)) {
+                likes.push_unchecked(&[person, post]);
+            }
+        }
+
+        let forums = config.forums();
+        let forum_sampler = ZipfSampler::new(forums, 0.7);
+        let mut forum_member = Relation::new("ForumMember", ["forum", "person"]);
+        let mut seen_members: HashSet<(Value, Value)> = HashSet::new();
+        attempts = 0;
+        while seen_members.len() < config.member_edges() && attempts < config.member_edges() * 30 {
+            attempts += 1;
+            let forum = forum_sampler.sample(&mut rng) as Value + 1;
+            let person = person_sampler.sample(&mut rng) as Value + 1;
+            if seen_members.insert((forum, person)) {
+                forum_member.push_unchecked(&[forum, person]);
+            }
+        }
+
+        let person_weights = random_weights(1..=persons as Value, config.seed ^ 0xBEEF);
+        LdbcDataset {
+            knows,
+            post_creator,
+            likes,
+            forum_member,
+            person_weights,
+            config,
+        }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &LdbcConfig {
+        &self.config
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn size(&self) -> usize {
+        self.knows.len() + self.post_creator.len() + self.likes.len() + self.forum_member.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_scales_with_the_scale_factor() {
+        let small = LdbcDataset::generate(LdbcConfig::new(1, 3));
+        let large = LdbcDataset::generate(LdbcConfig::new(4, 3));
+        assert!(large.size() > 2 * small.size());
+    }
+
+    #[test]
+    fn knows_graph_is_symmetric() {
+        let ds = LdbcDataset::generate(LdbcConfig::new(1, 5));
+        let edges: HashSet<(Value, Value)> =
+            ds.knows.iter().map(|t| (t[0], t[1])).collect();
+        for &(a, b) in &edges {
+            assert!(edges.contains(&(b, a)), "missing reverse edge ({b},{a})");
+        }
+    }
+
+    #[test]
+    fn every_post_has_a_creator() {
+        let ds = LdbcDataset::generate(LdbcConfig::new(1, 8));
+        assert_eq!(ds.post_creator.len(), ds.config().posts());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = LdbcDataset::generate(LdbcConfig::new(2, 11));
+        let b = LdbcDataset::generate(LdbcConfig::new(2, 11));
+        assert_eq!(a.size(), b.size());
+        assert_eq!(
+            a.knows.iter().collect::<Vec<_>>(),
+            b.knows.iter().collect::<Vec<_>>()
+        );
+    }
+}

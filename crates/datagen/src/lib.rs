@@ -1,0 +1,29 @@
+//! Synthetic dataset generators.
+//!
+//! The paper evaluates on DBLP, IMDB, Friendster, Memetracker and the LDBC
+//! social network benchmark. Those datasets are not redistributable inside
+//! this repository, so this crate generates synthetic stand-ins that control
+//! the two properties the experiments actually depend on:
+//!
+//! 1. the *degree distribution* of the join attribute (skew), which governs
+//!    how much larger the full join is than the distinct projected output —
+//!    the gap the paper's algorithms exploit; and
+//! 2. the *weight distribution* of the ranked entities (uniform random or
+//!    `log2(1 + degree)`, exactly the two choices of Section 6.1.1).
+//!
+//! All generators are deterministic given a seed, so benchmarks and tests
+//! are reproducible.
+
+pub mod bipartite;
+pub mod graph;
+pub mod ldbc;
+pub mod pathological;
+pub mod weights;
+pub mod zipf;
+
+pub use bipartite::{BipartiteConfig, BipartiteDataset};
+pub use graph::{GraphConfig, GraphDataset};
+pub use ldbc::{LdbcConfig, LdbcDataset};
+pub use pathological::worst_case_path_instance;
+pub use weights::{log_degree_weights, random_weights};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,41 @@
+//! The worst-case instance of Appendix B.
+//!
+//! For the path-star query `Q = π_{X1}(R_1(X_1, Y) ⋈ ... ⋈ R_ℓ(X_ℓ, Y))`
+//! the instance below has `n` values of every `X_i` all connected to a
+//! single join value `y★`. The projected output has exactly `n` answers,
+//! but the full join has `n^ℓ` — so any algorithm that enumerates the full
+//! query (the Appendix-B baseline) pays `Ω(n^{ℓ-1})` per projected answer,
+//! while the projection-aware enumerator stays near-linear.
+
+use re_storage::{Database, Relation, Value};
+
+/// Build the worst-case instance: `arms` relations `R_i(x_i, y)`, each with
+/// `n` distinct `x` values attached to the single join value `y★ = 1`.
+/// Relations are named `R1..R{arms}` with attributes `(x, y)`.
+pub fn worst_case_path_instance(arms: usize, n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 1..=arms {
+        let mut rel = Relation::new(format!("R{i}"), ["x", "y"]);
+        for v in 1..=n as Value {
+            rel.push_unchecked(&[v, 1]);
+        }
+        db.add_relation(rel).expect("unique relation names");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_has_expected_shape() {
+        let db = worst_case_path_instance(3, 50);
+        assert_eq!(db.relation_count(), 3);
+        assert_eq!(db.size(), 150);
+        let r2 = db.relation("R2").unwrap();
+        assert_eq!(r2.arity(), 2);
+        assert!(r2.iter().all(|t| t[1] == 1));
+        assert_eq!(r2.distinct_values(&"x".into()).unwrap().len(), 50);
+    }
+}

@@ -1,0 +1,54 @@
+//! Weight-table generators (Section 6.1.1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use re_ranking::Weight;
+use re_storage::{Attr, DegreeIndex, Relation, Value};
+use std::collections::HashMap;
+
+/// Uniform random weights in `[0, 1)` for the given entity ids
+/// ("randomly chosen value" in the paper).
+pub fn random_weights(ids: impl IntoIterator<Item = Value>, seed: u64) -> HashMap<Value, Weight> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.into_iter()
+        .map(|v| (v, Weight::new(rng.gen::<f64>())))
+        .collect()
+}
+
+/// Logarithmic weights `w(v) = log2(1 + deg(v))` where the degree is taken
+/// from `relation[attr]` (the paper's second weighting scheme).
+pub fn log_degree_weights(relation: &Relation, attr: &Attr) -> HashMap<Value, Weight> {
+    let deg = DegreeIndex::build(relation, attr).expect("attribute exists");
+    deg.iter()
+        .map(|(v, d)| (v, Weight::new((1.0 + d as f64).log2())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_storage::attr::attrs;
+
+    #[test]
+    fn random_weights_are_deterministic_per_seed() {
+        let a = random_weights(0..100u64, 7);
+        let b = random_weights(0..100u64, 7);
+        let c = random_weights(0..100u64, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.values().all(|w| w.value() >= 0.0 && w.value() < 1.0));
+    }
+
+    #[test]
+    fn log_degree_weights_follow_degrees() {
+        let rel = Relation::with_tuples(
+            "AP",
+            attrs(["aid", "pid"]),
+            vec![vec![1, 10], vec![1, 11], vec![1, 12], vec![2, 10]],
+        )
+        .unwrap();
+        let w = log_degree_weights(&rel, &Attr::new("aid"));
+        assert_eq!(w[&1], Weight::new(2.0));
+        assert_eq!(w[&2], Weight::new(1.0));
+    }
+}

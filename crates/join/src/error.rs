@@ -1,0 +1,37 @@
+//! Error type for join processing.
+
+use re_query::QueryError;
+use re_storage::StorageError;
+use std::fmt;
+
+/// Errors raised during join processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// A storage-layer error (missing relation/attribute, arity mismatch).
+    Storage(StorageError),
+    /// A query-layer error (cyclic query handed to an acyclic-only routine).
+    Query(QueryError),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Storage(e) => write!(f, "storage error: {e}"),
+            JoinError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<StorageError> for JoinError {
+    fn from(e: StorageError) -> Self {
+        JoinError::Storage(e)
+    }
+}
+
+impl From<QueryError> for JoinError {
+    fn from(e: QueryError) -> Self {
+        JoinError::Query(e)
+    }
+}

@@ -1,0 +1,27 @@
+//! Join-processing substrate.
+//!
+//! The enumeration algorithms of the paper assume a handful of classical
+//! building blocks which this crate provides:
+//!
+//! * [`bind_atoms`] — materialise the atoms of a query against a database,
+//!   renaming relation columns to query variables (this is what makes
+//!   self-joins work without duplicating base tables in the database),
+//! * [`semi_join`] / [`full_reduce`] — the Yannakakis full reducer that
+//!   removes all dangling tuples before preprocessing,
+//! * [`hash_join`] / [`full_join`] / [`yannakakis_join`] — natural-join
+//!   materialisation used by the baselines, the star-query heavy output and
+//!   GHD bag materialisation,
+//! * [`project_distinct`] — `SELECT DISTINCT` projection,
+//! * [`materialize_bag`] — evaluation of one GHD bag (Theorem 3).
+
+pub mod bag;
+pub mod bind;
+pub mod error;
+pub mod hashjoin;
+pub mod reducer;
+
+pub use bag::materialize_bag;
+pub use bind::bind_atoms;
+pub use error::JoinError;
+pub use hashjoin::{full_join, hash_join, project_distinct, yannakakis_join};
+pub use reducer::{full_reduce, full_reduce_relations, semi_join};

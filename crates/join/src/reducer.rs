@@ -1,0 +1,246 @@
+//! Semi-joins and the Yannakakis full reducer.
+//!
+//! The preprocessing phase of every enumerator in the paper assumes the
+//! instance contains no *dangling* tuples — tuples that cannot contribute to
+//! any join result. The classical Yannakakis full reducer removes them with
+//! two sweeps of semi-joins over a join tree: a bottom-up pass
+//! (`parent ⋉ child`) followed by a top-down pass (`child ⋉ parent`).
+
+use crate::bind::bind_atoms;
+use crate::error::JoinError;
+use re_query::{JoinProjectQuery, JoinTree};
+use re_storage::{Attr, Database, HashIndex, Relation};
+use std::collections::BTreeSet;
+
+/// Keep only the tuples of `left` whose shared-attribute values appear in
+/// `right` (`left ⋉ right`). If the relations share no attributes this is a
+/// no-op when `right` is non-empty and empties `left` otherwise (standard
+/// semi-join semantics under natural join).
+pub fn semi_join(left: &mut Relation, right: &Relation) -> Result<(), JoinError> {
+    let shared: Vec<Attr> = left
+        .attrs()
+        .iter()
+        .filter(|a| right.attrs().contains(a))
+        .cloned()
+        .collect();
+    if shared.is_empty() {
+        if right.is_empty() {
+            left.retain(|_| false);
+        }
+        return Ok(());
+    }
+    let left_pos = left.positions(&shared)?;
+    let right_index = HashIndex::build(right, &shared)?;
+    let mut key = Vec::with_capacity(shared.len());
+    left.retain(|t| {
+        key.clear();
+        key.extend(left_pos.iter().map(|&p| t[p]));
+        right_index.contains(&key)
+    });
+    Ok(())
+}
+
+/// Run the full reducer over already-bound per-node relations.
+///
+/// `relations[i]` must be the relation of join-tree node `i` (attribute
+/// names are query variables). After the call every relation contains
+/// exactly its non-dangling tuples.
+pub fn full_reduce_relations(tree: &JoinTree, relations: &mut [Relation]) -> Result<(), JoinError> {
+    assert_eq!(tree.len(), relations.len());
+    let post = tree.post_order();
+    // Bottom-up: parent ⋉ child.
+    for &u in &post {
+        if let Some(p) = tree.node(u).parent {
+            let (parent_rel, child_rel) = two_mut(relations, p, u);
+            semi_join(parent_rel, child_rel)?;
+        }
+    }
+    // Top-down: child ⋉ parent (reverse post-order visits parents first).
+    for &u in post.iter().rev() {
+        for &c in &tree.node(u).children {
+            let (parent_rel, child_rel) = two_mut(relations, u, c);
+            semi_join(child_rel, parent_rel)?;
+        }
+    }
+    Ok(())
+}
+
+/// Bind the atoms of an acyclic query and run the full reducer, returning
+/// one dangling-free relation per join-tree node (indexed like the tree's
+/// nodes).
+pub fn full_reduce(
+    query: &JoinProjectQuery,
+    tree: &JoinTree,
+    db: &Database,
+) -> Result<Vec<Relation>, JoinError> {
+    let bound = bind_atoms(query, db)?;
+    // Reorder to node order (node i of an unpruned tree is atom i, but a
+    // pruned tree may have fewer nodes).
+    let mut relations: Vec<Relation> = tree
+        .nodes()
+        .iter()
+        .map(|n| bound[n.atom_index].clone())
+        .collect();
+    full_reduce_relations(tree, &mut relations)?;
+    Ok(relations)
+}
+
+/// Sanity check used by tests and debug assertions: a reduced instance is
+/// *globally consistent* for a join tree if every parent/child pair agrees
+/// on the shared attributes in both directions.
+pub fn is_fully_reduced(tree: &JoinTree, relations: &[Relation]) -> Result<bool, JoinError> {
+    for (i, node) in tree.nodes().iter().enumerate() {
+        if let Some(p) = node.parent {
+            if !semi_join_would_keep_all(&relations[i], &relations[p])?
+                || !semi_join_would_keep_all(&relations[p], &relations[i])?
+            {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn semi_join_would_keep_all(left: &Relation, right: &Relation) -> Result<bool, JoinError> {
+    let shared: Vec<Attr> = left
+        .attrs()
+        .iter()
+        .filter(|a| right.attrs().contains(a))
+        .cloned()
+        .collect();
+    if shared.is_empty() {
+        // The semi-join keeps everything iff the right side is non-empty or
+        // there is nothing to remove on the left.
+        return Ok(!right.is_empty() || left.is_empty());
+    }
+    let left_pos = left.positions(&shared)?;
+    let idx = HashIndex::build(right, &shared)?;
+    for t in left.iter() {
+        let key: Vec<_> = left_pos.iter().map(|&p| t[p]).collect();
+        if !idx.contains(&key) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn two_mut<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j);
+    if i < j {
+        let (a, b) = slice.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = slice.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+/// The set of attributes shared by two relations (helper reused by joins).
+pub fn shared_attrs(a: &Relation, b: &Relation) -> Vec<Attr> {
+    let bset: BTreeSet<&Attr> = b.attrs().iter().collect();
+    a.attrs()
+        .iter()
+        .filter(|x| bset.contains(*x))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_query::QueryBuilder;
+    use re_storage::attr::attrs;
+
+    fn path_db() -> Database {
+        // R1(A,B), R2(B,C), R3(C,D) with some dangling tuples.
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "R1",
+                attrs(["A", "B"]),
+                vec![vec![1, 1], vec![2, 1], vec![3, 9]], // (3,9) dangles
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::with_tuples("R2", attrs(["B", "C"]), vec![vec![1, 5], vec![7, 6]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::with_tuples("R3", attrs(["C", "D"]), vec![vec![5, 2], vec![5, 3]]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn path_query() -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("R1", "R1", ["A", "B"])
+            .atom("R2", "R2", ["B", "C"])
+            .atom("R3", "R3", ["C", "D"])
+            .project(["A", "D"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn semi_join_filters_left() {
+        let mut l = Relation::with_tuples("L", attrs(["A", "B"]), vec![vec![1, 1], vec![2, 9]])
+            .unwrap();
+        let r = Relation::with_tuples("R", attrs(["B", "C"]), vec![vec![1, 4]]).unwrap();
+        semi_join(&mut l, &r).unwrap();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.tuple(0), &[1, 1]);
+    }
+
+    #[test]
+    fn semi_join_disjoint_attrs_keeps_all_when_right_nonempty() {
+        let mut l = Relation::with_tuples("L", attrs(["A"]), vec![vec![1], vec![2]]).unwrap();
+        let r = Relation::with_tuples("R", attrs(["B"]), vec![vec![9]]).unwrap();
+        semi_join(&mut l, &r).unwrap();
+        assert_eq!(l.len(), 2);
+        let empty = Relation::new("E", attrs(["B"]));
+        semi_join(&mut l, &empty).unwrap();
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn full_reducer_removes_dangling_tuples() {
+        let q = path_query();
+        let tree = JoinTree::build_rooted(&q, 1).unwrap();
+        let db = path_db();
+        let reduced = full_reduce(&q, &tree, &db).unwrap();
+        // node order == atom order for unpruned trees
+        assert_eq!(reduced[0].len(), 2); // (1,1), (2,1)
+        assert_eq!(reduced[1].len(), 1); // (1,5)
+        assert_eq!(reduced[2].len(), 2); // (5,2), (5,3)
+        assert!(is_fully_reduced(&tree, &reduced).unwrap());
+    }
+
+    #[test]
+    fn full_reducer_handles_empty_join() {
+        let q = path_query();
+        let tree = JoinTree::build(&q).unwrap();
+        let mut db = path_db();
+        // Make R3 share no C values with R2.
+        db.set_relation(
+            Relation::with_tuples("R3", attrs(["C", "D"]), vec![vec![99, 2]]).unwrap(),
+        );
+        let reduced = full_reduce(&q, &tree, &db).unwrap();
+        assert!(reduced.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let q = path_query();
+        let tree = JoinTree::build(&q).unwrap();
+        let db = path_db();
+        let reduced = full_reduce(&q, &tree, &db).unwrap();
+        let mut again = reduced.clone();
+        full_reduce_relations(&tree, &mut again).unwrap();
+        for (a, b) in reduced.iter().zip(&again) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+}

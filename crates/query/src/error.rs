@@ -1,0 +1,72 @@
+//! Error type for query construction and structural analysis.
+
+use std::fmt;
+
+/// Errors raised while building or analysing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query has no atoms.
+    NoAtoms,
+    /// The projection list is empty.
+    EmptyProjection,
+    /// A projection attribute does not occur in any atom.
+    UnknownProjectionAttr(String),
+    /// Two atoms share the same alias.
+    DuplicateAtomName(String),
+    /// An atom repeats a variable (diagonal selections are not supported).
+    RepeatedVariableInAtom {
+        /// The offending atom alias.
+        atom: String,
+        /// The repeated variable name.
+        variable: String,
+    },
+    /// The query is cyclic but an operation requiring acyclicity was invoked.
+    NotAcyclic,
+    /// The query is not a star query but a star-only operation was invoked.
+    NotAStarQuery(String),
+    /// A GHD bag does not cover an atom that was assigned to it.
+    InvalidGhd(String),
+    /// The atom's variable count does not match the stored relation arity.
+    AtomArityMismatch {
+        /// The offending atom alias.
+        atom: String,
+        /// Arity of the stored relation.
+        relation_arity: usize,
+        /// Number of variables in the atom.
+        atom_arity: usize,
+    },
+    /// A union query mixes branches with different projection lists.
+    MismatchedUnionProjections,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoAtoms => write!(f, "query has no atoms"),
+            QueryError::EmptyProjection => write!(f, "projection list is empty"),
+            QueryError::UnknownProjectionAttr(a) => {
+                write!(f, "projection attribute '{a}' does not occur in any atom")
+            }
+            QueryError::DuplicateAtomName(n) => write!(f, "duplicate atom alias '{n}'"),
+            QueryError::RepeatedVariableInAtom { atom, variable } => {
+                write!(f, "atom '{atom}' repeats variable '{variable}'")
+            }
+            QueryError::NotAcyclic => write!(f, "query is cyclic; a join tree does not exist"),
+            QueryError::NotAStarQuery(reason) => write!(f, "not a star query: {reason}"),
+            QueryError::InvalidGhd(reason) => write!(f, "invalid GHD: {reason}"),
+            QueryError::AtomArityMismatch {
+                atom,
+                relation_arity,
+                atom_arity,
+            } => write!(
+                f,
+                "atom '{atom}' has {atom_arity} variables but its relation has arity {relation_arity}"
+            ),
+            QueryError::MismatchedUnionProjections => {
+                write!(f, "all branches of a union query must share the same projection list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,321 @@
+//! Generalized hypertree decompositions (GHDs) for cyclic queries.
+//!
+//! Theorem 3 of the paper evaluates a cyclic join-project query by
+//! materialising, for every bag of a GHD, the join of the atoms assigned to
+//! that bag projected onto the bag's attributes; the residual query over the
+//! bag relations is acyclic and is handed to the acyclic enumerator.
+//!
+//! This module provides:
+//! * [`GhdPlan::single_bag`] — the always-correct fallback (one bag holding
+//!   the whole query, i.e. full materialisation),
+//! * [`GhdPlan::for_cycle`] — the width-2 decomposition of an `n`-cycle from
+//!   Figure 2 of the paper (bags `{A_1, A_i, A_{i+1}}`),
+//! * [`GhdPlan::new`] — explicit construction for hand-crafted plans such as
+//!   the bowtie query, with validation of the GHD properties that matter
+//!   for correctness (every atom covered by some bag it is contained in).
+
+use crate::error::QueryError;
+use crate::query::JoinProjectQuery;
+use re_storage::Attr;
+use std::collections::BTreeSet;
+
+/// One bag of a GHD: its attribute set and the atoms (by index into the
+/// query's atom list) joined to materialise it. The atom list must include
+/// every atom whose variables are fully contained in the bag that was
+/// *assigned* to this bag, plus enough atoms to cover all bag attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bag {
+    /// A name for the materialised bag relation.
+    pub name: String,
+    /// The bag attributes `B_t`, in output order of the materialised relation.
+    pub attrs: Vec<Attr>,
+    /// Indices of the query atoms joined to produce this bag.
+    pub atoms: Vec<usize>,
+}
+
+/// A GHD-based evaluation plan for a (possibly cyclic) join-project query.
+#[derive(Clone, Debug)]
+pub struct GhdPlan {
+    bags: Vec<Bag>,
+}
+
+impl GhdPlan {
+    /// Build and validate a plan from explicit bags.
+    ///
+    /// Validation checks the two properties Theorem 3 needs:
+    /// 1. every query atom is contained in (covered by) at least one bag
+    ///    that also joins it, so the bag join is a superset-free refinement
+    ///    of the original join;
+    /// 2. every bag attribute is covered by at least one of the bag's atoms.
+    pub fn new(query: &JoinProjectQuery, bags: Vec<Bag>) -> Result<Self, QueryError> {
+        if bags.is_empty() {
+            return Err(QueryError::InvalidGhd("no bags".into()));
+        }
+        for bag in &bags {
+            let bag_attrs: BTreeSet<&Attr> = bag.attrs.iter().collect();
+            if bag.atoms.is_empty() {
+                return Err(QueryError::InvalidGhd(format!(
+                    "bag '{}' joins no atoms",
+                    bag.name
+                )));
+            }
+            for &ai in &bag.atoms {
+                if ai >= query.atoms().len() {
+                    return Err(QueryError::InvalidGhd(format!(
+                        "bag '{}' references atom index {ai} out of range",
+                        bag.name
+                    )));
+                }
+            }
+            let covered: BTreeSet<&Attr> = bag
+                .atoms
+                .iter()
+                .flat_map(|&ai| query.atoms()[ai].vars.iter())
+                .collect();
+            for a in &bag.attrs {
+                if !covered.contains(a) {
+                    return Err(QueryError::InvalidGhd(format!(
+                        "bag '{}' attribute '{a}' is not covered by its atoms",
+                        bag.name
+                    )));
+                }
+            }
+            // bag attrs must not repeat
+            if bag_attrs.len() != bag.attrs.len() {
+                return Err(QueryError::InvalidGhd(format!(
+                    "bag '{}' repeats an attribute",
+                    bag.name
+                )));
+            }
+        }
+        // every atom must be contained in some bag that joins it
+        for (ai, atom) in query.atoms().iter().enumerate() {
+            let ok = bags.iter().any(|bag| {
+                bag.atoms.contains(&ai)
+                    && atom
+                        .vars
+                        .iter()
+                        .all(|v| bag.attrs.contains(v))
+            });
+            if !ok {
+                return Err(QueryError::InvalidGhd(format!(
+                    "atom '{}' is not contained in any bag that joins it",
+                    atom.name
+                )));
+            }
+        }
+        // every projection attribute must appear in some bag
+        for p in query.projection() {
+            if !bags.iter().any(|bag| bag.attrs.contains(p)) {
+                return Err(QueryError::InvalidGhd(format!(
+                    "projection attribute '{p}' does not appear in any bag"
+                )));
+            }
+        }
+        Ok(GhdPlan { bags })
+    }
+
+    /// The trivial single-bag plan: materialise the entire join. Always
+    /// correct; width equals the number of atoms.
+    pub fn single_bag(query: &JoinProjectQuery) -> Self {
+        let attrs: Vec<Attr> = {
+            let mut seen = BTreeSet::new();
+            let mut out = Vec::new();
+            for atom in query.atoms() {
+                for v in &atom.vars {
+                    if seen.insert(v.clone()) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+            out
+        };
+        GhdPlan {
+            bags: vec![Bag {
+                name: "bag0".to_string(),
+                attrs,
+                atoms: (0..query.atoms().len()).collect(),
+            }],
+        }
+    }
+
+    /// The width-2 GHD of an `n`-cycle query
+    /// `R_1(A_1,A_2) ⋈ R_2(A_2,A_3) ⋈ ... ⋈ R_n(A_n,A_1)` where atom `i`
+    /// (0-based) joins variables `vars[i]` and `vars[(i+1) % n]`.
+    ///
+    /// Bags follow Figure 2 (leftmost) of the paper: `{A_1, A_i, A_{i+1}}`
+    /// for `i = 2..n-1`, each covered by the consecutive edge `R_i` together
+    /// with `R_n(A_n, A_1)` (which supplies `A_1`); `R_1` is assigned to the
+    /// first bag and `R_n` to the last.
+    pub fn for_cycle(query: &JoinProjectQuery) -> Result<Self, QueryError> {
+        let n = query.atoms().len();
+        if n < 3 {
+            return Err(QueryError::InvalidGhd(
+                "a cycle needs at least three atoms".into(),
+            ));
+        }
+        // Infer the cycle variable order from the atoms: atom i = (v_i, v_{i+1}).
+        for i in 0..n {
+            let next = (i + 1) % n;
+            let shared: BTreeSet<Attr> = query.atoms()[i]
+                .var_set()
+                .intersection(&query.atoms()[next].var_set())
+                .cloned()
+                .collect();
+            if shared.is_empty() {
+                return Err(QueryError::InvalidGhd(format!(
+                    "atoms {i} and {next} share no variable; not a cycle in declaration order"
+                )));
+            }
+        }
+        let first_var = |i: usize| -> Attr {
+            // the variable shared with the previous atom
+            let prev = (i + n - 1) % n;
+            let prev_vars = query.atoms()[prev].var_set();
+            query.atoms()[i]
+                .vars
+                .iter()
+                .find(|v| prev_vars.contains(*v))
+                .cloned()
+                .expect("checked above")
+        };
+        let a1 = first_var(0);
+        let mut bags = Vec::new();
+        for i in 1..n - 1 {
+            // bag over {A_1, A_i, A_{i+1}} = {a1} ∪ vars(atom i)
+            let mut attrs: Vec<Attr> = vec![a1.clone()];
+            for v in &query.atoms()[i].vars {
+                if *v != a1 && !attrs.contains(v) {
+                    attrs.push(v.clone());
+                }
+            }
+            let mut atoms = vec![i, n - 1];
+            if i == 1 {
+                atoms.push(0); // assign R_1 to the first bag
+            }
+            atoms.sort_unstable();
+            atoms.dedup();
+            bags.push(Bag {
+                name: format!("cycle_bag_{i}"),
+                attrs,
+                atoms,
+            });
+        }
+        GhdPlan::new(query, bags)
+    }
+
+    /// The bags of the plan.
+    pub fn bags(&self) -> &[Bag] {
+        &self.bags
+    }
+
+    /// Number of bags.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Whether the plan has no bags (never true for validated plans).
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// The largest number of atoms joined inside a single bag — a proxy for
+    /// the integral edge-cover width of the plan.
+    pub fn max_bag_atoms(&self) -> usize {
+        self.bags.iter().map(|b| b.atoms.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    fn four_cycle() -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("R1", "E", ["a1", "a2"])
+            .atom("R2", "E", ["a2", "a3"])
+            .atom("R3", "E", ["a3", "a4"])
+            .atom("R4", "E", ["a4", "a1"])
+            .project(["a1", "a3"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_bag_covers_everything() {
+        let q = four_cycle();
+        let plan = GhdPlan::single_bag(&q);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.bags()[0].atoms.len(), 4);
+        assert_eq!(plan.bags()[0].attrs.len(), 4);
+    }
+
+    #[test]
+    fn cycle_ghd_for_four_cycle_has_two_bags() {
+        let q = four_cycle();
+        let plan = GhdPlan::for_cycle(&q).unwrap();
+        assert_eq!(plan.len(), 2);
+        for bag in plan.bags() {
+            assert_eq!(bag.attrs.len(), 3);
+            assert!(bag.attrs.contains(&Attr::new("a1")));
+        }
+        // every atom appears in some bag
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for bag in plan.bags() {
+            seen.extend(bag.atoms.iter().copied());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn cycle_ghd_for_six_cycle_has_four_bags() {
+        let q = QueryBuilder::new()
+            .atom("R1", "E", ["a1", "a2"])
+            .atom("R2", "E", ["a2", "a3"])
+            .atom("R3", "E", ["a3", "a4"])
+            .atom("R4", "E", ["a4", "a5"])
+            .atom("R5", "E", ["a5", "a6"])
+            .atom("R6", "E", ["a6", "a1"])
+            .project(["a1", "a4"])
+            .build()
+            .unwrap();
+        let plan = GhdPlan::for_cycle(&q).unwrap();
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn explicit_plan_validation_rejects_uncovered_atom() {
+        let q = four_cycle();
+        // one bag that forgets atoms 2 and 3
+        let bags = vec![Bag {
+            name: "b".into(),
+            attrs: vec![Attr::new("a1"), Attr::new("a2"), Attr::new("a3")],
+            atoms: vec![0, 1],
+        }];
+        assert!(GhdPlan::new(&q, bags).is_err());
+    }
+
+    #[test]
+    fn explicit_plan_validation_rejects_uncovered_attr() {
+        let q = four_cycle();
+        let bags = vec![Bag {
+            name: "b".into(),
+            attrs: vec![Attr::new("a1"), Attr::new("zzz")],
+            atoms: vec![0, 1, 2, 3],
+        }];
+        assert!(GhdPlan::new(&q, bags).is_err());
+    }
+
+    #[test]
+    fn cycle_ghd_rejects_non_cycle_declaration() {
+        let q = QueryBuilder::new()
+            .atom("R1", "E", ["a", "b"])
+            .atom("R2", "E", ["c", "d"])
+            .atom("R3", "E", ["e", "f"])
+            .project(["a"])
+            .build()
+            .unwrap();
+        assert!(GhdPlan::for_cycle(&q).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Query hypergraphs and the GYO (Graham / Yu–Özsoyoğlu) ear-removal
+//! procedure.
+//!
+//! A join-project query is *acyclic* iff it admits a join tree, which is the
+//! case iff GYO reduction eliminates every hyperedge. The reduction also
+//! yields the witness ("parent") edge of every removed ear, from which a
+//! join tree is reconstructed by [`crate::join_tree::JoinTree`].
+
+use crate::query::JoinProjectQuery;
+use re_storage::Attr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The hypergraph of a query: one hyperedge (the variable set) per atom.
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    edges: Vec<BTreeSet<Attr>>,
+}
+
+/// Result of running GYO reduction on a hypergraph.
+#[derive(Clone, Debug)]
+pub struct GyoResult {
+    /// Whether the hypergraph (and hence the query) is acyclic.
+    pub acyclic: bool,
+    /// For every eliminated ear `e`, the witness edge it was folded into.
+    /// Together with `last`, these undirected links form a join tree when
+    /// the hypergraph is acyclic.
+    pub parent_links: Vec<(usize, usize)>,
+    /// Index of the last surviving edge (a natural default root).
+    pub last: usize,
+}
+
+impl Hypergraph {
+    /// Build the hypergraph of a query.
+    pub fn of_query(query: &JoinProjectQuery) -> Self {
+        Hypergraph {
+            edges: query.atoms().iter().map(|a| a.var_set()).collect(),
+        }
+    }
+
+    /// Build a hypergraph from explicit edges (used by the free-connex test
+    /// which adds a virtual edge over the projection attributes).
+    pub fn from_edges(edges: Vec<BTreeSet<Attr>>) -> Self {
+        Hypergraph { edges }
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[BTreeSet<Attr>] {
+        &self.edges
+    }
+
+    /// Number of hyperedges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the hypergraph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All attributes of the hypergraph.
+    pub fn attributes(&self) -> BTreeSet<Attr> {
+        self.edges.iter().flatten().cloned().collect()
+    }
+
+    /// Run GYO ear removal.
+    ///
+    /// An edge `e` is an *ear* if there is another live edge `f` such that
+    /// every attribute of `e` that also occurs in some other live edge is
+    /// contained in `f`; attributes exclusive to `e` are ignored. Ears are
+    /// removed (recording `f` as witness) until either a single edge remains
+    /// (acyclic) or no ear exists (cyclic).
+    pub fn gyo(&self) -> GyoResult {
+        let n = self.edges.len();
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut alive_count = n;
+        let mut parent_links: Vec<(usize, usize)> = Vec::new();
+
+        if n == 0 {
+            return GyoResult {
+                acyclic: true,
+                parent_links,
+                last: 0,
+            };
+        }
+
+        loop {
+            if alive_count <= 1 {
+                let last = alive.iter().position(|&a| a).unwrap_or(0);
+                return GyoResult {
+                    acyclic: true,
+                    parent_links,
+                    last,
+                };
+            }
+            // Count, over live edges, how many edges contain each attribute.
+            let mut occurrence: BTreeMap<&Attr, usize> = BTreeMap::new();
+            for (i, e) in self.edges.iter().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                for a in e {
+                    *occurrence.entry(a).or_insert(0) += 1;
+                }
+            }
+            let mut removed_this_round = false;
+            'ears: for e in 0..n {
+                if !alive[e] {
+                    continue;
+                }
+                // Attributes of e shared with at least one other live edge.
+                let shared: BTreeSet<&Attr> = self.edges[e]
+                    .iter()
+                    .filter(|a| occurrence.get(a).copied().unwrap_or(0) >= 2)
+                    .collect();
+                for f in 0..n {
+                    if f == e || !alive[f] {
+                        continue;
+                    }
+                    if shared.iter().all(|a| self.edges[f].contains(*a)) {
+                        parent_links.push((e, f));
+                        alive[e] = false;
+                        alive_count -= 1;
+                        removed_this_round = true;
+                        break 'ears;
+                    }
+                }
+            }
+            if !removed_this_round {
+                let last = alive.iter().position(|&a| a).unwrap_or(0);
+                return GyoResult {
+                    acyclic: false,
+                    parent_links,
+                    last,
+                };
+            }
+        }
+    }
+
+    /// Whether the hypergraph is acyclic (α-acyclicity).
+    pub fn is_acyclic(&self) -> bool {
+        self.gyo().acyclic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    fn hg(query: &JoinProjectQuery) -> Hypergraph {
+        Hypergraph::of_query(query)
+    }
+
+    #[test]
+    fn path_query_is_acyclic() {
+        let q = QueryBuilder::new()
+            .atom("R1", "R1", ["a", "b"])
+            .atom("R2", "R2", ["b", "c"])
+            .atom("R3", "R3", ["c", "d"])
+            .project(["a", "d"])
+            .build()
+            .unwrap();
+        assert!(hg(&q).is_acyclic());
+    }
+
+    #[test]
+    fn star_query_is_acyclic() {
+        let q = QueryBuilder::new()
+            .atom("R1", "R1", ["a1", "b"])
+            .atom("R2", "R2", ["a2", "b"])
+            .atom("R3", "R3", ["a3", "b"])
+            .project(["a1", "a2", "a3"])
+            .build()
+            .unwrap();
+        assert!(hg(&q).is_acyclic());
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["x", "y"])
+            .atom("S", "S", ["y", "z"])
+            .atom("T", "T", ["z", "x"])
+            .project(["x", "y"])
+            .build()
+            .unwrap();
+        assert!(!hg(&q).is_acyclic());
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic_and_path_of_four_is_not() {
+        let cycle = QueryBuilder::new()
+            .atom("R1", "R1", ["a1", "a2"])
+            .atom("R2", "R2", ["a2", "a3"])
+            .atom("R3", "R3", ["a3", "a4"])
+            .atom("R4", "R4", ["a4", "a1"])
+            .project(["a1", "a3"])
+            .build()
+            .unwrap();
+        assert!(!hg(&cycle).is_acyclic());
+
+        let path = QueryBuilder::new()
+            .atom("R1", "R1", ["a1", "a2"])
+            .atom("R2", "R2", ["a2", "a3"])
+            .atom("R3", "R3", ["a3", "a4"])
+            .atom("R4", "R4", ["a4", "a5"])
+            .project(["a1", "a5"])
+            .build()
+            .unwrap();
+        assert!(hg(&path).is_acyclic());
+    }
+
+    #[test]
+    fn single_atom_is_acyclic() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .project(["a"])
+            .build()
+            .unwrap();
+        let res = hg(&q).gyo();
+        assert!(res.acyclic);
+        assert!(res.parent_links.is_empty());
+        assert_eq!(res.last, 0);
+    }
+
+    #[test]
+    fn cartesian_product_is_acyclic() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a"])
+            .atom("S", "S", ["b"])
+            .project(["a", "b"])
+            .build()
+            .unwrap();
+        assert!(hg(&q).is_acyclic());
+    }
+
+    #[test]
+    fn parent_links_cover_all_but_one_edge_for_acyclic_queries() {
+        let q = QueryBuilder::new()
+            .atom("R1", "R1", ["a", "b"])
+            .atom("R2", "R2", ["b", "c"])
+            .atom("R3", "R3", ["b", "d"])
+            .project(["a", "c", "d"])
+            .build()
+            .unwrap();
+        let res = hg(&q).gyo();
+        assert!(res.acyclic);
+        assert_eq!(res.parent_links.len(), 2);
+    }
+
+    #[test]
+    fn attributes_collects_all_vars() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .atom("S", "S", ["b", "c"])
+            .project(["a"])
+            .build()
+            .unwrap();
+        let attrs = hg(&q).attributes();
+        assert_eq!(attrs.len(), 3);
+    }
+}

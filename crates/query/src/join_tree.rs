@@ -1,0 +1,425 @@
+//! Rooted join trees with the bookkeeping used by the enumeration
+//! algorithms: anchors, per-node projection attributes `Aπ_i`, and
+//! projection-aware pruning.
+
+use crate::error::QueryError;
+use crate::hypergraph::Hypergraph;
+use crate::query::JoinProjectQuery;
+use re_storage::Attr;
+use std::collections::BTreeSet;
+
+/// One node of a join tree. Node indices refer to positions inside
+/// [`JoinTree::nodes`]; `atom_index` links back to the query atom.
+#[derive(Clone, Debug)]
+pub struct JoinTreeNode {
+    /// Index of the query atom this node represents.
+    pub atom_index: usize,
+    /// Alias of the atom (for diagnostics).
+    pub atom_name: String,
+    /// Variables of the atom, in column order.
+    pub vars: Vec<Attr>,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node indices, in deterministic order.
+    pub children: Vec<usize>,
+    /// `anchor(R_i)` — variables shared with the parent, in this node's
+    /// column order. Empty for the root.
+    pub anchor: Vec<Attr>,
+    /// Projection attributes *owned* by this node: projection attributes of
+    /// this node that are not owned by any ancestor (each projection
+    /// attribute is owned by the node containing it that is closest to the
+    /// root, which is unique by the connectivity property of join trees).
+    pub own_proj: Vec<Attr>,
+    /// `Aπ_i` — projection attributes owned within the subtree rooted here,
+    /// ordered own-attributes-first followed by the children's `Aπ` in child
+    /// order. This is also the attribute order of this node's cell outputs.
+    pub subtree_proj: Vec<Attr>,
+}
+
+impl JoinTreeNode {
+    /// Whether the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A rooted join tree of an acyclic join-project query.
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    nodes: Vec<JoinTreeNode>,
+    root: usize,
+}
+
+impl JoinTree {
+    /// Build a join tree for an acyclic query, rooting at the default node
+    /// chosen by GYO reduction (the last surviving hyperedge).
+    pub fn build(query: &JoinProjectQuery) -> Result<Self, QueryError> {
+        let gyo = Hypergraph::of_query(query).gyo();
+        if !gyo.acyclic {
+            return Err(QueryError::NotAcyclic);
+        }
+        Self::assemble(query, &gyo.parent_links, gyo.last)
+    }
+
+    /// Build a join tree rooted at a specific atom (any choice of root is
+    /// valid and does not affect the complexity guarantees — Section 3.1).
+    pub fn build_rooted(query: &JoinProjectQuery, root_atom: usize) -> Result<Self, QueryError> {
+        let gyo = Hypergraph::of_query(query).gyo();
+        if !gyo.acyclic {
+            return Err(QueryError::NotAcyclic);
+        }
+        Self::assemble(query, &gyo.parent_links, root_atom)
+    }
+
+    fn assemble(
+        query: &JoinProjectQuery,
+        links: &[(usize, usize)],
+        root_atom: usize,
+    ) -> Result<Self, QueryError> {
+        let n = query.atoms().len();
+        assert!(root_atom < n, "root atom index out of range");
+        // Undirected adjacency over atom indices.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(e, f) in links {
+            adj[e].push(f);
+            adj[f].push(e);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+
+        // Orient the tree away from the chosen root with an explicit stack.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n); // pre-order
+        let mut visited = vec![false; n];
+        let mut stack = vec![root_atom];
+        visited[root_atom] = true;
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some(u);
+                    stack.push(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "join tree links must connect all atoms");
+
+        // Node index == atom index for the unpruned tree.
+        let projection: Vec<Attr> = query.projection().to_vec();
+        let proj_set: BTreeSet<Attr> = projection.iter().cloned().collect();
+
+        let mut nodes: Vec<JoinTreeNode> = query
+            .atoms()
+            .iter()
+            .enumerate()
+            .map(|(i, atom)| {
+                let anchor: Vec<Attr> = match parent[i] {
+                    None => Vec::new(),
+                    Some(p) => {
+                        let pvars: BTreeSet<Attr> = query.atoms()[p].var_set();
+                        atom.vars
+                            .iter()
+                            .filter(|v| pvars.contains(*v))
+                            .cloned()
+                            .collect()
+                    }
+                };
+                JoinTreeNode {
+                    atom_index: i,
+                    atom_name: atom.name.clone(),
+                    vars: atom.vars.clone(),
+                    parent: parent[i],
+                    children: Vec::new(),
+                    anchor,
+                    own_proj: Vec::new(),
+                    subtree_proj: Vec::new(),
+                }
+            })
+            .collect();
+        for i in 0..n {
+            if let Some(p) = parent[i] {
+                nodes[p].children.push(i);
+            }
+        }
+        for node in &mut nodes {
+            node.children.sort_unstable();
+        }
+
+        // Ownership of projection attributes: walking the tree top-down, a
+        // node owns the projection attributes it contains that no ancestor
+        // contains.
+        let mut owned_above: Vec<BTreeSet<Attr>> = vec![BTreeSet::new(); n];
+        for &u in &order {
+            let mut above = match nodes[u].parent {
+                None => BTreeSet::new(),
+                Some(p) => {
+                    let mut s = owned_above[p].clone();
+                    s.extend(nodes[p].vars.iter().cloned());
+                    s
+                }
+            };
+            above.retain(|a| proj_set.contains(a));
+            let own: Vec<Attr> = nodes[u]
+                .vars
+                .iter()
+                .filter(|v| proj_set.contains(*v) && !above.contains(*v))
+                .cloned()
+                .collect();
+            owned_above[u] = above;
+            nodes[u].own_proj = own;
+        }
+
+        // Subtree projection attributes, bottom-up (reverse pre-order).
+        for &u in order.iter().rev() {
+            let mut sub = nodes[u].own_proj.clone();
+            let children = nodes[u].children.clone();
+            for c in children {
+                sub.extend(nodes[c].subtree_proj.iter().cloned());
+            }
+            nodes[u].subtree_proj = sub;
+        }
+
+        let tree = JoinTree {
+            nodes,
+            root: root_atom,
+        };
+        debug_assert_eq!(
+            tree.nodes[tree.root].subtree_proj.len(),
+            projection.len(),
+            "every projection attribute must be owned exactly once"
+        );
+        Ok(tree)
+    }
+
+    /// The nodes of the tree.
+    pub fn nodes(&self) -> &[JoinTreeNode] {
+        &self.nodes
+    }
+
+    /// A node by index.
+    pub fn node(&self, i: usize) -> &JoinTreeNode {
+        &self.nodes[i]
+    }
+
+    /// Index of the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes (never the case for valid queries).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node indices in post-order (children before parents), the order the
+    /// preprocessing phase visits nodes in.
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.post_order_rec(self.root, &mut out);
+        out
+    }
+
+    fn post_order_rec(&self, u: usize, out: &mut Vec<usize>) {
+        for &c in &self.nodes[u].children {
+            self.post_order_rec(c, out);
+        }
+        out.push(u);
+    }
+
+    /// The output attribute order of the root's cells — the internal order
+    /// in which the enumerator assembles output tuples before permuting them
+    /// into the user's projection order.
+    pub fn output_attr_order(&self) -> &[Attr] {
+        &self.nodes[self.root].subtree_proj
+    }
+
+    /// Remove subtrees that own no projection attribute. Such subtrees only
+    /// act as semi-join filters, so after a full-reducer pass they can be
+    /// dropped without changing the query result (the WLOG assumption in the
+    /// proof of Lemma 1). The root is never removed.
+    pub fn prune_non_projecting(&self) -> JoinTree {
+        // Decide which nodes to keep: a node is kept iff it is the root or
+        // its subtree owns at least one projection attribute.
+        let keep: Vec<bool> = (0..self.nodes.len())
+            .map(|i| i == self.root || !self.nodes[i].subtree_proj.is_empty())
+            .collect();
+        if keep.iter().all(|&k| k) {
+            return self.clone();
+        }
+        // Remap kept nodes.
+        let mut remap: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut new_nodes: Vec<JoinTreeNode> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if keep[i] {
+                remap[i] = Some(new_nodes.len());
+                new_nodes.push(node.clone());
+            }
+        }
+        for node in &mut new_nodes {
+            node.parent = node.parent.and_then(|p| remap[p]);
+            node.children = node
+                .children
+                .iter()
+                .filter_map(|&c| remap[c])
+                .collect();
+        }
+        JoinTree {
+            root: remap[self.root].expect("root is always kept"),
+            nodes: new_nodes,
+        }
+    }
+
+    /// Depth of a node (root has depth 0).
+    pub fn depth(&self, mut i: usize) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.nodes[i].parent {
+            i = p;
+            d += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    /// The running example of the paper (Example 2): the 4-path query
+    /// `π_{A,E}(R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) ⋈ R4(D,E))`.
+    fn four_path() -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("R1", "R1", ["A", "B"])
+            .atom("R2", "R2", ["B", "C"])
+            .atom("R3", "R3", ["C", "D"])
+            .atom("R4", "R4", ["D", "E"])
+            .project(["A", "E"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn four_path_rooted_at_r3_matches_paper_example() {
+        let q = four_path();
+        let t = JoinTree::build_rooted(&q, 2).unwrap();
+        assert_eq!(t.root(), 2);
+        assert_eq!(t.len(), 4);
+        // R3 is the root, R2 and R4 its children, R1 the child of R2.
+        assert_eq!(t.node(2).parent, None);
+        assert_eq!(t.node(1).parent, Some(2));
+        assert_eq!(t.node(3).parent, Some(2));
+        assert_eq!(t.node(0).parent, Some(1));
+        // Anchors: anchor(R1) = {B}, anchor(R2) = {C}, anchor(R4) = {D}.
+        assert_eq!(t.node(0).anchor, vec![Attr::new("B")]);
+        assert_eq!(t.node(1).anchor, vec![Attr::new("C")]);
+        assert_eq!(t.node(3).anchor, vec![Attr::new("D")]);
+        assert!(t.node(2).anchor.is_empty());
+        // Aπ: node1 owns {A}, node2's subtree = {A}, node4 owns {E}.
+        assert_eq!(t.node(0).own_proj, vec![Attr::new("A")]);
+        assert_eq!(t.node(0).subtree_proj, vec![Attr::new("A")]);
+        assert_eq!(t.node(1).subtree_proj, vec![Attr::new("A")]);
+        assert_eq!(t.node(3).subtree_proj, vec![Attr::new("E")]);
+        assert_eq!(t.node(2).subtree_proj.len(), 2);
+    }
+
+    #[test]
+    fn default_root_also_valid() {
+        let q = four_path();
+        let t = JoinTree::build(&q).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.output_attr_order().len(), 2);
+        // post_order ends with the root
+        let po = t.post_order();
+        assert_eq!(po.len(), 4);
+        assert_eq!(*po.last().unwrap(), t.root());
+    }
+
+    #[test]
+    fn cyclic_query_yields_error() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["x", "y"])
+            .atom("S", "S", ["y", "z"])
+            .atom("T", "T", ["z", "x"])
+            .project(["x"])
+            .build()
+            .unwrap();
+        assert!(matches!(JoinTree::build(&q), Err(QueryError::NotAcyclic)));
+    }
+
+    #[test]
+    fn shared_projection_attr_owned_once() {
+        // b is projected and appears in both atoms: only the node closest to
+        // the root owns it.
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .atom("S", "S", ["b", "c"])
+            .project(["a", "b", "c"])
+            .build()
+            .unwrap();
+        let t = JoinTree::build(&q).unwrap();
+        let total_owned: usize = t.nodes().iter().map(|n| n.own_proj.len()).sum();
+        assert_eq!(total_owned, 3);
+        let root_owns_b = t.node(t.root()).own_proj.contains(&Attr::new("b"));
+        assert!(root_owns_b, "root must own the shared projection attribute");
+    }
+
+    #[test]
+    fn prune_removes_non_projecting_leaves() {
+        // 3-path projecting only the two endpoint attributes of R1: R2 keeps
+        // the chain alive, R3 owns nothing and is pruned; R2 owns nothing
+        // either but only becomes prunable once R3 is gone — the subtree
+        // test handles that in one pass.
+        let q = QueryBuilder::new()
+            .atom("R1", "R1", ["a", "b"])
+            .atom("R2", "R2", ["b", "c"])
+            .atom("R3", "R3", ["c", "d"])
+            .project(["a", "b"])
+            .build()
+            .unwrap();
+        let t = JoinTree::build_rooted(&q, 0).unwrap();
+        let pruned = t.prune_non_projecting();
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned.node(pruned.root()).atom_name, "R1");
+        assert_eq!(pruned.output_attr_order().len(), 2);
+    }
+
+    #[test]
+    fn prune_keeps_projecting_subtrees() {
+        let q = four_path();
+        let t = JoinTree::build_rooted(&q, 2).unwrap();
+        let pruned = t.prune_non_projecting();
+        // R1 owns A (kept), therefore R2 kept; R4 owns E (kept); root kept.
+        assert_eq!(pruned.len(), 4);
+    }
+
+    #[test]
+    fn depth_and_leaf_queries() {
+        let q = four_path();
+        let t = JoinTree::build_rooted(&q, 2).unwrap();
+        assert_eq!(t.depth(2), 0);
+        assert_eq!(t.depth(1), 1);
+        assert_eq!(t.depth(0), 2);
+        assert!(t.node(0).is_leaf());
+        assert!(!t.node(2).is_leaf());
+    }
+
+    #[test]
+    fn cartesian_product_has_empty_anchor() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a"])
+            .atom("S", "S", ["b"])
+            .project(["a", "b"])
+            .build()
+            .unwrap();
+        let t = JoinTree::build(&q).unwrap();
+        let non_root = (0..2).find(|&i| i != t.root()).unwrap();
+        assert!(t.node(non_root).anchor.is_empty());
+    }
+}

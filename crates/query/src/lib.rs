@@ -1,0 +1,37 @@
+//! Join-project query representation and structural analysis.
+//!
+//! This crate contains the *query-side* substrate of the reproduction:
+//!
+//! * [`Atom`] / [`JoinProjectQuery`] / [`QueryBuilder`] — the class of
+//!   queries studied in the paper, `Q = π_A(R_1(A_1) ⋈ ... ⋈ R_m(A_m))`
+//!   under natural-join semantics, with self-joins expressed through atoms
+//!   that bind relation columns to query variables positionally.
+//! * [`hypergraph`] — query hypergraphs and the GYO ear-removal procedure
+//!   used both to decide acyclicity and to derive join trees.
+//! * [`join_tree`] — rooted join trees with the paper's bookkeeping:
+//!   `anchor(R_i)`, the subtree projection attributes `Aπ_i`, and the
+//!   projection-aware pruning of subtrees that carry no non-anchor
+//!   projection attribute (the WLOG assumption of Lemma 1).
+//! * [`ghd`] — generalized hypertree decompositions for the cyclic queries
+//!   evaluated in the paper (cycles, butterfly, bowtie) plus a single-bag
+//!   fallback (Theorem 3).
+//! * [`star`] — detection of star queries `Q*_m` (Section 4).
+//! * [`free_connex`] — free-connex test (Appendix E).
+//! * [`ucq`] — unions of join-project queries (Theorem 4).
+
+pub mod error;
+pub mod free_connex;
+pub mod ghd;
+pub mod hypergraph;
+pub mod join_tree;
+pub mod query;
+pub mod star;
+pub mod ucq;
+
+pub use error::QueryError;
+pub use ghd::{Bag, GhdPlan};
+pub use hypergraph::Hypergraph;
+pub use join_tree::{JoinTree, JoinTreeNode};
+pub use query::{Atom, JoinProjectQuery, QueryBuilder};
+pub use star::StarShape;
+pub use ucq::UnionQuery;

@@ -1,0 +1,331 @@
+//! Join-project queries and their builder.
+
+use crate::error::QueryError;
+use re_storage::{Attr, Database};
+use std::collections::BTreeSet;
+
+/// One atom `R(x_1, ..., x_a)` of a join-project query.
+///
+/// An atom binds the columns of a stored relation to query variables
+/// positionally: column `i` of the relation named [`Atom::relation`] carries
+/// the variable [`Atom::vars`]`[i]`. Self-joins use several atoms over the
+/// same relation with different variable names and different aliases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Unique alias of this atom within the query (e.g. `"AP1"`).
+    pub name: String,
+    /// Name of the stored relation this atom scans.
+    pub relation: String,
+    /// Query variables bound to the relation columns, in column order.
+    pub vars: Vec<Attr>,
+}
+
+impl Atom {
+    /// Create an atom with an explicit alias.
+    pub fn new(
+        name: impl Into<String>,
+        relation: impl Into<String>,
+        vars: impl IntoIterator<Item = impl Into<Attr>>,
+    ) -> Self {
+        Atom {
+            name: name.into(),
+            relation: relation.into(),
+            vars: vars.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The set of variables of this atom.
+    pub fn var_set(&self) -> BTreeSet<Attr> {
+        self.vars.iter().cloned().collect()
+    }
+
+    /// Position of a variable within the atom.
+    pub fn position(&self, var: &Attr) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+}
+
+/// A join-project query `Q = π_A (R_1 ⋈ ... ⋈ R_m)` under natural-join
+/// semantics on shared variable names, with `SELECT DISTINCT` semantics for
+/// the projection (duplicate output tuples are suppressed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinProjectQuery {
+    atoms: Vec<Atom>,
+    projection: Vec<Attr>,
+}
+
+impl JoinProjectQuery {
+    /// Construct a validated query. Prefer [`QueryBuilder`] for ergonomics.
+    pub fn new(atoms: Vec<Atom>, projection: Vec<Attr>) -> Result<Self, QueryError> {
+        if atoms.is_empty() {
+            return Err(QueryError::NoAtoms);
+        }
+        if projection.is_empty() {
+            return Err(QueryError::EmptyProjection);
+        }
+        let mut names = BTreeSet::new();
+        for atom in &atoms {
+            if !names.insert(atom.name.clone()) {
+                return Err(QueryError::DuplicateAtomName(atom.name.clone()));
+            }
+            let mut vars = BTreeSet::new();
+            for v in &atom.vars {
+                if !vars.insert(v.clone()) {
+                    return Err(QueryError::RepeatedVariableInAtom {
+                        atom: atom.name.clone(),
+                        variable: v.as_str().to_string(),
+                    });
+                }
+            }
+        }
+        let all_vars: BTreeSet<Attr> = atoms.iter().flat_map(|a| a.vars.iter().cloned()).collect();
+        let mut proj_seen = BTreeSet::new();
+        let mut projection_dedup = Vec::new();
+        for p in projection {
+            if !all_vars.contains(&p) {
+                return Err(QueryError::UnknownProjectionAttr(p.as_str().to_string()));
+            }
+            if proj_seen.insert(p.clone()) {
+                projection_dedup.push(p);
+            }
+        }
+        Ok(JoinProjectQuery {
+            atoms,
+            projection: projection_dedup,
+        })
+    }
+
+    /// The atoms of the query, in declaration order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The projection attributes `A`, in the user-specified order (this is
+    /// also the attribute order of output tuples and the default
+    /// lexicographic ordering).
+    pub fn projection(&self) -> &[Attr] {
+        &self.projection
+    }
+
+    /// All variables appearing in the query.
+    pub fn all_vars(&self) -> BTreeSet<Attr> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.vars.iter().cloned())
+            .collect()
+    }
+
+    /// Whether the query is *full*, i.e. projects every variable.
+    pub fn is_full(&self) -> bool {
+        let proj: BTreeSet<&Attr> = self.projection.iter().collect();
+        self.all_vars().iter().all(|v| proj.contains(v))
+    }
+
+    /// Whether a variable is projected.
+    pub fn is_projected(&self, var: &Attr) -> bool {
+        self.projection.iter().any(|p| p == var)
+    }
+
+    /// Atom lookup by alias.
+    pub fn atom_by_name(&self, name: &str) -> Option<&Atom> {
+        self.atoms.iter().find(|a| a.name == name)
+    }
+
+    /// A copy of this query with the full variable set projected (drops the
+    /// projection). Used by the Appendix-B baseline.
+    pub fn to_full_query(&self) -> JoinProjectQuery {
+        let mut vars: Vec<Attr> = Vec::new();
+        let mut seen = BTreeSet::new();
+        // keep the original projection attributes first, in order, so that
+        // output prefixes line up with the projected query
+        for p in &self.projection {
+            if seen.insert(p.clone()) {
+                vars.push(p.clone());
+            }
+        }
+        for atom in &self.atoms {
+            for v in &atom.vars {
+                if seen.insert(v.clone()) {
+                    vars.push(v.clone());
+                }
+            }
+        }
+        JoinProjectQuery {
+            atoms: self.atoms.clone(),
+            projection: vars,
+        }
+    }
+
+    /// Validate the query against a database: every atom's relation must
+    /// exist and have matching arity.
+    pub fn validate_against(&self, db: &Database) -> Result<(), QueryError> {
+        for atom in &self.atoms {
+            let rel = db
+                .relation(&atom.relation)
+                .map_err(|_| QueryError::UnknownProjectionAttr(atom.relation.clone()))?;
+            if rel.arity() != atom.vars.len() {
+                return Err(QueryError::AtomArityMismatch {
+                    atom: atom.name.clone(),
+                    relation_arity: rel.arity(),
+                    atom_arity: atom.vars.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`JoinProjectQuery`].
+///
+/// ```
+/// use re_query::QueryBuilder;
+/// let q = QueryBuilder::new()
+///     .atom("R1", "AuthorPapers", ["a1", "p"])
+///     .atom("R2", "AuthorPapers", ["a2", "p"])
+///     .project(["a1", "a2"])
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.atoms().len(), 2);
+/// assert!(!q.is_full());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QueryBuilder {
+    atoms: Vec<Atom>,
+    projection: Vec<Attr>,
+}
+
+impl QueryBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    /// Add an atom with an explicit alias.
+    pub fn atom(
+        mut self,
+        name: impl Into<String>,
+        relation: impl Into<String>,
+        vars: impl IntoIterator<Item = impl Into<Attr>>,
+    ) -> Self {
+        self.atoms.push(Atom::new(name, relation, vars));
+        self
+    }
+
+    /// Add an atom whose alias equals its relation name.
+    pub fn scan(
+        self,
+        relation: impl Into<String> + Clone,
+        vars: impl IntoIterator<Item = impl Into<Attr>>,
+    ) -> Self {
+        let rel: String = relation.into();
+        self.atom(rel.clone(), rel, vars)
+    }
+
+    /// Set the projection attributes (`SELECT DISTINCT` list).
+    pub fn project(mut self, vars: impl IntoIterator<Item = impl Into<Attr>>) -> Self {
+        self.projection = vars.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Finish and validate the query.
+    pub fn build(self) -> Result<JoinProjectQuery, QueryError> {
+        JoinProjectQuery::new(self.atoms, self.projection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_path() -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("R1", "AP", ["a1", "p"])
+            .atom("R2", "AP", ["a2", "p"])
+            .project(["a1", "a2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_query() {
+        let q = two_path();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.projection().len(), 2);
+        assert!(!q.is_full());
+        assert!(q.is_projected(&Attr::new("a1")));
+        assert!(!q.is_projected(&Attr::new("p")));
+        assert!(q.atom_by_name("R1").is_some());
+        assert!(q.atom_by_name("R9").is_none());
+    }
+
+    #[test]
+    fn full_query_detection() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .atom("S", "S", ["b", "c"])
+            .project(["a", "b", "c"])
+            .build()
+            .unwrap();
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn to_full_query_projects_everything_with_original_prefix() {
+        let q = two_path();
+        let full = q.to_full_query();
+        assert!(full.is_full());
+        assert_eq!(full.projection()[0], Attr::new("a1"));
+        assert_eq!(full.projection()[1], Attr::new("a2"));
+        assert_eq!(full.projection().len(), 3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            QueryBuilder::new().project(["a"]).build().unwrap_err(),
+            QueryError::NoAtoms
+        );
+        assert_eq!(
+            QueryBuilder::new()
+                .atom("R", "R", ["a"])
+                .build()
+                .unwrap_err(),
+            QueryError::EmptyProjection
+        );
+        assert!(matches!(
+            QueryBuilder::new()
+                .atom("R", "R", ["a"])
+                .project(["z"])
+                .build()
+                .unwrap_err(),
+            QueryError::UnknownProjectionAttr(_)
+        ));
+        assert!(matches!(
+            QueryBuilder::new()
+                .atom("R", "R", ["a"])
+                .atom("R", "R", ["b"])
+                .project(["a"])
+                .build()
+                .unwrap_err(),
+            QueryError::DuplicateAtomName(_)
+        ));
+        assert!(matches!(
+            QueryBuilder::new()
+                .atom("R", "R", ["a", "a"])
+                .project(["a"])
+                .build()
+                .unwrap_err(),
+            QueryError::RepeatedVariableInAtom { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_projection_attrs_are_deduplicated() {
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .project(["a", "a", "b"])
+            .build()
+            .unwrap();
+        assert_eq!(q.projection().len(), 2);
+    }
+}

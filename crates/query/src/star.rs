@@ -1,0 +1,183 @@
+//! Detection of star queries `Q*_m` (Section 4 of the paper).
+//!
+//! A star query joins `m` relations `R_i(A_i, B)` on a common (set of)
+//! join attribute(s) `B` and projects exactly the per-relation attributes
+//! `A_1, ..., A_m`. The specialised preprocessing/delay tradeoff of
+//! Theorem 2 applies to this fragment.
+
+use crate::error::QueryError;
+use crate::query::JoinProjectQuery;
+use re_storage::Attr;
+use std::collections::BTreeSet;
+
+/// The shape of a star query: the shared center attributes and, per atom,
+/// the projected "leaf" attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StarShape {
+    /// Join attributes shared by every atom (the `B` of `R_i(A_i, B)`).
+    pub center: Vec<Attr>,
+    /// For every atom (in query order), its projected non-center attributes.
+    pub leaves: Vec<Vec<Attr>>,
+}
+
+impl StarShape {
+    /// Try to recognise `query` as a star query.
+    ///
+    /// Requirements checked:
+    /// * at least two atoms;
+    /// * all atoms share exactly the same set of common attributes (the
+    ///   center), and no attribute other than the center attributes is
+    ///   shared between two different atoms;
+    /// * every projection attribute is a non-center attribute of exactly one
+    ///   atom, and no center attribute is projected;
+    /// * every atom owns at least one projected leaf attribute.
+    pub fn detect(query: &JoinProjectQuery) -> Result<StarShape, QueryError> {
+        let atoms = query.atoms();
+        if atoms.len() < 2 {
+            return Err(QueryError::NotAStarQuery(
+                "a star query needs at least two atoms".into(),
+            ));
+        }
+        // center = intersection of all atoms' variables
+        let mut center: BTreeSet<Attr> = atoms[0].var_set();
+        for atom in &atoms[1..] {
+            center = center.intersection(&atom.var_set()).cloned().collect();
+        }
+        if center.is_empty() {
+            return Err(QueryError::NotAStarQuery(
+                "atoms share no common join attribute".into(),
+            ));
+        }
+        // no two atoms may share a non-center attribute
+        for i in 0..atoms.len() {
+            for j in (i + 1)..atoms.len() {
+                let shared: BTreeSet<Attr> = atoms[i]
+                    .var_set()
+                    .intersection(&atoms[j].var_set())
+                    .cloned()
+                    .collect();
+                if shared.iter().any(|a| !center.contains(a)) {
+                    return Err(QueryError::NotAStarQuery(format!(
+                        "atoms '{}' and '{}' share a non-center attribute",
+                        atoms[i].name, atoms[j].name
+                    )));
+                }
+            }
+        }
+        let proj: BTreeSet<Attr> = query.projection().iter().cloned().collect();
+        if proj.iter().any(|p| center.contains(p)) {
+            return Err(QueryError::NotAStarQuery(
+                "a center attribute is projected".into(),
+            ));
+        }
+        let mut leaves = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            let leaf: Vec<Attr> = atom
+                .vars
+                .iter()
+                .filter(|v| !center.contains(*v) && proj.contains(*v))
+                .cloned()
+                .collect();
+            if leaf.is_empty() {
+                return Err(QueryError::NotAStarQuery(format!(
+                    "atom '{}' has no projected leaf attribute",
+                    atom.name
+                )));
+            }
+            leaves.push(leaf);
+        }
+        // every projection attribute accounted for
+        let accounted: BTreeSet<Attr> = leaves.iter().flatten().cloned().collect();
+        if accounted.len() != proj.len() {
+            return Err(QueryError::NotAStarQuery(
+                "a projection attribute is not a leaf of any atom".into(),
+            ));
+        }
+        Ok(StarShape {
+            center: center.into_iter().collect(),
+            leaves,
+        })
+    }
+
+    /// Number of arms `m` of the star.
+    pub fn arity(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    #[test]
+    fn three_star_detected() {
+        let q = QueryBuilder::new()
+            .atom("R1", "AP", ["a1", "b"])
+            .atom("R2", "AP", ["a2", "b"])
+            .atom("R3", "AP", ["a3", "b"])
+            .project(["a1", "a2", "a3"])
+            .build()
+            .unwrap();
+        let s = StarShape::detect(&q).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.center, vec![Attr::new("b")]);
+        assert_eq!(s.leaves[2], vec![Attr::new("a3")]);
+    }
+
+    #[test]
+    fn two_hop_is_a_star_with_two_arms() {
+        let q = QueryBuilder::new()
+            .atom("R1", "AP", ["a1", "p"])
+            .atom("R2", "AP", ["a2", "p"])
+            .project(["a1", "a2"])
+            .build()
+            .unwrap();
+        assert_eq!(StarShape::detect(&q).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn path_query_is_not_a_star() {
+        let q = QueryBuilder::new()
+            .atom("R1", "R", ["a", "b"])
+            .atom("R2", "R", ["b", "c"])
+            .atom("R3", "R", ["c", "d"])
+            .project(["a", "d"])
+            .build()
+            .unwrap();
+        assert!(StarShape::detect(&q).is_err());
+    }
+
+    #[test]
+    fn projected_center_is_rejected() {
+        let q = QueryBuilder::new()
+            .atom("R1", "AP", ["a1", "b"])
+            .atom("R2", "AP", ["a2", "b"])
+            .project(["a1", "b"])
+            .build()
+            .unwrap();
+        assert!(StarShape::detect(&q).is_err());
+    }
+
+    #[test]
+    fn single_atom_is_rejected() {
+        let q = QueryBuilder::new()
+            .atom("R1", "AP", ["a1", "b"])
+            .project(["a1"])
+            .build()
+            .unwrap();
+        assert!(StarShape::detect(&q).is_err());
+    }
+
+    #[test]
+    fn multi_attribute_center_supported() {
+        let q = QueryBuilder::new()
+            .atom("R1", "T", ["a1", "b", "c"])
+            .atom("R2", "T", ["a2", "b", "c"])
+            .project(["a1", "a2"])
+            .build()
+            .unwrap();
+        let s = StarShape::detect(&q).unwrap();
+        assert_eq!(s.center.len(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Unions of join-project queries (UCQs, Theorem 4).
+//!
+//! A UCQ `Q = Q_1 ∪ ... ∪ Q_m` is a set of join-project queries over the
+//! same projection attributes; its result is the set union of the branch
+//! results. Ranked enumeration merges the ranked branch streams and
+//! deduplicates across branches.
+
+use crate::error::QueryError;
+use crate::query::JoinProjectQuery;
+use re_storage::Attr;
+
+/// A union of join-project queries sharing one projection list.
+#[derive(Clone, Debug)]
+pub struct UnionQuery {
+    branches: Vec<JoinProjectQuery>,
+}
+
+impl UnionQuery {
+    /// Build a union query; all branches must project the same attributes
+    /// in the same order.
+    pub fn new(branches: Vec<JoinProjectQuery>) -> Result<Self, QueryError> {
+        if branches.is_empty() {
+            return Err(QueryError::NoAtoms);
+        }
+        let proj = branches[0].projection().to_vec();
+        for b in &branches[1..] {
+            if b.projection() != proj.as_slice() {
+                return Err(QueryError::MismatchedUnionProjections);
+            }
+        }
+        Ok(UnionQuery { branches })
+    }
+
+    /// The branches of the union.
+    pub fn branches(&self) -> &[JoinProjectQuery] {
+        &self.branches
+    }
+
+    /// The shared projection attributes.
+    pub fn projection(&self) -> &[Attr] {
+        self.branches[0].projection()
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Whether the union has no branches (never true after validation).
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    fn branch(rel: &str) -> JoinProjectQuery {
+        QueryBuilder::new()
+            .atom("R1", rel, ["a1", "p"])
+            .atom("R2", rel, ["a2", "p"])
+            .project(["a1", "a2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn union_of_compatible_branches() {
+        let u = UnionQuery::new(vec![branch("AP"), branch("PM")]).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.projection().len(), 2);
+    }
+
+    #[test]
+    fn mismatched_projections_rejected() {
+        let other = QueryBuilder::new()
+            .atom("R1", "AP", ["x", "p"])
+            .atom("R2", "AP", ["y", "p"])
+            .project(["x", "y"])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            UnionQuery::new(vec![branch("AP"), other]),
+            Err(QueryError::MismatchedUnionProjections)
+        ));
+    }
+
+    #[test]
+    fn empty_union_rejected() {
+        assert!(UnionQuery::new(vec![]).is_err());
+    }
+}

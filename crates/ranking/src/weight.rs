@@ -1,0 +1,136 @@
+//! Totally ordered weights.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg};
+
+/// A weight value with a *total* order.
+///
+/// Weights are `f64` under the hood but ordered with [`f64::total_cmp`], so
+/// they can be used as keys of binary heaps and B-tree maps without the
+/// partial-order footguns of raw floats. All weights produced by the data
+/// generators are finite.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Weight(pub f64);
+
+impl Weight {
+    /// The zero weight.
+    pub const ZERO: Weight = Weight(0.0);
+
+    /// Construct from a raw `f64`. Negative zero is normalised to positive
+    /// zero so that arithmetically equal weights compare equal under the
+    /// total order.
+    pub fn new(w: f64) -> Self {
+        Weight(w + 0.0)
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for Weight {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for Weight {}
+
+impl PartialOrd for Weight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Weight {
+    type Output = Weight;
+    fn add(self, rhs: Weight) -> Weight {
+        Weight::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Weight {
+    fn add_assign(&mut self, rhs: Weight) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for Weight {
+    type Output = Weight;
+    fn neg(self) -> Weight {
+        Weight::new(-self.0)
+    }
+}
+
+impl Sum for Weight {
+    fn sum<I: Iterator<Item = Weight>>(iter: I) -> Weight {
+        Weight::new(iter.map(|w| w.0).sum())
+    }
+}
+
+impl From<f64> for Weight {
+    fn from(w: f64) -> Self {
+        Weight::new(w)
+    }
+}
+
+impl From<u64> for Weight {
+    fn from(w: u64) -> Self {
+        Weight(w as f64)
+    }
+}
+
+impl From<i64> for Weight {
+    fn from(w: i64) -> Self {
+        Weight(w as f64)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_matches_f64() {
+        assert!(Weight(1.0) < Weight(2.0));
+        assert!(Weight(-1.0) < Weight(0.0));
+        assert_eq!(Weight(3.0), Weight(3.0));
+        let mut v = vec![Weight(2.0), Weight(-1.0), Weight(0.5)];
+        v.sort();
+        assert_eq!(v, vec![Weight(-1.0), Weight(0.5), Weight(2.0)]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Weight(1.5) + Weight(2.5), Weight(4.0));
+        let s: Weight = vec![Weight(1.0), Weight(2.0), Weight(3.0)].into_iter().sum();
+        assert_eq!(s, Weight(6.0));
+        assert_eq!(-Weight(2.0), Weight(-2.0));
+        let mut w = Weight(1.0);
+        w += Weight(1.0);
+        assert_eq!(w, Weight(2.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Weight::from(3u64), Weight(3.0));
+        assert_eq!(Weight::from(-4i64), Weight(-4.0));
+        assert_eq!(Weight::from(0.25f64).value(), 0.25);
+        assert_eq!(Weight::ZERO, Weight(0.0));
+    }
+}

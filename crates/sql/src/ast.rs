@@ -1,0 +1,152 @@
+//! Abstract syntax tree of the supported SQL fragment.
+//!
+//! The fragment is exactly what the paper's workloads need (Figure 4,
+//! Figure 11, the LDBC queries): conjunctive `SELECT DISTINCT` queries with
+//! equality join predicates, constant filters, a `SUM` or lexicographic
+//! `ORDER BY` over selected columns, a `LIMIT`, and `UNION`s of such
+//! queries.
+
+use re_ranking::Direction;
+
+/// A (possibly qualified) column reference `alias.column` or `column`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// The table alias, if the reference is qualified.
+    pub table: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+
+    /// The reference as the user wrote it (used as the output column name).
+    pub fn display(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// One entry of the `FROM` clause: a base table with an optional alias.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// The stored relation name.
+    pub table: String,
+    /// The alias (`AS x` or a bare trailing identifier). Defaults to the
+    /// table name during planning when absent.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referred to by in the rest of the query.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// One conjunct of the `WHERE` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `a.x = b.y` — an equality join (or, when both sides resolve into the
+    /// same table alias, a column-equality selection).
+    ColumnEq(ColumnRef, ColumnRef),
+    /// `a.x = 42` / `a.x = TRUE` — a constant selection.
+    ValueEq(ColumnRef, u64),
+}
+
+/// The `ORDER BY` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrderBy {
+    /// `ORDER BY a + b + c` — rank by the sum of the attribute weights.
+    Sum(Vec<ColumnRef>),
+    /// `ORDER BY a ASC, b DESC, ...` — lexicographic ranking.
+    Lex(Vec<(ColumnRef, Direction)>),
+}
+
+/// A single `SELECT` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectStatement {
+    /// Whether `DISTINCT` was written. The enumeration semantics are always
+    /// set semantics; a missing `DISTINCT` is reported as unsupported by the
+    /// planner to avoid silently changing the meaning of a query.
+    pub distinct: bool,
+    /// The selected columns (the projection list).
+    pub select: Vec<ColumnRef>,
+    /// The `FROM` clause.
+    pub from: Vec<TableRef>,
+    /// The conjuncts of the `WHERE` clause.
+    pub predicates: Vec<Predicate>,
+    /// The `ORDER BY` clause, if any.
+    pub order_by: Option<OrderBy>,
+    /// The `LIMIT` clause, if any.
+    pub limit: Option<usize>,
+}
+
+/// A full statement: one `SELECT` block or a `UNION` of several.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Statement {
+    /// The union branches (a single-element vector for plain selects).
+    pub branches: Vec<SelectStatement>,
+}
+
+impl Statement {
+    /// Whether the statement is a union of more than one branch.
+    pub fn is_union(&self) -> bool {
+        self.branches.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("x").display(), "x");
+        assert_eq!(ColumnRef::qualified("A1", "name").display(), "A1.name");
+    }
+
+    #[test]
+    fn table_ref_effective_alias() {
+        let t = TableRef {
+            table: "Author".into(),
+            alias: None,
+        };
+        assert_eq!(t.effective_alias(), "Author");
+        let t = TableRef {
+            table: "Author".into(),
+            alias: Some("A1".into()),
+        };
+        assert_eq!(t.effective_alias(), "A1");
+    }
+
+    #[test]
+    fn union_detection() {
+        let s = SelectStatement {
+            distinct: true,
+            select: vec![ColumnRef::bare("x")],
+            from: vec![],
+            predicates: vec![],
+            order_by: None,
+            limit: None,
+        };
+        assert!(!Statement { branches: vec![s.clone()] }.is_union());
+        assert!(Statement { branches: vec![s.clone(), s] }.is_union());
+    }
+}

@@ -1,0 +1,113 @@
+//! Errors of the SQL front-end.
+
+use re_query::QueryError;
+use re_storage::StorageError;
+use std::fmt;
+
+/// Any error raised while lexing, parsing, planning or executing a SQL
+/// statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlError {
+    /// The lexer met a character it does not understand.
+    Lex {
+        /// Byte offset into the statement.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Byte offset into the statement.
+        position: usize,
+        /// What the parser was looking for.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// The statement is valid SQL but outside the supported fragment
+    /// (join-project queries with SUM / lexicographic ORDER BY).
+    Unsupported(String),
+    /// A table, alias or column could not be resolved against the database.
+    Resolution(String),
+    /// The planned query was rejected by the query layer.
+    Query(QueryError),
+    /// A storage-level failure (unknown relation, arity mismatch, ...).
+    Storage(StorageError),
+    /// The enumeration engine rejected the plan.
+    Execution(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse {
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parse error at byte {position}: expected {expected}, found {found}"
+            ),
+            SqlError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+            SqlError::Resolution(msg) => write!(f, "name resolution error: {msg}"),
+            SqlError::Query(e) => write!(f, "query error: {e}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+            SqlError::Execution(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<QueryError> for SqlError {
+    fn from(e: QueryError) -> Self {
+        SqlError::Query(e)
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+impl From<rankedenum_core::EnumError> for SqlError {
+    fn from(e: rankedenum_core::EnumError) -> Self {
+        SqlError::Execution(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SqlError::Lex {
+            position: 4,
+            message: "bad char".into(),
+        };
+        assert!(e.to_string().contains("byte 4"));
+        let e = SqlError::Parse {
+            position: 10,
+            expected: "FROM".into(),
+            found: "WHERE".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("FROM") && s.contains("WHERE"));
+        assert!(SqlError::Unsupported("x".into()).to_string().contains("unsupported"));
+        assert!(SqlError::Resolution("y".into()).to_string().contains("resolution"));
+        assert!(SqlError::Execution("z".into()).to_string().contains("execution"));
+    }
+
+    #[test]
+    fn conversions_from_lower_layers() {
+        let q: SqlError = QueryError::NoAtoms.into();
+        assert!(matches!(q, SqlError::Query(_)));
+        let s: SqlError = StorageError::UnknownRelation("R".into()).into();
+        assert!(matches!(s, SqlError::Storage(_)));
+    }
+}

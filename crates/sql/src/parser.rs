@@ -1,0 +1,364 @@
+//! Recursive-descent parser for the supported SQL fragment.
+//!
+//! ```text
+//! statement   :=  select ( UNION select )* [';'] EOF
+//! select      :=  SELECT [DISTINCT] column (',' column)*
+//!                 FROM table_ref (',' table_ref)*
+//!                 [WHERE predicate (AND predicate)*]
+//!                 [ORDER BY order_spec]
+//!                 [LIMIT number]
+//! table_ref   :=  ident [AS ident | ident]
+//! column      :=  ident ['.' ident]
+//! predicate   :=  column '=' (column | number | TRUE | FALSE)
+//! order_spec  :=  column ('+' column)+                    -- SUM
+//!               | column [ASC|DESC] (',' column [ASC|DESC])*   -- LEX
+//! ```
+
+use crate::ast::{ColumnRef, OrderBy, Predicate, SelectStatement, Statement, TableRef};
+use crate::error::SqlError;
+use crate::token::{tokenize, Keyword, Spanned, Token};
+use re_ranking::Direction;
+
+/// Parse a statement (a single `SELECT` or a `UNION` chain).
+pub fn parse(input: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, index: 0 };
+    let statement = parser.statement()?;
+    Ok(statement)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index].token
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.index].position
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.index].token.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn error(&self, expected: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            position: self.position(),
+            expected: expected.into(),
+            found: self.peek().to_string(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), SqlError> {
+        if self.peek() == &Token::Keyword(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("{kw:?}")))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek() == &Token::Keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == token {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64, SqlError> {
+        match *self.peek() {
+            Token::Number(n) => {
+                self.advance();
+                Ok(n)
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        let mut branches = vec![self.select()?];
+        while self.eat_keyword(Keyword::Union) {
+            branches.push(self.select()?);
+        }
+        self.eat(&Token::Semicolon);
+        if self.peek() != &Token::Eof {
+            return Err(self.error("end of statement"));
+        }
+        Ok(Statement { branches })
+    }
+
+    fn select(&mut self) -> Result<SelectStatement, SqlError> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = self.eat_keyword(Keyword::Distinct);
+
+        let mut select = vec![self.column()?];
+        while self.eat(&Token::Comma) {
+            select.push(self.column()?);
+        }
+
+        self.expect_keyword(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.table_ref()?);
+        }
+
+        let mut predicates = Vec::new();
+        if self.eat_keyword(Keyword::Where) {
+            predicates.push(self.predicate()?);
+            while self.eat_keyword(Keyword::And) {
+                predicates.push(self.predicate()?);
+            }
+        }
+
+        let mut order_by = None;
+        if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            order_by = Some(self.order_spec()?);
+        }
+
+        let mut limit = None;
+        if self.eat_keyword(Keyword::Limit) {
+            let n = self.number("a LIMIT count")?;
+            limit = Some(n as usize);
+        }
+
+        Ok(SelectStatement {
+            distinct,
+            select,
+            from,
+            predicates,
+            order_by,
+            limit,
+        })
+    }
+
+    fn column(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = self.ident("a column reference")?;
+        if self.eat(&Token::Dot) {
+            let column = self.ident("a column name after `.`")?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.ident("a table name")?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.ident("an alias after AS")?)
+        } else if let Token::Ident(_) = self.peek() {
+            Some(self.ident("an alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SqlError> {
+        let left = self.column()?;
+        if !self.eat(&Token::Eq) {
+            return Err(self.error("`=`"));
+        }
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.advance();
+                Ok(Predicate::ValueEq(left, n))
+            }
+            Token::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Predicate::ValueEq(left, 1))
+            }
+            Token::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Predicate::ValueEq(left, 0))
+            }
+            Token::Ident(_) => Ok(Predicate::ColumnEq(left, self.column()?)),
+            _ => Err(self.error("a column reference, number, TRUE or FALSE")),
+        }
+    }
+
+    fn order_spec(&mut self) -> Result<OrderBy, SqlError> {
+        let first = self.column()?;
+        if self.peek() == &Token::Plus {
+            // SUM: col + col (+ col)*
+            let mut cols = vec![first];
+            while self.eat(&Token::Plus) {
+                cols.push(self.column()?);
+            }
+            return Ok(OrderBy::Sum(cols));
+        }
+        // LEX: col [ASC|DESC] (, col [ASC|DESC])*
+        let mut items = vec![(first, self.direction())];
+        while self.eat(&Token::Comma) {
+            let col = self.column()?;
+            items.push((col, self.direction()));
+        }
+        Ok(OrderBy::Lex(items))
+    }
+
+    fn direction(&mut self) -> Direction {
+        if self.eat_keyword(Keyword::Desc) {
+            Direction::Desc
+        } else {
+            self.eat_keyword(Keyword::Asc);
+            Direction::Asc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let s = parse("SELECT DISTINCT a FROM R").unwrap();
+        assert_eq!(s.branches.len(), 1);
+        let b = &s.branches[0];
+        assert!(b.distinct);
+        assert_eq!(b.select, vec![ColumnRef::bare("a")]);
+        assert_eq!(
+            b.from,
+            vec![TableRef {
+                table: "R".into(),
+                alias: None
+            }]
+        );
+        assert!(b.predicates.is_empty());
+        assert!(b.order_by.is_none());
+        assert!(b.limit.is_none());
+    }
+
+    #[test]
+    fn paper_two_hop_query_parses() {
+        let sql = "SELECT DISTINCT A1.name, A2.name \
+                   FROM Author AS A1, Author AS A2, AuthorPapers AS AP1, AuthorPapers AS AP2 \
+                   WHERE AP1.pid = AP2.pid AND AP1.aid = A1.aid AND AP2.aid = A2.aid \
+                   ORDER BY A1.weight + A2.weight LIMIT 100;";
+        let s = parse(sql).unwrap();
+        let b = &s.branches[0];
+        assert_eq!(b.select.len(), 2);
+        assert_eq!(b.from.len(), 4);
+        assert_eq!(b.predicates.len(), 3);
+        assert!(matches!(b.order_by, Some(OrderBy::Sum(ref cols)) if cols.len() == 2));
+        assert_eq!(b.limit, Some(100));
+    }
+
+    #[test]
+    fn filters_and_boolean_literals() {
+        let sql = "SELECT DISTINCT a FROM R WHERE R.flag = TRUE AND R.kind = 3 AND R.other = FALSE";
+        let b = &parse(sql).unwrap().branches[0];
+        assert_eq!(
+            b.predicates,
+            vec![
+                Predicate::ValueEq(ColumnRef::qualified("R", "flag"), 1),
+                Predicate::ValueEq(ColumnRef::qualified("R", "kind"), 3),
+                Predicate::ValueEq(ColumnRef::qualified("R", "other"), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexicographic_order_by_with_directions() {
+        let sql = "SELECT DISTINCT a, b FROM R ORDER BY a DESC, b";
+        let b = &parse(sql).unwrap().branches[0];
+        match &b.order_by {
+            Some(OrderBy::Lex(items)) => {
+                assert_eq!(items[0], (ColumnRef::bare("a"), Direction::Desc));
+                assert_eq!(items[1], (ColumnRef::bare("b"), Direction::Asc));
+            }
+            other => panic!("expected lex order, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_column_order_by_is_lexicographic() {
+        let sql = "SELECT DISTINCT a FROM R ORDER BY a";
+        let b = &parse(sql).unwrap().branches[0];
+        assert!(matches!(b.order_by, Some(OrderBy::Lex(ref v)) if v.len() == 1));
+    }
+
+    #[test]
+    fn aliases_with_and_without_as() {
+        let sql = "SELECT DISTINCT x FROM R AS A, S B, T";
+        let b = &parse(sql).unwrap().branches[0];
+        assert_eq!(b.from[0].effective_alias(), "A");
+        assert_eq!(b.from[1].effective_alias(), "B");
+        assert_eq!(b.from[2].effective_alias(), "T");
+    }
+
+    #[test]
+    fn union_of_two_selects() {
+        let sql = "SELECT DISTINCT a FROM R UNION SELECT DISTINCT a FROM S LIMIT 5";
+        let s = parse(sql).unwrap();
+        assert!(s.is_union());
+        assert_eq!(s.branches.len(), 2);
+        assert_eq!(s.branches[1].limit, Some(5));
+    }
+
+    #[test]
+    fn missing_from_is_a_parse_error() {
+        let err = parse("SELECT DISTINCT a WHERE a = 1").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { ref expected, .. } if expected == "From"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse("SELECT DISTINCT a FROM R extra stuff everywhere").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_predicate_rhs_is_rejected() {
+        let err = parse("SELECT DISTINCT a FROM R WHERE a = ;").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn limit_requires_a_number() {
+        let err = parse("SELECT DISTINCT a FROM R LIMIT k").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { ref expected, .. } if expected.contains("LIMIT")));
+    }
+
+    #[test]
+    fn qualified_and_bare_columns_in_select() {
+        let b = &parse("SELECT DISTINCT R.a, b FROM R").unwrap().branches[0];
+        assert_eq!(b.select[0], ColumnRef::qualified("R", "a"));
+        assert_eq!(b.select[1], ColumnRef::bare("b"));
+    }
+
+    #[test]
+    fn non_distinct_select_parses_with_flag_false() {
+        let b = &parse("SELECT a FROM R").unwrap().branches[0];
+        assert!(!b.distinct);
+    }
+}

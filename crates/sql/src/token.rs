@@ -1,0 +1,286 @@
+//! Tokens and the lexer of the SQL front-end.
+
+use crate::error::SqlError;
+use std::fmt;
+
+/// Reserved keywords (matched case-insensitively).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    And,
+    Order,
+    By,
+    Limit,
+    As,
+    Union,
+    Asc,
+    Desc,
+    True,
+    False,
+}
+
+impl Keyword {
+    fn from_ident(ident: &str) -> Option<Keyword> {
+        Some(match ident.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "DISTINCT" => Keyword::Distinct,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "LIMIT" => Keyword::Limit,
+            "AS" => Keyword::As,
+            "UNION" => Keyword::Union,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An identifier (table, alias or column name).
+    Ident(String),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `=`
+    Eq,
+    /// `;`
+    Semicolon,
+    /// End of input (synthesised by the lexer so the parser always has a
+    /// token to look at).
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Number(n) => write!(f, "number `{n}`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Dot => write!(f, "`.`"),
+            Token::Plus => write!(f, "`+`"),
+            Token::Eq => write!(f, "`=`"),
+            Token::Semicolon => write!(f, "`;`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its byte offset in the statement (for error
+/// reporting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub position: usize,
+}
+
+/// Tokenise a SQL statement.
+///
+/// The supported lexical inventory is deliberately small: identifiers,
+/// unsigned integers, the punctuation the join-project fragment needs, and
+/// line comments (`-- ...`). Unknown characters produce a [`SqlError::Lex`]
+/// with the byte offset of the offending character.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, position: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, position: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { token: Token::Plus, position: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, position: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semicolon, position: i });
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: u64 = text.parse().map_err(|_| SqlError::Lex {
+                    position: start,
+                    message: format!("integer literal `{text}` is out of range"),
+                })?;
+                out.push(Spanned { token: Token::Number(value), position: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let token = match Keyword::from_ident(text) {
+                    Some(k) => Token::Keyword(k),
+                    None => Token::Ident(text.to_string()),
+                };
+                out.push(Spanned { token, position: start });
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, position: input.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("select DISTINCT fRoM"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Distinct),
+                Token::Keyword(Keyword::From),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_numbers_and_punctuation() {
+        assert_eq!(
+            toks("A1.name = 42, b + c;"),
+            vec![
+                Token::Ident("A1".into()),
+                Token::Dot,
+                Token::Ident("name".into()),
+                Token::Eq,
+                Token::Number(42),
+                Token::Comma,
+                Token::Ident("b".into()),
+                Token::Plus,
+                Token::Ident("c".into()),
+                Token::Semicolon,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        assert_eq!(
+            toks("select -- the answer\n  x"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("x".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        assert_eq!(
+            toks("is_research _a a_1"),
+            vec![
+                Token::Ident("is_research".into()),
+                Token::Ident("_a".into()),
+                Token::Ident("a_1".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_character_is_a_lex_error_with_position() {
+        let err = tokenize("select ?").unwrap_err();
+        assert_eq!(
+            err,
+            SqlError::Lex {
+                position: 7,
+                message: "unexpected character `?`".into()
+            }
+        );
+    }
+
+    #[test]
+    fn number_overflow_is_reported() {
+        let err = tokenize("99999999999999999999999999").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { position: 0, .. }));
+    }
+
+    #[test]
+    fn positions_point_at_token_starts() {
+        let spanned = tokenize("ab cd").unwrap();
+        assert_eq!(spanned[0].position, 0);
+        assert_eq!(spanned[1].position, 3);
+        assert_eq!(spanned[2].position, 5); // EOF
+    }
+
+    #[test]
+    fn true_false_are_keywords() {
+        assert_eq!(
+            toks("true FALSE"),
+            vec![
+                Token::Keyword(Keyword::True),
+                Token::Keyword(Keyword::False),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(toks(""), vec![Token::Eof]);
+        assert_eq!(toks("   \n\t "), vec![Token::Eof]);
+    }
+}

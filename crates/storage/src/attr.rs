@@ -1,0 +1,116 @@
+//! Attribute names.
+//!
+//! Attributes identify join variables across relations (natural join
+//! semantics). They are interned behind an `Arc<str>` so cloning an
+//! attribute — which the query-planning layer does constantly — is a
+//! reference-count bump rather than a string copy.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned attribute (join variable) name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Create an attribute from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Attr(Arc::from(name.as_ref()))
+    }
+
+    /// The attribute name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<&Attr> for Attr {
+    fn from(a: &Attr) -> Self {
+        a.clone()
+    }
+}
+
+impl Borrow<str> for Attr {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Attr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Convenience constructor for a list of attributes.
+pub fn attrs<I, S>(names: I) -> Vec<Attr>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    names.into_iter().map(Attr::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_hash_by_name() {
+        let a1 = Attr::new("A");
+        let a2 = Attr::from("A");
+        let b = Attr::new("B");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        let set: HashSet<Attr> = [a1, a2, b].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_names() {
+        let mut v = vec![Attr::new("C"), Attr::new("A"), Attr::new("B")];
+        v.sort();
+        let names: Vec<&str> = v.iter().map(|a| a.as_str()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn borrow_str_lookup_works() {
+        let set: HashSet<Attr> = [Attr::new("x"), Attr::new("y")].into_iter().collect();
+        assert!(set.contains("x"));
+        assert!(!set.contains("z"));
+    }
+
+    #[test]
+    fn attrs_helper_builds_in_order() {
+        let v = attrs(["a", "b", "c"]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].as_str(), "b");
+    }
+}

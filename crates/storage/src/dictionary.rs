@@ -1,0 +1,80 @@
+//! A string dictionary (interner) for loading textual datasets.
+//!
+//! Real datasets (DBLP author names, IMDB titles, ...) carry string keys; the
+//! algorithms only ever compare and hash values, so strings are
+//! dictionary-encoded into dense [`Value`] ids on load and decoded only when
+//! results are displayed.
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A bidirectional string ↔ [`Value`] dictionary.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    to_id: HashMap<String, Value>,
+    to_str: Vec<String>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern a string, returning its (stable) id.
+    pub fn intern(&mut self, s: &str) -> Value {
+        if let Some(&id) = self.to_id.get(s) {
+            return id;
+        }
+        let id = self.to_str.len() as Value;
+        self.to_id.insert(s.to_string(), id);
+        self.to_str.push(s.to_string());
+        id
+    }
+
+    /// Look up the id of a previously interned string.
+    pub fn id_of(&self, s: &str) -> Option<Value> {
+        self.to_id.get(s).copied()
+    }
+
+    /// Resolve an id back to its string.
+    pub fn resolve(&self, id: Value) -> Option<&str> {
+        self.to_str.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.to_str.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_str.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alice");
+        let b = d.intern("bob");
+        let a2 = d.intern("alice");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alice");
+        assert_eq!(d.resolve(a), Some("alice"));
+        assert_eq!(d.id_of("alice"), Some(a));
+        assert_eq!(d.id_of("carol"), None);
+        assert_eq!(d.resolve(99), None);
+    }
+}

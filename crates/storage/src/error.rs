@@ -1,0 +1,53 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by storage-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple with the wrong arity was pushed into a relation.
+    ArityMismatch {
+        /// Relation the tuple was pushed into.
+        relation: String,
+        /// Arity declared by the relation schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A relation name was not found in the database.
+    UnknownRelation(String),
+    /// An attribute is not part of the relation schema it was looked up in.
+    UnknownAttribute {
+        /// Relation in which the attribute was looked up.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// A relation with the same name was inserted twice.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for relation '{relation}': expected {expected}, got {got}"
+            ),
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation '{name}'"),
+            StorageError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation '{relation}' has no attribute '{attribute}'"),
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation '{name}' already exists in the database")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

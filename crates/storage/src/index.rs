@@ -1,0 +1,199 @@
+//! Hash indexes over relations.
+//!
+//! The enumeration algorithms rely on constant-time lookups of tuples by a
+//! subset of their attributes (the *anchor* attributes of a join-tree node)
+//! and on degree information (how many tuples share a key) for the
+//! heavy/light split of the star-query algorithm.
+
+use crate::attr::Attr;
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::value::{Tuple, Value};
+use std::collections::HashMap;
+
+/// A hash index from key tuples (values of a column subset) to the row ids
+/// of matching tuples.
+#[derive(Clone, Debug)]
+pub struct HashIndex {
+    key_attrs: Vec<Attr>,
+    key_positions: Vec<usize>,
+    map: HashMap<Tuple, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build an index over `relation` keyed on `key_attrs`.
+    pub fn build(relation: &Relation, key_attrs: &[Attr]) -> Result<Self, StorageError> {
+        let key_positions = relation.positions(key_attrs)?;
+        let mut map: HashMap<Tuple, Vec<u32>> = HashMap::with_capacity(relation.len());
+        for (i, t) in relation.iter().enumerate() {
+            let key: Tuple = key_positions.iter().map(|&p| t[p]).collect();
+            map.entry(key).or_default().push(i as u32);
+        }
+        Ok(HashIndex {
+            key_attrs: key_attrs.to_vec(),
+            key_positions,
+            map,
+        })
+    }
+
+    /// The attributes this index is keyed on.
+    pub fn key_attrs(&self) -> &[Attr] {
+        &self.key_attrs
+    }
+
+    /// Positions of the key attributes in the indexed relation.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// Row ids matching a key, or an empty slice.
+    pub fn get(&self, key: &[Value]) -> &[u32] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate over `(key, row ids)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Vec<u32>)> + '_ {
+        self.map.iter()
+    }
+
+    /// Extract the key of an arbitrary tuple of the indexed relation.
+    pub fn key_of(&self, tuple: &[Value]) -> Tuple {
+        self.key_positions.iter().map(|&p| tuple[p]).collect()
+    }
+}
+
+/// Degree statistics of one attribute of a relation: for each value, how
+/// many tuples carry it. Used by the star-query heavy/light split
+/// (Algorithm 4) and by the bounded-degree delay analysis (Appendix D).
+#[derive(Clone, Debug)]
+pub struct DegreeIndex {
+    attr: Attr,
+    counts: HashMap<Value, u32>,
+    max_degree: u32,
+}
+
+impl DegreeIndex {
+    /// Build degree statistics for `attr` over `relation`.
+    pub fn build(relation: &Relation, attr: &Attr) -> Result<Self, StorageError> {
+        let p = relation
+            .position(attr)
+            .ok_or_else(|| StorageError::UnknownAttribute {
+                relation: relation.name().to_string(),
+                attribute: attr.as_str().to_string(),
+            })?;
+        let mut counts: HashMap<Value, u32> = HashMap::new();
+        for t in relation.iter() {
+            *counts.entry(t[p]).or_insert(0) += 1;
+        }
+        let max_degree = counts.values().copied().max().unwrap_or(0);
+        Ok(DegreeIndex {
+            attr: attr.clone(),
+            counts,
+            max_degree,
+        })
+    }
+
+    /// The attribute the statistics are about.
+    pub fn attr(&self) -> &Attr {
+        &self.attr
+    }
+
+    /// Degree of a value (0 if absent).
+    pub fn degree(&self, value: Value) -> u32 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Whether a value's degree is at least the threshold (a *heavy* value in
+    /// the paper's terminology).
+    pub fn is_heavy(&self, value: Value, threshold: u32) -> bool {
+        self.degree(value) >= threshold
+    }
+
+    /// Maximum degree over all values.
+    pub fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    /// Number of distinct values.
+    pub fn distinct_values(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate over `(value, degree)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Value, u32)> + '_ {
+        self.counts.iter().map(|(&v, &d)| (v, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+
+    fn rel() -> Relation {
+        Relation::with_tuples(
+            "R",
+            attrs(["A", "B"]),
+            vec![vec![1, 10], vec![2, 10], vec![1, 20], vec![3, 30]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &attrs(["B"])).unwrap();
+        assert_eq!(idx.get(&[10]).len(), 2);
+        assert_eq!(idx.get(&[20]), &[2]);
+        assert_eq!(idx.get(&[99]).len(), 0);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert!(idx.contains(&[30]));
+    }
+
+    #[test]
+    fn hash_index_composite_key() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &attrs(["A", "B"])).unwrap();
+        assert_eq!(idx.get(&[1, 20]), &[2]);
+        assert_eq!(idx.distinct_keys(), 4);
+        assert_eq!(idx.key_of(&[7, 8]), vec![7, 8]);
+    }
+
+    #[test]
+    fn hash_index_empty_key_groups_everything() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[]).unwrap();
+        assert_eq!(idx.get(&[]).len(), 4);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn degree_index_counts() {
+        let r = rel();
+        let d = DegreeIndex::build(&r, &Attr::new("A")).unwrap();
+        assert_eq!(d.degree(1), 2);
+        assert_eq!(d.degree(2), 1);
+        assert_eq!(d.degree(42), 0);
+        assert_eq!(d.max_degree(), 2);
+        assert_eq!(d.distinct_values(), 3);
+        assert!(d.is_heavy(1, 2));
+        assert!(!d.is_heavy(2, 2));
+    }
+
+    #[test]
+    fn unknown_attr_is_error() {
+        let r = rel();
+        assert!(HashIndex::build(&r, &attrs(["Z"])).is_err());
+        assert!(DegreeIndex::build(&r, &Attr::new("Z")).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Attribute values and tuples.
+//!
+//! All attribute values are dictionary-encoded 64-bit unsigned integers. The
+//! paper's computational model (uniform-cost RAM, constant-size data values)
+//! is matched exactly by this representation; textual datasets are loaded
+//! through [`crate::Dictionary`].
+
+/// A single dictionary-encoded attribute value.
+pub type Value = u64;
+
+/// An owned tuple of values. Output tuples handed to the user and keys of
+/// hash indexes use this representation.
+pub type Tuple = Vec<Value>;
+
+/// Concatenate two tuples into a new owned tuple.
+pub fn concat_tuples(a: &[Value], b: &[Value]) -> Tuple {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out
+}
+
+/// Project a tuple onto the given positions.
+pub fn project(tuple: &[Value], positions: &[usize]) -> Tuple {
+    positions.iter().map(|&p| tuple[p]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_order() {
+        assert_eq!(concat_tuples(&[1, 2], &[3]), vec![1, 2, 3]);
+        assert_eq!(concat_tuples(&[], &[3]), vec![3]);
+        assert_eq!(concat_tuples(&[7], &[]), vec![7]);
+    }
+
+    #[test]
+    fn project_selects_positions() {
+        assert_eq!(project(&[10, 20, 30], &[2, 0]), vec![30, 10]);
+        assert_eq!(project(&[10, 20, 30], &[]), Vec::<Value>::new());
+        assert_eq!(project(&[10, 20, 30], &[1, 1]), vec![20, 20]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cyclic query shapes over a bipartite membership relation
+//! (Section 6.2.2 and Appendix G.3 of the paper).
+//!
+//! On a relation `M(entity, container)` (author–paper, person–movie), the
+//! paper's cyclic workloads are even cycles alternating entity and container
+//! variables, plus the bowtie (two four-cycles glued at one entity
+//! variable). This module builds those queries, together with the GHD plans
+//! Theorem 3 needs.
+
+use re_query::{Atom, Bag, GhdPlan, JoinProjectQuery, QueryError};
+use re_storage::Attr;
+
+/// Build the `2k`-cycle query over membership relation `relation(left,
+/// right)`: atoms alternate `M(a_i, p_i)`, `M(a_{i+1}, p_i)` so that the
+/// variable sequence `a_1, p_1, a_2, p_2, ..., a_k, p_k` closes into a
+/// cycle. The projection keeps two opposite entity variables
+/// (`a_1` and `a_{1+k/2}` for even `k`, `a_1` and `a_{(k+1)/2}` otherwise).
+///
+/// `k = 2` is the paper's *four cycle* (equivalently the butterfly query
+/// restricted to one relation), `k = 3` the *six cycle*, `k = 4` the
+/// *eight cycle*.
+pub fn membership_cycle(relation: &str, k: usize) -> Result<JoinProjectQuery, QueryError> {
+    assert!(k >= 2, "a membership cycle needs at least two entity variables");
+    let a = |i: usize| format!("a{}", (i % k) + 1);
+    let p = |i: usize| format!("p{}", (i % k) + 1);
+    let mut atoms = Vec::with_capacity(2 * k);
+    for i in 0..k {
+        // consecutive atoms share p_i, then a_{i+1}
+        atoms.push(Atom::new(
+            format!("M{}", 2 * i + 1),
+            relation,
+            [a(i), p(i)],
+        ));
+        atoms.push(Atom::new(
+            format!("M{}", 2 * i + 2),
+            relation,
+            [a(i + 1), p(i)],
+        ));
+    }
+    let proj_second = a(k / 2);
+    JoinProjectQuery::new(atoms, vec![Attr::new(a(0)), Attr::new(proj_second)])
+}
+
+/// The GHD plan for [`membership_cycle`] queries: the generic cycle
+/// decomposition of Figure 2 (width 2).
+pub fn membership_cycle_plan(query: &JoinProjectQuery) -> Result<GhdPlan, QueryError> {
+    GhdPlan::for_cycle(query)
+}
+
+/// The bowtie query: two four-cycles sharing the entity variable `a1`,
+/// projecting the two outer entity variables (`a2`, `a3`).
+pub fn bowtie(relation: &str) -> Result<JoinProjectQuery, QueryError> {
+    let atoms = vec![
+        // first square: a1 - p1 - a2 - p2 - a1
+        Atom::new("L1", relation, ["a1", "p1"]),
+        Atom::new("L2", relation, ["a2", "p1"]),
+        Atom::new("L3", relation, ["a2", "p2"]),
+        Atom::new("L4", relation, ["a1", "p2"]),
+        // second square: a1 - p3 - a3 - p4 - a1
+        Atom::new("R1", relation, ["a1", "p3"]),
+        Atom::new("R2", relation, ["a3", "p3"]),
+        Atom::new("R3", relation, ["a3", "p4"]),
+        Atom::new("R4", relation, ["a1", "p4"]),
+    ];
+    JoinProjectQuery::new(atoms, vec![Attr::new("a2"), Attr::new("a3")])
+}
+
+/// The GHD plan for the [`bowtie`] query: one width-2 bag per half-square,
+/// every bag containing the shared variable `a1`.
+pub fn bowtie_plan(query: &JoinProjectQuery) -> Result<GhdPlan, QueryError> {
+    let bag = |name: &str, attrs: [&str; 3], atoms: Vec<usize>| Bag {
+        name: name.to_string(),
+        attrs: attrs.iter().map(Attr::new).collect(),
+        atoms,
+    };
+    GhdPlan::new(
+        query,
+        vec![
+            bag("bow_l1", ["a1", "a2", "p1"], vec![0, 1]),
+            bag("bow_l2", ["a1", "a2", "p2"], vec![2, 3]),
+            bag("bow_r1", ["a1", "a3", "p3"], vec![4, 5]),
+            bag("bow_r2", ["a1", "a3", "p4"], vec![6, 7]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_query::Hypergraph;
+
+    #[test]
+    fn four_cycle_shape() {
+        let q = membership_cycle("AP", 2).unwrap();
+        assert_eq!(q.atoms().len(), 4);
+        assert!(!Hypergraph::of_query(&q).is_acyclic());
+        assert_eq!(q.projection().len(), 2);
+        let plan = membership_cycle_plan(&q).unwrap();
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn six_and_eight_cycles() {
+        for (k, atoms, bags) in [(3usize, 6usize, 4usize), (4, 8, 6)] {
+            let q = membership_cycle("AP", k).unwrap();
+            assert_eq!(q.atoms().len(), atoms);
+            assert!(!Hypergraph::of_query(&q).is_acyclic());
+            let plan = membership_cycle_plan(&q).unwrap();
+            assert_eq!(plan.len(), bags);
+        }
+    }
+
+    #[test]
+    fn consecutive_atoms_share_a_variable() {
+        let q = membership_cycle("AP", 3).unwrap();
+        let n = q.atoms().len();
+        for i in 0..n {
+            let next = (i + 1) % n;
+            let shared: Vec<_> = q.atoms()[i]
+                .var_set()
+                .intersection(&q.atoms()[next].var_set())
+                .cloned()
+                .collect();
+            assert!(!shared.is_empty(), "atoms {i} and {next} must share a var");
+        }
+    }
+
+    #[test]
+    fn bowtie_shape_and_plan() {
+        let q = bowtie("AP").unwrap();
+        assert_eq!(q.atoms().len(), 8);
+        assert!(!Hypergraph::of_query(&q).is_acyclic());
+        let plan = bowtie_plan(&q).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.max_bag_atoms(), 2);
+    }
+}

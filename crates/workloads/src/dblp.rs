@@ -1,0 +1,47 @@
+//! The DBLP-like workload (Figures 4–7, 10 of the paper).
+
+use crate::membership::{MembershipWorkload, WeightScheme};
+use re_datagen::BipartiteConfig;
+
+/// The DBLP workload: a synthetic `AuthorPapers(aid, pid)` relation with
+/// co-authorship-style skew, plus the paper's DBLP queries.
+#[derive(Clone, Debug)]
+pub struct DblpWorkload(MembershipWorkload);
+
+impl DblpWorkload {
+    /// Generate a DBLP-like workload with roughly `scale` membership edges.
+    pub fn generate(scale: usize, seed: u64, scheme: WeightScheme) -> Self {
+        DblpWorkload(MembershipWorkload::generate(
+            "DBLP",
+            BipartiteConfig::dblp_like(scale, seed),
+            scheme,
+        ))
+    }
+
+    /// Access the underlying membership workload (database and queries).
+    pub fn workload(&self) -> &MembershipWorkload {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for DblpWorkload {
+    type Target = MembershipWorkload;
+    fn deref(&self) -> &MembershipWorkload {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dblp_workload_exposes_the_papers_queries() {
+        let w = DblpWorkload::generate(300, 1, WeightScheme::Random);
+        assert_eq!(w.two_hop().name, "DBLP2hop");
+        assert_eq!(w.three_hop().name, "DBLP3hop");
+        assert_eq!(w.four_hop().name, "DBLP4hop");
+        assert_eq!(w.three_star().name, "DBLP3star");
+        assert_eq!(w.db().size(), 300);
+    }
+}

@@ -1,0 +1,48 @@
+//! The IMDB-like workload (Figures 5e–h, 12, 14b of the paper).
+
+use crate::membership::{MembershipWorkload, WeightScheme};
+use re_datagen::BipartiteConfig;
+
+/// The IMDB workload: a synthetic `PersonMovie(pid, mid)` relation with
+/// cast-style skew (denser containers than DBLP), plus the paper's IMDB
+/// queries.
+#[derive(Clone, Debug)]
+pub struct ImdbWorkload(MembershipWorkload);
+
+impl ImdbWorkload {
+    /// Generate an IMDB-like workload with roughly `scale` membership edges.
+    pub fn generate(scale: usize, seed: u64, scheme: WeightScheme) -> Self {
+        ImdbWorkload(MembershipWorkload::generate(
+            "IMDB",
+            BipartiteConfig::imdb_like(scale, seed),
+            scheme,
+        ))
+    }
+
+    /// Access the underlying membership workload (database and queries).
+    pub fn workload(&self) -> &MembershipWorkload {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for ImdbWorkload {
+    type Target = MembershipWorkload;
+    fn deref(&self) -> &MembershipWorkload {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imdb_workload_exposes_the_papers_queries() {
+        let w = ImdbWorkload::generate(300, 2, WeightScheme::Random);
+        assert_eq!(w.two_hop().name, "IMDB2hop");
+        assert_eq!(w.three_star().name, "IMDB3star");
+        let (cycle, plan) = w.cycle(2);
+        assert_eq!(cycle.name, "IMDB4cycle");
+        assert_eq!(plan.len(), 2);
+    }
+}

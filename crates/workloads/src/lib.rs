@@ -1,0 +1,29 @@
+//! The paper's concrete query workloads, wired to the synthetic datasets.
+//!
+//! Each workload module builds a [`re_storage::Database`] from the
+//! `re-datagen` generators and exposes the queries the paper evaluates as
+//! [`QuerySpec`]s (query + weight assignment), so the examples, integration
+//! tests and benchmarks all run exactly the same workloads:
+//!
+//! * [`dblp`] / [`imdb`] — the small-scale network-analysis queries of
+//!   Figure 4 / Figure 11 (2-hop, 3-hop, 4-hop, 3-star) plus the cyclic
+//!   queries of Section 6.2.2 (4/6/8-cycle, bowtie),
+//! * [`social`] — the large-scale Friendster / Memetracker style 2-hop and
+//!   3-hop neighbourhood queries (Figure 8),
+//! * [`ldbc`] — LDBC-like UCQ workloads Q3/Q10/Q11 for the scalability
+//!   experiment (Figure 9).
+
+pub mod cyclic;
+pub mod dblp;
+pub mod imdb;
+pub mod ldbc;
+pub mod membership;
+pub mod social;
+pub mod spec;
+
+pub use dblp::DblpWorkload;
+pub use imdb::ImdbWorkload;
+pub use ldbc::LdbcWorkload;
+pub use membership::MembershipWorkload;
+pub use social::SocialWorkload;
+pub use spec::{QuerySpec, UnionSpec};

@@ -1,0 +1,301 @@
+//! A generic workload over a bipartite membership relation
+//! `M(entity, container)` — the common shape behind the DBLP, IMDB,
+//! Friendster and Memetracker experiments.
+
+use crate::cyclic;
+use crate::spec::QuerySpec;
+use re_datagen::{BipartiteConfig, BipartiteDataset};
+use re_query::{GhdPlan, QueryBuilder};
+use re_ranking::{Weight, WeightAssignment};
+use re_storage::{Database, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which of the paper's two weighting schemes to use (Section 6.1.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// Uniformly random weights.
+    Random,
+    /// `log2(1 + degree)` weights.
+    LogDegree,
+}
+
+/// A workload over one membership relation: the database, shared weight
+/// tables and the paper's query shapes.
+#[derive(Clone, Debug)]
+pub struct MembershipWorkload {
+    name: String,
+    db: Database,
+    relation: String,
+    entity_weights: Arc<HashMap<Value, Weight>>,
+    container_weights: Arc<HashMap<Value, Weight>>,
+}
+
+impl MembershipWorkload {
+    /// Build a workload from a generated bipartite dataset.
+    pub fn from_dataset(
+        name: impl Into<String>,
+        dataset: &BipartiteDataset,
+        scheme: WeightScheme,
+    ) -> Self {
+        let mut db = Database::new();
+        db.set_relation(dataset.relation.clone());
+        let (entity_weights, container_weights) = match scheme {
+            WeightScheme::Random => (
+                dataset.left_random_weights.clone(),
+                dataset.right_random_weights.clone(),
+            ),
+            WeightScheme::LogDegree => (
+                dataset.left_log_weights.clone(),
+                dataset.right_log_weights.clone(),
+            ),
+        };
+        MembershipWorkload {
+            name: name.into(),
+            relation: dataset.relation.name().to_string(),
+            db,
+            entity_weights: Arc::new(entity_weights),
+            container_weights: Arc::new(container_weights),
+        }
+    }
+
+    /// Convenience: generate the dataset and build the workload in one call.
+    pub fn generate(
+        name: impl Into<String>,
+        config: BipartiteConfig,
+        scheme: WeightScheme,
+    ) -> Self {
+        let dataset = BipartiteDataset::generate(config);
+        Self::from_dataset(name, &dataset, scheme)
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The database instance.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The membership relation name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Total instance size `|D|` as seen by a query with `atoms` self-join
+    /// copies of the membership relation.
+    pub fn instance_size(&self, atoms: usize) -> usize {
+        self.db.size() * atoms
+    }
+
+    fn weights_for(&self, entity_vars: &[&str], container_vars: &[&str]) -> WeightAssignment {
+        let mut w = WeightAssignment::zero();
+        for v in entity_vars {
+            w = w.with_shared_table(*v, Arc::clone(&self.entity_weights));
+        }
+        for v in container_vars {
+            w = w.with_shared_table(*v, Arc::clone(&self.container_weights));
+        }
+        w
+    }
+
+    /// The 2-hop query: pairs of entities sharing a container
+    /// (`DBLP2hop` / `IMDB2hop` / the Friendster and Memetracker
+    /// 2-neighbourhood queries).
+    pub fn two_hop(&self) -> QuerySpec {
+        let query = QueryBuilder::new()
+            .atom("M1", &self.relation, ["a1", "p"])
+            .atom("M2", &self.relation, ["a2", "p"])
+            .project(["a1", "a2"])
+            .build()
+            .expect("valid 2-hop query");
+        QuerySpec::new(
+            format!("{}2hop", self.name),
+            query,
+            self.weights_for(&["a1", "a2"], &[]),
+        )
+    }
+
+    /// The 3-hop query: entity–container pairs three steps apart
+    /// (`DBLP3hop` / `IMDB3hop` / 3-neighbourhood).
+    pub fn three_hop(&self) -> QuerySpec {
+        let query = QueryBuilder::new()
+            .atom("M1", &self.relation, ["a", "p1"])
+            .atom("M2", &self.relation, ["a2", "p1"])
+            .atom("M3", &self.relation, ["a2", "p2"])
+            .project(["a", "p2"])
+            .build()
+            .expect("valid 3-hop query");
+        QuerySpec::new(
+            format!("{}3hop", self.name),
+            query,
+            self.weights_for(&["a"], &["p2"]),
+        )
+    }
+
+    /// The 4-hop query: entity pairs four steps apart (`DBLP4hop`).
+    pub fn four_hop(&self) -> QuerySpec {
+        let query = QueryBuilder::new()
+            .atom("M1", &self.relation, ["a1", "p1"])
+            .atom("M2", &self.relation, ["a3", "p1"])
+            .atom("M3", &self.relation, ["a3", "p2"])
+            .atom("M4", &self.relation, ["a2", "p2"])
+            .project(["a1", "a2"])
+            .build()
+            .expect("valid 4-hop query");
+        QuerySpec::new(
+            format!("{}4hop", self.name),
+            query,
+            self.weights_for(&["a1", "a2"], &[]),
+        )
+    }
+
+    /// The 3-star query: entity triples sharing one container
+    /// (`DBLP3star` / `IMDB3star`), the flagship star query `Q*_3`.
+    pub fn three_star(&self) -> QuerySpec {
+        let query = QueryBuilder::new()
+            .atom("M1", &self.relation, ["a1", "p"])
+            .atom("M2", &self.relation, ["a2", "p"])
+            .atom("M3", &self.relation, ["a3", "p"])
+            .project(["a1", "a2", "a3"])
+            .build()
+            .expect("valid 3-star query");
+        QuerySpec::new(
+            format!("{}3star", self.name),
+            query,
+            self.weights_for(&["a1", "a2", "a3"], &[]),
+        )
+    }
+
+    /// The `2k`-cycle query of Section 6.2.2 with its GHD plan
+    /// (`k = 2, 3, 4` → four, six, eight cycle).
+    pub fn cycle(&self, k: usize) -> (QuerySpec, GhdPlan) {
+        let query = cyclic::membership_cycle(&self.relation, k).expect("valid cycle query");
+        let plan = cyclic::membership_cycle_plan(&query).expect("valid cycle plan");
+        let entity_vars: Vec<String> = query
+            .projection()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
+        let refs: Vec<&str> = entity_vars.iter().map(|s| s.as_str()).collect();
+        let spec = QuerySpec::new(
+            format!("{}{}cycle", self.name, 2 * k),
+            query,
+            self.weights_for(&refs, &[]),
+        );
+        (spec, plan)
+    }
+
+    /// The bowtie query of Section 6.2.2 with its GHD plan.
+    pub fn bowtie(&self) -> (QuerySpec, GhdPlan) {
+        let query = cyclic::bowtie(&self.relation).expect("valid bowtie query");
+        let plan = cyclic::bowtie_plan(&query).expect("valid bowtie plan");
+        let spec = QuerySpec::new(
+            format!("{}bowtie", self.name),
+            query,
+            self.weights_for(&["a2", "a3"], &[]),
+        );
+        (spec, plan)
+    }
+
+    /// The Appendix-D style worst-case query used by the Appendix-B blow-up
+    /// experiment: an `arms`-ary star projecting only the first arm.
+    pub fn star_project_first(&self, arms: usize) -> QuerySpec {
+        let mut builder = QueryBuilder::new();
+        for i in 1..=arms {
+            builder = builder.atom(format!("M{i}"), &self.relation, [format!("x{i}"), "p".into()]);
+        }
+        let query = builder.project(["x1"]).build().expect("valid star query");
+        QuerySpec::new(
+            format!("{}star{}_project1", self.name, arms),
+            query,
+            self.weights_for(&["x1"], &[]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankedenum_core::{top_k, AcyclicEnumerator, CyclicEnumerator};
+    use re_query::Hypergraph;
+
+    fn workload() -> MembershipWorkload {
+        MembershipWorkload::generate(
+            "Test",
+            BipartiteConfig::dblp_like(400, 17),
+            WeightScheme::Random,
+        )
+    }
+
+    #[test]
+    fn query_shapes_are_well_formed() {
+        let w = workload();
+        for spec in [w.two_hop(), w.three_hop(), w.four_hop(), w.three_star()] {
+            assert!(Hypergraph::of_query(&spec.query).is_acyclic(), "{}", spec.name);
+            assert!(!spec.query.is_full());
+        }
+        assert_eq!(w.two_hop().query.atoms().len(), 2);
+        assert_eq!(w.four_hop().query.atoms().len(), 4);
+    }
+
+    #[test]
+    fn two_hop_runs_end_to_end() {
+        let w = workload();
+        let spec = w.two_hop();
+        let top = top_k(&spec.query, w.db(), spec.sum_ranking(), 25).unwrap();
+        assert_eq!(top.len(), 25);
+        // co-membership always contains the reflexive pairs, so results exist
+        let ranking = spec.sum_ranking();
+        let keys: Vec<_> = top
+            .iter()
+            .map(|t| re_ranking::Ranking::key_of(&ranking, spec.query.projection(), t))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn three_hop_and_star_run() {
+        let w = workload();
+        for spec in [w.three_hop(), w.three_star()] {
+            let e = AcyclicEnumerator::new(&spec.query, w.db(), spec.sum_ranking()).unwrap();
+            assert!(e.take(10).count() > 0, "{} produced no answers", spec.name);
+        }
+    }
+
+    #[test]
+    fn cycles_run_with_their_plans() {
+        let w = MembershipWorkload::generate(
+            "Tiny",
+            BipartiteConfig::dblp_like(150, 3),
+            WeightScheme::Random,
+        );
+        let (spec, plan) = w.cycle(2);
+        let e = CyclicEnumerator::new(&spec.query, w.db(), spec.sum_ranking(), &plan).unwrap();
+        // four-cycles always exist (any co-membership pair with two shared
+        // containers, or reflexive pairs sharing one container... at minimum
+        // a1 = a2 with p1 = p2 is NOT allowed by distinct tuples, so just
+        // check the enumerator terminates without error.
+        let _ = e.take(5).count();
+    }
+
+    #[test]
+    fn log_degree_scheme_changes_the_ranking() {
+        let ds = BipartiteDataset::generate(BipartiteConfig::dblp_like(300, 23));
+        let random = MembershipWorkload::from_dataset("W", &ds, WeightScheme::Random);
+        let log = MembershipWorkload::from_dataset("W", &ds, WeightScheme::LogDegree);
+        let a = top_k(
+            &random.two_hop().query,
+            random.db(),
+            random.two_hop().sum_ranking(),
+            50,
+        )
+        .unwrap();
+        let b = top_k(&log.two_hop().query, log.db(), log.two_hop().sum_ranking(), 50).unwrap();
+        assert_eq!(a.len(), b.len());
+        // The two schemes almost surely rank differently.
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,49 @@
+//! Reproduce the paper's motivating scenario (Example 1) at benchmark
+//! scale: find the top-k co-author pairs of a DBLP-like dataset, and compare
+//! the ranked enumerator against the blocking plan a conventional RDBMS
+//! would execute.
+//!
+//! Run with: `cargo run --release --example coauthor_top_k`
+
+use rankedenum::prelude::*;
+use rankedenum::workloads::membership::WeightScheme;
+use rankedenum::workloads::DblpWorkload;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic DBLP-like co-authorship graph (~60k author-paper edges).
+    let workload = DblpWorkload::generate(60_000, 42, WeightScheme::Random);
+    let spec = workload.two_hop();
+    let ranking = spec.sum_ranking();
+    println!(
+        "dataset: {} membership tuples, query: {}",
+        workload.db().size(),
+        spec.name
+    );
+
+    for k in [10usize, 1_000, 100_000] {
+        // LinDelay: ranked enumeration with projections (this paper).
+        let start = Instant::now();
+        let ours = top_k(&spec.query, workload.db(), ranking.clone(), k)?;
+        let ours_time = start.elapsed();
+
+        // The RDBMS plan: materialise the full join, dedup, sort, limit.
+        let start = Instant::now();
+        let (baseline, report) =
+            MaterializeSortEngine::new().top_k(&spec.query, workload.db(), &ranking, k)?;
+        let baseline_time = start.elapsed();
+
+        assert_eq!(ours, baseline, "both plans must return the same answers");
+        println!(
+            "k = {k:>7}: LinDelay {ours_time:>10.2?}   materialize+sort {baseline_time:>10.2?}   \
+             (full join = {} tuples, distinct = {})",
+            report.full_join_size, report.distinct_size
+        );
+    }
+
+    println!(
+        "\nNote how the blocking plan costs the same no matter how small k is,\n\
+         while ranked enumeration scales with the number of answers requested."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Ranked enumeration of cyclic queries through GHDs (Theorem 3).
+//!
+//! On a DBLP-like co-authorship graph, the four-cycle query asks for author
+//! pairs that co-authored at least two different papers; the bowtie joins
+//! two such squares at a common author. Both are cyclic, so the enumerator
+//! first materialises width-2 GHD bags and then runs the acyclic algorithm
+//! on the residual query — reproducing the workloads of Figure 10.
+//!
+//! Run with: `cargo run --release --example graph_cycles`
+
+use rankedenum::prelude::*;
+use rankedenum::workloads::membership::WeightScheme;
+use rankedenum::workloads::DblpWorkload;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = DblpWorkload::generate(6_000, 13, WeightScheme::Random);
+    println!("co-authorship edges: {}", workload.db().size());
+
+    // Four-, six- and eight-cycles (k entity variables → 2k atoms).
+    for k in [2usize, 3, 4] {
+        let (spec, plan) = workload.cycle(k);
+        let start = Instant::now();
+        let enumerator =
+            CyclicEnumerator::new(&spec.query, workload.db(), spec.sum_ranking(), &plan)?;
+        let preprocessing = start.elapsed();
+        let bag_sizes = enumerator.bag_sizes().to_vec();
+
+        let start = Instant::now();
+        let top: Vec<Tuple> = enumerator.take(10).collect();
+        let enumeration = start.elapsed();
+
+        println!(
+            "\n{} ({} atoms, {} GHD bags of sizes {:?})",
+            spec.name,
+            spec.query.atoms().len(),
+            plan.len(),
+            bag_sizes
+        );
+        println!("  preprocessing {preprocessing:.2?}, top-10 in {enumeration:.2?}");
+        for t in top.iter().take(3) {
+            println!("  answer {:?}", t);
+        }
+        if top.is_empty() {
+            println!("  (no {k}-cycle exists in this instance)");
+        }
+    }
+
+    // The bowtie query: two squares glued at one author.
+    let (spec, plan) = workload.bowtie();
+    let start = Instant::now();
+    let enumerator =
+        CyclicEnumerator::new(&spec.query, workload.db(), spec.sum_ranking(), &plan)?;
+    let top: Vec<Tuple> = enumerator.take(10).collect();
+    println!(
+        "\n{}: top-{} answers in {:.2?}",
+        spec.name,
+        top.len(),
+        start.elapsed()
+    );
+    Ok(())
+}

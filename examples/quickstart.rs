@@ -1,0 +1,67 @@
+//! Quickstart: rank co-author pairs by the sum of their weights and fetch
+//! the top results without ever materialising the full join.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rankedenum::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----------------------------------------------------------------- data
+    // A toy co-authorship relation: (author id, paper id).
+    let mut db = Database::new();
+    db.add_relation(Relation::with_tuples(
+        "AuthorPapers",
+        attrs(["aid", "pid"]),
+        vec![
+            vec![1, 100],
+            vec![2, 100],
+            vec![3, 100],
+            vec![1, 101],
+            vec![4, 101],
+            vec![5, 102],
+            vec![4, 102],
+        ],
+    )?)?;
+
+    // ---------------------------------------------------------------- query
+    // SELECT DISTINCT a1, a2
+    // FROM AuthorPapers AP1, AuthorPapers AP2
+    // WHERE AP1.pid = AP2.pid
+    // ORDER BY w(a1) + w(a2) LIMIT 5;
+    let query = QueryBuilder::new()
+        .atom("AP1", "AuthorPapers", ["a1", "p"])
+        .atom("AP2", "AuthorPapers", ["a2", "p"])
+        .project(["a1", "a2"])
+        .build()?;
+
+    // Rank by the raw author ids (any weight table can be plugged in).
+    let ranking = SumRanking::value_sum();
+
+    // --------------------------------------------------------- top-k, SUM
+    println!("Top-5 co-author pairs by id sum:");
+    for pair in top_k(&query, &db, ranking.clone(), 5)? {
+        println!("  authors {} and {}", pair[0], pair[1]);
+    }
+
+    // ------------------------------------------------- streaming iteration
+    // The enumerator is a plain Iterator: results stream in rank order and
+    // you can stop at any time ("limit-aware" evaluation).
+    let mut enumerator = AcyclicEnumerator::new(&query, &db, ranking)?;
+    let first = enumerator.next().expect("at least one co-author pair");
+    println!("\nBest pair: {:?}", first);
+    println!(
+        "priority-queue operations spent so far: {} pushes, {} pops",
+        enumerator.stats().pq_pushes,
+        enumerator.stats().pq_pops
+    );
+
+    // -------------------------------------------------- lexicographic order
+    // ORDER BY a1, a2 (lexicographic) uses the specialised Algorithm 3.
+    let lex = LexRanking::new(["a1", "a2"], WeightAssignment::value_as_weight());
+    let lexi = LexiEnumerator::new(&query, &db, &lex)?;
+    println!("\nFirst 4 pairs in lexicographic order:");
+    for pair in lexi.take(4) {
+        println!("  {:?}", pair);
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! # rankedenum — Ranked Enumeration of Join Queries with Projections
+//!
+//! A Rust implementation of *"Ranked Enumeration of Join Queries with
+//! Projections"* (Shaleen Deep, Xiao Hu, Paraschos Koutris — PVLDB 15(5),
+//! 2022). The library answers queries of the form
+//!
+//! ```sql
+//! SELECT DISTINCT A_1, ..., A_m FROM R_1, ..., R_n
+//! WHERE <natural join conditions>
+//! ORDER BY w(A_1) + ... + w(A_m)   -- or lexicographically
+//! LIMIT k;
+//! ```
+//!
+//! by *enumerating* the distinct answers in rank order with a small delay
+//! after a light preprocessing pass — instead of materialising the full
+//! join, de-duplicating and sorting it the way conventional engines do.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rankedenum::prelude::*;
+//!
+//! // A co-authorship relation: (author, paper).
+//! let mut db = Database::new();
+//! db.add_relation(Relation::with_tuples(
+//!     "AuthorPapers",
+//!     attrs(["aid", "pid"]),
+//!     vec![vec![1, 10], vec![2, 10], vec![3, 10], vec![1, 11], vec![4, 11]],
+//! ).unwrap()).unwrap();
+//!
+//! // SELECT DISTINCT a1, a2 ... ORDER BY a1 + a2 LIMIT 3
+//! let query = QueryBuilder::new()
+//!     .atom("AP1", "AuthorPapers", ["a1", "p"])
+//!     .atom("AP2", "AuthorPapers", ["a2", "p"])
+//!     .project(["a1", "a2"])
+//!     .build().unwrap();
+//!
+//! let top3 = top_k(&query, &db, SumRanking::value_sum(), 3).unwrap();
+//! assert_eq!(top3, vec![vec![1, 1], vec![1, 2], vec![2, 1]]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`storage`] | values, relations, databases, hash/degree indexes |
+//! | [`query`] | join-project queries, hypergraphs, join trees, GHDs, star detection, UCQs |
+//! | [`ranking`] | SUM / LEXICOGRAPHIC / MIN / MAX ranking functions and weight assignments |
+//! | [`join`] | semi-joins, Yannakakis full reducer, hash joins, bag materialisation |
+//! | [`core`] | the paper's enumerators (acyclic, lexicographic, star, cyclic, union) |
+//! | [`sql`] | SQL front-end: parse/plan/execute `SELECT DISTINCT ... ORDER BY ... LIMIT k` |
+//! | [`baseline`] | the evaluation baselines (materialise+sort, BFS+sort, full any-k) |
+//! | [`datagen`] | synthetic DBLP/IMDB/social/LDBC-style dataset generators |
+//! | [`workloads`] | the paper's concrete benchmark queries wired to the generators |
+
+pub use rankedenum_core as core;
+pub use re_baseline as baseline;
+pub use re_datagen as datagen;
+pub use re_join as join;
+pub use re_query as query;
+pub use re_ranking as ranking;
+pub use re_sql as sql;
+pub use re_storage as storage;
+pub use re_workloads as workloads;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use rankedenum_core::{
+        top_k, AcyclicEnumerator, CyclicEnumerator, EnumError, EnumStats, LexiEnumerator,
+        RankedEnumerator, StarEnumerator, UnionEnumerator,
+    };
+    pub use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
+    pub use re_query::{
+        Atom, GhdPlan, Hypergraph, JoinProjectQuery, JoinTree, QueryBuilder, UnionQuery,
+    };
+    pub use re_ranking::{
+        AvgRanking, Direction, LexRanking, MaxRanking, MinRanking, ProductRanking, Ranking,
+        SumProductRanking, SumRanking, Weight, WeightAssignment, WeightedSumRanking,
+    };
+    pub use re_sql::{query as sql_query, SqlExecutor};
+    pub use re_storage::attr::attrs;
+    pub use re_storage::{Attr, Database, Relation, Tuple, Value};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_compose() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("R", attrs(["a", "b"]), vec![vec![1, 2], vec![3, 2]]).unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("R1", "R", ["x", "y"])
+            .atom("R2", "R", ["z", "y"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        let res = top_k(&q, &db, SumRanking::value_sum(), 10).unwrap();
+        assert_eq!(res.len(), 4);
+    }
+}

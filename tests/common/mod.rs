@@ -1,0 +1,45 @@
+//! Shared helpers for the integration tests.
+
+use rankedenum::prelude::*;
+use rankedenum::join::{full_join, project_distinct};
+
+/// Reference ("brute force") evaluation: materialise the full join with
+/// binary hash joins, project with de-duplication, sort by `(key, tuple)`.
+pub fn reference_answers<R: Ranking>(
+    query: &JoinProjectQuery,
+    db: &Database,
+    ranking: &R,
+) -> Vec<Tuple> {
+    let joined = full_join(query, db).expect("reference join");
+    let distinct = project_distinct(&joined, query.projection()).expect("reference projection");
+    let plan = ranking.plan(query.projection());
+    let mut rows: Vec<(R::Key, Tuple)> = distinct
+        .iter()
+        .map(|t| (ranking.key(&plan, t), t.to_vec()))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    rows.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Assert that `answers` is a valid ranked enumeration of the same answer
+/// set as `reference`: identical as a set, free of duplicates, and sorted by
+/// non-decreasing rank key (ties may be ordered differently than the
+/// reference).
+pub fn assert_valid_ranked_output<R: Ranking>(
+    answers: &[Tuple],
+    reference: &[Tuple],
+    query: &JoinProjectQuery,
+    ranking: &R,
+) {
+    use std::collections::HashSet;
+    let got: HashSet<Tuple> = answers.iter().cloned().collect();
+    let want: HashSet<Tuple> = reference.iter().cloned().collect();
+    assert_eq!(got.len(), answers.len(), "enumeration emitted duplicates");
+    assert_eq!(got, want, "answer sets differ");
+    let plan = ranking.plan(query.projection());
+    let keys: Vec<R::Key> = answers.iter().map(|t| ranking.key(&plan, t)).collect();
+    assert!(
+        keys.windows(2).all(|w| w[0] <= w[1]),
+        "answers are not in non-decreasing rank order"
+    );
+}

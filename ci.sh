@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the rankedenum workspace. Run from the repo root.
+#
+# Mirrors the tier-1 verification (`cargo build --release && cargo test -q`)
+# and adds formatting, lints and bench compilation so regressions in any of
+# them fail fast.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --workspace --release
+run cargo test -q --workspace
+run cargo bench --workspace --no-run
+
+echo
+echo "ci.sh: all checks passed"

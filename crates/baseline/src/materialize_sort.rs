@@ -132,7 +132,8 @@ mod tests {
     #[test]
     fn empty_result() {
         let mut d = Database::new();
-        d.add_relation(Relation::new("AP", attrs(["aid", "pid"]))).unwrap();
+        d.add_relation(Relation::new("AP", attrs(["aid", "pid"])))
+            .unwrap();
         let (rows, report) = MaterializeSortEngine::new()
             .top_k(&two_hop(), &d, &SumRanking::value_sum(), 10)
             .unwrap();

@@ -14,7 +14,11 @@ use std::time::Duration;
 fn star_query(arms: usize) -> JoinProjectQuery {
     let mut builder = QueryBuilder::new();
     for i in 1..=arms {
-        builder = builder.atom(format!("A{i}"), format!("R{i}"), [format!("x{i}"), "y".into()]);
+        builder = builder.atom(
+            format!("A{i}"),
+            format!("R{i}"),
+            [format!("x{i}"), "y".into()],
+        );
     }
     builder.project(["x1"]).build().unwrap()
 }

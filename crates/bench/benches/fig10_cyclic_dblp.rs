@@ -27,11 +27,9 @@ fn bench(c: &mut Criterion) {
     workloads.push(dblp.bowtie());
     for (spec, plan) in workloads {
         for k in [10usize, 1_000] {
-            group.bench_with_input(
-                BenchmarkId::new(spec.name.clone(), k),
-                &k,
-                |b, &k| b.iter(|| run_cyclic(&spec, &plan, dblp.db(), k)),
-            );
+            group.bench_with_input(BenchmarkId::new(spec.name.clone(), k), &k, |b, &k| {
+                b.iter(|| run_cyclic(&spec, &plan, dblp.db(), k))
+            });
         }
     }
     group.finish();

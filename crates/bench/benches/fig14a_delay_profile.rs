@@ -21,7 +21,19 @@ fn print_cdf() {
     let stats = enumerator.stats();
     println!("fig14a: {} answers enumerated for {}", total, spec.name);
     println!("fig14a: PQ ops per answer CDF (operations -> fraction of answers)");
-    for ops in [1u64, 2, 4, 8, 16, 22, 32, 64, 128, 256, stats.max_ops_per_answer()] {
+    for ops in [
+        1u64,
+        2,
+        4,
+        8,
+        16,
+        22,
+        32,
+        64,
+        128,
+        256,
+        stats.max_ops_per_answer(),
+    ] {
         println!("fig14a: {:>6} -> {:.4}", ops, stats.cdf_at(ops));
     }
     println!(

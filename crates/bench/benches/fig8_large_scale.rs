@@ -9,8 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use re_bench::{run_sum_engine, Engine, Scale};
-use re_workloads::SocialWorkload;
 use re_workloads::social::SocialFlavor;
+use re_workloads::SocialWorkload;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {

@@ -93,7 +93,11 @@ fn appendix_b_table() {
         let db = worst_case_path_instance(arms, n);
         let mut builder = QueryBuilder::new();
         for i in 1..=arms {
-            builder = builder.atom(format!("A{i}"), format!("R{i}"), [format!("x{i}"), "y".into()]);
+            builder = builder.atom(
+                format!("A{i}"),
+                format!("R{i}"),
+                [format!("x{i}"), "y".into()],
+            );
         }
         let query = builder.project(["x1"]).build().unwrap();
         let (ours_t, ours) = time_once(|| {

@@ -12,7 +12,9 @@
 //! size) is what the harness reproduces. Set the environment variable
 //! `RE_BENCH_SCALE=large` for bigger instances.
 
-use rankedenum_core::{top_k, AcyclicEnumerator, CyclicEnumerator, LexiEnumerator, StarEnumerator, UnionEnumerator};
+use rankedenum_core::{
+    top_k, AcyclicEnumerator, CyclicEnumerator, LexiEnumerator, StarEnumerator, UnionEnumerator,
+};
 use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
 use re_query::GhdPlan;
 use re_ranking::{LexRanking, SumRanking};
@@ -128,10 +130,7 @@ pub fn run_lex_engine(engine: Engine, spec: &QuerySpec, db: &Database, k: usize)
 
 /// The general (priority-queue based) algorithm under SUM — used when the
 /// caller needs the enumerator object (e.g. statistics).
-pub fn lin_delay_enumerator(
-    spec: &QuerySpec,
-    db: &Database,
-) -> AcyclicEnumerator<SumRanking> {
+pub fn lin_delay_enumerator(spec: &QuerySpec, db: &Database) -> AcyclicEnumerator<SumRanking> {
     AcyclicEnumerator::new(&spec.query, db, spec.sum_ranking()).expect("enumerator")
 }
 
@@ -144,8 +143,8 @@ pub fn run_star_tradeoff(
     delta: usize,
 ) -> (Duration, Duration, usize) {
     let start = Instant::now();
-    let enumerator = StarEnumerator::new(&spec.query, db, spec.sum_ranking(), delta)
-        .expect("star enumerator");
+    let enumerator =
+        StarEnumerator::new(&spec.query, db, spec.sum_ranking(), delta).expect("star enumerator");
     let preprocessing = start.elapsed();
     let heavy = enumerator.heavy_output_size();
     let start = Instant::now();

@@ -20,7 +20,7 @@
 use crate::cell::{Cell, CellId, HeapEntry, NextPtr};
 use crate::error::EnumError;
 use crate::stats::EnumStats;
-use re_join::full_reduce;
+use re_join::reduce_then_prune;
 use re_query::{JoinProjectQuery, JoinTree};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Relation, Tuple};
@@ -104,9 +104,8 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
         tree: JoinTree,
     ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let tree = tree.prune_non_projecting();
-        let reduced = full_reduce(query, &tree, db)?;
-        Self::from_reduced(query.projection().to_vec(), ranking, tree, reduced)
+        let (pruned, reduced) = reduce_then_prune(query, tree, db)?;
+        Self::from_reduced(query.projection().to_vec(), ranking, pruned, reduced)
     }
 
     /// Build the enumerator from per-node relations that are already bound
@@ -169,13 +168,11 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                     let ns = &nodes[u];
                     'rows: for (row, t) in ns.relation.iter().enumerate() {
                         let mut child_ptrs: Vec<CellId> = Vec::with_capacity(ns.children.len());
-                        let mut output: Tuple =
-                            ns.own_proj_pos.iter().map(|&p| t[p]).collect();
+                        let mut output: Tuple = ns.own_proj_pos.iter().map(|&p| t[p]).collect();
                         for (ci, &child) in ns.children.iter().enumerate() {
                             let key: Tuple =
                                 ns.child_anchor_pos[ci].iter().map(|&p| t[p]).collect();
-                            let Some(top) =
-                                nodes[child].queues.get(&key).and_then(|q| q.peek())
+                            let Some(top) = nodes[child].queues.get(&key).and_then(|q| q.peek())
                             else {
                                 // A dangling tuple; cannot happen on a fully
                                 // reduced instance but skipping it keeps the
@@ -196,6 +193,7 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                         new_cells.push(Cell {
                             row: row as u32,
                             child_ptrs,
+                            advance_from: 0,
                             next: NextPtr::NotComputed,
                             output,
                             key: key.clone(),
@@ -215,7 +213,10 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                 let ns = &mut nodes[u];
                 ns.cells = new_cells;
                 for (anchor_key, entry) in inserts {
-                    ns.queues.entry(anchor_key).or_default().push(Reverse(entry));
+                    ns.queues
+                        .entry(anchor_key)
+                        .or_default()
+                        .push(Reverse(entry));
                 }
             }
         }
@@ -276,11 +277,13 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
     }
 
     /// Insert a freshly created cell into `node`'s arena and queue.
+    #[allow(clippy::too_many_arguments)] // mirrors the fields of `Cell`
     fn push_cell(
         &mut self,
         node: usize,
         row: u32,
         ptrs: Vec<CellId>,
+        advance_from: u32,
         output: Tuple,
         key: R::Key,
         anchor_key: &Tuple,
@@ -291,6 +294,7 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
         ns.cells.push(Cell {
             row,
             child_ptrs: ptrs,
+            advance_from,
             next: NextPtr::NotComputed,
             output,
             key: key.clone(),
@@ -347,16 +351,22 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
             }
 
             // Generate the successor cells of the popped cell: advance one
-            // child pointer at a time (lines 13–16 of Algorithm 2).
+            // child pointer at a time (lines 13–16 of Algorithm 2). Only
+            // children at or after `advance_from` are advanced, so every
+            // pointer combination is generated exactly once (see
+            // [`Cell::advance_from`]).
             let children = self.nodes[node].children.clone();
-            for (ci, &child) in children.iter().enumerate() {
+            let advance_from = self.nodes[node].cells[popped.cell as usize].advance_from as usize;
+            for (ci, &child) in children.iter().enumerate().skip(advance_from) {
                 let child_cell = self.nodes[node].cells[popped.cell as usize].child_ptrs[ci];
                 if let Some(next_child) = self.topdown(child_cell, child) {
                     let row = self.nodes[node].cells[popped.cell as usize].row;
-                    let mut ptrs = self.nodes[node].cells[popped.cell as usize].child_ptrs.clone();
+                    let mut ptrs = self.nodes[node].cells[popped.cell as usize]
+                        .child_ptrs
+                        .clone();
                     ptrs[ci] = next_child;
                     let (output, key) = self.make_output(node, row, &ptrs);
-                    self.push_cell(node, row, ptrs, output, key, &anchor_key);
+                    self.push_cell(node, row, ptrs, ci as u32, output, key, &anchor_key);
                 }
             }
 
@@ -494,8 +504,9 @@ mod tests {
     fn every_root_choice_gives_the_same_answer_sequence() {
         let db = paper_db();
         let q = paper_query();
-        let reference: Vec<Tuple> =
-            AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap().collect();
+        let reference: Vec<Tuple> = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum())
+            .unwrap()
+            .collect();
         for root in 0..4 {
             let tree = JoinTree::build_rooted(&q, root).unwrap();
             let got: Vec<Tuple> =
@@ -549,27 +560,17 @@ mod tests {
         let results: Vec<Tuple> = e.collect();
         assert_eq!(
             results,
-            vec![
-                vec![1, 1],
-                vec![1, 2],
-                vec![2, 1],
-                vec![2, 2],
-                vec![3, 3],
-            ]
+            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2], vec![3, 3],]
         );
     }
 
     #[test]
     fn empty_join_yields_no_answers() {
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("R", attrs(["a", "b"]), vec![vec![1, 1]]).unwrap(),
-        )
-        .unwrap();
-        db.add_relation(
-            Relation::with_tuples("S", attrs(["b", "c"]), vec![vec![9, 5]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("R", attrs(["a", "b"]), vec![vec![1, 1]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::with_tuples("S", attrs(["b", "c"]), vec![vec![9, 5]]).unwrap())
+            .unwrap();
         let q = QueryBuilder::new()
             .atom("R", "R", ["a", "b"])
             .atom("S", "S", ["b", "c"])

@@ -36,6 +36,13 @@ pub struct Cell<K> {
     pub row: u32,
     /// One pointer per child of the node, in child order.
     pub child_ptrs: Vec<CellId>,
+    /// Index of the first child pointer successors of this cell may advance.
+    /// A cell created by advancing child `i` only advances children `≥ i`,
+    /// so every pointer combination is generated along exactly one
+    /// (non-decreasing) path instead of once per interleaving — without this
+    /// restriction nodes with several children create exponentially many
+    /// duplicate cells.
+    pub advance_from: u32,
     /// Chaining pointer to the next distinct partial answer of this node.
     pub next: NextPtr,
     /// The materialised partial output of this cell over the node's subtree

@@ -36,7 +36,11 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         for bag in plan.bags() {
             let rel = materialize_bag(query, db, bag)?;
             bag_sizes.push(rel.len());
-            atoms.push(Atom::new(bag.name.clone(), bag.name.clone(), bag.attrs.clone()));
+            atoms.push(Atom::new(
+                bag.name.clone(),
+                bag.name.clone(),
+                bag.attrs.clone(),
+            ));
             bag_db.set_relation(rel);
         }
         let residual = JoinProjectQuery::new(atoms, query.projection().to_vec())?;
@@ -53,7 +57,11 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
     /// decomposition of Figure 2 when the query's atoms form a cycle in
     /// declaration order, otherwise the single-bag (full materialisation)
     /// fallback.
-    pub fn new_auto(query: &JoinProjectQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
+    pub fn new_auto(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+    ) -> Result<Self, EnumError> {
         let plan = GhdPlan::for_cycle(query).unwrap_or_else(|_| GhdPlan::single_bag(query));
         Self::new(query, db, ranking, &plan)
     }
@@ -157,20 +165,16 @@ mod tests {
 
     #[test]
     fn cycle_plan_and_single_bag_agree() {
-        let db = edge_db(&[
-            (1, 2),
-            (2, 3),
-            (3, 4),
-            (4, 1),
-            (2, 5),
-            (5, 4),
-            (7, 7),
-        ]);
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4), (4, 1), (2, 5), (5, 4), (7, 7)]);
         let q = four_cycle_query();
-        let via_cycle: Vec<Tuple> =
-            CyclicEnumerator::new(&q, &db, SumRanking::value_sum(), &GhdPlan::for_cycle(&q).unwrap())
-                .unwrap()
-                .collect();
+        let via_cycle: Vec<Tuple> = CyclicEnumerator::new(
+            &q,
+            &db,
+            SumRanking::value_sum(),
+            &GhdPlan::for_cycle(&q).unwrap(),
+        )
+        .unwrap()
+        .collect();
         let via_single: Vec<Tuple> =
             CyclicEnumerator::new(&q, &db, SumRanking::value_sum(), &GhdPlan::single_bag(&q))
                 .unwrap()

@@ -12,7 +12,7 @@
 
 use crate::error::EnumError;
 use crate::stats::EnumStats;
-use re_join::{full_reduce, full_reduce_relations};
+use re_join::{full_reduce_relations, reduce_then_prune};
 use re_query::{JoinProjectQuery, JoinTree};
 use re_ranking::{Direction, LexRanking, WeightAssignment};
 use re_storage::{Attr, Database, Relation, Tuple, Value};
@@ -55,8 +55,7 @@ impl LexiEnumerator {
         ranking: &LexRanking,
     ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let tree = JoinTree::build(query)?.prune_non_projecting();
-        let reduced = full_reduce(query, &tree, db)?;
+        let (tree, reduced) = reduce_then_prune(query, JoinTree::build(query)?, db)?;
 
         // Lexicographic attribute order restricted to the projection.
         let mut attr_order: Vec<(Attr, Direction)> = ranking
@@ -270,7 +269,9 @@ mod tests {
     #[test]
     fn matches_general_algorithm_with_lex_ranking() {
         let lex = LexRanking::new(["E", "A"], WeightAssignment::value_as_weight());
-        let via_lexi: Vec<Tuple> = LexiEnumerator::new(&query(), &db(), &lex).unwrap().collect();
+        let via_lexi: Vec<Tuple> = LexiEnumerator::new(&query(), &db(), &lex)
+            .unwrap()
+            .collect();
         let via_general: Vec<Tuple> = AcyclicEnumerator::new(&query(), &db(), lex)
             .unwrap()
             .collect();
@@ -283,7 +284,9 @@ mod tests {
             [("A", Direction::Desc), ("E", Direction::Asc)],
             WeightAssignment::value_as_weight(),
         );
-        let results: Vec<Tuple> = LexiEnumerator::new(&query(), &db(), &lex).unwrap().collect();
+        let results: Vec<Tuple> = LexiEnumerator::new(&query(), &db(), &lex)
+            .unwrap()
+            .collect();
         assert_eq!(results[0], vec![3, 1]);
         assert_eq!(results[1], vec![3, 2]);
         assert_eq!(results.last().unwrap(), &vec![1, 2]);
@@ -322,10 +325,36 @@ mod tests {
     #[test]
     fn weights_override_value_order() {
         // Give A=3 the smallest weight so it sorts first.
-        let table = [(3u64, re_ranking::Weight::new(-10.0))].into_iter().collect();
+        let table = [(3u64, re_ranking::Weight::new(-10.0))]
+            .into_iter()
+            .collect();
         let w = WeightAssignment::value_as_weight().with_table("A", table);
         let lex = LexRanking::new(["A", "E"], w);
-        let results: Vec<Tuple> = LexiEnumerator::new(&query(), &db(), &lex).unwrap().collect();
+        let results: Vec<Tuple> = LexiEnumerator::new(&query(), &db(), &lex)
+            .unwrap()
+            .collect();
         assert_eq!(results[0], vec![3, 1]);
+    }
+
+    #[test]
+    fn pruned_subtrees_still_filter_dangling_tuples() {
+        // π_a(R(a,b) ⋈ S(b,c)) with no joining tuples: S owns no projection
+        // attribute, so it is pruned from the join tree — but its semi-join
+        // filter must still apply (the full reducer has to run *before*
+        // pruning). A prune-first implementation wrongly emits [1].
+        let mut d = Database::new();
+        d.add_relation(Relation::with_tuples("R", attrs(["a", "b"]), vec![vec![1, 9]]).unwrap())
+            .unwrap();
+        d.add_relation(Relation::with_tuples("S", attrs(["b", "c"]), vec![vec![5, 5]]).unwrap())
+            .unwrap();
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .atom("S", "S", ["b", "c"])
+            .project(["a"])
+            .build()
+            .unwrap();
+        let lex = LexRanking::new(["a"], WeightAssignment::value_as_weight());
+        let results: Vec<Tuple> = LexiEnumerator::new(&q, &d, &lex).unwrap().collect();
+        assert_eq!(results, Vec::<Tuple>::new());
     }
 }

@@ -307,10 +307,9 @@ mod tests {
             .collect();
         assert_eq!(reference, expected_two_star());
         for threshold in [1usize, 2, 3, 10] {
-            let got: Vec<Tuple> =
-                StarEnumerator::new(&q, &db, SumRanking::value_sum(), threshold)
-                    .unwrap()
-                    .collect();
+            let got: Vec<Tuple> = StarEnumerator::new(&q, &db, SumRanking::value_sum(), threshold)
+                .unwrap()
+                .collect();
             assert_eq!(got, reference, "threshold {threshold} changed the output");
         }
     }
@@ -342,10 +341,7 @@ mod tests {
         assert!(eager.heavy_output_size() > 0);
         let lazy = StarEnumerator::with_epsilon(&q, &db, SumRanking::value_sum(), 0.0).unwrap();
         assert_eq!(lazy.threshold(), db.size());
-        assert_eq!(
-            eager.collect::<Vec<_>>(),
-            lazy.collect::<Vec<_>>()
-        );
+        assert_eq!(eager.collect::<Vec<_>>(), lazy.collect::<Vec<_>>());
     }
 
     #[test]
@@ -362,10 +358,9 @@ mod tests {
             .unwrap()
             .collect();
         for threshold in [1usize, 2, 4] {
-            let got: Vec<Tuple> =
-                StarEnumerator::new(&q, &db, SumRanking::value_sum(), threshold)
-                    .unwrap()
-                    .collect();
+            let got: Vec<Tuple> = StarEnumerator::new(&q, &db, SumRanking::value_sum(), threshold)
+                .unwrap()
+                .collect();
             assert_eq!(got, reference);
         }
     }
@@ -392,14 +387,10 @@ mod tests {
     #[test]
     fn empty_star_result() {
         let mut d = Database::new();
-        d.add_relation(
-            Relation::with_tuples("A", attrs(["a", "b"]), vec![vec![1, 10]]).unwrap(),
-        )
-        .unwrap();
-        d.add_relation(
-            Relation::with_tuples("B", attrs(["c", "b"]), vec![vec![2, 99]]).unwrap(),
-        )
-        .unwrap();
+        d.add_relation(Relation::with_tuples("A", attrs(["a", "b"]), vec![vec![1, 10]]).unwrap())
+            .unwrap();
+        d.add_relation(Relation::with_tuples("B", attrs(["c", "b"]), vec![vec![2, 99]]).unwrap())
+            .unwrap();
         let q = QueryBuilder::new()
             .atom("A", "A", ["a1", "p"])
             .atom("B", "B", ["a2", "p"])

@@ -32,13 +32,16 @@ impl<R: Ranking + Clone + 'static> UnionEnumerator<R> {
     /// [`AcyclicEnumerator`], each cyclic branch a [`CyclicEnumerator`] with
     /// an automatically chosen GHD plan.
     pub fn new(union: &UnionQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
-        let mut branches: Vec<Box<dyn Iterator<Item = Tuple>>> =
-            Vec::with_capacity(union.len());
+        let mut branches: Vec<Box<dyn Iterator<Item = Tuple>>> = Vec::with_capacity(union.len());
         for q in union.branches() {
             if Hypergraph::of_query(q).is_acyclic() {
                 branches.push(Box::new(AcyclicEnumerator::new(q, db, ranking.clone())?));
             } else {
-                branches.push(Box::new(CyclicEnumerator::new_auto(q, db, ranking.clone())?));
+                branches.push(Box::new(CyclicEnumerator::new_auto(
+                    q,
+                    db,
+                    ranking.clone(),
+                )?));
             }
         }
         Ok(Self::from_streams(
@@ -134,12 +137,8 @@ mod tests {
         )
         .unwrap();
         db.add_relation(
-            Relation::with_tuples(
-                "Likes",
-                attrs(["src", "dst"]),
-                vec![vec![1, 2], vec![3, 4]],
-            )
-            .unwrap(),
+            Relation::with_tuples("Likes", attrs(["src", "dst"]), vec![vec![1, 2], vec![3, 4]])
+                .unwrap(),
         )
         .unwrap();
         db
@@ -198,12 +197,8 @@ mod tests {
         )
         .unwrap();
         db.add_relation(
-            Relation::with_tuples(
-                "Likes",
-                attrs(["p", "g"]),
-                vec![vec![3, 200], vec![4, 200]],
-            )
-            .unwrap(),
+            Relation::with_tuples("Likes", attrs(["p", "g"]), vec![vec![3, 200], vec![4, 200]])
+                .unwrap(),
         )
         .unwrap();
         let branch = |rel: &str| {
@@ -215,8 +210,9 @@ mod tests {
                 .unwrap()
         };
         let u = UnionQuery::new(vec![branch("Knows"), branch("Likes")]).unwrap();
-        let results: Vec<Tuple> =
-            UnionEnumerator::new(&u, &db, SumRanking::value_sum()).unwrap().collect();
+        let results: Vec<Tuple> = UnionEnumerator::new(&u, &db, SumRanking::value_sum())
+            .unwrap()
+            .collect();
         assert_eq!(
             results,
             vec![

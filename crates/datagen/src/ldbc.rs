@@ -167,8 +167,7 @@ mod tests {
     #[test]
     fn knows_graph_is_symmetric() {
         let ds = LdbcDataset::generate(LdbcConfig::new(1, 5));
-        let edges: HashSet<(Value, Value)> =
-            ds.knows.iter().map(|t| (t[0], t[1])).collect();
+        let edges: HashSet<(Value, Value)> = ds.knows.iter().map(|t| (t[0], t[1])).collect();
         for &(a, b) in &edges {
             assert!(edges.contains(&(b, a)), "missing reverse edge ({b},{a})");
         }

@@ -1,0 +1,162 @@
+//! Cross-generator determinism and shape invariants.
+//!
+//! Every benchmark and every equivalence test keys its reproducibility off
+//! these generators being pure functions of their configuration (seed
+//! included), so this suite locks that property down for all of them, plus
+//! the basic shape guarantees the workloads rely on.
+
+use re_datagen::{
+    worst_case_path_instance, BipartiteConfig, BipartiteDataset, GraphConfig, GraphDataset,
+    LdbcConfig, LdbcDataset, ZipfSampler,
+};
+use re_storage::{DegreeIndex, Relation};
+use std::collections::HashSet;
+
+fn rows(r: &Relation) -> Vec<Vec<u64>> {
+    r.iter().map(|t| t.to_vec()).collect()
+}
+
+#[test]
+fn zipf_sampler_is_deterministic_per_seed() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let z = ZipfSampler::new(64, 1.1);
+    let draw = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1000).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+    };
+    assert_eq!(draw(5), draw(5));
+    assert_ne!(draw(5), draw(6));
+    assert!(draw(5).iter().all(|&r| r < 64));
+}
+
+#[test]
+fn zipf_skew_orders_bucket_masses() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let z = ZipfSampler::new(32, 1.2);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut counts = vec![0usize; 32];
+    for _ in 0..20_000 {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    assert!(counts[0] > counts[8]);
+    assert!(counts[8] > counts[31]);
+}
+
+#[test]
+fn bipartite_datasets_are_deterministic_including_weights() {
+    let cfg = || BipartiteConfig::imdb_like(800, 99);
+    let a = BipartiteDataset::generate(cfg());
+    let b = BipartiteDataset::generate(cfg());
+    assert_eq!(rows(&a.relation), rows(&b.relation));
+    assert_eq!(a.left_random_weights, b.left_random_weights);
+    assert_eq!(a.right_random_weights, b.right_random_weights);
+    assert_eq!(a.left_log_weights, b.left_log_weights);
+    assert_eq!(a.right_log_weights, b.right_log_weights);
+
+    let mut other_seed = BipartiteConfig::imdb_like(800, 100);
+    other_seed.seed = 100;
+    let c = BipartiteDataset::generate(other_seed);
+    assert_ne!(rows(&a.relation), rows(&c.relation));
+}
+
+#[test]
+fn bipartite_shape_edges_distinct_and_within_domains() {
+    let cfg = BipartiteConfig::dblp_like(1500, 3);
+    let left = cfg.left_entities as u64;
+    let right = cfg.right_entities as u64;
+    let ds = BipartiteDataset::generate(cfg);
+    assert_eq!(ds.relation.len(), 1500);
+    assert_eq!(ds.relation.arity(), 2);
+    let mut seen = HashSet::new();
+    for t in ds.relation.iter() {
+        assert!(seen.insert(t.to_vec()), "duplicate edge");
+        assert!((1..=left).contains(&t[0]), "left id {} out of domain", t[0]);
+        assert!(
+            (1..=right).contains(&t[1]),
+            "right id {} out of domain",
+            t[1]
+        );
+    }
+}
+
+#[test]
+fn graph_datasets_are_deterministic_and_loop_free() {
+    let a = GraphDataset::generate(GraphConfig::new(300, 2000, 17));
+    let b = GraphDataset::generate(GraphConfig::new(300, 2000, 17));
+    let c = GraphDataset::generate(GraphConfig::new(300, 2000, 18));
+    assert_eq!(rows(&a.edges), rows(&b.edges));
+    assert_eq!(a.random_weights, b.random_weights);
+    assert_ne!(rows(&a.edges), rows(&c.edges));
+    assert_eq!(a.edges.len(), 2000);
+    assert!(a.edges.iter().all(|t| t[0] != t[1]), "no self loops");
+}
+
+#[test]
+fn graph_degrees_are_skewed() {
+    let g = GraphDataset::generate(GraphConfig::new(500, 6000, 23));
+    let deg = DegreeIndex::build(&g.edges, &"src".into()).unwrap();
+    let avg = g.edges.len() as f64 / deg.distinct_values() as f64;
+    assert!(
+        deg.max_degree() as f64 > 3.0 * avg,
+        "zipf endpoints should concentrate mass: max {} avg {avg}",
+        deg.max_degree()
+    );
+}
+
+#[test]
+fn ldbc_datasets_are_deterministic() {
+    let a = LdbcDataset::generate(LdbcConfig::new(2, 7));
+    let b = LdbcDataset::generate(LdbcConfig::new(2, 7));
+    let c = LdbcDataset::generate(LdbcConfig::new(2, 8));
+    let parts = |d: &LdbcDataset| {
+        [
+            rows(&d.knows),
+            rows(&d.post_creator),
+            rows(&d.likes),
+            rows(&d.forum_member),
+        ]
+    };
+    assert_eq!(parts(&a), parts(&b));
+    assert_eq!(a.person_weights, b.person_weights);
+    assert_ne!(
+        parts(&a),
+        parts(&c),
+        "different seeds must change the instance"
+    );
+    // Knows is a symmetric friendship graph.
+    let knows: HashSet<(u64, u64)> = a.knows.iter().map(|t| (t[0], t[1])).collect();
+    assert!(!knows.is_empty());
+    assert!(knows.iter().all(|&(x, y)| knows.contains(&(y, x))));
+}
+
+#[test]
+fn worst_case_instance_shape_matches_appendix_b() {
+    for (arms, n) in [(2usize, 30usize), (3, 20), (4, 10)] {
+        let db = worst_case_path_instance(arms, n);
+        assert_eq!(db.relation_count(), arms);
+        assert_eq!(db.size(), arms * n);
+        for i in 1..=arms {
+            let rel = db.relation(&format!("R{i}")).unwrap();
+            assert_eq!(rel.len(), n);
+            // every tuple attaches a distinct x to the single join value 1
+            assert!(rel.iter().all(|t| t[1] == 1));
+            let xs: HashSet<u64> = rel.iter().map(|t| t[0]).collect();
+            assert_eq!(xs.len(), n);
+        }
+    }
+}
+
+#[test]
+fn worst_case_instance_is_seedless_and_stable() {
+    let a = worst_case_path_instance(3, 25);
+    let b = worst_case_path_instance(3, 25);
+    for i in 1..=3 {
+        let name = format!("R{i}");
+        assert_eq!(
+            rows(a.relation(&name).unwrap()),
+            rows(b.relation(&name).unwrap())
+        );
+    }
+}

@@ -24,11 +24,7 @@ pub fn materialize_bag(
     bag: &Bag,
 ) -> Result<Relation, JoinError> {
     let bound_all = bind_atoms(query, db)?;
-    let mut rels: Vec<Relation> = bag
-        .atoms
-        .iter()
-        .map(|&i| bound_all[i].clone())
-        .collect();
+    let mut rels: Vec<Relation> = bag.atoms.iter().map(|&i| bound_all[i].clone()).collect();
 
     // One forward and one backward sweep of semi-joins between consecutive
     // atoms sharing attributes. This is not a full reducer (the bag subquery
@@ -91,7 +87,7 @@ mod tests {
         // bag over {a1,a2,a3} covered by R1, R2 and R4: tuples (a1,a2,a3)
         // where a1->a2->a3 is a path and a1 has an incoming edge.
         assert_eq!(bag0.arity(), 3);
-        assert!(bag0.len() >= 1);
+        assert!(!bag0.is_empty());
         // The residual join of both bags must produce exactly the square.
         let bag1 = materialize_bag(&q, &db, &plan.bags()[1]).unwrap();
         let joined = hash_join(&bag0, &bag1, "res").unwrap();

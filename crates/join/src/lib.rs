@@ -24,4 +24,4 @@ pub use bag::materialize_bag;
 pub use bind::bind_atoms;
 pub use error::JoinError;
 pub use hashjoin::{full_join, hash_join, project_distinct, yannakakis_join};
-pub use reducer::{full_reduce, full_reduce_relations, semi_join};
+pub use reducer::{full_reduce, full_reduce_relations, reduce_then_prune, semi_join};

@@ -85,6 +85,34 @@ pub fn full_reduce(
     Ok(relations)
 }
 
+/// Full-reduce over the **unpruned** tree, then prune non-projecting
+/// subtrees, returning the pruned tree together with its node-aligned
+/// reduced relations.
+///
+/// The order matters: subtrees that own no projection attribute still act
+/// as semi-join filters, so dropping them is only answer-preserving on a
+/// dangling-free instance. Every enumerator that wants a pruned tree must
+/// go through this (or repeat the same dance) — pruning first silently
+/// readmits dangling tuples.
+pub fn reduce_then_prune(
+    query: &JoinProjectQuery,
+    tree: JoinTree,
+    db: &Database,
+) -> Result<(JoinTree, Vec<Relation>), JoinError> {
+    let reduced_all = full_reduce(query, &tree, db)?;
+    let mut by_atom: Vec<Option<Relation>> = vec![None; query.atoms().len()];
+    for (node, rel) in tree.nodes().iter().zip(reduced_all) {
+        by_atom[node.atom_index] = Some(rel);
+    }
+    let pruned = tree.prune_non_projecting();
+    let reduced = pruned
+        .nodes()
+        .iter()
+        .map(|n| by_atom[n.atom_index].take().expect("kept node was reduced"))
+        .collect();
+    Ok((pruned, reduced))
+}
+
 /// Sanity check used by tests and debug assertions: a reduced instance is
 /// *globally consistent* for a join tree if every parent/child pair agrees
 /// on the shared attributes in both directions.
@@ -186,8 +214,8 @@ mod tests {
 
     #[test]
     fn semi_join_filters_left() {
-        let mut l = Relation::with_tuples("L", attrs(["A", "B"]), vec![vec![1, 1], vec![2, 9]])
-            .unwrap();
+        let mut l =
+            Relation::with_tuples("L", attrs(["A", "B"]), vec![vec![1, 1], vec![2, 9]]).unwrap();
         let r = Relation::with_tuples("R", attrs(["B", "C"]), vec![vec![1, 4]]).unwrap();
         semi_join(&mut l, &r).unwrap();
         assert_eq!(l.len(), 1);
@@ -224,9 +252,7 @@ mod tests {
         let tree = JoinTree::build(&q).unwrap();
         let mut db = path_db();
         // Make R3 share no C values with R2.
-        db.set_relation(
-            Relation::with_tuples("R3", attrs(["C", "D"]), vec![vec![99, 2]]).unwrap(),
-        );
+        db.set_relation(Relation::with_tuples("R3", attrs(["C", "D"]), vec![vec![99, 2]]).unwrap());
         let reduced = full_reduce(&q, &tree, &db).unwrap();
         assert!(reduced.iter().all(|r| r.is_empty()));
     }

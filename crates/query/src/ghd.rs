@@ -91,11 +91,7 @@ impl GhdPlan {
         // every atom must be contained in some bag that joins it
         for (ai, atom) in query.atoms().iter().enumerate() {
             let ok = bags.iter().any(|bag| {
-                bag.atoms.contains(&ai)
-                    && atom
-                        .vars
-                        .iter()
-                        .all(|v| bag.attrs.contains(v))
+                bag.atoms.contains(&ai) && atom.vars.iter().all(|v| bag.attrs.contains(v))
             });
             if !ok {
                 return Err(QueryError::InvalidGhd(format!(

@@ -51,14 +51,27 @@ pub struct JoinTree {
 }
 
 impl JoinTree {
-    /// Build a join tree for an acyclic query, rooting at the default node
-    /// chosen by GYO reduction (the last surviving hyperedge).
+    /// Build a join tree for an acyclic query, choosing the root whose
+    /// pruned tree ([`JoinTree::prune_non_projecting`]) is smallest. The
+    /// answer set is the same for every root, but the root decides how much
+    /// of the tree survives pruning: for free-connex queries there is a root
+    /// whose pruned tree contains projection attributes only, which is what
+    /// gives them their `O(log |D|)` delay (Appendix E). Ties go to the
+    /// lowest atom index, so the choice is deterministic.
     pub fn build(query: &JoinProjectQuery) -> Result<Self, QueryError> {
         let gyo = Hypergraph::of_query(query).gyo();
         if !gyo.acyclic {
             return Err(QueryError::NotAcyclic);
         }
-        Self::assemble(query, &gyo.parent_links, gyo.last)
+        let mut best: Option<(usize, JoinTree)> = None;
+        for root in 0..query.atoms().len() {
+            let tree = Self::assemble(query, &gyo.parent_links, root)?;
+            let pruned_len = tree.prune_non_projecting().len();
+            if best.as_ref().is_none_or(|(len, _)| pruned_len < *len) {
+                best = Some((pruned_len, tree));
+            }
+        }
+        Ok(best.expect("queries have at least one atom").1)
     }
 
     /// Build a join tree rooted at a specific atom (any choice of root is
@@ -138,8 +151,8 @@ impl JoinTree {
                 }
             })
             .collect();
-        for i in 0..n {
-            if let Some(p) = parent[i] {
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
                 nodes[p].children.push(i);
             }
         }
@@ -264,11 +277,7 @@ impl JoinTree {
         }
         for node in &mut new_nodes {
             node.parent = node.parent.and_then(|p| remap[p]);
-            node.children = node
-                .children
-                .iter()
-                .filter_map(|&c| remap[c])
-                .collect();
+            node.children = node.children.iter().filter_map(|&c| remap[c]).collect();
         }
         JoinTree {
             root: remap[self.root].expect("root is always kept"),

@@ -91,7 +91,9 @@ impl WeightAssignment {
     }
 
     /// Build a log-degree weight table from explicit `(value, degree)` pairs.
-    pub fn log_degree_table(pairs: impl IntoIterator<Item = (Value, u32)>) -> HashMap<Value, Weight> {
+    pub fn log_degree_table(
+        pairs: impl IntoIterator<Item = (Value, u32)>,
+    ) -> HashMap<Value, Weight> {
         pairs
             .into_iter()
             .map(|(v, d)| (v, Weight::new((1.0 + d as f64).log2())))
@@ -105,7 +107,11 @@ impl WeightAssignment {
                 return *w;
             }
         }
-        let default = self.attr_defaults.get(attr).copied().unwrap_or(self.default);
+        let default = self
+            .attr_defaults
+            .get(attr)
+            .copied()
+            .unwrap_or(self.default);
         match default {
             DefaultWeight::ValueAsWeight => Weight::new(value as f64),
             DefaultWeight::Zero => Weight::ZERO,
@@ -174,8 +180,8 @@ mod tests {
 
     #[test]
     fn per_attribute_default_overrides_global_default() {
-        let w = WeightAssignment::value_as_weight()
-            .with_attr_default("ignored", DefaultWeight::Zero);
+        let w =
+            WeightAssignment::value_as_weight().with_attr_default("ignored", DefaultWeight::Zero);
         assert_eq!(w.weight_of(&Attr::new("ranked"), 7), Weight::new(7.0));
         assert_eq!(w.weight_of(&Attr::new("ignored"), 7), Weight::ZERO);
         // An explicit table entry still wins over the per-attribute default.

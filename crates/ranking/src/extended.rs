@@ -18,7 +18,7 @@
 
 use crate::assignment::WeightAssignment;
 use crate::rank::Ranking;
-use crate::weight::Weight;
+use crate::weight::{ExactSum, Weight};
 use re_storage::{Attr, Value};
 
 fn debug_assert_non_negative(w: Weight, what: &str) {
@@ -57,7 +57,11 @@ impl ProductRanking {
 }
 
 impl Ranking for ProductRanking {
-    type Key = Weight;
+    /// Keys are **exact** products ([`ExactSum`] expansions built with
+    /// [`ExactSum::scale`]): like exact sums, exact products are independent
+    /// of the factor order, which the enumerators' duplicate elimination and
+    /// priority-queue invariants require (per-node attribute orders differ).
+    type Key = ExactSum;
     type Plan = Vec<Attr>;
 
     fn plan(&self, attrs: &[Attr]) -> Self::Plan {
@@ -66,13 +70,13 @@ impl Ranking for ProductRanking {
 
     fn key(&self, plan: &Self::Plan, values: &[Value]) -> Self::Key {
         debug_assert_eq!(plan.len(), values.len());
-        let mut prod = 1.0f64;
+        let mut prod = ExactSum::from(Weight::new(1.0));
         for (a, &v) in plan.iter().zip(values) {
             let w = self.weights.weight_of(a, v);
             debug_assert_non_negative(w, "ProductRanking");
-            prod *= w.value();
+            prod = prod.scale(w.value());
         }
-        Weight::new(prod)
+        prod
     }
 }
 
@@ -98,7 +102,9 @@ impl AvgRanking {
 }
 
 impl Ranking for AvgRanking {
-    type Key = Weight;
+    /// Keys are the exact weight sum scaled exactly by `1/n` (see
+    /// [`ExactSum`] for why exactness matters to the enumerators).
+    type Key = ExactSum;
     type Plan = Vec<Attr>;
 
     fn plan(&self, attrs: &[Attr]) -> Self::Plan {
@@ -108,14 +114,18 @@ impl Ranking for AvgRanking {
     fn key(&self, plan: &Self::Plan, values: &[Value]) -> Self::Key {
         debug_assert_eq!(plan.len(), values.len());
         if plan.is_empty() {
-            return Weight::ZERO;
+            return ExactSum::zero();
         }
-        let sum: f64 = plan
-            .iter()
-            .zip(values)
-            .map(|(a, &v)| self.weights.weight_of(a, v).value())
-            .sum();
-        Weight::new(sum / plan.len() as f64)
+        // Sum the raw weights exactly, then scale exactly by 1/n: a single
+        // exact scaling per key preserves the raw-sum order at every tree
+        // level (dividing each term separately would round with a different
+        // divisor per node and lose cross-level consistency).
+        let sum = ExactSum::of(
+            plan.iter()
+                .zip(values)
+                .map(|(a, &v)| self.weights.weight_of(a, v)),
+        );
+        sum.scale(1.0 / plan.len() as f64)
     }
 }
 
@@ -189,7 +199,9 @@ pub struct WeightedSumPlan {
 }
 
 impl Ranking for WeightedSumRanking {
-    type Key = Weight;
+    /// Keys are exact sums of the per-attribute terms `c_A · w` (see
+    /// [`ExactSum`] for why exactness matters to the enumerators).
+    type Key = ExactSum;
     type Plan = WeightedSumPlan;
 
     fn plan(&self, attrs: &[Attr]) -> Self::Plan {
@@ -203,13 +215,12 @@ impl Ranking for WeightedSumRanking {
 
     fn key(&self, plan: &Self::Plan, values: &[Value]) -> Self::Key {
         debug_assert_eq!(plan.slots.len(), values.len());
-        let total: f64 = plan
-            .slots
-            .iter()
-            .zip(values)
-            .map(|((a, c), &v)| c * self.weights.weight_of(a, v).value())
-            .sum();
-        Weight::new(total)
+        ExactSum::of(
+            plan.slots
+                .iter()
+                .zip(values)
+                .map(|((a, c), &v)| Weight::new(c * self.weights.weight_of(a, v).value())),
+        )
     }
 }
 
@@ -268,7 +279,9 @@ pub struct SumProductPlan {
 }
 
 impl Ranking for SumProductRanking {
-    type Key = Weight;
+    /// Keys are exact sums of exact group products (see [`ExactSum`] for
+    /// why exactness matters to the enumerators).
+    type Key = ExactSum;
     type Plan = SumProductPlan;
 
     fn plan(&self, attrs: &[Attr]) -> Self::Plan {
@@ -287,20 +300,25 @@ impl Ranking for SumProductRanking {
         // present in this attribute list (partial tuples of a join-tree
         // subtree may contain a strict subset of a group); absent members
         // contribute a neutral factor of 1, which keeps the key monotone.
-        let mut products: Vec<Option<f64>> = vec![None; plan.group_count];
-        let mut singletons = 0.0f64;
+        let mut products: Vec<Option<ExactSum>> = vec![None; plan.group_count];
+        let mut total = ExactSum::zero();
         for ((a, g), &v) in plan.slots.iter().zip(values) {
             let w = self.weights.weight_of(a, v);
             debug_assert_non_negative(w, "SumProductRanking");
             if *g == usize::MAX {
-                singletons += w.value();
+                total.add_weight(w);
             } else {
                 let slot = &mut products[*g];
-                *slot = Some(slot.unwrap_or(1.0) * w.value());
+                *slot = Some(match slot.take() {
+                    None => ExactSum::from(w),
+                    Some(p) => p.scale(w.value()),
+                });
             }
         }
-        let total: f64 = singletons + products.iter().flatten().sum::<f64>();
-        Weight::new(total)
+        for p in products.into_iter().flatten() {
+            total.add_sum(&p);
+        }
+        total
     }
 }
 

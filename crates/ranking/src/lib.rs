@@ -29,4 +29,4 @@ pub mod weight;
 pub use assignment::{DefaultWeight, WeightAssignment};
 pub use extended::{AvgRanking, ProductRanking, SumProductRanking, WeightedSumRanking};
 pub use rank::{Direction, LexRanking, MaxRanking, MinRanking, Ranking, SumRanking};
-pub use weight::Weight;
+pub use weight::{ExactSum, Weight};

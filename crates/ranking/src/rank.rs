@@ -9,7 +9,7 @@
 //! SUM, LEXICOGRAPHIC, MIN and MAX all have this property.
 
 use crate::assignment::WeightAssignment;
-use crate::weight::Weight;
+use crate::weight::{ExactSum, Weight};
 use re_storage::{Attr, Value};
 use std::fmt::Debug;
 
@@ -59,7 +59,11 @@ impl SumRanking {
 }
 
 impl Ranking for SumRanking {
-    type Key = Weight;
+    /// Keys are [`ExactSum`]s rather than plain floats: exact summation is
+    /// what makes the key of a tuple independent of the order its weights
+    /// are added in, which the enumerators' duplicate elimination relies on
+    /// (see [`ExactSum`] for the invariants).
+    type Key = ExactSum;
     type Plan = Vec<Attr>;
 
     fn plan(&self, attrs: &[Attr]) -> Self::Plan {
@@ -68,10 +72,11 @@ impl Ranking for SumRanking {
 
     fn key(&self, plan: &Self::Plan, values: &[Value]) -> Self::Key {
         debug_assert_eq!(plan.len(), values.len());
-        plan.iter()
-            .zip(values)
-            .map(|(a, &v)| self.weights.weight_of(a, v))
-            .sum()
+        ExactSum::of(
+            plan.iter()
+                .zip(values)
+                .map(|(a, &v)| self.weights.weight_of(a, v)),
+        )
     }
 }
 
@@ -95,9 +100,15 @@ pub struct LexRanking {
 
 impl LexRanking {
     /// Ascending lexicographic order over `order` with the given weights.
-    pub fn new(order: impl IntoIterator<Item = impl Into<Attr>>, weights: WeightAssignment) -> Self {
+    pub fn new(
+        order: impl IntoIterator<Item = impl Into<Attr>>,
+        weights: WeightAssignment,
+    ) -> Self {
         LexRanking {
-            order: order.into_iter().map(|a| (a.into(), Direction::Asc)).collect(),
+            order: order
+                .into_iter()
+                .map(|a| (a.into(), Direction::Asc))
+                .collect(),
             weights,
         }
     }
@@ -293,7 +304,10 @@ mod tests {
     fn min_max_rankings() {
         let w = WeightAssignment::value_as_weight();
         let a = attrs(["x", "y", "z"]);
-        assert_eq!(MinRanking::new(w.clone()).key_of(&a, &[5, 2, 9]), Weight::new(2.0));
+        assert_eq!(
+            MinRanking::new(w.clone()).key_of(&a, &[5, 2, 9]),
+            Weight::new(2.0)
+        );
         assert_eq!(MaxRanking::new(w).key_of(&a, &[5, 2, 9]), Weight::new(9.0));
     }
 

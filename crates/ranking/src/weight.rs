@@ -101,6 +101,294 @@ impl fmt::Display for Weight {
     }
 }
 
+/// An **exact** sum of `f64` weights, represented as a nonoverlapping
+/// expansion (Shewchuk, *Adaptive Precision Floating-Point Arithmetic*).
+///
+/// The enumeration algorithms require rank keys to satisfy two properties
+/// that a plain `f64` accumulator cannot guarantee:
+///
+/// 1. **order independence** — the same multiset of weights must produce
+///    *exactly* the same key no matter the summation order, because answers
+///    that are permutations of the same values (`[w1, w2]` vs `[w2, w1]`
+///    under SUM) must compare exactly equal for the last-answer
+///    deduplication to see them as adjacent rank ties; and
+/// 2. **exact monotonicity** — replacing one addend with a strictly larger
+///    one must never *decrease* the total, or a successor cell could sort
+///    below its generating cell and break the priority-queue invariant.
+///
+/// Plain `f64` addition violates both at the ULP level (it is not
+/// associative), which manifests as duplicated answers on weight multisets
+/// with symmetric tuples. An expansion stores the sum exactly as a list of
+/// non-overlapping components, so addition is truly associative and
+/// commutative and comparisons are exact.
+///
+/// Expansions of practically encountered sums have 1–3 components, so keys
+/// stay cheap to store and compare.
+#[derive(Clone, Debug, Default)]
+pub struct ExactSum {
+    /// Nonadjacent (hence nonoverlapping) components in increasing
+    /// magnitude order, zeros eliminated — `compress` re-canonicalises
+    /// after every mutation. Empty means zero. The last component
+    /// determines the sign and approximates the total to within one ulp.
+    components: Vec<f64>,
+}
+
+/// Error-free transformation: `a + b = s + err` exactly (Knuth's TwoSum).
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bv = s - a;
+    let av = s - bv;
+    let err = (a - av) + (b - bv);
+    (s, err)
+}
+
+/// TwoSum under the precondition `|a| ≥ |b|` (Dekker's FastTwoSum).
+fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let err = b - (s - a);
+    (s, err)
+}
+
+/// Error-free transformation: `a · b = p + err` exactly, via FMA (`mul_add`
+/// is specified as a single rounding, so the residual is exact whether the
+/// target has hardware FMA or uses the soft fallback).
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let err = a.mul_add(b, -p);
+    (p, err)
+}
+
+impl ExactSum {
+    /// The empty (zero) sum.
+    pub fn zero() -> Self {
+        ExactSum::default()
+    }
+
+    /// Exact sum of an iterator of weights.
+    pub fn of(weights: impl IntoIterator<Item = Weight>) -> Self {
+        let mut s = ExactSum::zero();
+        for w in weights {
+            s.add(w.value());
+        }
+        s
+    }
+
+    /// Add a raw `f64` exactly (GROW-EXPANSION with zero elimination).
+    pub fn add(&mut self, x: f64) {
+        if x == 0.0 {
+            return;
+        }
+        let mut q = x;
+        let mut grown: Vec<f64> = Vec::with_capacity(self.components.len() + 1);
+        for &e in &self.components {
+            let (s, err) = two_sum(q, e);
+            if err != 0.0 {
+                grown.push(err);
+            }
+            q = s;
+        }
+        if q != 0.0 {
+            grown.push(q);
+        }
+        self.components = grown;
+        self.compress();
+    }
+
+    /// Canonicalise to a **nonadjacent** expansion (Shewchuk's COMPRESS).
+    ///
+    /// GROW-EXPANSION keeps expansions nonoverlapping but not nonadjacent:
+    /// after cancellation (mixed-sign addends) the components below the top
+    /// one can be far larger than one ulp of the top — e.g. adding
+    /// `2^60, 1, -(2^60 - 1024)` leaves `[1.0, 1024.0]` for the value 1025.
+    /// The dominant-component shortcut in [`ExactSum::cmp_exact`] is only
+    /// sound for nonadjacent expansions (tail < 1 ulp of the top), so every
+    /// mutation re-canonicalises. Compression also collapses exactly
+    /// representable sums to a single component, which is the fast path for
+    /// both comparison and equality.
+    fn compress(&mut self) {
+        let e = &mut self.components;
+        let m = e.len();
+        if m < 2 {
+            return;
+        }
+        // Downward pass: sweep significant partial sums towards the top,
+        // storing them from the top end down.
+        let mut q = e[m - 1];
+        let mut bottom = m - 1;
+        for i in (0..m - 1).rev() {
+            let (big, small) = fast_two_sum(q, e[i]);
+            if small != 0.0 {
+                e[bottom] = big;
+                bottom -= 1;
+                q = small;
+            } else {
+                q = big;
+            }
+        }
+        e[bottom] = q;
+        // Upward pass: re-accumulate, emitting finalised low components.
+        let mut out = 0usize;
+        let mut q = e[bottom];
+        for i in bottom + 1..m {
+            let (big, small) = fast_two_sum(e[i], q);
+            if small != 0.0 {
+                e[out] = small;
+                out += 1;
+            }
+            q = big;
+        }
+        if q != 0.0 {
+            e[out] = q;
+            out += 1;
+        }
+        e.truncate(out);
+    }
+
+    /// Add a weight exactly.
+    pub fn add_weight(&mut self, w: Weight) {
+        self.add(w.value());
+    }
+
+    /// Add another exact sum exactly.
+    pub fn add_sum(&mut self, other: &ExactSum) {
+        for &c in &other.components {
+            self.add(c);
+        }
+    }
+
+    /// Multiply by a scalar **exactly** (Shewchuk's SCALE-EXPANSION with
+    /// zero elimination): the result represents the exact real product of
+    /// the represented value and `b`. This is what makes exact products of
+    /// weights possible — iterate `scale` over the factors and the result
+    /// is independent of the multiplication order.
+    #[must_use]
+    pub fn scale(&self, b: f64) -> ExactSum {
+        if b == 0.0 || self.components.is_empty() {
+            return ExactSum::zero();
+        }
+        let mut h: Vec<f64> = Vec::with_capacity(self.components.len() * 2);
+        let (mut q, err) = two_product(self.components[0], b);
+        if err != 0.0 {
+            h.push(err);
+        }
+        for &e in &self.components[1..] {
+            let (t, t_err) = two_product(e, b);
+            let (q2, h1) = two_sum(q, t_err);
+            if h1 != 0.0 {
+                h.push(h1);
+            }
+            let (q3, h2) = fast_two_sum(t, q2);
+            if h2 != 0.0 {
+                h.push(h2);
+            }
+            q = q3;
+        }
+        if q != 0.0 {
+            h.push(q);
+        }
+        let mut scaled = ExactSum { components: h };
+        scaled.compress();
+        scaled
+    }
+
+    /// The closest `f64` approximation of the exact sum.
+    pub fn approx(&self) -> f64 {
+        // Summing small-to-large; the final component dominates.
+        self.components.iter().sum()
+    }
+
+    /// Exact sign comparison of `self - other`.
+    ///
+    /// Key comparisons are the innermost loop of every priority-queue
+    /// operation in the enumerators, so the decisive cases are handled
+    /// without allocating: single-component expansions compare directly,
+    /// and multi-component expansions whose dominant components are
+    /// separated by more than the expansions' tail bounds compare by those
+    /// components alone. Only near-ties fall back to forming the exact
+    /// difference.
+    fn cmp_exact(&self, other: &ExactSum) -> Ordering {
+        let (x, y) = match (self.components.last(), other.components.last()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(&y)) => return 0.0f64.total_cmp(&y),
+            (Some(&x), None) => return x.total_cmp(&0.0),
+            (Some(&x), Some(&y)) => (x, y),
+        };
+        if self.components.len() == 1 && other.components.len() == 1 {
+            return x.total_cmp(&y);
+        }
+        // Expansions are kept **nonadjacent** by `compress`, so the
+        // non-dominant components sum to less than one ulp of the dominant
+        // one; if the dominant components differ by more than both tail
+        // bounds combined, they decide the order. (This is unsound for
+        // merely nonoverlapping expansions — see `compress`.)
+        let tail_x = 2.0 * f64::EPSILON * x.abs() + f64::MIN_POSITIVE;
+        let tail_y = 2.0 * f64::EPSILON * y.abs() + f64::MIN_POSITIVE;
+        if x + tail_x < y - tail_y {
+            return Ordering::Less;
+        }
+        if x - tail_x > y + tail_y {
+            return Ordering::Greater;
+        }
+        // Near-tie: the sign of the exact difference decides.
+        if self.components == other.components {
+            return Ordering::Equal;
+        }
+        let mut diff = self.clone();
+        for &c in &other.components {
+            diff.add(-c);
+        }
+        match diff.components.last() {
+            None => Ordering::Equal,
+            Some(&d) if d > 0.0 => Ordering::Greater,
+            Some(_) => Ordering::Less,
+        }
+    }
+}
+
+impl PartialEq for ExactSum {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_exact(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ExactSum {}
+
+impl PartialOrd for ExactSum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ExactSum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_exact(other)
+    }
+}
+
+impl PartialEq<Weight> for ExactSum {
+    fn eq(&self, other: &Weight) -> bool {
+        *self == ExactSum::of([*other])
+    }
+}
+
+impl PartialEq<ExactSum> for Weight {
+    fn eq(&self, other: &ExactSum) -> bool {
+        other == self
+    }
+}
+
+impl From<Weight> for ExactSum {
+    fn from(w: Weight) -> Self {
+        ExactSum::of([w])
+    }
+}
+
+impl fmt::Display for ExactSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.approx())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,7 +406,9 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(Weight(1.5) + Weight(2.5), Weight(4.0));
-        let s: Weight = vec![Weight(1.0), Weight(2.0), Weight(3.0)].into_iter().sum();
+        let s: Weight = vec![Weight(1.0), Weight(2.0), Weight(3.0)]
+            .into_iter()
+            .sum();
         assert_eq!(s, Weight(6.0));
         assert_eq!(-Weight(2.0), Weight(-2.0));
         let mut w = Weight(1.0);
@@ -132,5 +422,115 @@ mod tests {
         assert_eq!(Weight::from(-4i64), Weight(-4.0));
         assert_eq!(Weight::from(0.25f64).value(), 0.25);
         assert_eq!(Weight::ZERO, Weight(0.0));
+    }
+
+    #[test]
+    fn exact_sum_is_order_independent() {
+        // The classic non-associativity witness: summing in different orders
+        // gives different f64s but the same ExactSum.
+        let ws = [0.1, 0.2, 0.3, 1e16, -1e16, 0.1];
+        let forward = ExactSum::of(ws.iter().map(|&w| Weight::new(w)));
+        let backward = ExactSum::of(ws.iter().rev().map(|&w| Weight::new(w)));
+        assert_eq!(forward, backward);
+        assert_eq!(forward.cmp(&backward), Ordering::Equal);
+    }
+
+    #[test]
+    fn exact_sum_orders_by_exact_value() {
+        let a = ExactSum::of([Weight::new(1e16), Weight::new(0.5)]);
+        let b = ExactSum::of([Weight::new(1e16), Weight::new(1.0)]);
+        // f64 addition cannot see the difference (both round to 1e16, the
+        // ULP there being 2.0); the expansion can.
+        assert_eq!(1e16 + 0.5, 1e16 + 1.0);
+        assert!(a < b);
+        let c = ExactSum::of([Weight::new(1.0), Weight::new(1e16)]);
+        assert!(a < c);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn exact_sum_monotone_under_addend_replacement() {
+        let mut base = ExactSum::of([Weight::new(0.3), Weight::new(0.7)]);
+        let mut bumped = ExactSum::of([Weight::new(0.3), Weight::new(0.7000000000000001)]);
+        assert!(base < bumped);
+        base.add(0.123456789);
+        bumped.add(0.123456789);
+        assert!(base < bumped, "adding a common term must preserve order");
+    }
+
+    #[test]
+    fn exact_sum_zero_and_cancellation() {
+        let mut s = ExactSum::zero();
+        assert_eq!(s, ExactSum::zero());
+        assert_eq!(s.approx(), 0.0);
+        s.add(0.1);
+        s.add(-0.1);
+        assert_eq!(s, ExactSum::zero());
+        assert_eq!(s, Weight::new(0.0));
+    }
+
+    #[test]
+    fn exact_sum_compares_with_weight() {
+        let s = ExactSum::of([Weight::new(3.0), Weight::new(4.0)]);
+        assert_eq!(s, Weight::new(7.0));
+        assert_eq!(s.approx(), 7.0);
+    }
+
+    #[test]
+    fn scale_is_exact_and_order_independent() {
+        // 0.1 * 0.2 * 0.3 in every association order gives the same exact
+        // product expansion, even though plain f64 products differ by ULPs.
+        let factors = [0.1f64, 0.2, 0.3];
+        let mut products = Vec::new();
+        for perm in [
+            [0usize, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [2, 1, 0],
+            [1, 2, 0],
+            [2, 0, 1],
+        ] {
+            let mut p = ExactSum::from(Weight::new(factors[perm[0]]));
+            p = p.scale(factors[perm[1]]);
+            p = p.scale(factors[perm[2]]);
+            products.push(p);
+        }
+        for p in &products[1..] {
+            assert_eq!(*p, products[0]);
+        }
+        // Scaling by zero annihilates; scaling by one is the identity.
+        assert_eq!(products[0].scale(0.0), ExactSum::zero());
+        assert_eq!(products[0].scale(1.0), products[0]);
+    }
+
+    #[test]
+    fn cancellation_compresses_to_canonical_form() {
+        // Without compression, adding 2^60, 1, -(2^60 - 1024) leaves the
+        // nonoverlapping-but-adjacent expansion [1.0, 1024.0] whose tail
+        // (1.0) vastly exceeds one ulp of its top — which broke the
+        // dominant-component comparison shortcut. Compression collapses it
+        // to the exactly representable single component 1025.
+        let big = (1u64 << 60) as f64;
+        let s = ExactSum::of([
+            Weight::new(big),
+            Weight::new(1.0),
+            Weight::new(-(big - 1024.0)),
+        ]);
+        assert_eq!(s.approx(), 1025.0);
+        assert_eq!(s, Weight::new(1025.0));
+        // The ordering near the cancelled value must be exact.
+        let just_below = ExactSum::of([Weight::new(1024.5)]);
+        assert!(just_below < s, "1024.5 must order below 1025");
+        let just_above = ExactSum::of([Weight::new(1025.5)]);
+        assert!(s < just_above);
+    }
+
+    #[test]
+    fn scale_preserves_order_for_positive_factors() {
+        let a = ExactSum::of([Weight::new(1e16), Weight::new(0.5)]);
+        let b = ExactSum::of([Weight::new(1e16), Weight::new(1.0)]);
+        assert!(a < b);
+        let f = 1.0 / 3.0;
+        assert!(a.scale(f) < b.scale(f), "exact scaling must preserve order");
     }
 }

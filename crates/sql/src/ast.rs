@@ -146,7 +146,13 @@ mod tests {
             order_by: None,
             limit: None,
         };
-        assert!(!Statement { branches: vec![s.clone()] }.is_union());
-        assert!(Statement { branches: vec![s.clone(), s] }.is_union());
+        assert!(!Statement {
+            branches: vec![s.clone()]
+        }
+        .is_union());
+        assert!(Statement {
+            branches: vec![s.clone(), s]
+        }
+        .is_union());
     }
 }

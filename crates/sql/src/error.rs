@@ -98,9 +98,15 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("FROM") && s.contains("WHERE"));
-        assert!(SqlError::Unsupported("x".into()).to_string().contains("unsupported"));
-        assert!(SqlError::Resolution("y".into()).to_string().contains("resolution"));
-        assert!(SqlError::Execution("z".into()).to_string().contains("execution"));
+        assert!(SqlError::Unsupported("x".into())
+            .to_string()
+            .contains("unsupported"));
+        assert!(SqlError::Resolution("y".into())
+            .to_string()
+            .contains("resolution"));
+        assert!(SqlError::Execution("z".into())
+            .to_string()
+            .contains("execution"));
     }
 
     #[test]

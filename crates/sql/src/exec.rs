@@ -4,9 +4,7 @@ use crate::error::SqlError;
 use crate::parser::parse;
 use crate::planner::{plan, OrderSpec, PlannedQuery, SqlPlan};
 use rankedenum_core::{RankedEnumerator, UnionEnumerator};
-use re_ranking::{
-    LexRanking, Ranking, SumRanking, WeightAssignment, WeightedSumRanking,
-};
+use re_ranking::{LexRanking, Ranking, SumRanking, WeightAssignment, WeightedSumRanking};
 use re_storage::{Attr, Database, Tuple};
 use std::collections::BTreeSet;
 
@@ -303,7 +301,11 @@ mod tests {
         assert_eq!(sums, sorted);
         // (2, 2) appears in both branches but only once in the output
         assert_eq!(
-            result.rows.iter().filter(|r| r.as_slice() == [2, 2]).count(),
+            result
+                .rows
+                .iter()
+                .filter(|r| r.as_slice() == [2, 2])
+                .count(),
             1
         );
     }

@@ -237,9 +237,9 @@ impl<'a> Resolver<'a> {
                     "duplicate table alias `{alias}` in FROM clause"
                 )));
             }
-            let rel = db.relation(&t.table).map_err(|_| {
-                SqlError::Resolution(format!("unknown table `{}`", t.table))
-            })?;
+            let rel = db
+                .relation(&t.table)
+                .map_err(|_| SqlError::Resolution(format!("unknown table `{}`", t.table)))?;
             aliases.push(alias);
             schemas.push(rel.attrs().to_vec());
         }
@@ -335,10 +335,10 @@ impl<'a> Resolver<'a> {
                     let (rf, rp) = self.resolve(r)?;
                     if lf == rf {
                         if lp != rp {
-                            pushed
-                                .entry(lf)
-                                .or_default()
-                                .push(PushedFilter::ColumnEq { left: lp, right: rp });
+                            pushed.entry(lf).or_default().push(PushedFilter::ColumnEq {
+                                left: lp,
+                                right: rp,
+                            });
                         }
                     } else {
                         uf.union(self.node(lf, lp), self.node(rf, rp));
@@ -346,10 +346,10 @@ impl<'a> Resolver<'a> {
                 }
                 Predicate::ValueEq(c, v) => {
                     let (f, p) = self.resolve(c)?;
-                    pushed
-                        .entry(f)
-                        .or_default()
-                        .push(PushedFilter::ValueEq { position: p, value: *v });
+                    pushed.entry(f).or_default().push(PushedFilter::ValueEq {
+                        position: p,
+                        value: *v,
+                    });
                 }
             }
         }
@@ -585,9 +585,14 @@ mod tests {
         assert_eq!(d.base, "Paper");
         assert_eq!(
             d.filters,
-            vec![PushedFilter::ValueEq { position: 2, value: 1 }]
+            vec![PushedFilter::ValueEq {
+                position: 2,
+                value: 1
+            }]
         );
-        let PlannedQuery::Single(q) = &p.query else { panic!() };
+        let PlannedQuery::Single(q) = &p.query else {
+            panic!()
+        };
         assert_eq!(q.atoms()[1].relation, d.name);
     }
 
@@ -597,7 +602,10 @@ mod tests {
         let d = DerivedRelation {
             name: "Paper__f".into(),
             base: "Paper".into(),
-            filters: vec![PushedFilter::ValueEq { position: 2, value: 1 }],
+            filters: vec![PushedFilter::ValueEq {
+                position: 2,
+                value: 1,
+            }],
         };
         let filtered = d.materialise(db.relation("Paper").unwrap());
         assert_eq!(filtered.len(), 1);
@@ -606,10 +614,7 @@ mod tests {
 
     #[test]
     fn column_eq_filter_within_one_alias() {
-        let p = plan_sql(
-            "SELECT DISTINCT P.pid FROM Paper AS P WHERE P.pid = P.year",
-        )
-        .unwrap();
+        let p = plan_sql("SELECT DISTINCT P.pid FROM Paper AS P WHERE P.pid = P.year").unwrap();
         assert_eq!(
             p.derived[0].filters,
             vec![PushedFilter::ColumnEq { left: 0, right: 1 }]
@@ -650,10 +655,8 @@ mod tests {
 
     #[test]
     fn duplicate_alias_is_rejected() {
-        let err = plan_sql(
-            "SELECT DISTINCT AP.aid FROM AuthorPapers AS AP, Paper AS AP",
-        )
-        .unwrap_err();
+        let err =
+            plan_sql("SELECT DISTINCT AP.aid FROM AuthorPapers AS AP, Paper AS AP").unwrap_err();
         assert!(matches!(err, SqlError::Resolution(ref m) if m.contains("duplicate")));
     }
 
@@ -665,10 +668,8 @@ mod tests {
 
     #[test]
     fn order_by_non_selected_column_is_unsupported() {
-        let err = plan_sql(
-            "SELECT DISTINCT AP1.aid FROM AuthorPapers AS AP1 ORDER BY AP1.pid",
-        )
-        .unwrap_err();
+        let err = plan_sql("SELECT DISTINCT AP1.aid FROM AuthorPapers AS AP1 ORDER BY AP1.pid")
+            .unwrap_err();
         assert!(matches!(err, SqlError::Unsupported(ref m) if m.contains("select list")));
     }
 

@@ -117,23 +117,38 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 }
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, position: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    position: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, position: i });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    position: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { token: Token::Plus, position: i });
+                out.push(Spanned {
+                    token: Token::Plus,
+                    position: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, position: i });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    position: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semicolon, position: i });
+                out.push(Spanned {
+                    token: Token::Semicolon,
+                    position: i,
+                });
                 i += 1;
             }
             '0'..='9' => {
@@ -146,7 +161,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                     position: start,
                     message: format!("integer literal `{text}` is out of range"),
                 })?;
-                out.push(Spanned { token: Token::Number(value), position: start });
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    position: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -160,7 +178,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                     Some(k) => Token::Keyword(k),
                     None => Token::Ident(text.to_string()),
                 };
-                out.push(Spanned { token, position: start });
+                out.push(Spanned {
+                    token,
+                    position: start,
+                });
             }
             other => {
                 return Err(SqlError::Lex {
@@ -170,7 +191,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
             }
         }
     }
-    out.push(Spanned { token: Token::Eof, position: input.len() });
+    out.push(Spanned {
+        token: Token::Eof,
+        position: input.len(),
+    });
     Ok(out)
 }
 
@@ -179,7 +203,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -94,10 +94,10 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic_on_names() {
-        let mut v = vec![Attr::new("C"), Attr::new("A"), Attr::new("B")];
+        let mut v = [Attr::new("C"), Attr::new("A"), Attr::new("B")];
         v.sort();
         let names: Vec<&str> = v.iter().map(|a| a.as_str()).collect();
-        assert_eq!(names, vec!["A", "B", "C"]);
+        assert_eq!(names, ["A", "B", "C"]);
     }
 
     #[test]

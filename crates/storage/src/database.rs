@@ -31,8 +31,7 @@ impl Database {
 
     /// Insert or replace a relation.
     pub fn set_relation(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_string(), relation);
+        self.relations.insert(relation.name().to_string(), relation);
     }
 
     /// Look up a relation by name.
@@ -83,10 +82,8 @@ mod tests {
     #[test]
     fn add_and_lookup() {
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("R", attrs(["A", "B"]), vec![vec![1, 2]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("R", attrs(["A", "B"]), vec![vec![1, 2]]).unwrap())
+            .unwrap();
         db.add_relation(
             Relation::with_tuples("S", attrs(["B", "C"]), vec![vec![2, 3], vec![2, 4]]).unwrap(),
         )
@@ -102,7 +99,9 @@ mod tests {
     fn duplicate_relation_rejected_by_add() {
         let mut db = Database::new();
         db.add_relation(Relation::new("R", attrs(["A"]))).unwrap();
-        let err = db.add_relation(Relation::new("R", attrs(["A"]))).unwrap_err();
+        let err = db
+            .add_relation(Relation::new("R", attrs(["A"])))
+            .unwrap_err();
         assert!(matches!(err, StorageError::DuplicateRelation(_)));
         // set_relation overwrites silently.
         db.set_relation(Relation::with_tuples("R", attrs(["A"]), vec![vec![7]]).unwrap());
@@ -112,8 +111,13 @@ mod tests {
     #[test]
     fn relation_names_sorted() {
         let mut db = Database::new();
-        db.add_relation(Relation::new("Zeta", attrs(["A"]))).unwrap();
-        db.add_relation(Relation::new("Alpha", attrs(["A"]))).unwrap();
-        assert_eq!(db.relation_names(), vec!["Alpha".to_string(), "Zeta".to_string()]);
+        db.add_relation(Relation::new("Zeta", attrs(["A"])))
+            .unwrap();
+        db.add_relation(Relation::new("Alpha", attrs(["A"])))
+            .unwrap();
+        assert_eq!(
+            db.relation_names(),
+            vec!["Alpha".to_string(), "Zeta".to_string()]
+        );
     }
 }

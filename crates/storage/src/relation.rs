@@ -61,11 +61,7 @@ impl Relation {
     /// must have the same arity.
     pub fn set_attrs(&mut self, attrs: impl IntoIterator<Item = impl Into<Attr>>) {
         let new: Vec<Attr> = attrs.into_iter().map(Into::into).collect();
-        assert_eq!(
-            new.len(),
-            self.attrs.len(),
-            "set_attrs must preserve arity"
-        );
+        assert_eq!(new.len(), self.attrs.len(), "set_attrs must preserve arity");
         self.attrs = new;
     }
 
@@ -98,10 +94,11 @@ impl Relation {
         attrs
             .iter()
             .map(|a| {
-                self.position(a).ok_or_else(|| StorageError::UnknownAttribute {
-                    relation: self.name.clone(),
-                    attribute: a.as_str().to_string(),
-                })
+                self.position(a)
+                    .ok_or_else(|| StorageError::UnknownAttribute {
+                        relation: self.name.clone(),
+                        attribute: a.as_str().to_string(),
+                    })
             })
             .collect()
     }
@@ -270,7 +267,14 @@ mod tests {
     fn arity_mismatch_is_an_error() {
         let mut r = rel();
         let err = r.push(&[1, 2, 3]).unwrap_err();
-        assert!(matches!(err, StorageError::ArityMismatch { expected: 2, got: 3, .. }));
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 2,
+                got: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -316,7 +320,10 @@ mod tests {
         let mut r = rel();
         r.sort_by_positions(&[1, 0]);
         let rows: Vec<Vec<Value>> = r.iter().map(|t| t.to_vec()).collect();
-        assert_eq!(rows, vec![vec![1, 10], vec![1, 10], vec![2, 10], vec![1, 20]]);
+        assert_eq!(
+            rows,
+            vec![vec![1, 10], vec![1, 10], vec![2, 10], vec![1, 20]]
+        );
     }
 
     #[test]

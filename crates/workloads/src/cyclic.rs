@@ -20,17 +20,16 @@ use re_storage::Attr;
 /// restricted to one relation), `k = 3` the *six cycle*, `k = 4` the
 /// *eight cycle*.
 pub fn membership_cycle(relation: &str, k: usize) -> Result<JoinProjectQuery, QueryError> {
-    assert!(k >= 2, "a membership cycle needs at least two entity variables");
+    assert!(
+        k >= 2,
+        "a membership cycle needs at least two entity variables"
+    );
     let a = |i: usize| format!("a{}", (i % k) + 1);
     let p = |i: usize| format!("p{}", (i % k) + 1);
     let mut atoms = Vec::with_capacity(2 * k);
     for i in 0..k {
         // consecutive atoms share p_i, then a_{i+1}
-        atoms.push(Atom::new(
-            format!("M{}", 2 * i + 1),
-            relation,
-            [a(i), p(i)],
-        ));
+        atoms.push(Atom::new(format!("M{}", 2 * i + 1), relation, [a(i), p(i)]));
         atoms.push(Atom::new(
             format!("M{}", 2 * i + 2),
             relation,

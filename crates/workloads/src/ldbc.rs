@@ -128,7 +128,7 @@ mod tests {
     use re_ranking::Ranking;
 
     #[test]
-    fn queries_run_and_are_ranked(){
+    fn queries_run_and_are_ranked() {
         let w = LdbcWorkload::generate(1, 9);
         for spec in [w.q3(), w.q10(), w.q11()] {
             let ranking = spec.sum_ranking();
@@ -139,7 +139,11 @@ mod tests {
                 .iter()
                 .map(|t| ranking.key_of(spec.query.projection(), t))
                 .collect();
-            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{} unsorted", spec.name);
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "{} unsorted",
+                spec.name
+            );
             // no duplicates
             let set: std::collections::HashSet<_> = top.iter().cloned().collect();
             assert_eq!(set.len(), top.len(), "{} emitted duplicates", spec.name);

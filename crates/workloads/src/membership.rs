@@ -205,7 +205,11 @@ impl MembershipWorkload {
     pub fn star_project_first(&self, arms: usize) -> QuerySpec {
         let mut builder = QueryBuilder::new();
         for i in 1..=arms {
-            builder = builder.atom(format!("M{i}"), &self.relation, [format!("x{i}"), "p".into()]);
+            builder = builder.atom(
+                format!("M{i}"),
+                &self.relation,
+                [format!("x{i}"), "p".into()],
+            );
         }
         let query = builder.project(["x1"]).build().expect("valid star query");
         QuerySpec::new(
@@ -234,7 +238,11 @@ mod tests {
     fn query_shapes_are_well_formed() {
         let w = workload();
         for spec in [w.two_hop(), w.three_hop(), w.four_hop(), w.three_star()] {
-            assert!(Hypergraph::of_query(&spec.query).is_acyclic(), "{}", spec.name);
+            assert!(
+                Hypergraph::of_query(&spec.query).is_acyclic(),
+                "{}",
+                spec.name
+            );
             assert!(!spec.query.is_full());
         }
         assert_eq!(w.two_hop().query.atoms().len(), 2);
@@ -293,7 +301,13 @@ mod tests {
             50,
         )
         .unwrap();
-        let b = top_k(&log.two_hop().query, log.db(), log.two_hop().sum_ranking(), 50).unwrap();
+        let b = top_k(
+            &log.two_hop().query,
+            log.db(),
+            log.two_hop().sum_ranking(),
+            50,
+        )
+        .unwrap();
         assert_eq!(a.len(), b.len());
         // The two schemes almost surely rank differently.
         assert_ne!(a, b);

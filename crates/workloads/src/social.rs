@@ -34,7 +34,11 @@ impl SocialWorkload {
         // The paper weights users by their group/meme counts, which is the
         // log-degree scheme here.
         SocialWorkload(
-            MembershipWorkload::generate(name, BipartiteConfig::social_like(scale, seed), WeightScheme::LogDegree),
+            MembershipWorkload::generate(
+                name,
+                BipartiteConfig::social_like(scale, seed),
+                WeightScheme::LogDegree,
+            ),
             flavor,
         )
     }

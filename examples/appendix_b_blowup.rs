@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let db = worst_case_path_instance(arms, n);
         let mut builder = QueryBuilder::new();
         for i in 1..=arms {
-            builder = builder.atom(format!("A{i}"), format!("R{i}"), [format!("x{i}"), "y".into()]);
+            builder = builder.atom(
+                format!("A{i}"),
+                format!("R{i}"),
+                [format!("x{i}"), "y".into()],
+            );
         }
         let query = builder.project(["x1"]).build()?;
         let ranking = SumRanking::value_sum();

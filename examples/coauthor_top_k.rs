@@ -12,7 +12,8 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A synthetic DBLP-like co-authorship graph (~60k author-paper edges).
-    let workload = DblpWorkload::generate(60_000, 42, WeightScheme::Random);
+    let workload =
+        DblpWorkload::generate(rankedenum::scale::scaled(60_000), 42, WeightScheme::Random);
     let spec = workload.two_hop();
     let ranking = spec.sum_ranking();
     println!(

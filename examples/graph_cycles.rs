@@ -14,7 +14,8 @@ use rankedenum::workloads::DblpWorkload;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workload = DblpWorkload::generate(6_000, 13, WeightScheme::Random);
+    let workload =
+        DblpWorkload::generate(rankedenum::scale::scaled(6_000), 13, WeightScheme::Random);
     println!("co-authorship edges: {}", workload.db().size());
 
     // Four-, six- and eight-cycles (k entity variables → 2k atoms).
@@ -49,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The bowtie query: two squares glued at one author.
     let (spec, plan) = workload.bowtie();
     let start = Instant::now();
-    let enumerator =
-        CyclicEnumerator::new(&spec.query, workload.db(), spec.sum_ranking(), &plan)?;
+    let enumerator = CyclicEnumerator::new(&spec.query, workload.db(), spec.sum_ranking(), &plan)?;
     let top: Vec<Tuple> = enumerator.take(10).collect();
     println!(
         "\n{}: top-{} answers in {:.2?}",

@@ -9,7 +9,7 @@ use rankedenum::workloads::LdbcWorkload;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for scale_factor in [1usize, 2, 4] {
+    for scale_factor in [1usize, 2, 4].map(rankedenum::scale::scaled) {
         let workload = LdbcWorkload::generate(scale_factor, 99);
         println!(
             "\nscale factor {scale_factor}: |D| = {} tuples",

@@ -43,16 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // Per-user relevance scores (e.g. engagement propensity in [0, 1]).
-    let relevance: HashMap<Value, Weight> = [
-        (1u64, 0.9),
-        (2, 0.4),
-        (3, 0.8),
-        (4, 0.2),
-        (5, 0.7),
-    ]
-    .into_iter()
-    .map(|(u, s)| (u, Weight::new(s)))
-    .collect();
+    let relevance: HashMap<Value, Weight> = [(1u64, 0.9), (2, 0.4), (3, 0.8), (4, 0.2), (5, 0.7)]
+        .into_iter()
+        .map(|(u, s)| (u, Weight::new(s)))
+        .collect();
     let weights = WeightAssignment::zero()
         .with_table("u1", relevance.clone())
         .with_table("u2", relevance);
@@ -85,12 +79,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .project(["u1", "u2", "u3"])
         .build()?;
     let circuit_weights = WeightAssignment::zero()
-        .with_table("u1", [(1u64, 0.9), (2, 0.4), (3, 0.8), (4, 0.2), (5, 0.7)]
-            .into_iter().map(|(u, s)| (u, Weight::new(s))).collect())
-        .with_table("u2", [(1u64, 0.9), (2, 0.4), (3, 0.8), (4, 0.2), (5, 0.7)]
-            .into_iter().map(|(u, s)| (u, Weight::new(s))).collect())
-        .with_table("u3", [(1u64, 0.9), (2, 0.4), (3, 0.8), (4, 0.2), (5, 0.7)]
-            .into_iter().map(|(u, s)| (u, Weight::new(s))).collect());
+        .with_table(
+            "u1",
+            [(1u64, 0.9), (2, 0.4), (3, 0.8), (4, 0.2), (5, 0.7)]
+                .into_iter()
+                .map(|(u, s)| (u, Weight::new(s)))
+                .collect(),
+        )
+        .with_table(
+            "u2",
+            [(1u64, 0.9), (2, 0.4), (3, 0.8), (4, 0.2), (5, 0.7)]
+                .into_iter()
+                .map(|(u, s)| (u, Weight::new(s)))
+                .collect(),
+        )
+        .with_table(
+            "u3",
+            [(1u64, 0.9), (2, 0.4), (3, 0.8), (4, 0.2), (5, 0.7)]
+                .into_iter()
+                .map(|(u, s)| (u, Weight::new(s)))
+                .collect(),
+        );
     let circuit = SumProductRanking::new([["u1", "u2"]], circuit_weights);
     println!("\n3-chains by rel(u1)·rel(u2) + rel(u3), first 5:");
     for t in top_k(&chain, &db, circuit, 5)? {

@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // plus a pushed-down selection on Paper.
     let plan = exec.plan(two_hop)?;
     if let PlannedQuery::Single(q) = &plan.query {
-        println!("DBLP2hop plan: {} atoms, projecting {:?}", q.atoms().len(), q.projection());
+        println!(
+            "DBLP2hop plan: {} atoms, projecting {:?}",
+            q.atoms().len(),
+            q.projection()
+        );
     }
     println!("pushed-down selections: {}", plan.derived.len());
 

@@ -13,7 +13,8 @@ use rankedenum::workloads::DblpWorkload;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workload = DblpWorkload::generate(20_000, 7, WeightScheme::Random);
+    let workload =
+        DblpWorkload::generate(rankedenum::scale::scaled(20_000), 7, WeightScheme::Random);
     let spec = workload.three_star();
     let ranking = spec.sum_ranking();
     println!("query: {} over {} tuples", spec.name, workload.db().size());
@@ -24,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for delta in [1_000_000usize, 10_000, 1_000, 100, 10] {
         let start = Instant::now();
-        let enumerator =
-            StarEnumerator::new(&spec.query, workload.db(), ranking.clone(), delta)?;
+        let enumerator = StarEnumerator::new(&spec.query, workload.db(), ranking.clone(), delta)?;
         let preprocess = start.elapsed();
         let heavy = enumerator.heavy_output_size();
 
@@ -33,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let count = enumerator.take(50_000).count();
         let enumerate = start.elapsed();
 
-        println!(
-            "{delta:>10} {heavy:>16} {preprocess:>14.2?} {enumerate:>14.2?} {count:>12}"
-        );
+        println!("{delta:>10} {heavy:>16} {preprocess:>14.2?} {enumerate:>14.2?} {count:>12}");
     }
 
     println!(

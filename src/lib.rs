@@ -63,6 +63,25 @@ pub use re_sql as sql;
 pub use re_storage as storage;
 pub use re_workloads as workloads;
 
+/// Instance-size scaling for the `examples/` binaries.
+pub mod scale {
+    /// Scale a base instance size by the `RE_SCALE` environment variable (a
+    /// float multiplier, default `1.0`, clamped so at least one tuple is
+    /// generated). The examples route their dataset sizes through this so
+    /// that the workspace smoke test can run every example quickly in debug
+    /// builds (`RE_SCALE=0.02 cargo run --example ...`), while a plain
+    /// release run reproduces the documented workload sizes.
+    pub fn scaled(base: usize) -> usize {
+        match std::env::var("RE_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+        {
+            Some(f) if f > 0.0 => ((base as f64 * f) as usize).max(1),
+            _ => base,
+        }
+    }
+}
+
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use rankedenum_core::{

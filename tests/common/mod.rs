@@ -1,7 +1,11 @@
 //! Shared helpers for the integration tests.
 
-use rankedenum::prelude::*;
+// Each integration-test binary compiles its own copy of this module, and not
+// every suite uses every helper.
+#![allow(dead_code)]
+
 use rankedenum::join::{full_join, project_distinct};
+use rankedenum::prelude::*;
 
 /// Reference ("brute force") evaluation: materialise the full join with
 /// binary hash joins, project with de-duplication, sort by `(key, tuple)`.

@@ -101,10 +101,9 @@ fn cyclic_queries_match_reference() {
     let (spec, plan) = w.cycle(2);
     let ranking = spec.sum_ranking();
     let reference = reference_answers(&spec.query, w.db(), &ranking);
-    let answers: Vec<Tuple> =
-        CyclicEnumerator::new(&spec.query, w.db(), ranking.clone(), &plan)
-            .unwrap()
-            .collect();
+    let answers: Vec<Tuple> = CyclicEnumerator::new(&spec.query, w.db(), ranking.clone(), &plan)
+        .unwrap()
+        .collect();
     assert_valid_ranked_output(&answers, &reference, &spec.query, &ranking);
 
     let (bowtie, bowtie_plan) = w.bowtie();

@@ -1,0 +1,82 @@
+//! Smoke-test every example binary so the quickstart and the other
+//! `examples/` programs in the crate documentation stay honest: each one
+//! must build (cargo compiles examples alongside tests) and exit
+//! successfully when run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The example binaries shipped with the crate. Keep in sync with
+/// `examples/`; the test fails loudly when one is missing so a new example
+/// gets added here (and a removed one gets dropped).
+const EXAMPLES: &[&str] = &[
+    "appendix_b_blowup",
+    "coauthor_top_k",
+    "graph_cycles",
+    "ldbc_union",
+    "quickstart",
+    "recommendation_scores",
+    "sql_frontend",
+    "star_tradeoff",
+];
+
+/// Directory holding the compiled example binaries for the active profile:
+/// the test binary lives in `target/<profile>/deps/`, the examples in
+/// `target/<profile>/examples/`.
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .expect("target profile dir")
+        .join("examples")
+}
+
+#[test]
+fn all_examples_run_successfully() {
+    let dir = examples_dir();
+    let source_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let listed: std::collections::BTreeSet<&str> = EXAMPLES.iter().copied().collect();
+    for entry in std::fs::read_dir(&source_dir).expect("examples/ exists") {
+        let name = entry.unwrap().path();
+        let stem = name.file_stem().unwrap().to_string_lossy().to_string();
+        assert!(
+            listed.contains(stem.as_str()),
+            "examples/{stem}.rs is not covered by the smoke test; add it to EXAMPLES"
+        );
+    }
+
+    let mut failures = Vec::new();
+    for name in EXAMPLES {
+        let bin = dir.join(name);
+        if !bin.exists() {
+            failures.push(format!(
+                "{name}: binary not found at {} (is the example still declared?)",
+                bin.display()
+            ));
+            continue;
+        }
+        let started = std::time::Instant::now();
+        // Shrink the documented workload sizes so the whole sweep stays fast
+        // even in debug builds; see `rankedenum::scale`.
+        match Command::new(&bin).env("RE_SCALE", "0.02").output() {
+            Ok(out) if out.status.success() => {
+                assert!(
+                    !out.stdout.is_empty(),
+                    "{name} printed nothing; examples should show their results"
+                );
+                eprintln!("example {name}: ok in {:.2?}", started.elapsed());
+            }
+            Ok(out) => failures.push(format!(
+                "{name}: exited with {}\n--- stderr ---\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            )),
+            Err(e) => failures.push(format!("{name}: failed to launch: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "example smoke test failures:\n{}",
+        failures.join("\n")
+    );
+}

@@ -184,7 +184,10 @@ fn sql_error_paths_are_reported_not_panicked() {
     for (sql, kind) in [
         ("SELECT DISTINCT x FROM", "parse"),
         ("SELECT DISTINCT x FROM NoTable", "resolution"),
-        ("SELECT DISTINCT AP.nope FROM AuthorPapers AS AP", "resolution"),
+        (
+            "SELECT DISTINCT AP.nope FROM AuthorPapers AS AP",
+            "resolution",
+        ),
         ("SELECT aid FROM AuthorPapers", "unsupported"),
         (
             "SELECT DISTINCT AP.aid FROM AuthorPapers AS AP ORDER BY AP.pid",

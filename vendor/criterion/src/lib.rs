@@ -1,0 +1,372 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no cargo-registry access, so this vendored crate
+//! implements the API surface the workspace's 11 paper-figure benches use:
+//! [`Criterion::benchmark_group`], group configuration
+//! (`sample_size` / `warm_up_time` / `measurement_time`),
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — mean/min/max over the sampled
+//! iterations, printed one line per benchmark — because the workspace's goal
+//! is reproducing the paper's *shape* (orders-of-magnitude gaps between
+//! engines), not nanosecond-precision confidence intervals.
+//!
+//! Like real criterion, running the bench binary **without** `--bench`
+//! (i.e. under `cargo test`) executes each benchmark body once as a smoke
+//! test instead of sampling it.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id (`criterion::BenchmarkId::from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` / `bench_with_input`.
+pub trait IntoBenchmarkId {
+    /// The full id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Bench => {
+                let warm_deadline = Instant::now() + self.warm_up_time;
+                while Instant::now() < warm_deadline {
+                    black_box(routine());
+                }
+                let deadline = Instant::now() + self.measurement_time;
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples.push(start.elapsed());
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                let input = setup();
+                black_box(routine(input));
+            }
+            Mode::Bench => {
+                let warm_deadline = Instant::now() + self.warm_up_time;
+                while Instant::now() < warm_deadline {
+                    let input = setup();
+                    black_box(routine(input));
+                }
+                let deadline = Instant::now() + self.measurement_time;
+                for _ in 0..self.sample_size {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    self.samples.push(start.elapsed());
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full sampling (`cargo bench`, i.e. `--bench` passed to the binary).
+    Bench,
+    /// Run each body once (`cargo test` on a `harness = false` bench).
+    Test,
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mode = if std::env::args().any(|a| a == "--bench") {
+            Mode::Bench
+        } else {
+            Mode::Test
+        };
+        Criterion { mode }
+    }
+}
+
+impl Criterion {
+    /// Parse command-line arguments (kept for API compatibility; argument
+    /// handling already happens in `default()`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            mode: self.mode,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id();
+        let mut group = self.benchmark_group(String::new());
+        group.run(name, f);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target measurement duration (sampling stops early when exceeded).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id();
+        self.run(name, f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.into_benchmark_id();
+        self.run(name, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (marker for API compatibility).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        let full = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: &mut samples,
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {full} ... ok (ran once)"),
+            Mode::Bench => {
+                if samples.is_empty() {
+                    println!("{full}: no samples collected");
+                } else {
+                    let total: Duration = samples.iter().sum();
+                    let mean = total / samples.len() as u32;
+                    let min = samples.iter().min().unwrap();
+                    let max = samples.iter().max().unwrap();
+                    println!(
+                        "{full}\n  time: [{min:.2?} {mean:.2?} {max:.2?}]  ({} samples)",
+                        samples.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion { mode: Mode::Bench };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(200));
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls >= 5, "warm-up plus 5 samples, got {calls}");
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_inputs() {
+        let mut c = Criterion { mode: Mode::Bench };
+        let mut made = 0usize;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::from_millis(200));
+        group.bench_function("f", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    vec![1u64; 8]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert!(made >= 3);
+    }
+}

@@ -18,6 +18,12 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --workspace --release
 run cargo test -q --workspace
+# The server integration suite (sessions, plan cache, TCP worker pool) is
+# part of the workspace tests, but run it explicitly so a hang or flake is
+# attributed to the right target.
+run cargo test -q -p re_server --test server_integration
+# Drive the server end to end over real sockets at smoke scale.
+run env RE_SCALE=0.05 cargo run -q --release --example server_quickstart
 run cargo bench --workspace --no-run
 
 echo

@@ -9,6 +9,51 @@ use re_query::{Hypergraph, JoinProjectQuery};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Tuple};
 
+/// The enumeration strategy the dispatcher picks for a query. Exposed as a
+/// first-class value so that callers which cache plans (e.g. a query
+/// server's plan cache) can record the selection without building an
+/// enumerator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The general acyclic algorithm (Algorithms 1–2, Theorem 1).
+    Acyclic,
+    /// GHD-based evaluation for cyclic queries (Theorem 3).
+    CyclicGhd,
+    /// The specialised backtracking algorithm for lexicographic orders
+    /// (Algorithm 3, Lemma 4).
+    Lexi,
+    /// Ranked merge over UCQ branch streams (Theorem 4).
+    UnionMerge,
+}
+
+impl Algorithm {
+    /// Stable human-readable label (used in protocol responses and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Acyclic => "acyclic",
+            Algorithm::CyclicGhd => "cyclic-ghd",
+            Algorithm::Lexi => "lexi",
+            Algorithm::UnionMerge => "union-merge",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The strategy [`RankedEnumerator::new`] would choose for `query` — a
+/// structure-only decision (hypergraph acyclicity), no data access.
+pub fn select(query: &JoinProjectQuery) -> Algorithm {
+    if Hypergraph::of_query(query).is_acyclic() {
+        Algorithm::Acyclic
+    } else {
+        Algorithm::CyclicGhd
+    }
+}
+
 /// A ranked enumerator for any join-project query: acyclic queries go to
 /// [`AcyclicEnumerator`], cyclic ones to [`CyclicEnumerator`] with an
 /// automatically chosen GHD plan.
@@ -22,20 +67,27 @@ pub enum RankedEnumerator<R: Ranking + Clone> {
 impl<R: Ranking + Clone> RankedEnumerator<R> {
     /// Build an enumerator for `query` over `db` under `ranking`.
     pub fn new(query: &JoinProjectQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
-        if Hypergraph::of_query(query).is_acyclic() {
-            Ok(RankedEnumerator::Acyclic(AcyclicEnumerator::new(
+        match select(query) {
+            Algorithm::Acyclic => Ok(RankedEnumerator::Acyclic(AcyclicEnumerator::new(
                 query, db, ranking,
-            )?))
-        } else {
-            Ok(RankedEnumerator::Cyclic(CyclicEnumerator::new_auto(
+            )?)),
+            _ => Ok(RankedEnumerator::Cyclic(CyclicEnumerator::new_auto(
                 query, db, ranking,
-            )?))
+            )?)),
         }
     }
 
     /// Whether the acyclic strategy was selected.
     pub fn is_acyclic(&self) -> bool {
         matches!(self, RankedEnumerator::Acyclic(_))
+    }
+
+    /// The strategy this enumerator runs.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            RankedEnumerator::Acyclic(_) => Algorithm::Acyclic,
+            RankedEnumerator::Cyclic(_) => Algorithm::CyclicGhd,
+        }
     }
 
     /// The projection attributes, in output order.

@@ -31,6 +31,8 @@ struct Frame {
 /// semi-joins (Algorithm 3).
 pub struct LexiEnumerator {
     tree: JoinTree,
+    /// Projection attributes in the user-requested (output) order.
+    projection: Vec<Attr>,
     /// Projection attributes in lexicographic priority order, with their
     /// sort direction.
     attr_order: Vec<(Attr, Direction)>,
@@ -95,6 +97,7 @@ impl LexiEnumerator {
         let weights = ranking.weights().clone();
         let mut this = LexiEnumerator {
             tree,
+            projection: query.projection().to_vec(),
             attr_order,
             weights,
             attr_node,
@@ -120,6 +123,11 @@ impl LexiEnumerator {
     /// attributes only).
     pub fn attr_order(&self) -> &[(Attr, Direction)] {
         &self.attr_order
+    }
+
+    /// The projection attributes, in output order.
+    pub fn output_attrs(&self) -> &[Attr] {
+        &self.projection
     }
 
     /// Enumeration statistics.

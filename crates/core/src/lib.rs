@@ -30,14 +30,16 @@ pub mod lexi;
 pub mod merge;
 pub mod star;
 pub mod stats;
+pub mod stream;
 pub mod union;
 
 pub use acyclic::AcyclicEnumerator;
-pub use auto::{top_k, RankedEnumerator};
+pub use auto::{select, top_k, Algorithm, RankedEnumerator};
 pub use cell::{Cell, CellId, HeapEntry, NextPtr};
 pub use cyclic::CyclicEnumerator;
 pub use error::EnumError;
 pub use lexi::LexiEnumerator;
 pub use star::StarEnumerator;
-pub use stats::EnumStats;
+pub use stats::{EnumStats, SharedStats, StatsSnapshot};
+pub use stream::RankedStream;
 pub use union::UnionEnumerator;

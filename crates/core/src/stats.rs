@@ -5,6 +5,15 @@
 //! proxy for the *empirical* delay between consecutive answers. The
 //! enumerators keep exactly those counters so the figure can be regenerated
 //! (and so the tests can assert the theoretical delay bound is respected).
+//!
+//! For multi-threaded aggregation (e.g. a query server collecting counters
+//! from many concurrent enumerators) the full [`EnumStats`] — which carries
+//! the per-answer delay histogram — is too heavy to ship around under a
+//! lock. [`StatsSnapshot`] is the cheap, `Copy` summary of the counters,
+//! and [`SharedStats`] is a lock-free accumulator of snapshots built on
+//! plain atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters collected while an enumerator runs.
 #[derive(Clone, Debug, Default)]
@@ -79,6 +88,103 @@ impl EnumStats {
         self.cells_created += other.cells_created;
         // answers / histogram are tracked by the composite itself
     }
+
+    /// Cheap `Copy` summary of the counters, without the per-answer delay
+    /// histogram. This is what crosses thread boundaries.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            pq_pushes: self.pq_pushes,
+            pq_pops: self.pq_pops,
+            cells_created: self.cells_created,
+            answers: self.answers,
+        }
+    }
+}
+
+/// A plain-counter summary of [`EnumStats`]: four `u64`s, `Copy`, trivially
+/// mergeable. Differences of snapshots are meaningful (all counters are
+/// monotone), so per-page costs can be computed as `after.diff(&before)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total priority-queue insertions.
+    pub pq_pushes: u64,
+    /// Total priority-queue pops.
+    pub pq_pops: u64,
+    /// Total cells allocated (including preprocessing).
+    pub cells_created: u64,
+    /// Number of answers emitted so far.
+    pub answers: u64,
+}
+
+impl StatsSnapshot {
+    /// The zero snapshot.
+    pub fn zero() -> Self {
+        StatsSnapshot::default()
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.pq_pushes += other.pq_pushes;
+        self.pq_pops += other.pq_pops;
+        self.cells_created += other.cells_created;
+        self.answers += other.answers;
+    }
+
+    /// Component-wise difference `self - earlier` (saturating, so a stale
+    /// `earlier` cannot underflow).
+    #[must_use]
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            pq_pushes: self.pq_pushes.saturating_sub(earlier.pq_pushes),
+            pq_pops: self.pq_pops.saturating_sub(earlier.pq_pops),
+            cells_created: self.cells_created.saturating_sub(earlier.cells_created),
+            answers: self.answers.saturating_sub(earlier.answers),
+        }
+    }
+
+    /// Total priority-queue operations.
+    pub fn pq_ops(&self) -> u64 {
+        self.pq_pushes + self.pq_pops
+    }
+}
+
+/// Lock-free accumulator of [`StatsSnapshot`]s, for aggregating enumeration
+/// work across worker threads without a global lock: each worker adds the
+/// *delta* of its cursor's counters after every page; readers take a
+/// consistent-enough snapshot with [`SharedStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    pq_pushes: AtomicU64,
+    pq_pops: AtomicU64,
+    cells_created: AtomicU64,
+    answers: AtomicU64,
+}
+
+impl SharedStats {
+    /// Create a zeroed accumulator.
+    pub fn new() -> Self {
+        SharedStats::default()
+    }
+
+    /// Add a snapshot (typically a delta) to the totals. Uses relaxed
+    /// ordering: the counters are monitoring data, not synchronisation.
+    pub fn add(&self, delta: &StatsSnapshot) {
+        self.pq_pushes.fetch_add(delta.pq_pushes, Ordering::Relaxed);
+        self.pq_pops.fetch_add(delta.pq_pops, Ordering::Relaxed);
+        self.cells_created
+            .fetch_add(delta.cells_created, Ordering::Relaxed);
+        self.answers.fetch_add(delta.answers, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            pq_pushes: self.pq_pushes.load(Ordering::Relaxed),
+            pq_pops: self.pq_pops.load(Ordering::Relaxed),
+            cells_created: self.cells_created.load(Ordering::Relaxed),
+            answers: self.answers.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +237,70 @@ mod tests {
     fn empty_cdf_is_one() {
         let s = EnumStats::new();
         assert_eq!(s.cdf_at(0), 1.0);
+    }
+
+    #[test]
+    fn snapshot_captures_counters_and_diffs() {
+        let mut s = EnumStats::new();
+        s.record_push();
+        s.record_push();
+        s.record_pop();
+        s.record_cell();
+        s.record_answer();
+        let before = s.snapshot();
+        assert_eq!(before.pq_pushes, 2);
+        assert_eq!(before.pq_pops, 1);
+        assert_eq!(before.cells_created, 1);
+        assert_eq!(before.answers, 1);
+        assert_eq!(before.pq_ops(), 3);
+        s.record_push();
+        s.record_answer();
+        let delta = s.snapshot().diff(&before);
+        assert_eq!(delta.pq_pushes, 1);
+        assert_eq!(delta.answers, 1);
+        assert_eq!(delta.cells_created, 0);
+    }
+
+    #[test]
+    fn shared_stats_accumulates_across_threads() {
+        let shared = std::sync::Arc::new(SharedStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        shared.add(&StatsSnapshot {
+                            pq_pushes: 1,
+                            pq_pops: 2,
+                            cells_created: 3,
+                            answers: 4,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = shared.snapshot();
+        assert_eq!(total.pq_pushes, 400);
+        assert_eq!(total.pq_pops, 800);
+        assert_eq!(total.cells_created, 1200);
+        assert_eq!(total.answers, 1600);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_componentwise() {
+        let mut a = StatsSnapshot::zero();
+        a.merge(&StatsSnapshot {
+            pq_pushes: 5,
+            pq_pops: 6,
+            cells_created: 7,
+            answers: 8,
+        });
+        assert_eq!(a.pq_pushes, 5);
+        assert_eq!(a.answers, 8);
+        // diff saturates instead of underflowing
+        assert_eq!(StatsSnapshot::zero().diff(&a), StatsSnapshot::zero());
     }
 }

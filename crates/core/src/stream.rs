@@ -1,0 +1,154 @@
+//! Object-safe view of a live ranked enumeration.
+//!
+//! The enumerators in this crate are generic over the ranking function, so
+//! a component that keeps *many* live enumerations of different shapes —
+//! e.g. a query server's session table, where each session holds a
+//! resumable cursor — needs a common, type-erased interface. A
+//! [`RankedStream`] is exactly that: a `Send` iterator over output tuples
+//! in rank order that also reports its output attributes, the enumeration
+//! strategy it runs and a cheap snapshot of its statistics.
+//!
+//! All enumerators own their inputs (the full-reducer pass copies the
+//! relations they need out of the database), so a boxed stream can migrate
+//! freely between worker threads for as long as the session lives.
+
+use crate::acyclic::AcyclicEnumerator;
+use crate::auto::{Algorithm, RankedEnumerator};
+use crate::cyclic::CyclicEnumerator;
+use crate::lexi::LexiEnumerator;
+use crate::stats::StatsSnapshot;
+use crate::union::UnionEnumerator;
+use re_ranking::Ranking;
+use re_storage::{Attr, Tuple};
+
+/// A type-erased, thread-migratable ranked enumeration in progress.
+pub trait RankedStream: Iterator<Item = Tuple> + Send {
+    /// The projection attributes, in output order.
+    fn output_attrs(&self) -> &[Attr];
+
+    /// The enumeration strategy driving this stream.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Cheap summary of the work done so far. Monotone, so per-page deltas
+    /// can be computed by differencing two snapshots.
+    fn stats_snapshot(&self) -> StatsSnapshot;
+}
+
+impl<R: Ranking + Clone> RankedStream for AcyclicEnumerator<R> {
+    fn output_attrs(&self) -> &[Attr] {
+        AcyclicEnumerator::output_attrs(self)
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Acyclic
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats().snapshot()
+    }
+}
+
+impl<R: Ranking + Clone> RankedStream for CyclicEnumerator<R> {
+    fn output_attrs(&self) -> &[Attr] {
+        CyclicEnumerator::output_attrs(self)
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::CyclicGhd
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats().snapshot()
+    }
+}
+
+impl<R: Ranking + Clone> RankedStream for RankedEnumerator<R> {
+    fn output_attrs(&self) -> &[Attr] {
+        RankedEnumerator::output_attrs(self)
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        RankedEnumerator::algorithm(self)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats().snapshot()
+    }
+}
+
+impl<R: Ranking + Clone + 'static> RankedStream for UnionEnumerator<R> {
+    fn output_attrs(&self) -> &[Attr] {
+        UnionEnumerator::output_attrs(self)
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::UnionMerge
+    }
+
+    /// Merge counters plus every branch enumerator's work (preprocessing
+    /// cells, branch priority queues); opaque `from_streams` sources
+    /// contribute zero.
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        UnionEnumerator::stats_snapshot(self)
+    }
+}
+
+impl RankedStream for LexiEnumerator {
+    fn output_attrs(&self) -> &[Attr] {
+        LexiEnumerator::output_attrs(self)
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Lexi
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_query::QueryBuilder;
+    use re_ranking::SumRanking;
+    use re_storage::attr::attrs;
+    use re_storage::{Database, Relation};
+
+    fn assert_send<T: Send>(_: &T) {}
+
+    #[test]
+    fn enumerators_are_send_and_type_erasable() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "E",
+                attrs(["s", "t"]),
+                vec![vec![1, 2], vec![2, 3], vec![2, 4]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        let e = RankedEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        assert_send(&e);
+        let mut boxed: Box<dyn RankedStream> = Box::new(e);
+        assert_eq!(boxed.algorithm(), Algorithm::Acyclic);
+        assert_eq!(boxed.output_attrs(), &[Attr::new("x"), Attr::new("z")]);
+        let before = boxed.stats_snapshot();
+        let first = boxed.next().unwrap();
+        assert_eq!(first, vec![1, 3]);
+        let delta = boxed.stats_snapshot().diff(&before);
+        assert_eq!(delta.answers, 1);
+        // The boxed stream can cross a thread boundary mid-enumeration.
+        let rest = std::thread::spawn(move || boxed.collect::<Vec<_>>())
+            .join()
+            .unwrap();
+        assert!(!rest.is_empty());
+    }
+}

@@ -10,18 +10,50 @@ use crate::acyclic::AcyclicEnumerator;
 use crate::cyclic::CyclicEnumerator;
 use crate::error::EnumError;
 use crate::merge::MergeEntry;
-use crate::stats::EnumStats;
+use crate::stats::{EnumStats, StatsSnapshot};
+use crate::stream::RankedStream;
 use re_query::{Hypergraph, UnionQuery};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Tuple};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// One merged input: either a full ranked enumerator (whose statistics
+/// stay observable) or an opaque sorted iterator supplied through
+/// [`UnionEnumerator::from_streams`].
+enum BranchStream {
+    /// A live enumerator; its counters contribute to
+    /// [`UnionEnumerator::stats_snapshot`].
+    Ranked(Box<dyn RankedStream>),
+    /// An arbitrary `(key, tuple)`-sorted source with no visible stats.
+    Plain(Box<dyn Iterator<Item = Tuple> + Send>),
+}
+
+impl BranchStream {
+    fn snapshot(&self) -> StatsSnapshot {
+        match self {
+            BranchStream::Ranked(s) => s.stats_snapshot(),
+            BranchStream::Plain(_) => StatsSnapshot::zero(),
+        }
+    }
+}
+
+impl Iterator for BranchStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            BranchStream::Ranked(s) => s.next(),
+            BranchStream::Plain(s) => s.next(),
+        }
+    }
+}
+
 /// Ranked enumerator for UCQs.
 pub struct UnionEnumerator<R: Ranking + Clone> {
     ranking: R,
     projection: Vec<Attr>,
-    branches: Vec<Box<dyn Iterator<Item = Tuple>>>,
+    branches: Vec<BranchStream>,
     pq: BinaryHeap<Reverse<MergeEntry<R::Key>>>,
     last: Option<Tuple>,
     stats: EnumStats,
@@ -32,33 +64,43 @@ impl<R: Ranking + Clone + 'static> UnionEnumerator<R> {
     /// [`AcyclicEnumerator`], each cyclic branch a [`CyclicEnumerator`] with
     /// an automatically chosen GHD plan.
     pub fn new(union: &UnionQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
-        let mut branches: Vec<Box<dyn Iterator<Item = Tuple>>> = Vec::with_capacity(union.len());
+        let mut branches: Vec<BranchStream> = Vec::with_capacity(union.len());
         for q in union.branches() {
             if Hypergraph::of_query(q).is_acyclic() {
-                branches.push(Box::new(AcyclicEnumerator::new(q, db, ranking.clone())?));
-            } else {
-                branches.push(Box::new(CyclicEnumerator::new_auto(
+                branches.push(BranchStream::Ranked(Box::new(AcyclicEnumerator::new(
                     q,
                     db,
                     ranking.clone(),
-                )?));
+                )?)));
+            } else {
+                branches.push(BranchStream::Ranked(Box::new(CyclicEnumerator::new_auto(
+                    q,
+                    db,
+                    ranking.clone(),
+                )?)));
             }
         }
-        Ok(Self::from_streams(
-            union.projection().to_vec(),
-            ranking,
-            branches,
-        ))
+        Ok(Self::merge(union.projection().to_vec(), ranking, branches))
     }
 
-    /// Build the enumerator from already-constructed ranked streams. Every
-    /// stream must yield tuples over `projection` in non-decreasing
-    /// `(key, tuple)` order.
+    /// Build the enumerator from already-constructed sorted iterators.
+    /// Every stream must yield tuples over `projection` in non-decreasing
+    /// `(key, tuple)` order. Sources supplied this way are opaque: they
+    /// contribute answers but no statistics (see
+    /// [`UnionEnumerator::stats_snapshot`]).
     pub fn from_streams(
         projection: Vec<Attr>,
         ranking: R,
-        mut branches: Vec<Box<dyn Iterator<Item = Tuple>>>,
+        branches: Vec<Box<dyn Iterator<Item = Tuple> + Send>>,
     ) -> Self {
+        Self::merge(
+            projection,
+            ranking,
+            branches.into_iter().map(BranchStream::Plain).collect(),
+        )
+    }
+
+    fn merge(projection: Vec<Attr>, ranking: R, mut branches: Vec<BranchStream>) -> Self {
         let mut pq = BinaryHeap::new();
         for (i, b) in branches.iter_mut().enumerate() {
             if let Some(tuple) = b.next() {
@@ -85,9 +127,27 @@ impl<R: Ranking + Clone + 'static> UnionEnumerator<R> {
         &self.projection
     }
 
-    /// Merge statistics.
+    /// Merge statistics (the union's own priority-queue work; branch
+    /// counters are *not* folded in here — see
+    /// [`UnionEnumerator::stats_snapshot`]).
     pub fn stats(&self) -> &EnumStats {
         &self.stats
+    }
+
+    /// Combined counters: the merge's own operations plus the work of
+    /// every branch enumerator (preprocessing cells, per-branch priority
+    /// queues). Branch `answers` are excluded — a branch answer is not a
+    /// union answer until it survives deduplication, so `answers` counts
+    /// only what the union emitted.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut total = self.stats.snapshot();
+        for branch in &self.branches {
+            let b = branch.snapshot();
+            total.pq_pushes += b.pq_pushes;
+            total.pq_pops += b.pq_pops;
+            total.cells_created += b.cells_created;
+        }
+        total
     }
 }
 
@@ -229,11 +289,23 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_includes_branch_preprocessing_work() {
+        let e = UnionEnumerator::new(&union_query(), &db(), SumRanking::value_sum()).unwrap();
+        let snapshot = e.stats_snapshot();
+        assert!(
+            snapshot.cells_created > 0,
+            "branch preprocessing must be visible before the first answer"
+        );
+        let drained: Vec<Tuple> = e.collect();
+        assert_eq!(drained.len(), 4);
+    }
+
+    #[test]
     fn from_streams_accepts_custom_sources() {
         let ranking = SumRanking::value_sum();
-        let s1: Box<dyn Iterator<Item = Tuple>> =
+        let s1: Box<dyn Iterator<Item = Tuple> + Send> =
             Box::new(vec![vec![1u64, 1], vec![5, 5]].into_iter());
-        let s2: Box<dyn Iterator<Item = Tuple>> =
+        let s2: Box<dyn Iterator<Item = Tuple> + Send> =
             Box::new(vec![vec![2u64, 2], vec![5, 5]].into_iter());
         let e = UnionEnumerator::from_streams(attrs(["a", "b"]), ranking, vec![s1, s2]);
         let results: Vec<Tuple> = e.collect();

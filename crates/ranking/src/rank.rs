@@ -14,12 +14,20 @@ use re_storage::{Attr, Value};
 use std::fmt::Debug;
 
 /// A ranking function with a totally ordered key.
-pub trait Ranking {
+///
+/// `Ranking`, its keys and its plans are required to be [`Send`]: the
+/// enumerators own their inputs (relations are copied out of the database
+/// during the full-reducer pass), so a `Send` ranking is all it takes for a
+/// live enumerator to migrate between threads — which is what lets a query
+/// server keep enumerators alive as resumable cursors served by a worker
+/// pool. Every ranking in this crate satisfies the bound (weight tables are
+/// shared behind `Arc`).
+pub trait Ranking: Send {
     /// The key type; answers are enumerated in non-decreasing key order.
-    type Key: Ord + Clone + Debug;
+    type Key: Ord + Clone + Debug + Send;
     /// A per-attribute-list plan, precomputed once per join-tree node so
     /// that key computation during enumeration is a constant-time loop.
-    type Plan: Clone + Debug;
+    type Plan: Clone + Debug + Send;
 
     /// Precompute a key plan for tuples over `attrs` (in that order).
     fn plan(&self, attrs: &[Attr]) -> Self::Plan;

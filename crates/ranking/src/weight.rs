@@ -173,24 +173,25 @@ impl ExactSum {
         s
     }
 
-    /// Add a raw `f64` exactly (GROW-EXPANSION with zero elimination).
+    /// Add a raw `f64` exactly (GROW-EXPANSION, in place).
+    ///
+    /// This is the innermost loop of successor-key computation in the
+    /// enumerators, so the grow pass mutates the component buffer directly
+    /// instead of allocating a fresh one per addend: each residual
+    /// overwrites the component it came from (zeros included — `compress`
+    /// eliminates them while re-canonicalising), and only the final partial
+    /// sum is pushed. The buffer's capacity is reused across additions.
     pub fn add(&mut self, x: f64) {
         if x == 0.0 {
             return;
         }
         let mut q = x;
-        let mut grown: Vec<f64> = Vec::with_capacity(self.components.len() + 1);
-        for &e in &self.components {
-            let (s, err) = two_sum(q, e);
-            if err != 0.0 {
-                grown.push(err);
-            }
+        for e in self.components.iter_mut() {
+            let (s, err) = two_sum(q, *e);
+            *e = err;
             q = s;
         }
-        if q != 0.0 {
-            grown.push(q);
-        }
-        self.components = grown;
+        self.components.push(q);
         self.compress();
     }
 
@@ -209,6 +210,11 @@ impl ExactSum {
         let e = &mut self.components;
         let m = e.len();
         if m < 2 {
+            // The in-place grow pass keeps zero residuals (and can push a
+            // zero total on full cancellation); canonical form has none.
+            if m == 1 && e[0] == 0.0 {
+                e.clear();
+            }
             return;
         }
         // Downward pass: sweep significant partial sums towards the top,
@@ -523,6 +529,37 @@ mod tests {
         assert!(just_below < s, "1024.5 must order below 1025");
         let just_above = ExactSum::of([Weight::new(1025.5)]);
         assert!(s < just_above);
+    }
+
+    #[test]
+    fn in_place_add_reuses_the_component_buffer() {
+        // Regression for the hot-path allocation: repeated adds must not
+        // grow the buffer beyond the expansion's canonical length + 1, and
+        // cancellation must restore the canonical empty form.
+        let mut s = ExactSum::zero();
+        for i in 0..1000 {
+            s.add(0.1 * (i % 7 + 1) as f64);
+        }
+        assert!(
+            s.components.len() <= 3,
+            "canonical expansion stays short, got {}",
+            s.components.len()
+        );
+        let total = s.clone();
+        s.add_sum(&total.scale(-1.0));
+        assert_eq!(s, ExactSum::zero());
+        assert!(s.components.is_empty(), "cancellation must re-canonicalise");
+        // Interleaved magnitudes still produce an order-independent result.
+        let mut a = ExactSum::zero();
+        let mut b = ExactSum::zero();
+        let ws = [1e300, 1.0, -1e300, 1e-300, 3.5, -1.0];
+        for &w in &ws {
+            a.add(w);
+        }
+        for &w in ws.iter().rev() {
+            b.add(w);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

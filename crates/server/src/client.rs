@@ -1,0 +1,229 @@
+//! Clients: in-process (for tests and embedding) and TCP.
+//!
+//! Both speak the same typed [`Request`]/[`Response`] protocol through the
+//! [`Transport`] trait, which also provides the convenience methods
+//! (`open` / `fetch` / `close` / `query` / `stats` / `catalog`). The
+//! in-process client skips serialisation entirely; the TCP client writes
+//! JSON lines over a [`TcpStream`].
+
+use crate::protocol::{Request, Response, StatsReport};
+use crate::server::RankedQueryServer;
+use re_storage::Tuple;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport I/O failed.
+    Io(std::io::Error),
+    /// The peer sent something the protocol cannot decode.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// An opened session, as seen by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenedSession {
+    /// The session id for `fetch`/`close`.
+    pub session: u64,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Label of the selected enumeration strategy.
+    pub algorithm: String,
+    /// Whether the plan came from the server's plan cache.
+    pub plan_cached: bool,
+}
+
+/// One page of answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Page {
+    /// The rows, in rank order.
+    pub rows: Vec<Tuple>,
+    /// Whether the enumeration is complete.
+    pub exhausted: bool,
+}
+
+/// A one-shot query result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// All rows, in rank order.
+    pub rows: Vec<Tuple>,
+    /// Label of the selected enumeration strategy.
+    pub algorithm: String,
+    /// Whether the plan came from the server's plan cache.
+    pub plan_cached: bool,
+}
+
+/// Anything that can carry a request to a ranked-query server. The
+/// provided methods give every transport the same typed API.
+pub trait Transport {
+    /// Send one request, receive its response.
+    fn request(&mut self, request: Request) -> Result<Response, ClientError>;
+
+    /// Open a resumable cursor; returns the session descriptor.
+    fn open(&mut self, db: &str, sql: &str) -> Result<OpenedSession, ClientError> {
+        match self.request(Request::Open {
+            db: db.to_string(),
+            sql: sql.to_string(),
+        })? {
+            Response::Opened {
+                session,
+                columns,
+                algorithm,
+                plan_cached,
+            } => Ok(OpenedSession {
+                session,
+                columns,
+                algorithm,
+                plan_cached,
+            }),
+            other => Err(unexpected("opened", other)),
+        }
+    }
+
+    /// Fetch the next page of up to `k` answers.
+    fn fetch(&mut self, session: u64, k: u64) -> Result<Page, ClientError> {
+        match self.request(Request::Fetch { session, k })? {
+            Response::Page { rows, exhausted } => Ok(Page { rows, exhausted }),
+            other => Err(unexpected("page", other)),
+        }
+    }
+
+    /// Close a session; returns whether it still existed.
+    fn close(&mut self, session: u64) -> Result<bool, ClientError> {
+        match self.request(Request::Close { session })? {
+            Response::Closed { existed } => Ok(existed),
+            other => Err(unexpected("closed", other)),
+        }
+    }
+
+    /// One-shot query (open + drain + close server-side).
+    fn query(&mut self, db: &str, sql: &str) -> Result<QueryOutcome, ClientError> {
+        match self.request(Request::Query {
+            db: db.to_string(),
+            sql: sql.to_string(),
+        })? {
+            Response::Result {
+                columns,
+                rows,
+                algorithm,
+                plan_cached,
+            } => Ok(QueryOutcome {
+                columns,
+                rows,
+                algorithm,
+                plan_cached,
+            }),
+            other => Err(unexpected("result", other)),
+        }
+    }
+
+    /// Server-wide metrics.
+    fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.request(Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected("stats", other)),
+        }
+    }
+
+    /// The catalog listing.
+    fn catalog(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.request(Request::Catalog)? {
+            Response::Catalog { databases } => Ok(databases),
+            other => Err(unexpected("catalog", other)),
+        }
+    }
+
+    /// Liveness check.
+    fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: Response) -> ClientError {
+    match got {
+        Response::Error { message } => ClientError::Server(message),
+        other => ClientError::Protocol(format!("expected a `{wanted}` response, got {other:?}")),
+    }
+}
+
+/// In-process client: calls the server's dispatch directly, no
+/// serialisation. Cheap to clone; each clone is an independent client.
+#[derive(Clone)]
+pub struct LocalClient {
+    server: Arc<RankedQueryServer>,
+}
+
+impl LocalClient {
+    /// A client for an in-process server.
+    pub fn new(server: Arc<RankedQueryServer>) -> Self {
+        LocalClient { server }
+    }
+}
+
+impl Transport for LocalClient {
+    fn request(&mut self, request: Request) -> Result<Response, ClientError> {
+        Ok(self.server.handle(request))
+    }
+}
+
+/// TCP client speaking the JSON-lines protocol over one connection.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connect to a serving address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpClient {
+            reader,
+            writer: stream,
+        })
+    }
+}
+
+impl Transport for TcpClient {
+    fn request(&mut self, request: Request) -> Result<Response, ClientError> {
+        let line = request.encode();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response_line = String::new();
+        let n = self.reader.read_line(&mut response_line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        Response::decode(response_line.trim()).map_err(ClientError::Protocol)
+    }
+}

@@ -1,0 +1,480 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response per line, UTF-8, no framing beyond
+//! `\n`. Requests are objects with a `"cmd"` discriminator; responses carry
+//! `"ok"` plus a `"type"` discriminator. The session commands implement the
+//! resumable-cursor lifecycle:
+//!
+//! ```text
+//! → {"cmd":"open","db":"dblp","sql":"SELECT DISTINCT ... LIMIT 100"}
+//! ← {"ok":true,"type":"opened","session":7,"columns":["a1","a2"],
+//!    "algorithm":"acyclic","plan_cached":false}
+//! → {"cmd":"fetch","session":7,"k":10}
+//! ← {"ok":true,"type":"page","rows":[[1,2],...],"exhausted":false}
+//! → {"cmd":"close","session":7}
+//! ← {"ok":true,"type":"closed","existed":true}
+//! ```
+//!
+//! plus one-shot `query`, and the `stats` / `catalog` / `ping` endpoints.
+
+use crate::json::{obj, Json};
+use rankedenum_core::StatsSnapshot;
+use re_storage::Tuple;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Open a resumable cursor on `sql` against catalog database `db`.
+    Open {
+        /// Catalog name of the database.
+        db: String,
+        /// The SQL statement.
+        sql: String,
+    },
+    /// Fetch the next page of up to `k` answers from a session.
+    Fetch {
+        /// Session id returned by `Open`.
+        session: u64,
+        /// Maximum page size.
+        k: u64,
+    },
+    /// Close a session, releasing its cursor.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+    /// One-shot execution (open + drain + close in one request).
+    Query {
+        /// Catalog name of the database.
+        db: String,
+        /// The SQL statement.
+        sql: String,
+    },
+    /// Server-wide metrics.
+    Stats,
+    /// List the catalog.
+    Catalog,
+    /// Liveness check.
+    Ping,
+}
+
+impl Request {
+    /// Decode a request line.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let json = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let cmd = json
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `cmd`".to_string())?;
+        let str_field = |name: &str| -> Result<String, String> {
+            json.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{cmd}` needs a string `{name}`"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{cmd}` needs an unsigned integer `{name}`"))
+        };
+        match cmd {
+            "open" => Ok(Request::Open {
+                db: str_field("db")?,
+                sql: str_field("sql")?,
+            }),
+            "fetch" => Ok(Request::Fetch {
+                session: u64_field("session")?,
+                k: u64_field("k")?,
+            }),
+            "close" => Ok(Request::Close {
+                session: u64_field("session")?,
+            }),
+            "query" => Ok(Request::Query {
+                db: str_field("db")?,
+                sql: str_field("sql")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "catalog" => Ok(Request::Catalog),
+            "ping" => Ok(Request::Ping),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    /// Encode the request as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Request::Open { db, sql } => obj([
+                ("cmd", Json::Str("open".into())),
+                ("db", Json::Str(db.clone())),
+                ("sql", Json::Str(sql.clone())),
+            ]),
+            Request::Fetch { session, k } => obj([
+                ("cmd", Json::Str("fetch".into())),
+                ("session", Json::UInt(*session)),
+                ("k", Json::UInt(*k)),
+            ]),
+            Request::Close { session } => obj([
+                ("cmd", Json::Str("close".into())),
+                ("session", Json::UInt(*session)),
+            ]),
+            Request::Query { db, sql } => obj([
+                ("cmd", Json::Str("query".into())),
+                ("db", Json::Str(db.clone())),
+                ("sql", Json::Str(sql.clone())),
+            ]),
+            Request::Stats => obj([("cmd", Json::Str("stats".into()))]),
+            Request::Catalog => obj([("cmd", Json::Str("catalog".into()))]),
+            Request::Ping => obj([("cmd", Json::Str("ping".into()))]),
+        };
+        json.to_string()
+    }
+}
+
+/// Server-wide counters reported by the `stats` endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Sessions currently live.
+    pub sessions_open: u64,
+    /// Sessions opened since the server started.
+    pub sessions_opened: u64,
+    /// Sessions reaped by idle eviction.
+    pub sessions_evicted: u64,
+    /// Enumerators built (preprocessing passes run).
+    pub enumerators_built: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (statements planned from scratch).
+    pub plan_cache_misses: u64,
+    /// Plans currently cached.
+    pub plan_cache_size: u64,
+    /// Enumeration work aggregated across all workers and sessions.
+    pub enumeration: StatsSnapshot,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A session was opened.
+    Opened {
+        /// The session id for subsequent `Fetch`/`Close` requests.
+        session: u64,
+        /// Output column names.
+        columns: Vec<String>,
+        /// Label of the enumeration strategy the plan selected.
+        algorithm: String,
+        /// Whether the plan came from the plan cache.
+        plan_cached: bool,
+    },
+    /// A page of answers.
+    Page {
+        /// Up to `k` rows, in rank order.
+        rows: Vec<Tuple>,
+        /// Whether the enumeration is complete.
+        exhausted: bool,
+    },
+    /// A session was closed.
+    Closed {
+        /// Whether the session existed.
+        existed: bool,
+    },
+    /// A one-shot result.
+    Result {
+        /// Output column names.
+        columns: Vec<String>,
+        /// All rows, in rank order (bounded by the statement's LIMIT).
+        rows: Vec<Tuple>,
+        /// Label of the enumeration strategy the plan selected.
+        algorithm: String,
+        /// Whether the plan came from the plan cache.
+        plan_cached: bool,
+    },
+    /// Server-wide metrics.
+    Stats(StatsReport),
+    /// The catalog listing.
+    Catalog {
+        /// Names of the registered databases, sorted.
+        databases: Vec<String>,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Any failure.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn rows_to_json(rows: &[Tuple]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| Json::Arr(row.iter().map(|&v| Json::UInt(v)).collect()))
+            .collect(),
+    )
+}
+
+fn rows_from_json(json: &Json) -> Result<Vec<Tuple>, String> {
+    json.as_arr()
+        .ok_or_else(|| "`rows` must be an array".to_string())?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| "row must be an array".to_string())?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| "row values must be unsigned".to_string())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn strings_to_json(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn strings_from_json(json: &Json, what: &str) -> Result<Vec<String>, String> {
+    json.as_arr()
+        .ok_or_else(|| format!("`{what}` must be an array"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{what}` must contain strings"))
+        })
+        .collect()
+}
+
+impl Response {
+    /// Encode the response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Response::Opened {
+                session,
+                columns,
+                algorithm,
+                plan_cached,
+            } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("opened".into())),
+                ("session", Json::UInt(*session)),
+                ("columns", strings_to_json(columns)),
+                ("algorithm", Json::Str(algorithm.clone())),
+                ("plan_cached", Json::Bool(*plan_cached)),
+            ]),
+            Response::Page { rows, exhausted } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("page".into())),
+                ("rows", rows_to_json(rows)),
+                ("exhausted", Json::Bool(*exhausted)),
+            ]),
+            Response::Closed { existed } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("closed".into())),
+                ("existed", Json::Bool(*existed)),
+            ]),
+            Response::Result {
+                columns,
+                rows,
+                algorithm,
+                plan_cached,
+            } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("result".into())),
+                ("columns", strings_to_json(columns)),
+                ("rows", rows_to_json(rows)),
+                ("algorithm", Json::Str(algorithm.clone())),
+                ("plan_cached", Json::Bool(*plan_cached)),
+            ]),
+            Response::Stats(report) => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("stats".into())),
+                ("sessions_open", Json::UInt(report.sessions_open)),
+                ("sessions_opened", Json::UInt(report.sessions_opened)),
+                ("sessions_evicted", Json::UInt(report.sessions_evicted)),
+                ("enumerators_built", Json::UInt(report.enumerators_built)),
+                ("plan_cache_hits", Json::UInt(report.plan_cache_hits)),
+                ("plan_cache_misses", Json::UInt(report.plan_cache_misses)),
+                ("plan_cache_size", Json::UInt(report.plan_cache_size)),
+                ("pq_pushes", Json::UInt(report.enumeration.pq_pushes)),
+                ("pq_pops", Json::UInt(report.enumeration.pq_pops)),
+                (
+                    "cells_created",
+                    Json::UInt(report.enumeration.cells_created),
+                ),
+                ("answers", Json::UInt(report.enumeration.answers)),
+            ]),
+            Response::Catalog { databases } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("catalog".into())),
+                ("databases", strings_to_json(databases)),
+            ]),
+            Response::Pong => obj([("ok", Json::Bool(true)), ("type", Json::Str("pong".into()))]),
+            Response::Error { message } => obj([
+                ("ok", Json::Bool(false)),
+                ("type", Json::Str("error".into())),
+                ("error", Json::Str(message.clone())),
+            ]),
+        };
+        json.to_string()
+    }
+
+    /// Decode a response line.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let json = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let kind = json
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `type`".to_string())?;
+        let u64_field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{kind}` response needs `{name}`"))
+        };
+        let bool_field = |name: &str| -> Result<bool, String> {
+            json.get(name)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("`{kind}` response needs `{name}`"))
+        };
+        let str_field = |name: &str| -> Result<String, String> {
+            json.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{kind}` response needs `{name}`"))
+        };
+        match kind {
+            "opened" => Ok(Response::Opened {
+                session: u64_field("session")?,
+                columns: strings_from_json(
+                    json.get("columns").ok_or("missing `columns`")?,
+                    "columns",
+                )?,
+                algorithm: str_field("algorithm")?,
+                plan_cached: bool_field("plan_cached")?,
+            }),
+            "page" => Ok(Response::Page {
+                rows: rows_from_json(json.get("rows").ok_or("missing `rows`")?)?,
+                exhausted: bool_field("exhausted")?,
+            }),
+            "closed" => Ok(Response::Closed {
+                existed: bool_field("existed")?,
+            }),
+            "result" => Ok(Response::Result {
+                columns: strings_from_json(
+                    json.get("columns").ok_or("missing `columns`")?,
+                    "columns",
+                )?,
+                rows: rows_from_json(json.get("rows").ok_or("missing `rows`")?)?,
+                algorithm: str_field("algorithm")?,
+                plan_cached: bool_field("plan_cached")?,
+            }),
+            "stats" => Ok(Response::Stats(StatsReport {
+                sessions_open: u64_field("sessions_open")?,
+                sessions_opened: u64_field("sessions_opened")?,
+                sessions_evicted: u64_field("sessions_evicted")?,
+                enumerators_built: u64_field("enumerators_built")?,
+                plan_cache_hits: u64_field("plan_cache_hits")?,
+                plan_cache_misses: u64_field("plan_cache_misses")?,
+                plan_cache_size: u64_field("plan_cache_size")?,
+                enumeration: StatsSnapshot {
+                    pq_pushes: u64_field("pq_pushes")?,
+                    pq_pops: u64_field("pq_pops")?,
+                    cells_created: u64_field("cells_created")?,
+                    answers: u64_field("answers")?,
+                },
+            })),
+            "catalog" => Ok(Response::Catalog {
+                databases: strings_from_json(
+                    json.get("databases").ok_or("missing `databases`")?,
+                    "databases",
+                )?,
+            }),
+            "pong" => Ok(Response::Pong),
+            "error" => Ok(Response::Error {
+                message: str_field("error")?,
+            }),
+            other => Err(format!("unknown response type `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Open {
+                db: "dblp".into(),
+                sql: "SELECT DISTINCT a FROM T ORDER BY a LIMIT 5".into(),
+            },
+            Request::Fetch { session: 7, k: 10 },
+            Request::Close { session: 7 },
+            Request::Query {
+                db: "d".into(),
+                sql: "SELECT DISTINCT a FROM T".into(),
+            },
+            Request::Stats,
+            Request::Catalog,
+            Request::Ping,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Opened {
+                session: 3,
+                columns: vec!["a1".into(), "a2".into()],
+                algorithm: "acyclic".into(),
+                plan_cached: true,
+            },
+            Response::Page {
+                rows: vec![vec![1, 2], vec![3, 4]],
+                exhausted: false,
+            },
+            Response::Closed { existed: true },
+            Response::Result {
+                columns: vec!["x".into()],
+                rows: vec![vec![9]],
+                algorithm: "union-merge".into(),
+                plan_cached: false,
+            },
+            Response::Stats(StatsReport {
+                sessions_open: 1,
+                sessions_opened: 2,
+                sessions_evicted: 3,
+                enumerators_built: 4,
+                plan_cache_hits: 5,
+                plan_cache_misses: 6,
+                plan_cache_size: 7,
+                enumeration: StatsSnapshot {
+                    pq_pushes: 8,
+                    pq_pops: 9,
+                    cells_created: 10,
+                    answers: 11,
+                },
+            }),
+            Response::Catalog {
+                databases: vec!["a".into(), "b".into()],
+            },
+            Response::Pong,
+            Response::Error {
+                message: "boom".into(),
+            },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(Request::decode("not json").is_err());
+        assert!(Request::decode("{\"cmd\":\"nope\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"fetch\",\"session\":1}").is_err());
+        assert!(Request::decode("{\"cmd\":\"open\",\"db\":\"d\"}").is_err());
+    }
+}

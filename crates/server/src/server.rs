@@ -1,0 +1,388 @@
+//! The ranked-query service: shared state, request dispatch, and the TCP
+//! front-end with its worker pool.
+//!
+//! [`RankedQueryServer`] is plain shared state (`catalog` + `plan cache` +
+//! `session table` + metrics) with one synchronous entry point,
+//! [`RankedQueryServer::handle`] — the in-process client calls it directly,
+//! and the TCP front-end calls it from a pool of worker threads. All
+//! concurrency lives in the data structures: the catalog is an `RwLock`
+//! map of `Arc<Database>`s, plans are cached behind `Arc`, sessions are
+//! checked out of a mutex-protected table for the duration of one fetch,
+//! and metrics are plain atomics — no lock is held while an enumerator
+//! runs.
+
+use crate::catalog::Catalog;
+use crate::plan_cache::PlanCache;
+use crate::protocol::{Request, Response, StatsReport};
+use crate::session::SessionTable;
+use rankedenum_core::SharedStats;
+use re_sql::OwnedSqlExecutor;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for a server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads of the TCP front-end (= max concurrent connections).
+    pub workers: usize,
+    /// Idle time after which a session's cursor is reaped.
+    pub session_ttl: Duration,
+    /// Maximum number of cached plans.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            session_ttl: Duration::from_secs(300),
+            plan_cache_capacity: 128,
+        }
+    }
+}
+
+/// The shared state of the ranked-query service.
+pub struct RankedQueryServer {
+    catalog: Catalog,
+    plan_cache: PlanCache,
+    sessions: SessionTable,
+    /// Enumeration work aggregated across every worker and session.
+    enum_stats: SharedStats,
+    enumerators_built: AtomicU64,
+}
+
+impl RankedQueryServer {
+    /// A server with the given tunables and an empty catalog.
+    pub fn new(config: ServerConfig) -> Arc<Self> {
+        Arc::new(RankedQueryServer {
+            catalog: Catalog::new(),
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            sessions: SessionTable::new(config.session_ttl),
+            enum_stats: SharedStats::new(),
+            enumerators_built: AtomicU64::new(0),
+        })
+    }
+
+    /// The database catalog (register databases here before serving).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current server-wide counters.
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            sessions_open: self.sessions.open_count(),
+            sessions_opened: self.sessions.opened_total(),
+            sessions_evicted: self.sessions.evicted_total(),
+            enumerators_built: self.enumerators_built.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache.hits(),
+            plan_cache_misses: self.plan_cache.misses(),
+            plan_cache_size: self.plan_cache.len() as u64,
+            enumeration: self.enum_stats.snapshot(),
+        }
+    }
+
+    /// Dispatch one request. Never panics on bad input; failures come back
+    /// as [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Open { db, sql } => self.do_open(db, sql),
+            Request::Fetch { session, k } => self.do_fetch(session, k),
+            Request::Close { session } => Response::Closed {
+                existed: self.sessions.close(session),
+            },
+            Request::Query { db, sql } => self.do_query(db, sql),
+            Request::Stats => Response::Stats(self.stats_report()),
+            Request::Catalog => Response::Catalog {
+                databases: self.catalog.names(),
+            },
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    /// Decode a request line, dispatch it, encode the response line.
+    ///
+    /// A panic inside dispatch (a bug, not a protocol error) is caught and
+    /// turned into an error response: one bad request must not take down
+    /// the worker serving it — the shared tables recover from lock
+    /// poisoning (see [`SessionTable`]), so the server keeps serving.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Request::decode(line) {
+            Ok(request) => {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(request)))
+                    .unwrap_or_else(|_| Response::Error {
+                        message: "internal error while serving the request".to_string(),
+                    })
+            }
+            Err(message) => Response::Error { message },
+        };
+        response.encode()
+    }
+
+    fn do_open(&self, db_name: String, sql: String) -> Response {
+        match self.open_cursor(&db_name, &sql) {
+            Ok((cursor, algorithm, plan_cached)) => {
+                let columns = cursor.columns().to_vec();
+                let session = self.sessions.insert(db_name, cursor);
+                Response::Opened {
+                    session,
+                    columns,
+                    algorithm,
+                    plan_cached,
+                }
+            }
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    fn do_fetch(&self, id: u64, k: u64) -> Response {
+        let Some(mut session) = self.sessions.take(id) else {
+            return Response::Error {
+                message: format!("unknown, expired or busy session {id}"),
+            };
+        };
+        // Catch panics *here*, not only in `handle_line`: the session is
+        // checked out, and bailing without `discard`/`put_back` would leak
+        // its id in the table's checked-out set forever.
+        let page = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let rows = session.cursor.fetch(k.min(usize::MAX as u64) as usize);
+            let exhausted = session.cursor.is_exhausted();
+            (rows, exhausted)
+        }));
+        let (rows, exhausted) = match page {
+            Ok(page) => page,
+            Err(_) => {
+                // The cursor's internal state is suspect; drop the session.
+                self.sessions.discard(session);
+                return Response::Error {
+                    message: format!("internal error while fetching from session {id}"),
+                };
+            }
+        };
+        // Publish this page's enumeration work to the shared metrics.
+        let snapshot = session.cursor.stats_snapshot();
+        self.enum_stats.add(&snapshot.diff(&session.reported));
+        session.reported = snapshot;
+        if exhausted {
+            // A finished cursor holds no future answers; release its memory
+            // now instead of waiting for CLOSE or eviction.
+            self.sessions.discard(session);
+        } else {
+            self.sessions.put_back(session);
+        }
+        Response::Page { rows, exhausted }
+    }
+
+    fn do_query(&self, db_name: String, sql: String) -> Response {
+        match self.open_cursor(&db_name, &sql) {
+            Ok((mut cursor, algorithm, plan_cached)) => {
+                let at_open = cursor.stats_snapshot();
+                let rows = cursor.fetch_all();
+                // `open_cursor` already published the preprocessing work;
+                // only the enumeration delta is new.
+                self.enum_stats.add(&cursor.stats_snapshot().diff(&at_open));
+                Response::Result {
+                    columns: cursor.columns().to_vec(),
+                    rows,
+                    algorithm,
+                    plan_cached,
+                }
+            }
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    /// Shared open path of `open` and `query`: catalog lookup, plan cache,
+    /// enumerator construction (the one preprocessing pass).
+    fn open_cursor(
+        &self,
+        db_name: &str,
+        sql: &str,
+    ) -> Result<(re_sql::QueryCursor, String, bool), String> {
+        let (db, generation) = self
+            .catalog
+            .get_versioned(db_name)
+            .ok_or_else(|| format!("unknown database `{db_name}`"))?;
+        let (cached, hit) = self
+            .plan_cache
+            .get_or_plan(db_name, generation, &db, sql)
+            .map_err(|e| e.to_string())?;
+        let executor = OwnedSqlExecutor::new(db);
+        let cursor = executor
+            .open_plan(&cached.plan)
+            .map_err(|e| e.to_string())?;
+        self.enumerators_built.fetch_add(1, Ordering::Relaxed);
+        // Count the preprocessing pass towards the shared metrics right
+        // away (fetch deltas continue from this snapshot).
+        self.enum_stats.add(&cursor.stats_snapshot());
+        Ok((cursor, cached.algorithm.label().to_string(), hit))
+    }
+}
+
+/// Handle for a running TCP front-end: the bound address plus a shutdown
+/// switch that joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener is bound to (use for clients; port 0 in
+    /// the bind address picks a free port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the connection queue, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+/// Serve the JSON-lines protocol on `bind_addr` (e.g. `"127.0.0.1:0"`)
+/// with a pool of `config.workers` threads.
+///
+/// The acceptor thread pushes connections into a channel; each worker pops
+/// one and serves it to completion (one request line → one response line,
+/// until EOF). A worker therefore handles one connection at a time — the
+/// pool size bounds concurrent connections, and requests on *different*
+/// connections run truly in parallel while sharing the catalog, plan cache
+/// and session table.
+pub fn serve(
+    server: Arc<RankedQueryServer>,
+    bind_addr: &str,
+    config: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(bind_addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let conn_rx = Arc::clone(&conn_rx);
+            let server = Arc::clone(&server);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || loop {
+                // Holding the receiver lock only while popping keeps the
+                // other workers free to pick up the next connection.
+                let next = conn_rx.lock().expect("worker queue poisoned").recv();
+                match next {
+                    Ok(stream) => serve_connection(&server, stream, &shutdown),
+                    Err(_) => return, // acceptor gone, queue drained
+                }
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // the wake-up connection is dropped unserved
+                }
+                match stream {
+                    Ok(stream) => {
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping conn_tx lets the workers drain and exit.
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Serve one connection: JSON-lines request/response until EOF or server
+/// shutdown.
+///
+/// Reads run with a short timeout so an idle connection re-checks the
+/// shutdown flag periodically — `ServerHandle::shutdown` therefore joins
+/// within one timeout interval even while clients stay connected. Lines
+/// are assembled from raw reads into a byte accumulator (never through
+/// `read_line`, whose guard *discards* the bytes it read when a timeout
+/// strikes mid-line), so a request split across TCP segments with a stall
+/// in between is reassembled intact.
+fn serve_connection(server: &RankedQueryServer, stream: TcpStream, shutdown: &AtomicBool) {
+    let Ok(mut reader) = stream.try_clone() else {
+        return;
+    };
+    let _ = reader.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return, // broken pipe
+        }
+        while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=newline).collect();
+            let response = match std::str::from_utf8(&line_bytes) {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => server.handle_line(line.trim()),
+                Err(_) => Response::Error {
+                    message: "request line is not valid UTF-8".to_string(),
+                }
+                .encode(),
+            };
+            if writer
+                .write_all(response.as_bytes())
+                .and_then(|_| writer.write_all(b"\n"))
+                .and_then(|_| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+    }
+}

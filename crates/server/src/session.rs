@@ -1,0 +1,255 @@
+//! The session table: live cursors parked between fetches.
+//!
+//! A session owns a [`QueryCursor`] — a live enumerator that has already
+//! paid its preprocessing pass — plus bookkeeping for metrics and idle
+//! eviction. The table hands a session out *exclusively* for the duration
+//! of one fetch ([`SessionTable::take`] / [`SessionTable::put_back`]): the
+//! cursor leaves the lock while it streams, so a slow page on one session
+//! never blocks fetches on others, and two clients racing on the same id
+//! cannot interleave pages (the loser sees "unknown or busy session").
+//!
+//! Sessions idle longer than the configured TTL are reaped lazily: every
+//! table operation first sweeps expired entries, so an abandoned cursor's
+//! memory is reclaimed without a background reaper thread.
+
+use rankedenum_core::StatsSnapshot;
+use re_sql::QueryCursor;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A live session: a resumable cursor plus bookkeeping.
+pub struct Session {
+    /// The session id.
+    pub id: u64,
+    /// Catalog name of the database the cursor runs against.
+    pub db: String,
+    /// The live cursor.
+    pub cursor: QueryCursor,
+    /// Enumeration counters already published to the server metrics
+    /// (deltas are published after every page).
+    pub reported: StatsSnapshot,
+    last_used: Instant,
+}
+
+/// The lock-protected part of the table. `checked_out` tracks sessions
+/// currently lent out for a fetch; `pending_close` records CLOSEs that
+/// raced an in-flight fetch, so `put_back` drops the session instead of
+/// resurrecting it.
+#[derive(Default)]
+struct Inner {
+    parked: HashMap<u64, Session>,
+    checked_out: HashSet<u64>,
+    pending_close: HashSet<u64>,
+}
+
+/// Concurrent session table with idle eviction.
+pub struct SessionTable {
+    ttl: Duration,
+    next_id: AtomicU64,
+    inner: Mutex<Inner>,
+    opened: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionTable {
+    /// A table that evicts sessions idle longer than `ttl`.
+    pub fn new(ttl: Duration) -> Self {
+        SessionTable {
+            ttl,
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(Inner::default()),
+            opened: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the table, recovering from poisoning: a worker that panicked
+    /// mid-request loses at most its own session, and the table's maps are
+    /// never left mid-mutation by the operations below (single inserts and
+    /// removes), so continuing with the inner state is safe.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn sweep(&self, inner: &mut Inner) {
+        let now = Instant::now();
+        let ttl = self.ttl;
+        let before = inner.parked.len();
+        inner
+            .parked
+            .retain(|_, s| now.duration_since(s.last_used) <= ttl);
+        let expired = (before - inner.parked.len()) as u64;
+        if expired > 0 {
+            self.evicted.fetch_add(expired, Ordering::Relaxed);
+        }
+    }
+
+    /// Park a fresh cursor; returns the new session id.
+    pub fn insert(&self, db: String, cursor: QueryCursor) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Session {
+            id,
+            db,
+            reported: cursor.stats_snapshot(),
+            cursor,
+            last_used: Instant::now(),
+        };
+        let mut inner = self.lock();
+        self.sweep(&mut inner);
+        inner.parked.insert(id, session);
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Check a session out for exclusive use (one fetch). Returns `None`
+    /// when the id is unknown, expired, or currently checked out by
+    /// another worker.
+    pub fn take(&self, id: u64) -> Option<Session> {
+        let mut inner = self.lock();
+        self.sweep(&mut inner);
+        let session = inner.parked.remove(&id)?;
+        inner.checked_out.insert(id);
+        Some(session)
+    }
+
+    /// Return a session after a fetch, refreshing its idle clock. If a
+    /// `close` arrived while the session was checked out, it is honoured
+    /// now: the session is dropped instead of re-parked.
+    pub fn put_back(&self, mut session: Session) {
+        session.last_used = Instant::now();
+        let mut inner = self.lock();
+        inner.checked_out.remove(&session.id);
+        if inner.pending_close.remove(&session.id) {
+            return; // closed mid-fetch; release the cursor now
+        }
+        inner.parked.insert(session.id, session);
+    }
+
+    /// Drop a checked-out session for good (exhausted cursors). The caller
+    /// must have obtained it through [`SessionTable::take`].
+    pub fn discard(&self, session: Session) {
+        let mut inner = self.lock();
+        inner.checked_out.remove(&session.id);
+        inner.pending_close.remove(&session.id);
+        drop(inner);
+        drop(session);
+    }
+
+    /// Close a session; returns whether it existed. A session currently
+    /// checked out by a racing fetch is marked for closure and released
+    /// when that fetch completes.
+    pub fn close(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        self.sweep(&mut inner);
+        if inner.parked.remove(&id).is_some() {
+            return true;
+        }
+        if inner.checked_out.contains(&id) {
+            inner.pending_close.insert(id);
+            return true;
+        }
+        false
+    }
+
+    /// Sessions currently parked (checked-out sessions are not counted).
+    pub fn open_count(&self) -> u64 {
+        let mut inner = self.lock();
+        self.sweep(&mut inner);
+        inner.parked.len() as u64
+    }
+
+    /// Sessions opened since construction.
+    pub fn opened_total(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Sessions reaped by idle eviction since construction.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_sql::SqlExecutor;
+    use re_storage::attr::attrs;
+    use re_storage::{Database, Relation};
+
+    fn cursor() -> QueryCursor {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("T", attrs(["a"]), vec![vec![1], vec![2], vec![3]]).unwrap(),
+        )
+        .unwrap();
+        SqlExecutor::new(&db)
+            .open("SELECT DISTINCT T.a FROM T ORDER BY T.a")
+            .unwrap()
+    }
+
+    #[test]
+    fn take_is_exclusive_and_put_back_restores() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let id = table.insert("d".into(), cursor());
+        assert_eq!(table.open_count(), 1);
+        let mut session = table.take(id).expect("session exists");
+        assert!(table.take(id).is_none(), "checked-out session is busy");
+        assert_eq!(session.cursor.fetch(1), vec![vec![1]]);
+        table.put_back(session);
+        let mut session = table.take(id).expect("session came back");
+        assert_eq!(session.cursor.fetch(1), vec![vec![2]], "cursor resumed");
+        table.put_back(session);
+        assert!(table.close(id));
+        assert!(!table.close(id));
+    }
+
+    #[test]
+    fn close_during_checkout_is_honoured_at_put_back() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let id = table.insert("d".into(), cursor());
+        let session = table.take(id).expect("session exists");
+        // A racing CLOSE while the fetch is in flight succeeds...
+        assert!(table.close(id), "close of a checked-out session succeeds");
+        // ...and the completing fetch does not resurrect the session.
+        table.put_back(session);
+        assert!(table.take(id).is_none(), "closed session must stay gone");
+        assert_eq!(table.open_count(), 0);
+    }
+
+    #[test]
+    fn discard_releases_a_checked_out_session() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let id = table.insert("d".into(), cursor());
+        let session = table.take(id).unwrap();
+        table.discard(session);
+        assert!(table.take(id).is_none());
+        assert!(!table.close(id), "discarded session no longer exists");
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let table = SessionTable::new(Duration::from_millis(20));
+        let id = table.insert("d".into(), cursor());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(table.take(id).is_none(), "expired session is gone");
+        assert_eq!(table.evicted_total(), 1);
+        assert_eq!(table.opened_total(), 1);
+        assert_eq!(table.open_count(), 0);
+    }
+
+    #[test]
+    fn fresh_activity_resets_the_idle_clock() {
+        let table = SessionTable::new(Duration::from_millis(80));
+        let id = table.insert("d".into(), cursor());
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            let session = table.take(id).expect("recently used session survives");
+            table.put_back(session);
+        }
+        assert_eq!(table.evicted_total(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Integration tests for the ranked-query service — including the
+//! acceptance criteria of the session-server design:
+//!
+//! * `OPEN` + two successive `FETCH k` calls concatenate to exactly the
+//!   single-shot `LIMIT 2k` result, with preprocessing having run once
+//!   (asserted through the `enumerators_built` / `cells_created` metrics
+//!   and the plan-cache hit counters);
+//! * at least four concurrent sessions over one shared catalog produce
+//!   correct, duplicate-free, rank-ordered answers;
+//! * the TCP front-end serves the same protocol through its worker pool.
+
+use re_server::{serve, LocalClient, RankedQueryServer, ServerConfig, TcpClient, Transport};
+use re_storage::{attr::attrs, Database, Relation};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Co-authorship database: enough rows for multi-page enumerations.
+fn coauthor_db() -> Database {
+    let mut db = Database::new();
+    let mut rows = Vec::new();
+    for paper in 0..12u64 {
+        for slot in 0..4u64 {
+            // author ids overlap across papers → shared co-authors
+            rows.push(vec![(paper * 3 + slot * 7) % 40, 1000 + paper]);
+        }
+    }
+    db.add_relation(Relation::with_tuples("AP", attrs(["aid", "pid"]), rows).unwrap())
+        .unwrap();
+    db
+}
+
+const TWO_HOP: &str = "SELECT DISTINCT AP1.aid, AP2.aid FROM AP AS AP1, AP AS AP2 \
+                       WHERE AP1.pid = AP2.pid ORDER BY AP1.aid + AP2.aid";
+
+fn server_with_db(ttl: Duration) -> Arc<RankedQueryServer> {
+    let server = RankedQueryServer::new(ServerConfig {
+        session_ttl: ttl,
+        ..ServerConfig::default()
+    });
+    server.catalog().register("dblp", coauthor_db());
+    server
+}
+
+#[test]
+fn paged_fetches_equal_single_shot_with_one_preprocessing_pass() {
+    let server = server_with_db(Duration::from_secs(60));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let k = 10;
+    // The session and the one-shot run the *same* statement (LIMIT 3k), so
+    // the one-shot is a plan-cache hit; the 2k comparison uses its prefix.
+    let statement = format!("{TWO_HOP} LIMIT {}", 3 * k);
+
+    let opened = client.open("dblp", &statement).unwrap();
+    assert_eq!(opened.algorithm, "acyclic");
+    assert!(!opened.plan_cached, "first open plans from scratch");
+    assert_eq!(opened.columns, vec!["AP1.aid", "AP2.aid"]);
+
+    let after_open = client.stats().unwrap();
+    assert_eq!(after_open.enumerators_built, 1);
+    let preprocessing_cells = after_open.enumeration.cells_created;
+    assert!(preprocessing_cells > 0, "preprocessing ran at OPEN");
+
+    let p1 = client.fetch(opened.session, k).unwrap();
+    let p2 = client.fetch(opened.session, k).unwrap();
+    assert_eq!(p1.rows.len() as u64, k);
+    assert_eq!(p2.rows.len() as u64, k);
+
+    let single = client.query("dblp", &statement).unwrap();
+    assert!(
+        single.plan_cached,
+        "same normalised statement hits the cache"
+    );
+    let mut combined = p1.rows.clone();
+    combined.extend(p2.rows.clone());
+    assert_eq!(combined, single.rows[..2 * k as usize]);
+
+    // Preprocessing ran once per enumerator: the session's two fetches
+    // added successor cells but no second preprocessing pass (the one-shot
+    // query built the second enumerator).
+    let final_stats = client.stats().unwrap();
+    assert_eq!(final_stats.enumerators_built, 2);
+    assert_eq!(final_stats.plan_cache_hits, 1);
+    assert_eq!(final_stats.plan_cache_misses, 1);
+    assert!(
+        final_stats.enumeration.cells_created < 3 * preprocessing_cells,
+        "fetches must extend the existing cells, not rebuild them"
+    );
+
+    assert!(client.close(opened.session).unwrap());
+    assert!(
+        !client.close(opened.session).unwrap(),
+        "double close is clean"
+    );
+
+    // The acceptance shape verbatim: OPEN (no LIMIT) + two FETCH k == the
+    // single-shot `LIMIT 2k` result of the same query.
+    let unlimited = client.open("dblp", TWO_HOP).unwrap();
+    let q1 = client.fetch(unlimited.session, k).unwrap();
+    let q2 = client.fetch(unlimited.session, k).unwrap();
+    let limit_2k = client
+        .query("dblp", &format!("{TWO_HOP} LIMIT {}", 2 * k))
+        .unwrap();
+    let mut paged = q1.rows;
+    paged.extend(q2.rows);
+    assert_eq!(paged, limit_2k.rows);
+    client.close(unlimited.session).unwrap();
+}
+
+#[test]
+fn concurrent_sessions_share_one_catalog_and_stay_correct() {
+    let server = server_with_db(Duration::from_secs(60));
+
+    // Reference: the full answer sequence, single-threaded.
+    let mut reference_client = LocalClient::new(Arc::clone(&server));
+    let reference = reference_client.query("dblp", TWO_HOP).unwrap().rows;
+    assert!(
+        reference.len() > 20,
+        "workload is big enough to be interesting"
+    );
+
+    let threads = 6;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = LocalClient::new(server);
+                let opened = client.open("dblp", TWO_HOP).unwrap();
+                // Page with a small k to maximise interleaving.
+                let mut collected = Vec::new();
+                loop {
+                    let page = client.fetch(opened.session, 7).unwrap();
+                    collected.extend(page.rows);
+                    if page.exhausted {
+                        break;
+                    }
+                }
+                assert_eq!(collected, reference, "session diverged from reference");
+                // Exhausted sessions are reaped server-side.
+                assert!(!client.close(opened.session).unwrap());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions_opened, threads as u64);
+    assert_eq!(
+        stats.sessions_open, 0,
+        "all sessions were reaped on exhaustion"
+    );
+    assert_eq!(stats.plan_cache_misses, 1, "one plan served every session");
+    assert_eq!(stats.plan_cache_hits, threads as u64);
+    // Duplicate-free and rank-ordered (the reference is checked once here).
+    let mut seen = std::collections::HashSet::new();
+    let mut last_sum = 0u64;
+    for row in &reference {
+        assert!(seen.insert(row.clone()), "duplicate answer {row:?}");
+        let sum = row[0] + row[1];
+        assert!(sum >= last_sum, "answers out of rank order");
+        last_sum = sum;
+    }
+}
+
+#[test]
+fn tcp_front_end_serves_the_protocol_through_the_worker_pool() {
+    let server = server_with_db(Duration::from_secs(60));
+    let config = ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", &config).unwrap();
+    let addr = handle.addr();
+
+    // Reference result computed in-process.
+    let reference = LocalClient::new(Arc::clone(&server))
+        .query("dblp", &format!("{TWO_HOP} LIMIT 12"))
+        .unwrap()
+        .rows;
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                client.ping().unwrap();
+                assert_eq!(client.catalog().unwrap(), vec!["dblp".to_string()]);
+                let opened = client.open("dblp", TWO_HOP).unwrap();
+                let p1 = client.fetch(opened.session, 5).unwrap();
+                let p2 = client.fetch(opened.session, 7).unwrap();
+                let mut combined = p1.rows;
+                combined.extend(p2.rows);
+                assert_eq!(combined, reference);
+                client.close(opened.session).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Server-side errors arrive as typed error responses, not hangups.
+    let mut client = TcpClient::connect(addr).unwrap();
+    let err = client.open("nope", TWO_HOP).unwrap_err();
+    assert!(err.to_string().contains("unknown database"));
+    let err = client.fetch(999_999, 5).unwrap_err();
+    assert!(err.to_string().contains("session"));
+    let err = client.open("dblp", "SELECT broken FROM").unwrap_err();
+    assert!(matches!(err, re_server::ClientError::Server(_)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_evicted_and_reported() {
+    let server = server_with_db(Duration::from_millis(30));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let opened = client.open("dblp", TWO_HOP).unwrap();
+    assert_eq!(client.fetch(opened.session, 3).unwrap().rows.len(), 3);
+    std::thread::sleep(Duration::from_millis(90));
+    let err = client.fetch(opened.session, 3).unwrap_err();
+    assert!(
+        err.to_string().contains("session"),
+        "evicted session is gone"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions_evicted, 1);
+    assert_eq!(stats.sessions_open, 0);
+}
+
+#[test]
+fn union_and_cyclic_statements_report_their_algorithm() {
+    let server = RankedQueryServer::new(ServerConfig::default());
+    let mut db = Database::new();
+    db.add_relation(
+        Relation::with_tuples(
+            "E",
+            attrs(["s", "t"]),
+            vec![vec![1, 2], vec![2, 3], vec![3, 1], vec![2, 4], vec![4, 1]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    server.catalog().register("graph", db);
+    let mut client = LocalClient::new(server);
+
+    let triangle = client
+        .open(
+            "graph",
+            "SELECT DISTINCT E1.s, E2.s FROM E AS E1, E AS E2, E AS E3 \
+             WHERE E1.t = E2.s AND E2.t = E3.s AND E3.t = E1.s",
+        )
+        .unwrap();
+    assert_eq!(triangle.algorithm, "cyclic-ghd");
+    let page = client.fetch(triangle.session, 100).unwrap();
+    assert!(!page.rows.is_empty(), "the graph contains triangles");
+
+    let union = client
+        .query(
+            "graph",
+            "SELECT DISTINCT E1.s FROM E AS E1 UNION SELECT DISTINCT E2.t FROM E AS E2",
+        )
+        .unwrap();
+    assert_eq!(union.algorithm, "union-merge");
+    assert!(!union.rows.is_empty());
+}
+
+#[test]
+fn catalog_updates_do_not_disturb_live_sessions() {
+    let server = server_with_db(Duration::from_secs(60));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let opened = client.open("dblp", TWO_HOP).unwrap();
+    let before = client.fetch(opened.session, 4).unwrap().rows;
+
+    // Swap the database under the same name mid-session.
+    let mut tiny = Database::new();
+    tiny.add_relation(
+        Relation::with_tuples("AP", attrs(["aid", "pid"]), vec![vec![7, 1]]).unwrap(),
+    )
+    .unwrap();
+    server.catalog().register("dblp", tiny);
+
+    // The live cursor keeps streaming from its original snapshot...
+    let after = client.fetch(opened.session, 4).unwrap().rows;
+    assert_eq!(before.len(), 4);
+    assert_eq!(after.len(), 4);
+    assert_ne!(before, after, "pages advance");
+    // ...while new sessions see the replacement — and because the cache
+    // key includes the registration generation, the statement is
+    // re-planned against the new schema instead of reusing the stale plan.
+    let fresh = client.query("dblp", TWO_HOP).unwrap();
+    assert!(!fresh.plan_cached, "replacement database must re-plan");
+    assert_eq!(fresh.rows, vec![vec![7, 7]]);
+}

@@ -1,12 +1,12 @@
 //! Execution: run a SQL statement through the ranked enumeration engine.
 
+use crate::cursor::QueryCursor;
 use crate::error::SqlError;
 use crate::parser::parse;
-use crate::planner::{plan, OrderSpec, PlannedQuery, SqlPlan};
-use rankedenum_core::{RankedEnumerator, UnionEnumerator};
-use re_ranking::{LexRanking, Ranking, SumRanking, WeightAssignment, WeightedSumRanking};
-use re_storage::{Attr, Database, Tuple};
-use std::collections::BTreeSet;
+use crate::planner::{plan, SqlPlan};
+use re_ranking::WeightAssignment;
+use re_storage::{Database, Tuple};
+use std::sync::Arc;
 
 /// The result of a SQL query: column names and the rows in rank order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,48 +85,139 @@ impl<'a> SqlExecutor<'a> {
 
     /// Execute an already-planned statement.
     pub fn run_plan(&self, plan: &SqlPlan) -> Result<QueryResult, SqlError> {
-        let working = plan.instantiate(self.db)?;
-        let projection: Vec<Attr> = match &plan.query {
-            PlannedQuery::Single(q) => q.projection().to_vec(),
-            PlannedQuery::Union(u) => u.projection().to_vec(),
-        };
-        let columns: Vec<String> = projection.iter().map(|a| a.as_str().to_string()).collect();
-        let rows = match &plan.order {
-            None => self.collect(plan, &working, SumRanking::new(self.weights.clone()))?,
-            Some(OrderSpec::Sum(attrs)) => {
-                let listed: BTreeSet<&Attr> = attrs.iter().collect();
-                let all: BTreeSet<&Attr> = projection.iter().collect();
-                if listed == all {
-                    self.collect(plan, &working, SumRanking::new(self.weights.clone()))?
-                } else {
-                    self.collect(
-                        plan,
-                        &working,
-                        WeightedSumRanking::over_attrs(attrs.clone(), self.weights.clone()),
-                    )?
-                }
-            }
-            Some(OrderSpec::Lex(items)) => self.collect(
-                plan,
-                &working,
-                LexRanking::with_directions(items.clone(), self.weights.clone()),
-            )?,
-        };
-        Ok(QueryResult { columns, rows })
+        run_plan_on(self.db, &self.weights, plan)
     }
 
-    fn collect<R: Ranking + Clone + 'static>(
-        &self,
-        plan: &SqlPlan,
-        db: &Database,
-        ranking: R,
-    ) -> Result<Vec<Tuple>, SqlError> {
-        let k = plan.limit.unwrap_or(usize::MAX);
-        let rows = match &plan.query {
-            PlannedQuery::Single(q) => RankedEnumerator::new(q, db, ranking)?.take(k).collect(),
-            PlannedQuery::Union(u) => UnionEnumerator::new(u, db, ranking)?.take(k).collect(),
-        };
-        Ok(rows)
+    /// Open a *resumable cursor* on a statement: the enumerator is built
+    /// (preprocessing runs once) and successive [`QueryCursor::fetch`]
+    /// calls stream further pages in rank order. The cursor owns its data
+    /// and does not borrow the executor or the database.
+    pub fn open(&self, sql: &str) -> Result<QueryCursor, SqlError> {
+        let statement = parse(sql)?;
+        let plan = plan(&statement, self.db)?;
+        self.open_plan(&plan)
+    }
+
+    /// Open a cursor on an already-planned statement.
+    pub fn open_plan(&self, plan: &SqlPlan) -> Result<QueryCursor, SqlError> {
+        open_plan_on(self.db, &self.weights, plan)
+    }
+}
+
+/// Executes SQL statements against a *shared* [`Database`] behind an
+/// [`Arc`] — the ownership-based sibling of [`SqlExecutor`] for concurrent
+/// settings: the executor is `Send + Sync`, can be cloned cheaply into
+/// worker threads, and the cursors it opens own their inputs, so sessions
+/// keep streaming even while other threads plan and run queries against
+/// the same database.
+///
+/// ```
+/// use re_sql::OwnedSqlExecutor;
+/// use re_storage::{attr::attrs, Database, Relation};
+/// use std::sync::Arc;
+///
+/// let mut db = Database::new();
+/// db.add_relation(Relation::with_tuples("AP", attrs(["aid", "pid"]),
+///     vec![vec![1, 10], vec![2, 10], vec![3, 11]]).unwrap()).unwrap();
+///
+/// let exec = OwnedSqlExecutor::new(Arc::new(db));
+/// let mut cursor = exec.open(
+///     "SELECT DISTINCT AP1.aid, AP2.aid FROM AP AS AP1, AP AS AP2 \
+///      WHERE AP1.pid = AP2.pid ORDER BY AP1.aid + AP2.aid",
+/// ).unwrap();
+/// assert_eq!(cursor.fetch(2), vec![vec![1, 1], vec![1, 2]]);
+/// assert_eq!(cursor.fetch(1), vec![vec![2, 1]]);
+/// ```
+#[derive(Clone)]
+pub struct OwnedSqlExecutor {
+    db: Arc<Database>,
+    weights: WeightAssignment,
+}
+
+impl OwnedSqlExecutor {
+    /// Executor whose `ORDER BY` weights are the attribute values.
+    pub fn new(db: Arc<Database>) -> Self {
+        OwnedSqlExecutor {
+            db,
+            weights: WeightAssignment::value_as_weight(),
+        }
+    }
+
+    /// Executor with an explicit weight assignment.
+    pub fn with_weights(db: Arc<Database>, weights: WeightAssignment) -> Self {
+        OwnedSqlExecutor { db, weights }
+    }
+
+    /// The shared database this executor runs against.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Parse, plan and execute a statement.
+    pub fn run(&self, sql: &str) -> Result<QueryResult, SqlError> {
+        let statement = parse(sql)?;
+        let plan = plan(&statement, &self.db)?;
+        self.run_plan(&plan)
+    }
+
+    /// Parse and plan a statement without executing it. The returned plan
+    /// is immutable and can be cached and shared across threads.
+    pub fn plan(&self, sql: &str) -> Result<SqlPlan, SqlError> {
+        let statement = parse(sql)?;
+        plan(&statement, &self.db)
+    }
+
+    /// Execute an already-planned statement.
+    pub fn run_plan(&self, plan: &SqlPlan) -> Result<QueryResult, SqlError> {
+        run_plan_on(&self.db, &self.weights, plan)
+    }
+
+    /// Open a resumable cursor on a statement (see [`SqlExecutor::open`]).
+    pub fn open(&self, sql: &str) -> Result<QueryCursor, SqlError> {
+        let statement = parse(sql)?;
+        let plan = plan(&statement, &self.db)?;
+        self.open_plan(&plan)
+    }
+
+    /// Open a cursor on an already-planned (possibly cached) statement.
+    pub fn open_plan(&self, plan: &SqlPlan) -> Result<QueryCursor, SqlError> {
+        open_plan_on(&self.db, &self.weights, plan)
+    }
+}
+
+/// Shared execution path of both executors: instantiate derived relations,
+/// open a cursor, drain it.
+fn run_plan_on(
+    db: &Database,
+    weights: &WeightAssignment,
+    plan: &SqlPlan,
+) -> Result<QueryResult, SqlError> {
+    let mut cursor = open_plan_on(db, weights, plan)?;
+    let rows = cursor.fetch_all();
+    Ok(QueryResult {
+        columns: cursor.columns().to_vec(),
+        rows,
+    })
+}
+
+/// Shared cursor-opening path of both executors.
+///
+/// The cursor's enumerator copies the relations it needs during the
+/// full-reducer pass, so the working database only has to *exist* for the
+/// duration of the open. [`SqlPlan::working_database`] returns `None` for
+/// plans without derived relations — those run directly against the
+/// caller's database, no copy at all — and a minimal working set (the
+/// referenced base relations plus the materialised filters) otherwise, so
+/// open cost scales with the queried relations, not the whole catalog
+/// entry.
+fn open_plan_on(
+    db: &Database,
+    weights: &WeightAssignment,
+    plan: &SqlPlan,
+) -> Result<QueryCursor, SqlError> {
+    match plan.working_database(db)? {
+        None => QueryCursor::open(db, weights, plan),
+        Some(working) => QueryCursor::open(&working, weights, plan),
     }
 }
 

@@ -46,15 +46,19 @@
 //!   overridden with a [`re_ranking::WeightAssignment`].
 
 pub mod ast;
+pub mod cursor;
 pub mod error;
 pub mod exec;
+pub mod normalize;
 pub mod parser;
 pub mod planner;
 pub mod token;
 
 pub use ast::{ColumnRef, OrderBy, Predicate, SelectStatement, Statement, TableRef};
+pub use cursor::QueryCursor;
 pub use error::SqlError;
-pub use exec::{query, QueryResult, SqlExecutor};
+pub use exec::{query, OwnedSqlExecutor, QueryResult, SqlExecutor};
+pub use normalize::normalize;
 pub use parser::parse;
 pub use planner::{plan, DerivedRelation, OrderSpec, PlannedQuery, PushedFilter, SqlPlan};
 pub use token::{tokenize, Keyword, Token};

@@ -1,0 +1,109 @@
+//! Token-level SQL normalisation, the plan-cache key function.
+//!
+//! Two statements that differ only in whitespace, keyword case or a
+//! trailing semicolon plan identically, so a plan cache keyed on the raw
+//! text would miss trivially-equal statements. [`normalize`] re-renders the
+//! token stream in a canonical spelling: keywords uppercased, exactly one
+//! space between tokens, `.` binding tight, no space before `,`, and the
+//! trailing semicolon dropped. Identifiers are preserved verbatim (table
+//! and column names are case-sensitive in this engine).
+
+use crate::error::SqlError;
+use crate::token::{tokenize, Keyword, Token};
+
+/// Canonical spelling of a keyword.
+fn keyword_str(k: Keyword) -> &'static str {
+    match k {
+        Keyword::Select => "SELECT",
+        Keyword::Distinct => "DISTINCT",
+        Keyword::From => "FROM",
+        Keyword::Where => "WHERE",
+        Keyword::And => "AND",
+        Keyword::Order => "ORDER",
+        Keyword::By => "BY",
+        Keyword::Limit => "LIMIT",
+        Keyword::As => "AS",
+        Keyword::Union => "UNION",
+        Keyword::Asc => "ASC",
+        Keyword::Desc => "DESC",
+        Keyword::True => "TRUE",
+        Keyword::False => "FALSE",
+    }
+}
+
+/// Normalise a statement to its canonical token spelling. Lexically invalid
+/// input is rejected (the caller would fail to parse it anyway).
+pub fn normalize(sql: &str) -> Result<String, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut out = String::with_capacity(sql.len());
+    let mut glue_next = false; // previous token was `.`: join without space
+    for spanned in &tokens {
+        let piece = match &spanned.token {
+            Token::Keyword(k) => keyword_str(*k).to_string(),
+            Token::Ident(s) => s.clone(),
+            Token::Number(n) => n.to_string(),
+            Token::Comma => ",".to_string(),
+            Token::Dot => ".".to_string(),
+            Token::Plus => "+".to_string(),
+            Token::Eq => "=".to_string(),
+            Token::Semicolon | Token::Eof => continue,
+        };
+        let tight = matches!(spanned.token, Token::Comma | Token::Dot);
+        if !out.is_empty() && !tight && !glue_next {
+            out.push(' ');
+        }
+        out.push_str(&piece);
+        glue_next = matches!(spanned.token, Token::Dot);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_case_and_semicolon_are_normalised_away() {
+        let a = normalize(
+            "select distinct  AP1.aid,AP2.aid from AP as AP1 , AP AS AP2 \
+             where AP1.pid=AP2.pid order by AP1.aid + AP2.aid limit 5 ;",
+        )
+        .unwrap();
+        let b = normalize(
+            "SELECT DISTINCT AP1.aid, AP2.aid FROM AP AS AP1, AP AS AP2 \
+             WHERE AP1.pid = AP2.pid ORDER BY AP1.aid+AP2.aid LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "SELECT DISTINCT AP1.aid, AP2.aid FROM AP AS AP1, AP AS AP2 \
+             WHERE AP1.pid = AP2.pid ORDER BY AP1.aid + AP2.aid LIMIT 5"
+        );
+    }
+
+    #[test]
+    fn identifier_case_is_preserved() {
+        let a = normalize("SELECT DISTINCT x FROM T").unwrap();
+        let b = normalize("SELECT DISTINCT X FROM t").unwrap();
+        assert_ne!(a, b, "identifiers are case-sensitive");
+    }
+
+    #[test]
+    fn semantically_different_statements_stay_different() {
+        let a = normalize("SELECT DISTINCT x FROM T LIMIT 5").unwrap();
+        let b = normalize("SELECT DISTINCT x FROM T LIMIT 6").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lexical_errors_are_reported() {
+        assert!(normalize("SELECT ? FROM T").is_err());
+    }
+
+    #[test]
+    fn normalisation_is_idempotent() {
+        let once = normalize("select distinct a.b from T as a").unwrap();
+        assert_eq!(normalize(&once).unwrap(), once);
+    }
+}

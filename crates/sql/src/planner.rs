@@ -106,8 +106,13 @@ pub struct SqlPlan {
 }
 
 impl SqlPlan {
-    /// Build a working database containing the base relations plus every
+    /// Build a working database containing *all* base relations plus every
     /// derived relation of this plan.
+    ///
+    /// This is a convenience for inspecting a plan's derived relations in
+    /// context; execution does **not** use it — the executors call
+    /// [`SqlPlan::working_database`], which copies only what the plan
+    /// references.
     pub fn instantiate(&self, db: &Database) -> Result<Database, SqlError> {
         let mut out = db.clone();
         for d in &self.derived {
@@ -115,6 +120,36 @@ impl SqlPlan {
             out.set_relation(d.materialise(&base));
         }
         Ok(out)
+    }
+
+    /// The minimal working set for executing this plan: `None` when the
+    /// plan has no derived relations (execute directly against `db`, no
+    /// copy at all); otherwise a database holding the materialised derived
+    /// relations plus the base relations the plan's atoms reference —
+    /// open cost scales with the queried relations, not with `db`.
+    pub fn working_database(&self, db: &Database) -> Result<Option<Database>, SqlError> {
+        if self.derived.is_empty() {
+            return Ok(None);
+        }
+        let mut out = Database::new();
+        for d in &self.derived {
+            let base = db.relation(&d.base)?;
+            out.set_relation(d.materialise(base));
+        }
+        let atom_relations: Vec<&str> = match &self.query {
+            PlannedQuery::Single(q) => q.atoms().iter().map(|a| a.relation.as_str()).collect(),
+            PlannedQuery::Union(u) => u
+                .branches()
+                .iter()
+                .flat_map(|q| q.atoms().iter().map(|a| a.relation.as_str()))
+                .collect(),
+        };
+        for name in atom_relations {
+            if !out.contains(name) {
+                out.set_relation(db.relation(name)?.clone());
+            }
+        }
+        Ok(Some(out))
     }
 }
 
@@ -696,6 +731,29 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SqlError::Unsupported(ref m) if m.contains("UNION")));
+    }
+
+    #[test]
+    fn working_database_is_minimal() {
+        let db = dblp_db();
+        // No derived relations → no working copy at all.
+        let p = plan_sql("SELECT DISTINCT AP1.aid FROM AuthorPapers AS AP1").unwrap();
+        assert!(p.working_database(&db).unwrap().is_none());
+        // With a pushed-down filter: the derived relation and the other
+        // referenced base relation are present, the filtered-away base and
+        // unreferenced relations are not.
+        let p = plan_sql(
+            "SELECT DISTINCT AP1.aid FROM AuthorPapers AS AP1, Paper AS P \
+             WHERE AP1.pid = P.pid AND P.is_research = TRUE",
+        )
+        .unwrap();
+        let working = p.working_database(&db).unwrap().unwrap();
+        assert!(working.contains(&p.derived[0].name));
+        assert!(working.contains("AuthorPapers"));
+        assert!(
+            !working.contains("Paper"),
+            "the unreferenced base of a derived relation is not copied"
+        );
     }
 
     #[test]

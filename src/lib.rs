@@ -48,7 +48,8 @@
 //! | [`ranking`] | SUM / LEXICOGRAPHIC / MIN / MAX ranking functions and weight assignments |
 //! | [`join`] | semi-joins, Yannakakis full reducer, hash joins, bag materialisation |
 //! | [`core`] | the paper's enumerators (acyclic, lexicographic, star, cyclic, union) |
-//! | [`sql`] | SQL front-end: parse/plan/execute `SELECT DISTINCT ... ORDER BY ... LIMIT k` |
+//! | [`sql`] | SQL front-end: parse/plan/execute `SELECT DISTINCT ... ORDER BY ... LIMIT k`, resumable cursors |
+//! | [`server`] | concurrent ranked-query service: catalog, sessions, plan cache, JSON-lines TCP protocol |
 //! | [`baseline`] | the evaluation baselines (materialise+sort, BFS+sort, full any-k) |
 //! | [`datagen`] | synthetic DBLP/IMDB/social/LDBC-style dataset generators |
 //! | [`workloads`] | the paper's concrete benchmark queries wired to the generators |
@@ -59,6 +60,7 @@ pub use re_datagen as datagen;
 pub use re_join as join;
 pub use re_query as query;
 pub use re_ranking as ranking;
+pub use re_server as server;
 pub use re_sql as sql;
 pub use re_storage as storage;
 pub use re_workloads as workloads;
@@ -83,10 +85,20 @@ pub mod scale {
 }
 
 /// The most commonly used items, importable with one `use`.
+///
+/// Since the server subsystem landed, every enumerator (and everything a
+/// ranking carries) is `Send` and **owns** its inputs — the full-reducer
+/// pass copies the relations it needs out of the database — so enumerators
+/// built here can be boxed as [`rankedenum_core::RankedStream`]s, parked in
+/// session tables and resumed from other threads. [`re_sql::SqlExecutor`]
+/// keeps its borrow-based API for single-threaded use;
+/// [`re_sql::OwnedSqlExecutor`] is the `Arc<Database>`-based sibling for
+/// concurrent settings.
 pub mod prelude {
     pub use rankedenum_core::{
-        top_k, AcyclicEnumerator, CyclicEnumerator, EnumError, EnumStats, LexiEnumerator,
-        RankedEnumerator, StarEnumerator, UnionEnumerator,
+        select, top_k, AcyclicEnumerator, Algorithm, CyclicEnumerator, EnumError, EnumStats,
+        LexiEnumerator, RankedEnumerator, RankedStream, SharedStats, StarEnumerator, StatsSnapshot,
+        UnionEnumerator,
     };
     pub use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
     pub use re_query::{
@@ -96,7 +108,10 @@ pub mod prelude {
         AvgRanking, Direction, LexRanking, MaxRanking, MinRanking, ProductRanking, Ranking,
         SumProductRanking, SumRanking, Weight, WeightAssignment, WeightedSumRanking,
     };
-    pub use re_sql::{query as sql_query, SqlExecutor};
+    pub use re_server::{
+        serve, Catalog, LocalClient, RankedQueryServer, ServerConfig, TcpClient, Transport,
+    };
+    pub use re_sql::{query as sql_query, OwnedSqlExecutor, QueryCursor, SqlExecutor};
     pub use re_storage::attr::attrs;
     pub use re_storage::{Attr, Database, Relation, Tuple, Value};
 }

@@ -16,6 +16,7 @@ const EXAMPLES: &[&str] = &[
     "ldbc_union",
     "quickstart",
     "recommendation_scores",
+    "server_quickstart",
     "sql_frontend",
     "star_tradeoff",
 ];

@@ -22,6 +22,14 @@ run cargo test -q --workspace
 # part of the workspace tests, but run it explicitly so a hang or flake is
 # attributed to the right target.
 run cargo test -q -p re_server --test server_integration
+# Parallel preprocessing is contractually bit-for-bit deterministic: the
+# suite compares every re_workloads query against the serial engine at
+# pool sizes 1, 2 and N. Run it under both env-forced thread counts so a
+# scheduling-dependent merge can never slip through.
+run env RE_EXEC_THREADS=1 cargo test -q -p rankedenum --test parallel_determinism
+run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test parallel_determinism
+# Pin serial-vs-pooled 6-cycle bag materialisation; writes BENCH_preprocess.json.
+run cargo bench -q -p re_bench --bench preprocess
 # Drive the server end to end over real sockets at smoke scale.
 run env RE_SCALE=0.05 cargo run -q --release --example server_quickstart
 run cargo bench --workspace --no-run

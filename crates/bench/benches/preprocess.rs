@@ -1,0 +1,130 @@
+//! Preprocessing wall-time: serial vs. pooled GHD bag materialisation.
+//!
+//! PR 1 measured bag materialisation dominating 6/8-cycle preprocessing;
+//! this bench pins the speedup the `re_exec` engine buys on exactly that
+//! hot spot: the 6-cycle DBLP workload's `CyclicEnumerator` construction
+//! (bag semi-join sweeps + hash joins + distinct projections + full
+//! reducer of the residual query), serial vs. pooled at 2 and
+//! machine-many threads.
+//!
+//! Every pooled run is checked to produce the same `bag_sizes` and the
+//! same top answers as the serial run before its time is accepted — a
+//! speedup that changed the output would be a bug, not a result.
+//!
+//! Results go to stdout as a table and to `BENCH_preprocess.json` in the
+//! repo root (schema: workload, edges, serial_ms, runs[{threads, ms,
+//! speedup}]).
+
+use rankedenum_core::{CyclicEnumerator, ExecContext, WorkerPool};
+use re_bench::Scale;
+use re_storage::Tuple;
+use re_workloads::membership::WeightScheme;
+use re_workloads::DblpWorkload;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 3;
+const CHECK_ANSWERS: usize = 50;
+
+struct Measured {
+    millis: f64,
+    bag_sizes: Vec<usize>,
+    top: Vec<Tuple>,
+}
+
+fn measure(
+    dblp: &DblpWorkload,
+    spec: &re_workloads::QuerySpec,
+    plan: &re_query::GhdPlan,
+    ctx: &ExecContext,
+) -> Measured {
+    let mut best = Duration::MAX;
+    let mut bag_sizes = Vec::new();
+    let mut top = Vec::new();
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let e = CyclicEnumerator::new_ctx(&spec.query, dblp.db(), spec.sum_ranking(), plan, ctx)
+            .expect("cyclic preprocessing");
+        let elapsed = start.elapsed();
+        best = best.min(elapsed);
+        bag_sizes = e.bag_sizes().to_vec();
+        top = e.take(CHECK_ANSWERS).collect();
+    }
+    Measured {
+        millis: best.as_secs_f64() * 1_000.0,
+        bag_sizes,
+        top,
+    }
+}
+
+fn main() {
+    let factor = Scale::from_env().factor();
+    let edges = 2_200 * factor;
+    let dblp = DblpWorkload::generate(edges, 42, WeightScheme::Random);
+    let (spec, plan) = dblp.cycle(3); // the 6-cycle
+
+    let serial = measure(&dblp, &spec, &plan, &ExecContext::serial());
+    println!(
+        "preprocess/{}/serial: {:.1} ms (bags: {:?}, machine threads: {})",
+        spec.name,
+        serial.millis,
+        serial.bag_sizes,
+        re_exec::machine_threads()
+    );
+
+    // pooled-1 isolates the parallel algorithms' intrinsic overhead from
+    // the core count; 2 and the machine size show the actual scaling.
+    let machine = re_exec::machine_threads();
+    let mut thread_counts = vec![1, 2];
+    if machine > 2 {
+        thread_counts.push(machine);
+    }
+
+    let mut runs = Vec::new();
+    for &threads in &thread_counts {
+        let ctx = ExecContext::pooled(WorkerPool::new(threads));
+        let pooled = measure(&dblp, &spec, &plan, &ctx);
+        assert_eq!(
+            pooled.bag_sizes, serial.bag_sizes,
+            "pooled preprocessing changed the bag sizes"
+        );
+        assert_eq!(
+            pooled.top, serial.top,
+            "pooled preprocessing changed the answers"
+        );
+        let speedup = serial.millis / pooled.millis;
+        println!(
+            "preprocess/{}/pooled-{threads}: {:.1} ms  ({speedup:.2}x vs serial)",
+            spec.name, pooled.millis
+        );
+        runs.push((threads, pooled.millis, speedup));
+    }
+    if machine < 2 {
+        println!(
+            "note: this machine exposes a single core — pooled runs can at \
+             best tie serial here; the pooled-1 ratio above is the parallel \
+             kernels' intrinsic overhead, which is what multicore speedup \
+             is bounded by."
+        );
+    }
+
+    let runs_json: Vec<String> = runs
+        .iter()
+        .map(|(threads, ms, speedup)| {
+            format!("{{\"threads\":{threads},\"ms\":{ms:.3},\"speedup\":{speedup:.3}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\"workload\":\"{}\",\"edges\":{edges},\"machine_threads\":{machine},\
+         \"bag_sizes\":{:?},\"serial_ms\":{:.3},\"runs\":[{}]}}\n",
+        spec.name,
+        serial.bag_sizes,
+        serial.millis,
+        runs_json.join(",")
+    );
+    // The repo root is two levels above the bench crate.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_preprocess.json");
+    std::fs::write(&out, json).expect("write BENCH_preprocess.json");
+    println!("wrote {}", out.display());
+}

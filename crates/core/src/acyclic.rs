@@ -20,7 +20,8 @@
 use crate::cell::{Cell, CellId, HeapEntry, NextPtr};
 use crate::error::EnumError;
 use crate::stats::EnumStats;
-use re_join::reduce_then_prune;
+use re_exec::ExecContext;
+use re_join::reduce_then_prune_ctx;
 use re_query::{JoinProjectQuery, JoinTree};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Relation, Tuple};
@@ -95,6 +96,21 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
         Self::with_tree(query, db, ranking, tree)
     }
 
+    /// Build the enumerator with a default join tree, running the
+    /// full-reducer preprocessing pass under `ctx` (morsel-parallel
+    /// semi-joins on a pooled context). The enumerator — and therefore
+    /// every emitted answer — is identical to the serial build at any
+    /// thread count.
+    pub fn new_ctx(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
+        let tree = JoinTree::build(query)?;
+        Self::with_tree_ctx(query, db, ranking, tree, ctx)
+    }
+
     /// Build the enumerator with an explicit join tree (any root is valid;
     /// the complexity guarantees do not depend on the choice).
     pub fn with_tree(
@@ -103,8 +119,20 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
         ranking: R,
         tree: JoinTree,
     ) -> Result<Self, EnumError> {
+        Self::with_tree_ctx(query, db, ranking, tree, &ExecContext::serial())
+    }
+
+    /// Build the enumerator with an explicit join tree and execution
+    /// context (see [`AcyclicEnumerator::new_ctx`]).
+    pub fn with_tree_ctx(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        tree: JoinTree,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let (pruned, reduced) = reduce_then_prune(query, tree, db)?;
+        let (pruned, reduced) = reduce_then_prune_ctx(ctx, query, tree, db)?;
         Self::from_reduced(query.projection().to_vec(), ranking, pruned, reduced)
     }
 

@@ -5,6 +5,7 @@ use crate::acyclic::AcyclicEnumerator;
 use crate::cyclic::CyclicEnumerator;
 use crate::error::EnumError;
 use crate::stats::EnumStats;
+use re_exec::ExecContext;
 use re_query::{Hypergraph, JoinProjectQuery};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Tuple};
@@ -67,12 +68,24 @@ pub enum RankedEnumerator<R: Ranking + Clone> {
 impl<R: Ranking + Clone> RankedEnumerator<R> {
     /// Build an enumerator for `query` over `db` under `ranking`.
     pub fn new(query: &JoinProjectQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
+        Self::new_ctx(query, db, ranking, &ExecContext::serial())
+    }
+
+    /// Build an enumerator whose preprocessing (full reducer, GHD bag
+    /// materialisation) runs under `ctx` — pooled contexts parallelise it
+    /// without changing a single output byte.
+    pub fn new_ctx(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
         match select(query) {
-            Algorithm::Acyclic => Ok(RankedEnumerator::Acyclic(AcyclicEnumerator::new(
-                query, db, ranking,
+            Algorithm::Acyclic => Ok(RankedEnumerator::Acyclic(AcyclicEnumerator::new_ctx(
+                query, db, ranking, ctx,
             )?)),
-            _ => Ok(RankedEnumerator::Cyclic(CyclicEnumerator::new_auto(
-                query, db, ranking,
+            _ => Ok(RankedEnumerator::Cyclic(CyclicEnumerator::new_auto_ctx(
+                query, db, ranking, ctx,
             )?)),
         }
     }

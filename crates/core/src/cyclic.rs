@@ -10,7 +10,8 @@
 use crate::acyclic::AcyclicEnumerator;
 use crate::error::EnumError;
 use crate::stats::EnumStats;
-use re_join::materialize_bag;
+use re_exec::ExecContext;
+use re_join::materialize_bags;
 use re_query::{Atom, GhdPlan, JoinProjectQuery, JoinTree, QueryError};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Tuple};
@@ -29,12 +30,32 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         ranking: R,
         plan: &GhdPlan,
     ) -> Result<Self, EnumError> {
+        Self::new_ctx(query, db, ranking, plan, &ExecContext::serial())
+    }
+
+    /// Build the enumerator from an explicit GHD plan under an execution
+    /// context. On a pooled context the bags are materialised as parallel
+    /// pool tasks (they are independent sub-joins) and the kernels inside
+    /// each bag — semi-join sweeps, hash joins, distinct-projection — fan
+    /// out further over morsels of the same pool. Bag materialisation
+    /// dominates cyclic preprocessing, so this is where the cores go.
+    ///
+    /// Determinism contract: the bag relations, `bag_sizes()` and the full
+    /// enumeration order are identical to the serial build at any thread
+    /// count.
+    pub fn new_ctx(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        plan: &GhdPlan,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
         let mut bag_db = Database::new();
         let mut atoms = Vec::with_capacity(plan.len());
         let mut bag_sizes = Vec::with_capacity(plan.len());
-        for bag in plan.bags() {
-            let rel = materialize_bag(query, db, bag)?;
+        let rels = materialize_bags(query, db, plan.bags(), ctx)?;
+        for (bag, rel) in plan.bags().iter().zip(rels) {
             bag_sizes.push(rel.len());
             atoms.push(Atom::new(
                 bag.name.clone(),
@@ -49,7 +70,7 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
             Err(QueryError::NotAcyclic) => return Err(EnumError::ResidualCyclic),
             Err(e) => return Err(EnumError::Query(e)),
         };
-        let inner = AcyclicEnumerator::with_tree(&residual, &bag_db, ranking, tree)?;
+        let inner = AcyclicEnumerator::with_tree_ctx(&residual, &bag_db, ranking, tree, ctx)?;
         Ok(CyclicEnumerator { inner, bag_sizes })
     }
 
@@ -62,8 +83,18 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         db: &Database,
         ranking: R,
     ) -> Result<Self, EnumError> {
+        Self::new_auto_ctx(query, db, ranking, &ExecContext::serial())
+    }
+
+    /// [`CyclicEnumerator::new_auto`] under an execution context.
+    pub fn new_auto_ctx(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
         let plan = GhdPlan::for_cycle(query).unwrap_or_else(|_| GhdPlan::single_bag(query));
-        Self::new(query, db, ranking, &plan)
+        Self::new_ctx(query, db, ranking, &plan, ctx)
     }
 
     /// Sizes of the materialised bag relations (preprocessing cost proxy).

@@ -39,6 +39,9 @@ pub use cell::{Cell, CellId, HeapEntry, NextPtr};
 pub use cyclic::CyclicEnumerator;
 pub use error::EnumError;
 pub use lexi::LexiEnumerator;
+// Re-exported so downstream layers (SQL cursors, the server) can accept an
+// execution context and size pools without depending on `re_exec` directly.
+pub use re_exec::{machine_threads, ExecContext, PoolStats, WorkerPool};
 pub use star::StarEnumerator;
 pub use stats::{EnumStats, SharedStats, StatsSnapshot};
 pub use stream::RankedStream;

@@ -22,7 +22,8 @@ use crate::acyclic::AcyclicEnumerator;
 use crate::error::EnumError;
 use crate::merge::MergeEntry;
 use crate::stats::EnumStats;
-use re_join::{full_reduce, hash_join, project_distinct};
+use re_exec::ExecContext;
+use re_join::{full_reduce_ctx, par_hash_join, par_project_distinct};
 use re_query::{Atom, JoinProjectQuery, JoinTree, StarShape};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, HashIndex, Relation, Tuple};
@@ -51,6 +52,20 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
         ranking: R,
         threshold: usize,
     ) -> Result<Self, EnumError> {
+        Self::new_ctx(query, db, ranking, threshold, &ExecContext::serial())
+    }
+
+    /// [`StarEnumerator::new`] with the preprocessing — full reducer and
+    /// the all-heavy output materialisation (the `O_H` join + distinct of
+    /// Algorithm 4, the expensive part at small δ) — running under `ctx`.
+    /// Identical output at any thread count.
+    pub fn new_ctx(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        threshold: usize,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
         if threshold == 0 {
             return Err(EnumError::InvalidThreshold);
         }
@@ -62,7 +77,7 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
         // Dangling-free atom relations (node index == atom index because the
         // tree is not pruned).
         let tree = JoinTree::build(query)?;
-        let reduced = full_reduce(query, &tree, db)?;
+        let reduced = full_reduce_ctx(ctx, query, &tree, db)?;
         let empty = reduced.iter().any(|r| r.is_empty());
 
         // Heavy/light split per atom, on the atom's leaf attribute(s).
@@ -91,9 +106,9 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
         if !empty && heavy_rels.iter().all(|r| !r.is_empty()) {
             let mut acc = heavy_rels[0].clone();
             for rel in &heavy_rels[1..] {
-                acc = hash_join(&acc, rel, "heavy_join")?;
+                acc = par_hash_join(ctx, &acc, rel, "heavy_join")?;
             }
-            let distinct = project_distinct(&acc, &projection)?;
+            let distinct = par_project_distinct(ctx, &acc, &projection)?;
             heavy_output = distinct
                 .iter()
                 .map(|t| {
@@ -126,11 +141,12 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
                 let sub_query = JoinProjectQuery::new(atoms, projection.clone())?;
                 // Join tree T_i: R_i as root, all other relations as children.
                 let sub_tree = JoinTree::build_rooted(&sub_query, i)?;
-                subs.push(AcyclicEnumerator::with_tree(
+                subs.push(AcyclicEnumerator::with_tree_ctx(
                     &sub_query,
                     &sub_db,
                     ranking.clone(),
                     sub_tree,
+                    ctx,
                 )?);
             }
         }

@@ -90,13 +90,16 @@ impl EnumStats {
     }
 
     /// Cheap `Copy` summary of the counters, without the per-answer delay
-    /// histogram. This is what crosses thread boundaries.
+    /// histogram. This is what crosses thread boundaries. The pool counters
+    /// are zero here: enumerators do not own the worker pool; the process
+    /// that does (e.g. the server) fills them in.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             pq_pushes: self.pq_pushes,
             pq_pops: self.pq_pops,
             cells_created: self.cells_created,
             answers: self.answers,
+            ..StatsSnapshot::zero()
         }
     }
 }
@@ -114,6 +117,14 @@ pub struct StatsSnapshot {
     pub cells_created: u64,
     /// Number of answers emitted so far.
     pub answers: u64,
+    /// Parallel-preprocessing tasks executed on the worker pool (morsels,
+    /// radix partitions and bags — see `re_exec::PoolStats`).
+    pub pool_tasks: u64,
+    /// Pool tasks that were work-stolen from another worker's deque.
+    pub pool_steals: u64,
+    /// Wall-clock time spent inside pool task bodies, in microseconds,
+    /// summed over all threads.
+    pub pool_busy_micros: u64,
 }
 
 impl StatsSnapshot {
@@ -128,6 +139,9 @@ impl StatsSnapshot {
         self.pq_pops += other.pq_pops;
         self.cells_created += other.cells_created;
         self.answers += other.answers;
+        self.pool_tasks += other.pool_tasks;
+        self.pool_steals += other.pool_steals;
+        self.pool_busy_micros += other.pool_busy_micros;
     }
 
     /// Component-wise difference `self - earlier` (saturating, so a stale
@@ -139,6 +153,11 @@ impl StatsSnapshot {
             pq_pops: self.pq_pops.saturating_sub(earlier.pq_pops),
             cells_created: self.cells_created.saturating_sub(earlier.cells_created),
             answers: self.answers.saturating_sub(earlier.answers),
+            pool_tasks: self.pool_tasks.saturating_sub(earlier.pool_tasks),
+            pool_steals: self.pool_steals.saturating_sub(earlier.pool_steals),
+            pool_busy_micros: self
+                .pool_busy_micros
+                .saturating_sub(earlier.pool_busy_micros),
         }
     }
 
@@ -158,6 +177,9 @@ pub struct SharedStats {
     pq_pops: AtomicU64,
     cells_created: AtomicU64,
     answers: AtomicU64,
+    pool_tasks: AtomicU64,
+    pool_steals: AtomicU64,
+    pool_busy_micros: AtomicU64,
 }
 
 impl SharedStats {
@@ -174,6 +196,12 @@ impl SharedStats {
         self.cells_created
             .fetch_add(delta.cells_created, Ordering::Relaxed);
         self.answers.fetch_add(delta.answers, Ordering::Relaxed);
+        self.pool_tasks
+            .fetch_add(delta.pool_tasks, Ordering::Relaxed);
+        self.pool_steals
+            .fetch_add(delta.pool_steals, Ordering::Relaxed);
+        self.pool_busy_micros
+            .fetch_add(delta.pool_busy_micros, Ordering::Relaxed);
     }
 
     /// Current totals.
@@ -183,6 +211,9 @@ impl SharedStats {
             pq_pops: self.pq_pops.load(Ordering::Relaxed),
             cells_created: self.cells_created.load(Ordering::Relaxed),
             answers: self.answers.load(Ordering::Relaxed),
+            pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
+            pool_steals: self.pool_steals.load(Ordering::Relaxed),
+            pool_busy_micros: self.pool_busy_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -274,6 +305,9 @@ mod tests {
                             pq_pops: 2,
                             cells_created: 3,
                             answers: 4,
+                            pool_tasks: 5,
+                            pool_steals: 6,
+                            pool_busy_micros: 7,
                         });
                     }
                 })
@@ -287,6 +321,9 @@ mod tests {
         assert_eq!(total.pq_pops, 800);
         assert_eq!(total.cells_created, 1200);
         assert_eq!(total.answers, 1600);
+        assert_eq!(total.pool_tasks, 2000);
+        assert_eq!(total.pool_steals, 2400);
+        assert_eq!(total.pool_busy_micros, 2800);
     }
 
     #[test]
@@ -297,6 +334,7 @@ mod tests {
             pq_pops: 6,
             cells_created: 7,
             answers: 8,
+            ..StatsSnapshot::zero()
         });
         assert_eq!(a.pq_pushes, 5);
         assert_eq!(a.answers, 8);

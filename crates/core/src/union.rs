@@ -12,6 +12,7 @@ use crate::error::EnumError;
 use crate::merge::MergeEntry;
 use crate::stats::{EnumStats, StatsSnapshot};
 use crate::stream::RankedStream;
+use re_exec::ExecContext;
 use re_query::{Hypergraph, UnionQuery};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Tuple};
@@ -64,20 +65,30 @@ impl<R: Ranking + Clone + 'static> UnionEnumerator<R> {
     /// [`AcyclicEnumerator`], each cyclic branch a [`CyclicEnumerator`] with
     /// an automatically chosen GHD plan.
     pub fn new(union: &UnionQuery, db: &Database, ranking: R) -> Result<Self, EnumError> {
+        Self::new_ctx(union, db, ranking, &ExecContext::serial())
+    }
+
+    /// [`UnionEnumerator::new`] with every branch's preprocessing running
+    /// under `ctx` (see [`AcyclicEnumerator::new_ctx`]).
+    pub fn new_ctx(
+        union: &UnionQuery,
+        db: &Database,
+        ranking: R,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
         let mut branches: Vec<BranchStream> = Vec::with_capacity(union.len());
         for q in union.branches() {
             if Hypergraph::of_query(q).is_acyclic() {
-                branches.push(BranchStream::Ranked(Box::new(AcyclicEnumerator::new(
+                branches.push(BranchStream::Ranked(Box::new(AcyclicEnumerator::new_ctx(
                     q,
                     db,
                     ranking.clone(),
+                    ctx,
                 )?)));
             } else {
-                branches.push(BranchStream::Ranked(Box::new(CyclicEnumerator::new_auto(
-                    q,
-                    db,
-                    ranking.clone(),
-                )?)));
+                branches.push(BranchStream::Ranked(Box::new(
+                    CyclicEnumerator::new_auto_ctx(q, db, ranking.clone(), ctx)?,
+                )));
             }
         }
         Ok(Self::merge(union.projection().to_vec(), ranking, branches))

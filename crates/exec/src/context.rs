@@ -1,0 +1,205 @@
+//! Execution contexts: the handle relational kernels take to decide
+//! *whether* and *how* to parallelise.
+//!
+//! An [`ExecContext`] is either serial or backed by a shared
+//! [`WorkerPool`]. Kernels call [`ExecContext::map`] over their morsel /
+//! partition / bag index space and merge the per-index results **by
+//! index**, which is what makes every parallel kernel produce output
+//! identical to its serial counterpart at any thread count.
+
+use crate::pool::{default_thread_count, PoolStats, WorkerPool};
+use std::sync::{Arc, OnceLock};
+
+/// Default number of tuples per morsel. Large enough that per-task
+/// bookkeeping (one `Box`, one completion count decrement) is noise, small
+/// enough that a skewed chunk cannot serialise the batch.
+pub const DEFAULT_MORSEL_ROWS: usize = 16_384;
+
+/// Default minimum input size (in rows) before a kernel leaves its serial
+/// path. Below this the serial kernel wins on every machine we care about.
+pub const DEFAULT_MIN_PAR_ROWS: usize = 4_096;
+
+/// Environment variable read by [`ExecContext::from_env`]: the number of
+/// pool threads (`0` or `1` mean serial execution).
+pub const THREADS_ENV: &str = "RE_EXEC_THREADS";
+
+/// A serial-or-pooled execution context handed down through preprocessing.
+#[derive(Clone)]
+pub struct ExecContext {
+    pool: Option<Arc<WorkerPool>>,
+    morsel_rows: usize,
+    min_par_rows: usize,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::serial()
+    }
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("threads", &self.threads())
+            .field("morsel_rows", &self.morsel_rows)
+            .field("min_par_rows", &self.min_par_rows)
+            .finish()
+    }
+}
+
+impl ExecContext {
+    /// A context that runs everything on the calling thread.
+    pub fn serial() -> Self {
+        ExecContext {
+            pool: None,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            min_par_rows: DEFAULT_MIN_PAR_ROWS,
+        }
+    }
+
+    /// A context backed by an existing pool.
+    pub fn pooled(pool: Arc<WorkerPool>) -> Self {
+        ExecContext {
+            pool: Some(pool),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            min_par_rows: DEFAULT_MIN_PAR_ROWS,
+        }
+    }
+
+    /// A context with a freshly spawned pool of `threads` workers
+    /// (`threads <= 1` yields a serial context).
+    pub fn with_threads(threads: usize) -> Self {
+        if threads <= 1 {
+            ExecContext::serial()
+        } else {
+            ExecContext::pooled(WorkerPool::new(threads))
+        }
+    }
+
+    /// Read [`THREADS_ENV`] and return a serial context (unset, `0`, `1`,
+    /// or unparsable) or a context over a process-wide shared pool. The
+    /// shared pool is created on first use and sized by the value seen
+    /// then.
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            Some(n) if n > 1 => {
+                static SHARED: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+                ExecContext::pooled(Arc::clone(SHARED.get_or_init(|| WorkerPool::new(n))))
+            }
+            _ => ExecContext::serial(),
+        }
+    }
+
+    /// Override the morsel granularity (tests force tiny morsels so small
+    /// inputs still exercise the parallel paths).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Override the serial-fallback threshold.
+    pub fn with_min_par_rows(mut self, rows: usize) -> Self {
+        self.min_par_rows = rows;
+        self
+    }
+
+    /// Whether a pool backs this context.
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Worker threads available (1 for a serial context).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    /// The backing pool, if any.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Rows per morsel.
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    /// Whether a kernel over `rows` input rows should take its parallel
+    /// path under this context.
+    pub fn should_parallelise(&self, rows: usize) -> bool {
+        self.pool.is_some() && rows >= self.min_par_rows
+    }
+
+    /// Pool counters (zero for a serial context).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool
+            .as_ref()
+            .map_or_else(PoolStats::default, |p| p.stats())
+    }
+
+    /// Evaluate `f(0), ..., f(n - 1)` — on the pool when present, inline
+    /// otherwise — and return the results in index order. The index-ordered
+    /// merge is the determinism contract: callers never observe scheduling.
+    pub fn map<'env, T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: Fn(usize) -> T + Sync + 'env,
+    {
+        match &self.pool {
+            Some(pool) => pool.map_indexed(n, f),
+            None => (0..n).map(f).collect(),
+        }
+    }
+
+    /// Run `f(0), ..., f(n - 1)` for effect (pooled or inline).
+    pub fn run<'env, F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync + 'env,
+    {
+        match &self.pool {
+            Some(pool) => pool.run_indexed(n, f),
+            None => (0..n).for_each(f),
+        }
+    }
+}
+
+/// The machine's available parallelism (re-exported for sizing configs).
+pub fn machine_threads() -> usize {
+    default_thread_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_map_matches_pooled_map() {
+        let serial = ExecContext::serial();
+        let pooled = ExecContext::with_threads(3);
+        assert!(!serial.is_parallel());
+        assert!(pooled.is_parallel());
+        assert_eq!(pooled.threads(), 3);
+        let a = serial.map(10, |i| i * 7);
+        let b = pooled.map(10, |i| i * 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thresholds_gate_parallelism() {
+        let ctx = ExecContext::with_threads(2).with_min_par_rows(100);
+        assert!(!ctx.should_parallelise(99));
+        assert!(ctx.should_parallelise(100));
+        assert!(!ExecContext::serial().should_parallelise(1 << 30));
+    }
+
+    #[test]
+    fn env_context_defaults_to_serial() {
+        // The test environment does not set RE_EXEC_THREADS, so this must
+        // not spin up threads.
+        if std::env::var(THREADS_ENV).is_err() {
+            assert!(!ExecContext::from_env().is_parallel());
+        }
+    }
+}

@@ -5,52 +5,94 @@
 //! de-duplication) onto the bag attributes. The resulting bag relations form
 //! an acyclic residual query which the acyclic enumerator then processes.
 
-use crate::bind::bind_atoms;
+use crate::bind::bind_atom;
 use crate::error::JoinError;
-use crate::hashjoin::{hash_join, project_distinct};
-use crate::reducer::semi_join;
+use crate::parallel::{par_hash_join, par_project_distinct, par_semi_join};
+use re_exec::ExecContext;
 use re_query::{Bag, JoinProjectQuery};
 use re_storage::{Database, Relation};
 
 /// Materialise one GHD bag: `π_{bag.attrs}(⋈_{i ∈ bag.atoms} atom_i)`,
-/// de-duplicated, named `bag.name`.
-///
-/// Before joining, a round of pairwise semi-joins shrinks the atom relations
-/// (a cheap partial reducer); the join itself is a left-deep hash-join plan
-/// in the order the atoms are listed in the bag.
+/// de-duplicated, named `bag.name`. Serial entry point — see
+/// [`materialize_bag_ctx`] for the pooled variant.
 pub fn materialize_bag(
     query: &JoinProjectQuery,
     db: &Database,
     bag: &Bag,
 ) -> Result<Relation, JoinError> {
-    let bound_all = bind_atoms(query, db)?;
-    let mut rels: Vec<Relation> = bag.atoms.iter().map(|&i| bound_all[i].clone()).collect();
+    materialize_bag_ctx(query, db, bag, &ExecContext::serial())
+}
 
-    // One forward and one backward sweep of semi-joins between consecutive
-    // atoms sharing attributes. This is not a full reducer (the bag subquery
-    // may itself be cyclic) but removes most dangling tuples cheaply.
+/// Materialise one GHD bag under an execution context: the semi-join
+/// sweeps, the left-deep hash joins and the final distinct-projection all
+/// run through the context's (possibly pooled) kernels.
+///
+/// Only the bag's own atoms are bound — binding clones the base relation
+/// per atom, so binding the whole query per bag (as earlier revisions did)
+/// multiplied that copy cost by the bag count for nothing.
+///
+/// Before joining, a round of pairwise semi-joins shrinks the atom relations
+/// (a cheap partial reducer); the join itself is a left-deep hash-join plan
+/// in the order the atoms are listed in the bag.
+pub fn materialize_bag_ctx(
+    query: &JoinProjectQuery,
+    db: &Database,
+    bag: &Bag,
+    ctx: &ExecContext,
+) -> Result<Relation, JoinError> {
+    let mut rels: Vec<Relation> = bag
+        .atoms
+        .iter()
+        .map(|&i| bind_atom(query, db, i))
+        .collect::<Result<_, _>>()?;
+
     for i in 1..rels.len() {
         let (a, b) = rels.split_at_mut(i);
-        semi_join(&mut b[0], &a[i - 1])?;
+        par_semi_join(ctx, &mut b[0], &a[i - 1])?;
     }
     for i in (1..rels.len()).rev() {
         let (a, b) = rels.split_at_mut(i);
-        semi_join(&mut a[i - 1], &b[0])?;
+        par_semi_join(ctx, &mut a[i - 1], &b[0])?;
     }
 
     let mut iter = rels.into_iter();
     let mut acc = iter.next().expect("bags join at least one atom");
     for next in iter {
-        acc = hash_join(&acc, &next, "bag_join")?;
+        acc = par_hash_join(ctx, &acc, &next, "bag_join")?;
     }
-    let mut out = project_distinct(&acc, &bag.attrs)?;
+    let mut out = par_project_distinct(ctx, &acc, &bag.attrs)?;
     out.set_name(bag.name.clone());
     Ok(out)
+}
+
+/// Materialise every bag of a GHD plan. Under a pooled context each bag is
+/// one pool task (they are independent sub-joins), and the intra-bag
+/// kernels fan out further on the same pool — the two levels compose
+/// because the pool supports nested submission. Results come back in bag
+/// order regardless of scheduling.
+pub fn materialize_bags(
+    query: &JoinProjectQuery,
+    db: &Database,
+    bags: &[Bag],
+    ctx: &ExecContext,
+) -> Result<Vec<Relation>, JoinError> {
+    if !ctx.is_parallel() {
+        return bags
+            .iter()
+            .map(|bag| materialize_bag_ctx(query, db, bag, ctx))
+            .collect();
+    }
+    ctx.map(bags.len(), |i| {
+        materialize_bag_ctx(query, db, &bags[i], ctx)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hashjoin::{hash_join, project_distinct};
     use re_query::{GhdPlan, QueryBuilder};
     use re_storage::attr::attrs;
 
@@ -95,6 +137,48 @@ mod tests {
         let mut rows: Vec<Vec<u64>> = out.iter().map(|t| t.to_vec()).collect();
         rows.sort();
         assert_eq!(rows, vec![vec![1, 3], vec![2, 4], vec![3, 1], vec![4, 2]]);
+    }
+
+    #[test]
+    fn pooled_bag_materialisation_is_identical_to_serial() {
+        let db = edge_db(&[
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+            (2, 5),
+            (5, 4),
+            (9, 8),
+            (8, 9),
+        ]);
+        let q = QueryBuilder::new()
+            .atom("R1", "E", ["a1", "a2"])
+            .atom("R2", "E", ["a2", "a3"])
+            .atom("R3", "E", ["a3", "a4"])
+            .atom("R4", "E", ["a4", "a1"])
+            .project(["a1", "a3"])
+            .build()
+            .unwrap();
+        let plan = GhdPlan::for_cycle(&q).unwrap();
+        let serial: Vec<Relation> = plan
+            .bags()
+            .iter()
+            .map(|b| materialize_bag(&q, &db, b).unwrap())
+            .collect();
+        for threads in [1, 2, 4] {
+            let ctx = ExecContext::with_threads(threads)
+                .with_min_par_rows(1)
+                .with_morsel_rows(2);
+            let pooled = materialize_bags(&q, &db, plan.bags(), &ctx).unwrap();
+            assert_eq!(pooled.len(), serial.len());
+            for (p, s) in pooled.iter().zip(&serial) {
+                assert_eq!(p.name(), s.name());
+                assert_eq!(p.attrs(), s.attrs());
+                let pt: Vec<Vec<u64>> = p.iter().map(|t| t.to_vec()).collect();
+                let st: Vec<Vec<u64>> = s.iter().map(|t| t.to_vec()).collect();
+                assert_eq!(pt, st, "bag {} diverged at {threads} threads", p.name());
+            }
+        }
     }
 
     #[test]

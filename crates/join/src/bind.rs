@@ -12,22 +12,33 @@ use re_storage::{Database, Relation};
 /// copied once per atom) relation with its own variable names, so the rest
 /// of the pipeline never needs to know two atoms scan the same base table.
 pub fn bind_atoms(query: &JoinProjectQuery, db: &Database) -> Result<Vec<Relation>, JoinError> {
-    let mut out = Vec::with_capacity(query.atoms().len());
-    for atom in query.atoms() {
-        let base = db.relation(&atom.relation)?;
-        if base.arity() != atom.vars.len() {
-            return Err(JoinError::Query(QueryError::AtomArityMismatch {
-                atom: atom.name.clone(),
-                relation_arity: base.arity(),
-                atom_arity: atom.vars.len(),
-            }));
-        }
-        let mut bound = base.clone();
-        bound.set_name(atom.name.clone());
-        bound.set_attrs(atom.vars.clone());
-        out.push(bound);
+    (0..query.atoms().len())
+        .map(|i| bind_atom(query, db, i))
+        .collect()
+}
+
+/// Bind a single atom (by index) of `query` — the per-atom unit of
+/// [`bind_atoms`]. Operators that only touch a subset of the atoms (GHD bag
+/// materialisation binds just `bag.atoms`) use this to avoid cloning the
+/// relations of every other atom in the query.
+pub fn bind_atom(
+    query: &JoinProjectQuery,
+    db: &Database,
+    atom_index: usize,
+) -> Result<Relation, JoinError> {
+    let atom = &query.atoms()[atom_index];
+    let base = db.relation(&atom.relation)?;
+    if base.arity() != atom.vars.len() {
+        return Err(JoinError::Query(QueryError::AtomArityMismatch {
+            atom: atom.name.clone(),
+            relation_arity: base.arity(),
+            atom_arity: atom.vars.len(),
+        }));
     }
-    Ok(out)
+    let mut bound = base.clone();
+    bound.set_name(atom.name.clone());
+    bound.set_attrs(atom.vars.clone());
+    Ok(bound)
 }
 
 #[cfg(test)]

@@ -28,10 +28,16 @@ pub fn hash_join(left: &Relation, right: &Relation, out_name: &str) -> Result<Re
     let mut out_attrs: Vec<Attr> = left.attrs().to_vec();
     out_attrs.extend(right_extra.iter().cloned());
     let mut out = Relation::new(out_name, out_attrs);
+    // Pre-size for the one-match-per-probe case (the common shape after a
+    // reducer pass); heavier keys grow the buffer amortised as usual.
+    out.reserve_rows(left.len());
 
-    // Build on the smaller side for cache friendliness; probing side is
-    // whichever remains. To keep the output schema stable we always emit
-    // left-tuple values first.
+    // Output-order contract: build on `right`, probe `left` in storage
+    // order, and emit each probe's matches in ascending right-row order
+    // (HashIndex id lists are insertion-ordered). The parallel kernel
+    // `re_join::par_hash_join` reproduces exactly this order, so changing
+    // the build/probe side choice here would break the byte-identity
+    // determinism contract (and the enumeration-order tests with it).
     let right_index = HashIndex::build(right, &shared)?;
     let left_shared_pos = left.positions(&shared)?;
     let right_extra_pos = right.positions(&right_extra)?;
@@ -96,10 +102,16 @@ pub fn project_distinct(rel: &Relation, attrs: &[Attr]) -> Result<Relation, Join
     let pos = rel.positions(attrs)?;
     let mut out = Relation::new(format!("πd({})", rel.name()), attrs.to_vec());
     let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rel.len());
+    let mut key: Vec<Value> = Vec::with_capacity(pos.len());
     for t in rel.iter() {
-        let key: Vec<Value> = pos.iter().map(|&p| t[p]).collect();
-        if seen.insert(key.clone()) {
+        key.clear();
+        key.extend(pos.iter().map(|&p| t[p]));
+        // Two lookups for fresh keys, but no allocation at all for
+        // duplicate ones — and duplicates dominate in the projections this
+        // kernel exists for.
+        if !seen.contains(&key) {
             out.push_unchecked(&key);
+            seen.insert(key.clone());
         }
     }
     Ok(out)

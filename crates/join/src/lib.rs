@@ -13,15 +13,30 @@
 //!   GHD bag materialisation,
 //! * [`project_distinct`] — `SELECT DISTINCT` projection,
 //! * [`materialize_bag`] — evaluation of one GHD bag (Theorem 3).
+//!
+//! Each kernel also has a morsel-driven parallel entry point in
+//! [`parallel`] ([`par_hash_join`], [`par_semi_join`],
+//! [`par_project_distinct`], [`par_dedup`]) plus context-aware variants of
+//! the composite operators ([`materialize_bag_ctx`], [`materialize_bags`],
+//! [`full_reduce_ctx`], [`reduce_then_prune_ctx`]). All of them take a
+//! [`re_exec::ExecContext`] and are bit-for-bit identical to their serial
+//! counterparts at any thread count.
 
 pub mod bag;
 pub mod bind;
 pub mod error;
 pub mod hashjoin;
+pub mod parallel;
 pub mod reducer;
 
-pub use bag::materialize_bag;
-pub use bind::bind_atoms;
+pub use bag::{materialize_bag, materialize_bag_ctx, materialize_bags};
+pub use bind::{bind_atom, bind_atoms};
 pub use error::JoinError;
 pub use hashjoin::{full_join, hash_join, project_distinct, yannakakis_join};
-pub use reducer::{full_reduce, full_reduce_relations, reduce_then_prune, semi_join};
+pub use parallel::{
+    par_dedup, par_hash_join, par_project_distinct, par_semi_join, PartitionedIndex,
+};
+pub use reducer::{
+    full_reduce, full_reduce_ctx, full_reduce_relations, full_reduce_relations_ctx,
+    reduce_then_prune, reduce_then_prune_ctx, semi_join,
+};

@@ -1,0 +1,475 @@
+//! Morsel-driven parallel counterparts of the join kernels.
+//!
+//! Every kernel here obeys one hard contract: **its output is byte-identical
+//! to the serial kernel it shadows, at any thread count.** The recipe is the
+//! same everywhere — split the input into contiguous morsels
+//! ([`re_storage::Relation::chunks`]), run one task per morsel (or per
+//! radix partition) on the [`ExecContext`]'s pool, and merge the per-task
+//! results *by task index*, never by completion order. Scheduling therefore
+//! never leaks into the output, and enumeration order downstream cannot
+//! depend on `RE_EXEC_THREADS`.
+//!
+//! Inputs below [`ExecContext::should_parallelise`]'s threshold take the
+//! serial kernel directly: the contract then holds trivially and small
+//! relations skip the task bookkeeping.
+
+use crate::error::JoinError;
+use crate::hashjoin::{hash_join, project_distinct};
+use crate::reducer::{semi_join, shared_attrs};
+use re_exec::ExecContext;
+use re_storage::{Attr, Relation, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Radix partition of a key: a cheap fixed-seed multiply-rotate hash
+/// reduced modulo the partition count. This runs once per tuple on every
+/// parallel path, so it must cost next to nothing next to the (SipHash)
+/// hash-map operation that usually follows; the partitioning is stable
+/// across runs, although nothing downstream depends on it.
+#[inline]
+fn partition_of(key: &[Value], partitions: usize) -> usize {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &v in key {
+        h ^= v.wrapping_mul(0xA24B_AED4_963E_E407);
+        h = h.rotate_left(23).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    }
+    ((h >> 32) as usize) % partitions
+}
+
+/// How many radix partitions to build for a context: a few per thread, so
+/// the per-partition build tasks stay balanced under key skew.
+fn partition_count(ctx: &ExecContext) -> usize {
+    (ctx.threads() * 4).max(1)
+}
+
+/// A hash index radix-partitioned by join-key hash, built in parallel over
+/// contiguous tuple chunks. Per key, row ids are in ascending storage order
+/// — exactly the order [`re_storage::HashIndex`] produces — so probes see
+/// matches in the same order the serial kernels do.
+pub struct PartitionedIndex {
+    partitions: Vec<HashMap<Tuple, Vec<u32>>>,
+    key_positions: Vec<usize>,
+}
+
+impl PartitionedIndex {
+    /// Build over `relation`, keyed on `key_attrs`.
+    pub fn build(
+        ctx: &ExecContext,
+        relation: &Relation,
+        key_attrs: &[Attr],
+    ) -> Result<Self, JoinError> {
+        // Row ids are u32, like the serial `HashIndex`'s; make the limit
+        // explicit instead of silently wrapping past 2^32 rows.
+        debug_assert!(relation.len() <= u32::MAX as usize);
+        let key_positions = relation.positions(key_attrs)?;
+        let parts = partition_count(ctx);
+        let chunks = relation.chunks(ctx.morsel_rows());
+        // Pass 1 (one task per chunk): bucket global row ids by partition.
+        // Within a bucket the ids are ascending because the chunk is
+        // scanned in storage order.
+        let bucketed: Vec<Vec<Vec<u32>>> = ctx.map(chunks.len(), |c| {
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); parts];
+            let mut key: Tuple = Vec::with_capacity(key_positions.len());
+            for (row, t) in chunks[c].global_rows() {
+                key.clear();
+                key.extend(key_positions.iter().map(|&p| t[p]));
+                buckets[partition_of(&key, parts)].push(row as u32);
+            }
+            buckets
+        });
+        // Pass 2 (one task per partition): build the sub-map, visiting the
+        // chunk buckets in chunk order so per-key id lists stay ascending.
+        let partitions: Vec<HashMap<Tuple, Vec<u32>>> = ctx.map(parts, |p| {
+            let rows: usize = bucketed.iter().map(|chunk| chunk[p].len()).sum();
+            let mut map: HashMap<Tuple, Vec<u32>> = HashMap::with_capacity(rows);
+            let mut key: Tuple = Vec::with_capacity(key_positions.len());
+            for chunk in &bucketed {
+                for &row in &chunk[p] {
+                    let t = relation.tuple(row as usize);
+                    key.clear();
+                    key.extend(key_positions.iter().map(|&q| t[q]));
+                    // Allocate the key only for its first occurrence; on
+                    // skewed join keys most rows hit an existing entry.
+                    if let Some(ids) = map.get_mut(key.as_slice()) {
+                        ids.push(row);
+                    } else {
+                        map.insert(key.clone(), vec![row]);
+                    }
+                }
+            }
+            map
+        });
+        Ok(PartitionedIndex {
+            partitions,
+            key_positions,
+        })
+    }
+
+    /// Row ids matching a key, in ascending storage order.
+    pub fn get(&self, key: &[Value]) -> &[u32] {
+        self.partitions[partition_of(key, self.partitions.len())]
+            .get(key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.partitions[partition_of(key, self.partitions.len())].contains_key(key)
+    }
+
+    /// Positions of the key attributes in the indexed relation.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+}
+
+/// Parallel natural hash join: radix-partitioned build over `right`,
+/// morsel-parallel probe over `left`, per-morsel outputs concatenated in
+/// morsel order. Output identical to [`hash_join`].
+pub fn par_hash_join(
+    ctx: &ExecContext,
+    left: &Relation,
+    right: &Relation,
+    out_name: &str,
+) -> Result<Relation, JoinError> {
+    if !ctx.should_parallelise(left.len().max(right.len())) {
+        return hash_join(left, right, out_name);
+    }
+    let shared = shared_attrs(left, right);
+    let right_extra: Vec<Attr> = right
+        .attrs()
+        .iter()
+        .filter(|a| !shared.contains(a))
+        .cloned()
+        .collect();
+    let mut out_attrs: Vec<Attr> = left.attrs().to_vec();
+    out_attrs.extend(right_extra.iter().cloned());
+
+    let index = PartitionedIndex::build(ctx, right, &shared)?;
+    let left_shared_pos = left.positions(&shared)?;
+    let right_extra_pos = right.positions(&right_extra)?;
+
+    let chunks = left.chunks(ctx.morsel_rows());
+    let pieces: Vec<Vec<Value>> = ctx.map(chunks.len(), |c| {
+        let mut out: Vec<Value> = Vec::new();
+        let mut key: Tuple = Vec::with_capacity(left_shared_pos.len());
+        for lt in chunks[c].iter() {
+            key.clear();
+            key.extend(left_shared_pos.iter().map(|&p| lt[p]));
+            for &rid in index.get(&key) {
+                let rt = right.tuple(rid as usize);
+                out.extend_from_slice(lt);
+                out.extend(right_extra_pos.iter().map(|&p| rt[p]));
+            }
+        }
+        out
+    });
+
+    let mut out = Relation::new(out_name, out_attrs);
+    let total_values: usize = pieces.iter().map(Vec::len).sum();
+    out.reserve_rows(total_values / out.arity().max(1));
+    for piece in &pieces {
+        out.append_rows(piece);
+    }
+    Ok(out)
+}
+
+/// Parallel semi-join `left ⋉ right`: morsel tasks compute keep flags
+/// against a partitioned index of `right`; the in-order compaction then
+/// matches [`semi_join`]'s retain order exactly.
+pub fn par_semi_join(
+    ctx: &ExecContext,
+    left: &mut Relation,
+    right: &Relation,
+) -> Result<(), JoinError> {
+    if !ctx.should_parallelise(left.len()) {
+        return semi_join(left, right);
+    }
+    let shared = shared_attrs(left, right);
+    if shared.is_empty() {
+        if right.is_empty() {
+            left.retain(|_| false);
+        }
+        return Ok(());
+    }
+    let left_pos = left.positions(&shared)?;
+    let index = PartitionedIndex::build(ctx, right, &shared)?;
+    let keeps: Vec<Vec<bool>> = {
+        let chunks = left.chunks(ctx.morsel_rows());
+        ctx.map(chunks.len(), |c| {
+            let mut key: Tuple = Vec::with_capacity(left_pos.len());
+            chunks[c]
+                .iter()
+                .map(|t| {
+                    key.clear();
+                    key.extend(left_pos.iter().map(|&p| t[p]));
+                    index.contains(&key)
+                })
+                .collect()
+        })
+    };
+    let mut flags = keeps.into_iter().flatten();
+    left.retain(|_| flags.next().unwrap_or(false));
+    Ok(())
+}
+
+/// First-occurrence winners, one `(first_row, key)` entry per distinct
+/// projected key. Shared by the parallel distinct-projection and dedup
+/// kernels.
+///
+/// Pass 1 (one task per chunk) builds per-partition first-occurrence maps
+/// of the chunk; pass 2 (one task per partition) merges them *in chunk
+/// order*, keeping the first entry seen — which is the globally smallest
+/// row for the key, because rows ascend across chunks and each local map
+/// already holds the chunk-minimum. Keys move (never clone) through the
+/// merge. The result is unsorted; callers order by row as needed.
+fn first_occurrence_entries(
+    ctx: &ExecContext,
+    rel: &Relation,
+    positions: &[usize],
+    parts: usize,
+) -> Vec<(u32, Tuple)> {
+    // First-occurrence rows are u32 (like all row ids in the kernels).
+    debug_assert!(rel.len() <= u32::MAX as usize);
+    let chunks = rel.chunks(ctx.morsel_rows());
+    let locals: Vec<Vec<HashMap<Tuple, u32>>> = ctx.map(chunks.len(), |c| {
+        let mut maps: Vec<HashMap<Tuple, u32>> = vec![HashMap::new(); parts];
+        let mut key: Tuple = Vec::with_capacity(positions.len());
+        for (row, t) in chunks[c].global_rows() {
+            key.clear();
+            key.extend(positions.iter().map(|&p| t[p]));
+            let map = &mut maps[partition_of(&key, parts)];
+            // Clone the key only on first occurrence — duplicates (the
+            // common case in the projections this kernel serves) cost no
+            // allocation.
+            if !map.contains_key(key.as_slice()) {
+                map.insert(key.clone(), row as u32);
+            }
+        }
+        maps
+    });
+    // Transpose ownership chunk-major → partition-major so the merge tasks
+    // can consume their maps without cloning keys; the slots hand each
+    // pass-2 task exclusive ownership of its partition's maps.
+    let mut by_part: Vec<Vec<HashMap<Tuple, u32>>> = (0..parts).map(|_| Vec::new()).collect();
+    for chunk_maps in locals {
+        for (p, map) in chunk_maps.into_iter().enumerate() {
+            by_part[p].push(map);
+        }
+    }
+    let slots: Vec<Mutex<Vec<HashMap<Tuple, u32>>>> = by_part.into_iter().map(Mutex::new).collect();
+    ctx.map(parts, |p| {
+        let maps = std::mem::take(&mut *slots[p].lock().expect("winner slot poisoned"));
+        let mut iter = maps.into_iter();
+        let mut base = iter.next().unwrap_or_default();
+        for map in iter {
+            for (key, row) in map {
+                base.entry(key).or_insert(row);
+            }
+        }
+        base.into_iter()
+            .map(|(key, row)| (row, key))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Parallel `SELECT DISTINCT` projection. Output identical to
+/// [`project_distinct`]: distinct keys in first-occurrence order (sorting
+/// the per-key winners by their first-occurrence row *is* that order).
+pub fn par_project_distinct(
+    ctx: &ExecContext,
+    rel: &Relation,
+    attrs: &[Attr],
+) -> Result<Relation, JoinError> {
+    if !ctx.should_parallelise(rel.len()) {
+        return project_distinct(rel, attrs);
+    }
+    let pos = rel.positions(attrs)?;
+    let parts = partition_count(ctx);
+    let mut entries = first_occurrence_entries(ctx, rel, &pos, parts);
+    entries.sort_unstable_by_key(|&(row, _)| row);
+    let mut out = Relation::new(format!("πd({})", rel.name()), attrs.to_vec());
+    out.reserve_rows(entries.len());
+    for (_, key) in &entries {
+        out.push_unchecked(key);
+    }
+    Ok(out)
+}
+
+/// Parallel in-place removal of exact duplicate tuples (first occurrence
+/// kept). Output identical to [`re_storage::Relation::dedup_tuples`].
+///
+/// This is the in-place sibling of [`par_project_distinct`], completing
+/// the parallel kernel set for callers that dedup loaded or derived
+/// relations in place (bulk ingest paths); no enumerator preprocessing
+/// path needs it today — they project-distinct into fresh relations —
+/// but it shares `first_occurrence_entries` with the projection kernel,
+/// so it carries no extra determinism machinery of its own.
+pub fn par_dedup(ctx: &ExecContext, rel: &mut Relation) {
+    if !ctx.should_parallelise(rel.len()) || rel.arity() == 0 {
+        rel.dedup_tuples();
+        return;
+    }
+    let pos: Vec<usize> = (0..rel.arity()).collect();
+    let parts = partition_count(ctx);
+    let mut kept: Vec<u32> = first_occurrence_entries(ctx, rel, &pos, parts)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect();
+    kept.sort_unstable();
+    let mut next = kept.into_iter().peekable();
+    let mut row: u32 = 0;
+    rel.retain(|_| {
+        let keep = next.peek() == Some(&row);
+        if keep {
+            next.next();
+        }
+        row += 1;
+        keep
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_storage::attr::attrs;
+
+    /// A context that forces every kernel onto its parallel path, even on
+    /// tiny inputs, with morsels small enough to produce several tasks.
+    fn tiny_parallel_ctx(threads: usize) -> ExecContext {
+        ExecContext::with_threads(threads)
+            .with_min_par_rows(1)
+            .with_morsel_rows(3)
+    }
+
+    fn assert_identical(a: &Relation, b: &Relation) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.attrs(), b.attrs());
+        assert_eq!(a.len(), b.len());
+        let ta: Vec<Vec<Value>> = a.iter().map(|t| t.to_vec()).collect();
+        let tb: Vec<Vec<Value>> = b.iter().map(|t| t.to_vec()).collect();
+        assert_eq!(ta, tb);
+    }
+
+    fn left_rel() -> Relation {
+        Relation::with_tuples(
+            "L",
+            attrs(["A", "B"]),
+            (0..40u64).map(|i| vec![i, i % 7]).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    fn right_rel() -> Relation {
+        Relation::with_tuples(
+            "R",
+            attrs(["B", "C"]),
+            (0..30u64).map(|i| vec![i % 7, 100 + i]).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn par_hash_join_matches_serial_at_several_thread_counts() {
+        let (l, r) = (left_rel(), right_rel());
+        let serial = hash_join(&l, &r, "out").unwrap();
+        for threads in [1, 2, 4] {
+            let ctx = tiny_parallel_ctx(threads);
+            let par = par_hash_join(&ctx, &l, &r, "out").unwrap();
+            assert_identical(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn par_hash_join_cartesian_matches_serial() {
+        let a = Relation::with_tuples("A", attrs(["X"]), (0..9u64).map(|i| vec![i])).unwrap();
+        let b = Relation::with_tuples("B", attrs(["Y"]), (0..5u64).map(|i| vec![i])).unwrap();
+        let ctx = tiny_parallel_ctx(2);
+        assert_identical(
+            &par_hash_join(&ctx, &a, &b, "AB").unwrap(),
+            &hash_join(&a, &b, "AB").unwrap(),
+        );
+    }
+
+    #[test]
+    fn par_semi_join_matches_serial() {
+        let r = right_rel();
+        for threads in [1, 2, 4] {
+            let mut serial = left_rel();
+            semi_join(&mut serial, &r).unwrap();
+            let mut par = left_rel();
+            par_semi_join(&tiny_parallel_ctx(threads), &mut par, &r).unwrap();
+            assert_identical(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn par_semi_join_disjoint_attrs_semantics() {
+        let ctx = tiny_parallel_ctx(2);
+        let mut l = Relation::with_tuples("L", attrs(["A"]), (0..8u64).map(|i| vec![i])).unwrap();
+        let nonempty = Relation::with_tuples("R", attrs(["Z"]), vec![vec![1u64]]).unwrap();
+        par_semi_join(&ctx, &mut l, &nonempty).unwrap();
+        assert_eq!(l.len(), 8);
+        let empty = Relation::new("E", attrs(["Z"]));
+        par_semi_join(&ctx, &mut l, &empty).unwrap();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn par_project_distinct_matches_serial_first_occurrence_order() {
+        let joined = hash_join(&left_rel(), &right_rel(), "J").unwrap();
+        let proj = attrs(["B", "C"]);
+        let serial = project_distinct(&joined, &proj).unwrap();
+        for threads in [1, 2, 4] {
+            let par = par_project_distinct(&tiny_parallel_ctx(threads), &joined, &proj).unwrap();
+            assert_identical(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn par_dedup_matches_serial() {
+        let make = || {
+            Relation::with_tuples(
+                "D",
+                attrs(["A", "B"]),
+                (0..50u64).map(|i| vec![i % 5, i % 3]).collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        let mut serial = make();
+        serial.dedup_tuples();
+        for threads in [1, 2, 4] {
+            let mut par = make();
+            par_dedup(&tiny_parallel_ctx(threads), &mut par);
+            assert_identical(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn partitioned_index_agrees_with_hash_index() {
+        let r = right_rel();
+        let key = attrs(["B"]);
+        let ctx = tiny_parallel_ctx(3);
+        let par = PartitionedIndex::build(&ctx, &r, &key).unwrap();
+        let serial = re_storage::HashIndex::build(&r, &key).unwrap();
+        for b in 0..8u64 {
+            assert_eq!(par.get(&[b]), serial.get(&[b]), "key {b}");
+            assert_eq!(par.contains(&[b]), serial.contains(&[b]));
+        }
+    }
+
+    #[test]
+    fn below_threshold_falls_back_to_serial_without_pool_work() {
+        let ctx = ExecContext::with_threads(2); // default 4096-row threshold
+        let l = left_rel();
+        let r = right_rel();
+        let before = ctx.pool_stats().tasks_executed;
+        let out = par_hash_join(&ctx, &l, &r, "out").unwrap();
+        assert_eq!(ctx.pool_stats().tasks_executed, before);
+        assert_identical(&out, &hash_join(&l, &r, "out").unwrap());
+    }
+}

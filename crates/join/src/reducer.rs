@@ -8,6 +8,8 @@
 
 use crate::bind::bind_atoms;
 use crate::error::JoinError;
+use crate::parallel::par_semi_join;
+use re_exec::ExecContext;
 use re_query::{JoinProjectQuery, JoinTree};
 use re_storage::{Attr, Database, HashIndex, Relation};
 use std::collections::BTreeSet;
@@ -17,12 +19,7 @@ use std::collections::BTreeSet;
 /// no-op when `right` is non-empty and empties `left` otherwise (standard
 /// semi-join semantics under natural join).
 pub fn semi_join(left: &mut Relation, right: &Relation) -> Result<(), JoinError> {
-    let shared: Vec<Attr> = left
-        .attrs()
-        .iter()
-        .filter(|a| right.attrs().contains(a))
-        .cloned()
-        .collect();
+    let shared = shared_attrs(left, right);
     if shared.is_empty() {
         if right.is_empty() {
             left.retain(|_| false);
@@ -46,20 +43,33 @@ pub fn semi_join(left: &mut Relation, right: &Relation) -> Result<(), JoinError>
 /// names are query variables). After the call every relation contains
 /// exactly its non-dangling tuples.
 pub fn full_reduce_relations(tree: &JoinTree, relations: &mut [Relation]) -> Result<(), JoinError> {
+    full_reduce_relations_ctx(&ExecContext::serial(), tree, relations)
+}
+
+/// [`full_reduce_relations`] under an execution context: the semi-join
+/// sweeps follow the same tree order (they are data-dependent along the
+/// tree), but each individual semi-join probes its morsels in parallel on
+/// large relations. The reduced relations are identical to the serial
+/// reducer's at any thread count.
+pub fn full_reduce_relations_ctx(
+    ctx: &ExecContext,
+    tree: &JoinTree,
+    relations: &mut [Relation],
+) -> Result<(), JoinError> {
     assert_eq!(tree.len(), relations.len());
     let post = tree.post_order();
     // Bottom-up: parent ⋉ child.
     for &u in &post {
         if let Some(p) = tree.node(u).parent {
             let (parent_rel, child_rel) = two_mut(relations, p, u);
-            semi_join(parent_rel, child_rel)?;
+            par_semi_join(ctx, parent_rel, child_rel)?;
         }
     }
     // Top-down: child ⋉ parent (reverse post-order visits parents first).
     for &u in post.iter().rev() {
         for &c in &tree.node(u).children {
             let (parent_rel, child_rel) = two_mut(relations, u, c);
-            semi_join(child_rel, parent_rel)?;
+            par_semi_join(ctx, child_rel, parent_rel)?;
         }
     }
     Ok(())
@@ -73,6 +83,17 @@ pub fn full_reduce(
     tree: &JoinTree,
     db: &Database,
 ) -> Result<Vec<Relation>, JoinError> {
+    full_reduce_ctx(&ExecContext::serial(), query, tree, db)
+}
+
+/// [`full_reduce`] under an execution context (see
+/// [`full_reduce_relations_ctx`]).
+pub fn full_reduce_ctx(
+    ctx: &ExecContext,
+    query: &JoinProjectQuery,
+    tree: &JoinTree,
+    db: &Database,
+) -> Result<Vec<Relation>, JoinError> {
     let bound = bind_atoms(query, db)?;
     // Reorder to node order (node i of an unpruned tree is atom i, but a
     // pruned tree may have fewer nodes).
@@ -81,7 +102,7 @@ pub fn full_reduce(
         .iter()
         .map(|n| bound[n.atom_index].clone())
         .collect();
-    full_reduce_relations(tree, &mut relations)?;
+    full_reduce_relations_ctx(ctx, tree, &mut relations)?;
     Ok(relations)
 }
 
@@ -99,7 +120,18 @@ pub fn reduce_then_prune(
     tree: JoinTree,
     db: &Database,
 ) -> Result<(JoinTree, Vec<Relation>), JoinError> {
-    let reduced_all = full_reduce(query, &tree, db)?;
+    reduce_then_prune_ctx(&ExecContext::serial(), query, tree, db)
+}
+
+/// [`reduce_then_prune`] under an execution context (see
+/// [`full_reduce_relations_ctx`]).
+pub fn reduce_then_prune_ctx(
+    ctx: &ExecContext,
+    query: &JoinProjectQuery,
+    tree: JoinTree,
+    db: &Database,
+) -> Result<(JoinTree, Vec<Relation>), JoinError> {
+    let reduced_all = full_reduce_ctx(ctx, query, &tree, db)?;
     let mut by_atom: Vec<Option<Relation>> = vec![None; query.atoms().len()];
     for (node, rel) in tree.nodes().iter().zip(reduced_all) {
         by_atom[node.atom_index] = Some(rel);

@@ -147,7 +147,11 @@ pub struct StatsReport {
     pub plan_cache_misses: u64,
     /// Plans currently cached.
     pub plan_cache_size: u64,
-    /// Enumeration work aggregated across all workers and sessions.
+    /// Threads of the shared preprocessing pool (1 = serial).
+    pub exec_pool_threads: u64,
+    /// Enumeration work aggregated across all workers and sessions,
+    /// including the shared pool's parallel-preprocessing counters
+    /// (`pool_tasks` / `pool_steals` / `pool_busy_micros`).
     pub enumeration: StatsSnapshot,
 }
 
@@ -296,6 +300,7 @@ impl Response {
                 ("plan_cache_hits", Json::UInt(report.plan_cache_hits)),
                 ("plan_cache_misses", Json::UInt(report.plan_cache_misses)),
                 ("plan_cache_size", Json::UInt(report.plan_cache_size)),
+                ("exec_pool_threads", Json::UInt(report.exec_pool_threads)),
                 ("pq_pushes", Json::UInt(report.enumeration.pq_pushes)),
                 ("pq_pops", Json::UInt(report.enumeration.pq_pops)),
                 (
@@ -303,6 +308,12 @@ impl Response {
                     Json::UInt(report.enumeration.cells_created),
                 ),
                 ("answers", Json::UInt(report.enumeration.answers)),
+                ("pool_tasks", Json::UInt(report.enumeration.pool_tasks)),
+                ("pool_steals", Json::UInt(report.enumeration.pool_steals)),
+                (
+                    "pool_busy_micros",
+                    Json::UInt(report.enumeration.pool_busy_micros),
+                ),
             ]),
             Response::Catalog { databases } => obj([
                 ("ok", Json::Bool(true)),
@@ -376,11 +387,15 @@ impl Response {
                 plan_cache_hits: u64_field("plan_cache_hits")?,
                 plan_cache_misses: u64_field("plan_cache_misses")?,
                 plan_cache_size: u64_field("plan_cache_size")?,
+                exec_pool_threads: u64_field("exec_pool_threads")?,
                 enumeration: StatsSnapshot {
                     pq_pushes: u64_field("pq_pushes")?,
                     pq_pops: u64_field("pq_pops")?,
                     cells_created: u64_field("cells_created")?,
                     answers: u64_field("answers")?,
+                    pool_tasks: u64_field("pool_tasks")?,
+                    pool_steals: u64_field("pool_steals")?,
+                    pool_busy_micros: u64_field("pool_busy_micros")?,
                 },
             })),
             "catalog" => Ok(Response::Catalog {
@@ -451,11 +466,15 @@ mod tests {
                 plan_cache_hits: 5,
                 plan_cache_misses: 6,
                 plan_cache_size: 7,
+                exec_pool_threads: 8,
                 enumeration: StatsSnapshot {
-                    pq_pushes: 8,
-                    pq_pops: 9,
-                    cells_created: 10,
-                    answers: 11,
+                    pq_pushes: 9,
+                    pq_pops: 10,
+                    cells_created: 11,
+                    answers: 12,
+                    pool_tasks: 13,
+                    pool_steals: 14,
+                    pool_busy_micros: 15,
                 },
             }),
             Response::Catalog {

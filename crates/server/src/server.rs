@@ -15,7 +15,7 @@ use crate::catalog::Catalog;
 use crate::plan_cache::PlanCache;
 use crate::protocol::{Request, Response, StatsReport};
 use crate::session::SessionTable;
-use rankedenum_core::SharedStats;
+use rankedenum_core::{machine_threads, ExecContext, SharedStats, WorkerPool};
 use re_sql::OwnedSqlExecutor;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,6 +34,9 @@ pub struct ServerConfig {
     pub session_ttl: Duration,
     /// Maximum number of cached plans.
     pub plan_cache_capacity: usize,
+    /// Threads of the shared preprocessing pool (`0`: size to the machine,
+    /// `1`: serial preprocessing — no pool is spawned).
+    pub exec_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +45,7 @@ impl Default for ServerConfig {
             workers: 4,
             session_ttl: Duration::from_secs(300),
             plan_cache_capacity: 128,
+            exec_threads: 0,
         }
     }
 }
@@ -54,17 +58,33 @@ pub struct RankedQueryServer {
     /// Enumeration work aggregated across every worker and session.
     enum_stats: SharedStats,
     enumerators_built: AtomicU64,
+    /// The shared preprocessing context: one machine-sized worker pool
+    /// that every OPEN's full reducer and bag materialisation runs on, so
+    /// concurrent sessions share the cores instead of each preprocessing
+    /// serially. `None` pool (exec_threads = 1) means serial preprocessing.
+    exec: ExecContext,
 }
 
 impl RankedQueryServer {
     /// A server with the given tunables and an empty catalog.
     pub fn new(config: ServerConfig) -> Arc<Self> {
+        let threads = if config.exec_threads == 0 {
+            machine_threads()
+        } else {
+            config.exec_threads
+        };
+        let exec = if threads <= 1 {
+            ExecContext::serial()
+        } else {
+            ExecContext::pooled(WorkerPool::new(threads))
+        };
         Arc::new(RankedQueryServer {
             catalog: Catalog::new(),
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             sessions: SessionTable::new(config.session_ttl),
             enum_stats: SharedStats::new(),
             enumerators_built: AtomicU64::new(0),
+            exec,
         })
     }
 
@@ -73,8 +93,24 @@ impl RankedQueryServer {
         &self.catalog
     }
 
-    /// Current server-wide counters.
+    /// The execution context OPENs preprocess under (pooled unless the
+    /// server was configured with `exec_threads: 1`).
+    pub fn exec_context(&self) -> &ExecContext {
+        &self.exec
+    }
+
+    /// Current server-wide counters. The pool counters are read straight
+    /// off the shared pool (they are monotone totals, like everything else
+    /// in the snapshot).
     pub fn stats_report(&self) -> StatsReport {
+        let mut enumeration = self.enum_stats.snapshot();
+        // Add (not assign): enumerator snapshots carry zero pool fields
+        // today, but a future producer feeding pool deltas into
+        // `SharedStats` must not be silently overwritten here.
+        let pool = self.exec.pool_stats();
+        enumeration.pool_tasks += pool.tasks_executed;
+        enumeration.pool_steals += pool.tasks_stolen;
+        enumeration.pool_busy_micros += pool.busy_micros;
         StatsReport {
             sessions_open: self.sessions.open_count(),
             sessions_opened: self.sessions.opened_total(),
@@ -83,7 +119,8 @@ impl RankedQueryServer {
             plan_cache_hits: self.plan_cache.hits(),
             plan_cache_misses: self.plan_cache.misses(),
             plan_cache_size: self.plan_cache.len() as u64,
-            enumeration: self.enum_stats.snapshot(),
+            exec_pool_threads: self.exec.threads() as u64,
+            enumeration,
         }
     }
 
@@ -212,7 +249,7 @@ impl RankedQueryServer {
             .plan_cache
             .get_or_plan(db_name, generation, &db, sql)
             .map_err(|e| e.to_string())?;
-        let executor = OwnedSqlExecutor::new(db);
+        let executor = OwnedSqlExecutor::new(db).with_exec_context(self.exec.clone());
         let cursor = executor
             .open_plan(&cached.plan)
             .map_err(|e| e.to_string())?;

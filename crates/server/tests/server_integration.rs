@@ -269,6 +269,61 @@ fn union_and_cyclic_statements_report_their_algorithm() {
 }
 
 #[test]
+fn opens_route_preprocessing_through_the_shared_pool() {
+    // A cyclic OPEN materialises its GHD bags as tasks on the server's
+    // shared pool; the `stats` endpoint must therefore show pool work
+    // after the open, and the answers must match a serial server's.
+    let make_db = || {
+        let mut db = Database::new();
+        let mut rows = Vec::new();
+        for i in 0..60u64 {
+            rows.push(vec![i % 12, 100 + i % 9]);
+            rows.push(vec![(i * 5 + 3) % 12, 100 + i % 9]);
+        }
+        let mut rel = Relation::with_tuples("M", attrs(["e", "c"]), rows).unwrap();
+        rel.dedup_tuples();
+        db.add_relation(rel).unwrap();
+        db
+    };
+    // 4-cycle over the membership relation: a1–p1–a2–p2–a1.
+    let four_cycle = "SELECT DISTINCT M1.e, M3.e FROM M AS M1, M AS M2, M AS M3, M AS M4 \
+                      WHERE M1.c = M2.c AND M2.e = M3.e AND M3.c = M4.c AND M4.e = M1.e \
+                      ORDER BY M1.e + M3.e LIMIT 200";
+
+    let pooled = RankedQueryServer::new(ServerConfig {
+        exec_threads: 2,
+        ..ServerConfig::default()
+    });
+    pooled.catalog().register("m", make_db());
+    let serial = RankedQueryServer::new(ServerConfig {
+        exec_threads: 1,
+        ..ServerConfig::default()
+    });
+    serial.catalog().register("m", make_db());
+
+    let mut pooled_client = LocalClient::new(Arc::clone(&pooled));
+    let mut serial_client = LocalClient::new(serial);
+
+    let before = pooled_client.stats().unwrap();
+    assert_eq!(before.exec_pool_threads, 2);
+    assert_eq!(before.enumeration.pool_tasks, 0);
+
+    let opened = pooled_client.open("m", four_cycle).unwrap();
+    assert_eq!(opened.algorithm, "cyclic-ghd");
+    let after = pooled_client.stats().unwrap();
+    assert!(
+        after.enumeration.pool_tasks > 0,
+        "cyclic preprocessing must run on the shared pool"
+    );
+
+    // Determinism across thread counts, end to end through the server.
+    let pooled_rows = pooled_client.fetch(opened.session, 1_000).unwrap().rows;
+    let serial_rows = serial_client.query("m", four_cycle).unwrap().rows;
+    assert!(!pooled_rows.is_empty());
+    assert_eq!(pooled_rows, serial_rows);
+}
+
+#[test]
 fn catalog_updates_do_not_disturb_live_sessions() {
     let server = server_with_db(Duration::from_secs(60));
     let mut client = LocalClient::new(Arc::clone(&server));

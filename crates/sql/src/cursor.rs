@@ -11,7 +11,9 @@
 
 use crate::error::SqlError;
 use crate::planner::{OrderSpec, PlannedQuery, SqlPlan};
-use rankedenum_core::{Algorithm, RankedEnumerator, RankedStream, StatsSnapshot, UnionEnumerator};
+use rankedenum_core::{
+    Algorithm, ExecContext, RankedEnumerator, RankedStream, StatsSnapshot, UnionEnumerator,
+};
 use re_ranking::{LexRanking, Ranking, SumRanking, WeightAssignment, WeightedSumRanking};
 use re_storage::{Attr, Database, Tuple};
 use std::collections::BTreeSet;
@@ -37,23 +39,36 @@ impl QueryCursor {
         weights: &WeightAssignment,
         plan: &SqlPlan,
     ) -> Result<Self, SqlError> {
+        Self::open_ctx(db, weights, plan, &ExecContext::serial())
+    }
+
+    /// [`QueryCursor::open`] with the enumerator's preprocessing pass
+    /// running under `ctx` — a pooled context parallelises the full
+    /// reducer and GHD bag materialisation without changing any output.
+    pub fn open_ctx(
+        db: &Database,
+        weights: &WeightAssignment,
+        plan: &SqlPlan,
+        ctx: &ExecContext,
+    ) -> Result<Self, SqlError> {
         let projection: Vec<Attr> = match &plan.query {
             PlannedQuery::Single(q) => q.projection().to_vec(),
             PlannedQuery::Union(u) => u.projection().to_vec(),
         };
         let columns: Vec<String> = projection.iter().map(|a| a.as_str().to_string()).collect();
         let stream = match &plan.order {
-            None => open_stream(plan, db, SumRanking::new(weights.clone()))?,
+            None => open_stream(plan, db, SumRanking::new(weights.clone()), ctx)?,
             Some(OrderSpec::Sum(attrs)) => {
                 let listed: BTreeSet<&Attr> = attrs.iter().collect();
                 let all: BTreeSet<&Attr> = projection.iter().collect();
                 if listed == all {
-                    open_stream(plan, db, SumRanking::new(weights.clone()))?
+                    open_stream(plan, db, SumRanking::new(weights.clone()), ctx)?
                 } else {
                     open_stream(
                         plan,
                         db,
                         WeightedSumRanking::over_attrs(attrs.clone(), weights.clone()),
+                        ctx,
                     )?
                 }
             }
@@ -61,6 +76,7 @@ impl QueryCursor {
                 plan,
                 db,
                 LexRanking::with_directions(items.clone(), weights.clone()),
+                ctx,
             )?,
         };
         Ok(QueryCursor {
@@ -150,10 +166,11 @@ fn open_stream<R: Ranking + Clone + 'static>(
     plan: &SqlPlan,
     db: &Database,
     ranking: R,
+    ctx: &ExecContext,
 ) -> Result<Box<dyn RankedStream>, SqlError> {
     Ok(match &plan.query {
-        PlannedQuery::Single(q) => Box::new(RankedEnumerator::new(q, db, ranking)?),
-        PlannedQuery::Union(u) => Box::new(UnionEnumerator::new(u, db, ranking)?),
+        PlannedQuery::Single(q) => Box::new(RankedEnumerator::new_ctx(q, db, ranking, ctx)?),
+        PlannedQuery::Union(u) => Box::new(UnionEnumerator::new_ctx(u, db, ranking, ctx)?),
     })
 }
 

@@ -4,6 +4,7 @@ use crate::cursor::QueryCursor;
 use crate::error::SqlError;
 use crate::parser::parse;
 use crate::planner::{plan, SqlPlan};
+use rankedenum_core::ExecContext;
 use re_ranking::WeightAssignment;
 use re_storage::{Database, Tuple};
 use std::sync::Arc;
@@ -85,7 +86,7 @@ impl<'a> SqlExecutor<'a> {
 
     /// Execute an already-planned statement.
     pub fn run_plan(&self, plan: &SqlPlan) -> Result<QueryResult, SqlError> {
-        run_plan_on(self.db, &self.weights, plan)
+        run_plan_on(self.db, &self.weights, plan, &ExecContext::serial())
     }
 
     /// Open a *resumable cursor* on a statement: the enumerator is built
@@ -100,7 +101,7 @@ impl<'a> SqlExecutor<'a> {
 
     /// Open a cursor on an already-planned statement.
     pub fn open_plan(&self, plan: &SqlPlan) -> Result<QueryCursor, SqlError> {
-        open_plan_on(self.db, &self.weights, plan)
+        open_plan_on(self.db, &self.weights, plan, &ExecContext::serial())
     }
 }
 
@@ -132,6 +133,7 @@ impl<'a> SqlExecutor<'a> {
 pub struct OwnedSqlExecutor {
     db: Arc<Database>,
     weights: WeightAssignment,
+    exec: ExecContext,
 }
 
 impl OwnedSqlExecutor {
@@ -140,12 +142,30 @@ impl OwnedSqlExecutor {
         OwnedSqlExecutor {
             db,
             weights: WeightAssignment::value_as_weight(),
+            exec: ExecContext::serial(),
         }
     }
 
     /// Executor with an explicit weight assignment.
     pub fn with_weights(db: Arc<Database>, weights: WeightAssignment) -> Self {
-        OwnedSqlExecutor { db, weights }
+        OwnedSqlExecutor {
+            db,
+            weights,
+            exec: ExecContext::serial(),
+        }
+    }
+
+    /// Route the preprocessing of every cursor this executor opens through
+    /// `ctx` (e.g. a server-wide worker pool). Enumeration output is
+    /// unaffected — parallel preprocessing is bit-for-bit deterministic.
+    pub fn with_exec_context(mut self, ctx: ExecContext) -> Self {
+        self.exec = ctx;
+        self
+    }
+
+    /// The execution context cursors are opened under.
+    pub fn exec_context(&self) -> &ExecContext {
+        &self.exec
     }
 
     /// The shared database this executor runs against.
@@ -169,7 +189,7 @@ impl OwnedSqlExecutor {
 
     /// Execute an already-planned statement.
     pub fn run_plan(&self, plan: &SqlPlan) -> Result<QueryResult, SqlError> {
-        run_plan_on(&self.db, &self.weights, plan)
+        run_plan_on(&self.db, &self.weights, plan, &self.exec)
     }
 
     /// Open a resumable cursor on a statement (see [`SqlExecutor::open`]).
@@ -181,7 +201,7 @@ impl OwnedSqlExecutor {
 
     /// Open a cursor on an already-planned (possibly cached) statement.
     pub fn open_plan(&self, plan: &SqlPlan) -> Result<QueryCursor, SqlError> {
-        open_plan_on(&self.db, &self.weights, plan)
+        open_plan_on(&self.db, &self.weights, plan, &self.exec)
     }
 }
 
@@ -191,8 +211,9 @@ fn run_plan_on(
     db: &Database,
     weights: &WeightAssignment,
     plan: &SqlPlan,
+    ctx: &ExecContext,
 ) -> Result<QueryResult, SqlError> {
-    let mut cursor = open_plan_on(db, weights, plan)?;
+    let mut cursor = open_plan_on(db, weights, plan, ctx)?;
     let rows = cursor.fetch_all();
     Ok(QueryResult {
         columns: cursor.columns().to_vec(),
@@ -214,10 +235,11 @@ fn open_plan_on(
     db: &Database,
     weights: &WeightAssignment,
     plan: &SqlPlan,
+    ctx: &ExecContext,
 ) -> Result<QueryCursor, SqlError> {
     match plan.working_database(db)? {
-        None => QueryCursor::open(db, weights, plan),
-        Some(working) => QueryCursor::open(&working, weights, plan),
+        None => QueryCursor::open_ctx(db, weights, plan, ctx),
+        Some(working) => QueryCursor::open_ctx(&working, weights, plan, ctx),
     }
 }
 

@@ -30,5 +30,5 @@ pub use database::Database;
 pub use dictionary::Dictionary;
 pub use error::StorageError;
 pub use index::{DegreeIndex, HashIndex};
-pub use relation::Relation;
+pub use relation::{Relation, RelationChunk};
 pub use value::{Tuple, Value};

@@ -238,6 +238,85 @@ impl Relation {
     pub fn value_count(&self) -> usize {
         self.data.len()
     }
+
+    /// Reserve storage for `rows` additional tuples (used by operators that
+    /// can bound their output from the input cardinalities).
+    pub fn reserve_rows(&mut self, rows: usize) {
+        self.data.reserve(rows.saturating_mul(self.arity()));
+    }
+
+    /// Append pre-validated row-major data: `values.len()` must be a
+    /// multiple of the arity. Used by parallel kernels to merge per-morsel
+    /// output chunks without re-checking every tuple.
+    pub fn append_rows(&mut self, values: &[Value]) {
+        debug_assert!(self.arity() > 0 && values.len().is_multiple_of(self.arity()));
+        self.data.extend_from_slice(values);
+    }
+
+    /// Zero-copy chunk views of at most `rows_per_chunk` consecutive tuples
+    /// each, in storage order — the unit of morsel dispatch. The views
+    /// carry their global starting row, so per-chunk results can be merged
+    /// back deterministically.
+    pub fn chunks(&self, rows_per_chunk: usize) -> Vec<RelationChunk<'_>> {
+        let arity = self.arity();
+        if arity == 0 {
+            return Vec::new();
+        }
+        let step = rows_per_chunk.max(1);
+        (0..self.len())
+            .step_by(step)
+            .map(|first_row| {
+                let end = (first_row + step).min(self.len());
+                RelationChunk {
+                    data: &self.data[first_row * arity..end * arity],
+                    arity,
+                    first_row,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A zero-copy view of a contiguous tuple range of a [`Relation`], produced
+/// by [`Relation::chunks`] for morsel dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct RelationChunk<'a> {
+    data: &'a [Value],
+    arity: usize,
+    first_row: usize,
+}
+
+impl<'a> RelationChunk<'a> {
+    /// Number of tuples in the chunk.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// Whether the chunk holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Global row index (in the parent relation) of the chunk's first tuple.
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// The `i`-th tuple of the chunk (0-based within the chunk).
+    pub fn tuple(&self, i: usize) -> &'a [Value] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate over the chunk's tuples in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [Value]> + '_ {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Iterate over `(global_row, tuple)` pairs.
+    pub fn global_rows(&self) -> impl Iterator<Item = (usize, &'a [Value])> + '_ {
+        let first = self.first_row;
+        self.iter().enumerate().map(move |(i, t)| (first + i, t))
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +403,38 @@ mod tests {
             rows,
             vec![vec![1, 10], vec![1, 10], vec![2, 10], vec![1, 20]]
         );
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_in_order() {
+        let r = rel();
+        let chunks = r.chunks(3);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[1].len(), 1);
+        assert_eq!(chunks[0].first_row(), 0);
+        assert_eq!(chunks[1].first_row(), 3);
+        let rebuilt: Vec<Vec<Value>> = chunks
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.to_vec()))
+            .collect();
+        let direct: Vec<Vec<Value>> = r.iter().map(|t| t.to_vec()).collect();
+        assert_eq!(rebuilt, direct);
+        let globals: Vec<usize> = chunks
+            .iter()
+            .flat_map(|c| c.global_rows().map(|(g, _)| g))
+            .collect();
+        assert_eq!(globals, vec![0, 1, 2, 3]);
+        assert_eq!(chunks[1].tuple(0), r.tuple(3));
+    }
+
+    #[test]
+    fn append_rows_extends_in_bulk() {
+        let mut r = rel();
+        r.reserve_rows(2);
+        r.append_rows(&[7, 70, 8, 80]);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.tuple(5), &[8, 80]);
     }
 
     #[test]

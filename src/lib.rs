@@ -46,7 +46,8 @@
 //! | [`storage`] | values, relations, databases, hash/degree indexes |
 //! | [`query`] | join-project queries, hypergraphs, join trees, GHDs, star detection, UCQs |
 //! | [`ranking`] | SUM / LEXICOGRAPHIC / MIN / MAX ranking functions and weight assignments |
-//! | [`join`] | semi-joins, Yannakakis full reducer, hash joins, bag materialisation |
+//! | [`exec`] | morsel-driven parallel execution engine: work-stealing worker pool, execution contexts |
+//! | [`join`] | semi-joins, Yannakakis full reducer, hash joins, bag materialisation (serial + parallel kernels) |
 //! | [`core`] | the paper's enumerators (acyclic, lexicographic, star, cyclic, union) |
 //! | [`sql`] | SQL front-end: parse/plan/execute `SELECT DISTINCT ... ORDER BY ... LIMIT k`, resumable cursors |
 //! | [`server`] | concurrent ranked-query service: catalog, sessions, plan cache, JSON-lines TCP protocol |
@@ -57,6 +58,7 @@
 pub use rankedenum_core as core;
 pub use re_baseline as baseline;
 pub use re_datagen as datagen;
+pub use re_exec as exec;
 pub use re_join as join;
 pub use re_query as query;
 pub use re_ranking as ranking;
@@ -101,6 +103,7 @@ pub mod prelude {
         UnionEnumerator,
     };
     pub use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
+    pub use re_exec::{ExecContext, PoolStats, WorkerPool};
     pub use re_query::{
         Atom, GhdPlan, Hypergraph, JoinProjectQuery, JoinTree, QueryBuilder, UnionQuery,
     };

@@ -1,0 +1,263 @@
+//! The parallel-preprocessing determinism suite.
+//!
+//! Hard contract of the `re_exec` engine: every parallel kernel produces
+//! output **byte-identical** to its serial counterpart, so enumeration
+//! order never depends on the thread count. This suite drives the contract
+//! end to end over the `re_workloads` queries — acyclic (full reducer),
+//! cyclic (GHD bag materialisation) and UCQ (per-branch preprocessing) —
+//! at pool sizes 1, 2 and "the machine", plus whatever `RE_EXEC_THREADS`
+//! asks for (`ci.sh` runs the suite at 1 and 4). Morsels are forced tiny
+//! so the small test instances still split into many parallel tasks.
+//!
+//! A property test over random edge relations additionally hammers the
+//! individual kernels (hash join, semi-join, distinct projection) against
+//! their serial twins.
+
+use proptest::prelude::*;
+use rankedenum::join::{
+    hash_join, par_hash_join, par_project_distinct, par_semi_join, project_distinct, semi_join,
+};
+use rankedenum::prelude::*;
+use rankedenum::workloads::membership::WeightScheme;
+use rankedenum::workloads::{DblpWorkload, ImdbWorkload, LdbcWorkload};
+
+/// Pool sizes every workload is checked at: 1, 2, the machine, and the
+/// size `RE_EXEC_THREADS` names (deduplicated).
+fn pool_sizes() -> Vec<usize> {
+    let mut sizes = vec![1, 2, rankedenum::exec::machine_threads()];
+    if let Some(n) = std::env::var(rankedenum::exec::THREADS_ENV)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        sizes.push(n.max(1));
+    }
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// A context at `threads` that forces the parallel paths on tiny inputs.
+/// Always a *real* pool — `ExecContext::with_threads(1)` would degrade to
+/// a serial context, and the single-worker pooled path (pool scheduling,
+/// helping caller, index-ordered merge) is exactly what the size-1 leg of
+/// the suite exists to pin against the serial engine.
+fn ctx_at(threads: usize) -> ExecContext {
+    ExecContext::pooled(WorkerPool::new(threads))
+        .with_min_par_rows(1)
+        .with_morsel_rows(7)
+}
+
+fn assert_same_rows(name: &str, threads: usize, serial: &[Tuple], parallel: &[Tuple]) {
+    assert_eq!(
+        serial, parallel,
+        "{name}: enumeration diverged at {threads} threads"
+    );
+}
+
+#[test]
+fn acyclic_workloads_are_thread_count_invariant() {
+    let dblp = DblpWorkload::generate(700, 11, WeightScheme::Random);
+    let imdb = ImdbWorkload::generate(500, 12, WeightScheme::LogDegree);
+    let specs = [
+        dblp.two_hop(),
+        dblp.three_hop(),
+        dblp.four_hop(),
+        dblp.three_star(),
+        imdb.two_hop(),
+        imdb.three_star(),
+    ];
+    for (spec, db) in specs.iter().zip([
+        dblp.db(),
+        dblp.db(),
+        dblp.db(),
+        dblp.db(),
+        imdb.db(),
+        imdb.db(),
+    ]) {
+        let serial: Vec<Tuple> = RankedEnumerator::new(&spec.query, db, spec.sum_ranking())
+            .unwrap()
+            .take(500)
+            .collect();
+        for threads in pool_sizes() {
+            let parallel: Vec<Tuple> =
+                RankedEnumerator::new_ctx(&spec.query, db, spec.sum_ranking(), &ctx_at(threads))
+                    .unwrap()
+                    .take(500)
+                    .collect();
+            assert_same_rows(&spec.name, threads, &serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn cyclic_workloads_match_serial_tuples_order_and_bag_sizes() {
+    let dblp = DblpWorkload::generate(350, 21, WeightScheme::Random);
+    for k in [2usize, 3] {
+        let (spec, plan) = dblp.cycle(k);
+        let serial_enum =
+            CyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking(), &plan).unwrap();
+        let serial_bags = serial_enum.bag_sizes().to_vec();
+        let serial: Vec<Tuple> = serial_enum.take(300).collect();
+        for threads in pool_sizes() {
+            let par_enum = CyclicEnumerator::new_ctx(
+                &spec.query,
+                dblp.db(),
+                spec.sum_ranking(),
+                &plan,
+                &ctx_at(threads),
+            )
+            .unwrap();
+            assert_eq!(
+                par_enum.bag_sizes(),
+                serial_bags.as_slice(),
+                "{}: bag sizes diverged at {threads} threads",
+                spec.name
+            );
+            let parallel: Vec<Tuple> = par_enum.take(300).collect();
+            assert_same_rows(&spec.name, threads, &serial, &parallel);
+        }
+    }
+
+    let (spec, plan) = dblp.bowtie();
+    let serial_enum =
+        CyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking(), &plan).unwrap();
+    let serial_bags = serial_enum.bag_sizes().to_vec();
+    let serial: Vec<Tuple> = serial_enum.take(300).collect();
+    for threads in pool_sizes() {
+        let par_enum = CyclicEnumerator::new_ctx(
+            &spec.query,
+            dblp.db(),
+            spec.sum_ranking(),
+            &plan,
+            &ctx_at(threads),
+        )
+        .unwrap();
+        assert_eq!(par_enum.bag_sizes(), serial_bags.as_slice());
+        let parallel: Vec<Tuple> = par_enum.take(300).collect();
+        assert_same_rows(&spec.name, threads, &serial, &parallel);
+    }
+}
+
+#[test]
+fn star_heavy_output_is_thread_count_invariant() {
+    // δ = 1 forces the all-heavy output: the O_H join + distinct of
+    // Algorithm 4 runs entirely through the parallel kernels.
+    let dblp = DblpWorkload::generate(300, 51, WeightScheme::Random);
+    let spec = dblp.three_star();
+    for delta in [1usize, 8] {
+        let serial: Vec<Tuple> =
+            StarEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking(), delta)
+                .unwrap()
+                .take(300)
+                .collect();
+        for threads in pool_sizes() {
+            let parallel: Vec<Tuple> = StarEnumerator::new_ctx(
+                &spec.query,
+                dblp.db(),
+                spec.sum_ranking(),
+                delta,
+                &ctx_at(threads),
+            )
+            .unwrap()
+            .take(300)
+            .collect();
+            assert_same_rows(&spec.name, threads, &serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn union_workloads_are_thread_count_invariant() {
+    let ldbc = LdbcWorkload::generate(2, 31);
+    for spec in [ldbc.q3(), ldbc.q10(), ldbc.q11()] {
+        let serial: Vec<Tuple> = UnionEnumerator::new(&spec.query, ldbc.db(), spec.sum_ranking())
+            .unwrap()
+            .take(400)
+            .collect();
+        for threads in pool_sizes() {
+            let parallel: Vec<Tuple> = UnionEnumerator::new_ctx(
+                &spec.query,
+                ldbc.db(),
+                spec.sum_ranking(),
+                &ctx_at(threads),
+            )
+            .unwrap()
+            .take(400)
+            .collect();
+            assert_same_rows(&spec.name, threads, &serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn env_sized_context_is_also_deterministic() {
+    // `ci.sh` runs this suite under RE_EXEC_THREADS=1 and =4; this test is
+    // the one that routes through the exact context a production caller
+    // gets from the environment.
+    let ctx = ExecContext::from_env()
+        .with_min_par_rows(1)
+        .with_morsel_rows(5);
+    let dblp = DblpWorkload::generate(400, 41, WeightScheme::Random);
+    let spec = dblp.two_hop();
+    let serial: Vec<Tuple> = RankedEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking())
+        .unwrap()
+        .collect();
+    let parallel: Vec<Tuple> =
+        RankedEnumerator::new_ctx(&spec.query, dblp.db(), spec.sum_ranking(), &ctx)
+            .unwrap()
+            .collect();
+    assert_eq!(serial, parallel);
+}
+
+/// Build a relation from generated edges (shifted away from 0 and
+/// de-duplicated, like the instances the reducers see).
+fn edge_relation(name: &str, cols: [&str; 2], edges: &[(u64, u64)]) -> Relation {
+    let mut rel = Relation::new(name, attrs(cols));
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in edges {
+        if seen.insert((a, b)) {
+            rel.push(&[a + 1, b + 1]).unwrap();
+        }
+    }
+    rel
+}
+
+fn rows_of(rel: &Relation) -> Vec<Tuple> {
+    rel.iter().map(|t| t.to_vec()).collect()
+}
+
+fn edges(max_node: u64, max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..max_node, 0..max_node), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn par_kernels_match_serial_on_random_edge_relations(
+        r in edges(9, 80),
+        s in edges(9, 80),
+    ) {
+        let left = edge_relation("R", ["a", "b"], &r);
+        let right = edge_relation("S", ["b", "c"], &s);
+        let ctx = ctx_at(3);
+
+        let serial_join = hash_join(&left, &right, "J").unwrap();
+        let par_join = par_hash_join(&ctx, &left, &right, "J").unwrap();
+        prop_assert_eq!(par_join.name(), serial_join.name());
+        prop_assert_eq!(par_join.attrs(), serial_join.attrs());
+        prop_assert_eq!(rows_of(&par_join), rows_of(&serial_join));
+
+        let mut serial_semi = left.clone();
+        semi_join(&mut serial_semi, &right).unwrap();
+        let mut par_semi = left.clone();
+        par_semi_join(&ctx, &mut par_semi, &right).unwrap();
+        prop_assert_eq!(rows_of(&par_semi), rows_of(&serial_semi));
+
+        let proj = attrs(["a", "c"]);
+        let serial_proj = project_distinct(&serial_join, &proj).unwrap();
+        let par_proj = par_project_distinct(&ctx, &serial_join, &proj).unwrap();
+        prop_assert_eq!(par_proj.name(), serial_proj.name());
+        prop_assert_eq!(rows_of(&par_proj), rows_of(&serial_proj));
+    }
+}

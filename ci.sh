@@ -30,6 +30,11 @@ run env RE_EXEC_THREADS=1 cargo test -q -p rankedenum --test parallel_determinis
 run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test parallel_determinism
 # Pin serial-vs-pooled 6-cycle bag materialisation; writes BENCH_preprocess.json.
 run cargo bench -q -p re_bench --bench preprocess
+# Pin the Algorithm-3 inversion fix: old vs new vs general lexi engines on
+# DBLP 2-/3-hop (writes BENCH_lexi.json), then fail on >25% regression of
+# the lexi/general time-to-1000 ratio against the committed baseline.
+run cargo bench -q -p re_bench --bench lexi_vs_general
+run cargo run -q --release -p re_bench --bin check_bench
 # Drive the server end to end over real sockets at smoke scale.
 run env RE_SCALE=0.05 cargo run -q --release --example server_quickstart
 run cargo bench --workspace --no-run

@@ -1,0 +1,207 @@
+//! CI perf guard over `BENCH_lexi.json`.
+//!
+//! Compares the freshly written `BENCH_lexi.json` (produced by the
+//! `lexi_vs_general` bench) against the committed baseline
+//! `BENCH_lexi_baseline.json` and fails on a regression of the lexi
+//! time-to-1000. Absolute milliseconds vary with the machine — this
+//! container pins the process to a single core — so the guard compares
+//! the machine-invariant **ratio** `new_ms / general_ms` per query at
+//! k = 1000: both engines run on the same data in the same process, so
+//! their quotient cancels the hardware out. Two checks:
+//!
+//! 1. **Ordering** — the index-backed lexi engine must not be slower than
+//!    the general algorithm on DBLP2hop at k = 1000 (the PR 1 inversion
+//!    must stay closed; a 10% measurement-noise allowance applies).
+//! 2. **Ratio regression** — per query, the fresh `new/general` ratio may
+//!    exceed the baseline ratio by at most 25%.
+
+use std::path::Path;
+use std::process::exit;
+
+/// Tolerated relative regression of the lexi/general ratio.
+const TOLERANCE: f64 = 0.25;
+/// Noise allowance on the ordering check (single pinned core).
+const ORDERING_SLACK: f64 = 0.10;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    query: String,
+    k: u64,
+    old_ms: f64,
+    new_ms: f64,
+    general_ms: f64,
+}
+
+/// Extract the next `"field":value` number after `from` in `s`.
+fn field_f64(obj: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str(obj: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":\"");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = &obj[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parse the flat schema `lexi_vs_general` writes. Deliberately minimal —
+/// the workspace has no serde, and the file is machine-written with a
+/// fixed shape.
+fn parse(content: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let Some(arr_start) = content.find("\"entries\":[") else {
+        return entries;
+    };
+    let mut rest = &content[arr_start..];
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close + 1];
+        if let (Some(query), Some(k), Some(old_ms), Some(new_ms), Some(general_ms)) = (
+            field_str(obj, "query"),
+            field_f64(obj, "k"),
+            field_f64(obj, "old_ms"),
+            field_f64(obj, "new_ms"),
+            field_f64(obj, "general_ms"),
+        ) {
+            entries.push(Entry {
+                query,
+                k: k as u64,
+                old_ms,
+                new_ms,
+                general_ms,
+            });
+        }
+        rest = &rest[open + close + 1..];
+    }
+    entries
+}
+
+fn load(path: &Path) -> Vec<Entry> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    let entries = parse(&content);
+    if entries.is_empty() {
+        eprintln!("check_bench: no entries parsed from {}", path.display());
+        exit(1);
+    }
+    entries
+}
+
+fn at_k1000<'a>(entries: &'a [Entry], query: &str) -> Option<&'a Entry> {
+    entries.iter().find(|e| e.query == query && e.k == 1_000)
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let fresh = load(&root.join("BENCH_lexi.json"));
+    let baseline = load(&root.join("BENCH_lexi_baseline.json"));
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Check 1: the paper's ordering holds on DBLP2hop at k = 1000.
+    match at_k1000(&fresh, "DBLP2hop") {
+        None => failures.push("fresh BENCH_lexi.json has no DBLP2hop k=1000 entry".into()),
+        Some(e) => {
+            if e.new_ms > e.general_ms * (1.0 + ORDERING_SLACK) {
+                failures.push(format!(
+                    "DBLP2hop k=1000: lexi ({:.2} ms) slower than general ({:.2} ms) — \
+                     the PR 1 inversion is back",
+                    e.new_ms, e.general_ms
+                ));
+            } else {
+                println!(
+                    "ok: DBLP2hop k=1000 lexi {:.2} ms <= general {:.2} ms ({:.2}x), \
+                     old engine {:.2} ms ({:.2}x vs new)",
+                    e.new_ms,
+                    e.general_ms,
+                    e.general_ms / e.new_ms,
+                    e.old_ms,
+                    e.old_ms / e.new_ms
+                );
+            }
+        }
+    }
+
+    // Check 2: per-query ratio regression against the committed baseline.
+    for base in baseline.iter().filter(|e| e.k == 1_000) {
+        let Some(now) = at_k1000(&fresh, &base.query) else {
+            failures.push(format!(
+                "{} k=1000 present in baseline but missing from fresh run",
+                base.query
+            ));
+            continue;
+        };
+        let base_ratio = base.new_ms / base.general_ms;
+        let now_ratio = now.new_ms / now.general_ms;
+        if now_ratio > base_ratio * (1.0 + TOLERANCE) {
+            failures.push(format!(
+                "{} k=1000: lexi/general ratio regressed {:.3} -> {:.3} (> {:.0}% tolerance)",
+                base.query,
+                base_ratio,
+                now_ratio,
+                TOLERANCE * 100.0
+            ));
+        } else {
+            println!(
+                "ok: {} k=1000 lexi/general ratio {:.3} (baseline {:.3}, tolerance {:.0}%)",
+                base.query,
+                now_ratio,
+                base_ratio,
+                TOLERANCE * 100.0
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        println!("check_bench: all perf guards passed");
+    } else {
+        for f in &failures {
+            eprintln!("check_bench FAILURE: {f}");
+        }
+        exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\"edges\":5000,\"machine_threads\":1,\"entries\":[\
+        {\"query\":\"DBLP2hop\",\"k\":10,\"old_ms\":1.5,\"new_ms\":3.0,\"general_ms\":7.0},\
+        {\"query\":\"DBLP2hop\",\"k\":1000,\"old_ms\":20.0,\"new_ms\":2.7,\"general_ms\":7.1}]}";
+
+    #[test]
+    fn parses_the_flat_schema() {
+        let entries = parse(SAMPLE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].query, "DBLP2hop");
+        assert_eq!(entries[1].k, 1000);
+        assert_eq!(entries[1].old_ms, 20.0);
+        assert_eq!(entries[1].new_ms, 2.7);
+        assert_eq!(entries[1].general_ms, 7.1);
+        assert_eq!(at_k1000(&entries, "DBLP2hop"), Some(&entries[1]));
+        assert_eq!(at_k1000(&entries, "DBLP3hop"), None);
+    }
+
+    #[test]
+    fn field_extractors_handle_missing_fields() {
+        assert_eq!(field_f64("{\"a\":1.25}", "a"), Some(1.25));
+        assert_eq!(field_f64("{\"a\":1.25}", "b"), None);
+        assert_eq!(field_str("{\"q\":\"X\"}", "q"), Some("X".into()));
+        assert_eq!(field_str("{\"q\":3}", "q"), None);
+        assert!(parse("{}").is_empty());
+    }
+}

@@ -327,29 +327,57 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
             output,
             key: key.clone(),
         });
-        ns.queues
-            .entry(anchor_key.clone())
-            .or_default()
-            .push(Reverse(HeapEntry {
-                key,
-                output: tie,
-                cell: id,
-            }));
+        let entry = Reverse(HeapEntry {
+            key,
+            output: tie,
+            cell: id,
+        });
+        // Probe before inserting: successor pushes almost always land in an
+        // existing queue, and `entry(anchor_key.clone())` would clone the
+        // anchor tuple on every one of them.
+        match ns.queues.get_mut(anchor_key) {
+            Some(q) => q.push(entry),
+            None => {
+                ns.queues
+                    .insert(anchor_key.clone(), BinaryHeap::from(vec![entry]));
+            }
+        }
         self.stats.record_cell();
         self.stats.record_push();
         id
     }
 
+    /// Generate the successor cells of `cell` at `node`: advance one child
+    /// pointer at a time (lines 13–16 of Algorithm 2). Only children at or
+    /// after the cell's `advance_from` are advanced, so every pointer
+    /// combination is generated exactly once (see [`Cell::advance_from`]).
+    fn expand_successors(&mut self, node: usize, cell: CellId, anchor_key: &Tuple) {
+        let advance_from = self.nodes[node].cells[cell as usize].advance_from as usize;
+        for ci in advance_from..self.nodes[node].children.len() {
+            let child = self.nodes[node].children[ci];
+            let child_cell = self.nodes[node].cells[cell as usize].child_ptrs[ci];
+            if let Some(next_child) = self.topdown(child_cell, child) {
+                let row = self.nodes[node].cells[cell as usize].row;
+                let mut ptrs = self.nodes[node].cells[cell as usize].child_ptrs.clone();
+                ptrs[ci] = next_child;
+                let (output, key) = self.make_output(node, row, &ptrs);
+                self.push_cell(node, row, ptrs, ci as u32, output, key, anchor_key);
+            }
+        }
+    }
+
     /// The `Topdown` procedure of Algorithm 2: advance the ranked
     /// materialisation of `node`'s queue past the cell `cell`, returning the
     /// id of the next distinct partial answer (or `None` when exhausted).
+    /// Only called on non-root nodes — the root queue is driven directly by
+    /// [`Iterator::next`], which owns the popped entry instead of chaining.
     fn topdown(&mut self, cell: CellId, node: usize) -> Option<CellId> {
         match self.nodes[node].cells[cell as usize].next {
             NextPtr::Cell(c) => return Some(c),
             NextPtr::Exhausted => return None,
             NextPtr::NotComputed => {}
         }
-        let is_root = node == self.tree.root();
+        debug_assert_ne!(node, self.tree.root(), "topdown never drives the root");
         let anchor_key: Tuple = {
             let ns = &self.nodes[node];
             let t = ns.relation.tuple(ns.cells[cell as usize].row as usize);
@@ -365,9 +393,7 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                     .map(|Reverse(e)| e)
             };
             let Some(popped) = popped else {
-                if !is_root {
-                    self.nodes[node].cells[cell as usize].next = NextPtr::Exhausted;
-                }
+                self.nodes[node].cells[cell as usize].next = NextPtr::Exhausted;
                 return None;
             };
             self.stats.record_pop();
@@ -378,25 +404,7 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                 first_iteration = false;
             }
 
-            // Generate the successor cells of the popped cell: advance one
-            // child pointer at a time (lines 13–16 of Algorithm 2). Only
-            // children at or after `advance_from` are advanced, so every
-            // pointer combination is generated exactly once (see
-            // [`Cell::advance_from`]).
-            let children = self.nodes[node].children.clone();
-            let advance_from = self.nodes[node].cells[popped.cell as usize].advance_from as usize;
-            for (ci, &child) in children.iter().enumerate().skip(advance_from) {
-                let child_cell = self.nodes[node].cells[popped.cell as usize].child_ptrs[ci];
-                if let Some(next_child) = self.topdown(child_cell, child) {
-                    let row = self.nodes[node].cells[popped.cell as usize].row;
-                    let mut ptrs = self.nodes[node].cells[popped.cell as usize]
-                        .child_ptrs
-                        .clone();
-                    ptrs[ci] = next_child;
-                    let (output, key) = self.make_output(node, row, &ptrs);
-                    self.push_cell(node, row, ptrs, ci as u32, output, key, &anchor_key);
-                }
-            }
+            self.expand_successors(node, popped.cell, &anchor_key);
 
             // Chain to the new top; keep popping while it duplicates the
             // output we just advanced past (lines 17–19).
@@ -407,13 +415,11 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                     Some(Reverse(e)) => (NextPtr::Cell(e.cell), e.output == popped.output),
                 }
             };
-            if !is_root {
-                self.nodes[node].cells[cell as usize].next = next_ptr;
-            }
+            self.nodes[node].cells[cell as usize].next = next_ptr;
             if !duplicate {
                 return match next_ptr {
-                    NextPtr::Cell(c) if !is_root => Some(c),
-                    _ => None,
+                    NextPtr::Cell(c) => Some(c),
+                    NextPtr::Exhausted | NextPtr::NotComputed => None,
                 };
             }
         }
@@ -427,24 +433,47 @@ impl<R: Ranking + Clone> Iterator for AcyclicEnumerator<R> {
         if self.exhausted {
             return None;
         }
+        let root = self.tree.root();
+        let root_key: Tuple = Vec::new();
         loop {
-            let root = self.tree.root();
-            let root_key: Tuple = Vec::new();
-            let top = self.nodes[root]
+            // Pop the best root entry and own it — the root never chains,
+            // so no peek-and-clone is needed to keep the queue consistent.
+            let popped = self.nodes[root]
                 .queues
-                .get(&root_key)
-                .and_then(|q| q.peek())
-                .map(|Reverse(e)| (e.output.clone(), e.cell));
-            let Some((output, cell)) = top else {
+                .get_mut(&root_key)
+                .and_then(|q| q.pop())
+                .map(|Reverse(e)| e);
+            let Some(top) = popped else {
                 self.exhausted = true;
                 return None;
             };
-            let is_new = self.last_emitted.as_ref() != Some(&output);
-            self.topdown(cell, root);
-            if is_new {
-                self.last_emitted = Some(output.clone());
+            self.stats.record_pop();
+            self.expand_successors(root, top.cell, &root_key);
+            // Keep popping while the new top duplicates the advanced-past
+            // output (lines 17–19 of Algorithm 2 at the root).
+            loop {
+                let dup = {
+                    let ns = &self.nodes[root];
+                    match ns.queues.get(&root_key).and_then(|q| q.peek()) {
+                        Some(Reverse(e)) if e.output == top.output => Some(e.cell),
+                        _ => None,
+                    }
+                };
+                let Some(cell) = dup else { break };
+                self.nodes[root]
+                    .queues
+                    .get_mut(&root_key)
+                    .and_then(|q| q.pop());
+                self.stats.record_pop();
+                self.expand_successors(root, cell, &root_key);
+            }
+            // At the root the tie tuple *is* the output in user projection
+            // order. One clone survives — the dedup copy; the emitted
+            // tuple itself is moved out of the popped entry.
+            if self.last_emitted.as_ref() != Some(&top.output) {
+                self.last_emitted = Some(top.output.clone());
                 self.stats.record_answer();
-                return Some(output);
+                return Some(top.output);
             }
             // Duplicate of the previous answer (possible only through rank
             // ties introduced by later insertions); skip and continue.

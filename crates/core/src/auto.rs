@@ -55,6 +55,42 @@ pub fn select(query: &JoinProjectQuery) -> Algorithm {
     }
 }
 
+/// Whether the specialised lexicographic algorithm (Algorithm 3) can serve
+/// `query` under `ORDER BY` the `declared` attribute sequence with the same
+/// output sequence as the general algorithm would produce.
+///
+/// Conditions: the query must be acyclic (the lexi engine enumerates over a
+/// join tree), and at most one projection attribute may be missing from the
+/// declared order — both engines append missing attributes as the implicit
+/// order suffix, but they tie-break the *relative* order of two or more
+/// undeclared attributes differently (lexi uses projection order, the
+/// general algorithm the root node's subtree layout), so routing is only
+/// safe when the suffix has at most one attribute.
+pub fn lexi_serves(query: &JoinProjectQuery, declared: &[Attr]) -> bool {
+    if !Hypergraph::of_query(query).is_acyclic() {
+        return false;
+    }
+    let declared_projected = query
+        .projection()
+        .iter()
+        .filter(|p| declared.contains(p))
+        .count();
+    query.projection().len() - declared_projected <= 1
+}
+
+/// The strategy for `query` given its ranking: `lex_order` carries the
+/// declared attribute sequence of a lexicographic `ORDER BY` (and `None`
+/// for SUM-like rankings). Since PR 4 made Algorithm 3 index-backed, lexi
+/// is the fast path for lexicographic orders — it replaces per-answer
+/// priority-queue work with a memoized hash probe and a cursor bump — so
+/// the dispatcher prefers it whenever [`lexi_serves`] holds.
+pub fn select_ranked(query: &JoinProjectQuery, lex_order: Option<&[Attr]>) -> Algorithm {
+    match lex_order {
+        Some(declared) if lexi_serves(query, declared) => Algorithm::Lexi,
+        _ => select(query),
+    }
+}
+
 /// A ranked enumerator for any join-project query: acyclic queries go to
 /// [`AcyclicEnumerator`], cyclic ones to [`CyclicEnumerator`] with an
 /// automatically chosen GHD plan.
@@ -194,6 +230,54 @@ mod tests {
         let results: Vec<Tuple> = e.collect();
         // Triangle rotations projected to (x, y), ranked by x + y.
         assert_eq!(results, vec![vec![1, 2], vec![3, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn select_ranked_prefers_lexi_for_lexicographic_orders() {
+        use re_storage::attr::attrs;
+        let acyclic = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        // Fully declared lex order → lexi.
+        assert!(lexi_serves(&acyclic, &attrs(["x", "z"])));
+        assert_eq!(
+            select_ranked(&acyclic, Some(&attrs(["x", "z"]))),
+            Algorithm::Lexi
+        );
+        // One undeclared projection attribute: the suffix is unambiguous.
+        assert_eq!(
+            select_ranked(&acyclic, Some(&attrs(["x"]))),
+            Algorithm::Lexi
+        );
+        // SUM ranking keeps the general algorithm.
+        assert_eq!(select_ranked(&acyclic, None), Algorithm::Acyclic);
+        // Two undeclared attributes: the engines disagree on the implicit
+        // suffix order, so stay on the general algorithm.
+        let wide = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .project(["x", "y", "z"])
+            .build()
+            .unwrap();
+        assert_eq!(
+            select_ranked(&wide, Some(&attrs(["x"]))),
+            Algorithm::Acyclic
+        );
+        // Cyclic queries never route to lexi.
+        let cyclic = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .atom("E3", "E", ["z", "x"])
+            .project(["x", "y"])
+            .build()
+            .unwrap();
+        assert_eq!(
+            select_ranked(&cyclic, Some(&attrs(["x", "y"]))),
+            Algorithm::CyclicGhd
+        );
     }
 
     #[test]

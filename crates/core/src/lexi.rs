@@ -1,49 +1,230 @@
 //! The specialised algorithm for lexicographic orders (Algorithm 3,
-//! Section 3.2 / Lemma 4).
+//! Section 3.2 / Lemma 4), index-backed.
 //!
 //! Lexicographic orders have more structure than SUM: the global order is
 //! determined attribute by attribute, so the enumerator can *fix* the
-//! smallest remaining value of the first attribute, semi-join the instance
-//! down to the tuples compatible with it, recurse on the next attribute, and
-//! backtrack — avoiding priority queues altogether. This gives `O(|D|)`
-//! delay after an `O(|D| log |D|)` preprocessing pass, and supports an
-//! arbitrary ASC/DESC direction per attribute
-//! (`ORDER BY A1 ASC, A2 DESC, ...`).
+//! best remaining value of the first attribute, recurse on the next
+//! attribute, and backtrack — avoiding priority queues altogether.
+//!
+//! The work happens in two phases:
+//!
+//! * **Preprocessing** — one full-reducer pass over the join tree (the
+//!   only reducer invocation this enumerator ever makes), then a set of
+//!   [`SortedIndex`] grouped-adjacency structures over the reduced
+//!   relations, built through the [`ExecContext`] so large index builds
+//!   morsel-parallelise under the PR 3 determinism contract. For every
+//!   level of the lexicographic order the constructor also derives a
+//!   *level plan*: which join-tree nodes can constrain the level's
+//!   candidate values once the earlier attributes are bound, and the
+//!   bottom-up semi-join schedule (over row-id lists, never relations)
+//!   that computes them.
+//!
+//! * **Enumeration** — depth-first search over the attribute levels. A
+//!   frame holds a cursor into a weight-sorted *candidate list* (the
+//!   paper's "cell"): the distinct values of the level's attribute that
+//!   extend the currently bound prefix to at least one answer. Cells are
+//!   memoized per *dependency sub-prefix* — the minimal subset of bound
+//!   attributes that actually constrains the level, derived from the
+//!   residual hypergraph — so two prefixes that agree on the dependency
+//!   attributes share one cell ([`EnumStats::cells_reused`] counts the
+//!   hits). In steady state `next()` is a cursor bump; a fresh cell costs
+//!   a handful of hash probes and row-id merges proportional to the
+//!   prefix's *neighbourhood*, not to `|D|`.
+//!
+//! `next()` performs **zero `Relation` clones and zero reducer calls** —
+//! the [`EnumStats::relation_clones`] / [`EnumStats::reducer_calls`]
+//! counters exist so tests assert the ban. (The pre-index implementation,
+//! which cloned every relation in the frame and re-ran the full reducer
+//! per candidate per level, survives as [`ReferenceLexi`]: the benchmark
+//! baseline and differential-testing oracle.)
+//!
+//! Why the per-level cells are *exact* (no false candidates, none
+//! missing): fix the bound prefix `A_1 = v_1, …, A_k = v_k` and consider
+//! the residual hypergraph in which bound attributes are deleted from
+//! every atom (acyclicity is preserved — the join tree stays a join
+//! tree). The selection `σ_prefix(⋈)` factorises over the residual
+//! connected components, so the candidate set of `A_{k+1}` is the
+//! projection of its own component's join — provided every other
+//! component is non-empty, which the DFS invariant guarantees (every
+//! prefix on the stack extends to a full answer; level-0 candidates are
+//! exact on a fully reduced instance). Within the component, subtrees
+//! that contain no bound attribute are full-reduced and therefore filter
+//! nothing, so the schedule keeps only the paths from the level's node to
+//! the bound atoms and sweeps them bottom-up — classic Yannakakis over
+//! row-id lists.
 
 use crate::error::EnumError;
 use crate::stats::EnumStats;
-use re_join::{full_reduce_relations, reduce_then_prune};
+use re_exec::ExecContext;
+use re_join::{full_reduce_relations, par_sorted_index, reduce_then_prune, reduce_then_prune_ctx};
 use re_query::{JoinProjectQuery, JoinTree};
-use re_ranking::{Direction, LexRanking, WeightAssignment};
-use re_storage::{Attr, Database, Relation, Tuple, Value};
+use re_ranking::{Direction, LexRanking, Weight, WeightAssignment};
+use re_storage::{Attr, Database, Relation, SortedIndex, Tuple, Value};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
-/// One backtracking frame: the instance restricted to the values fixed so
-/// far, and the remaining candidate values for the current attribute.
-struct Frame {
-    level: usize,
-    relations: Vec<Relation>,
-    candidates: Vec<Value>,
-    next: usize,
-    prefix: Vec<Value>,
+/// Filter on a schedule step: restrict the step's live rows to those whose
+/// shared-attribute key appears among an already-processed child's live
+/// rows (the bottom-up semi-join, over row ids).
+struct ChildLink {
+    /// Schedule slot of the child (always earlier in the schedule).
+    child_slot: usize,
+    /// Positions (in the child's relation) of the shared unbound attrs.
+    child_key_pos: Vec<usize>,
+    /// Grouped-adjacency index over *this* step's relation, keyed on the
+    /// shared unbound attrs — the union path when no row list exists yet.
+    index: usize,
+    /// Positions (in this step's relation) of the shared unbound attrs —
+    /// the retain path when a row list already exists.
+    node_key_pos: Vec<usize>,
 }
 
-/// Ranked enumerator for lexicographic orders based on backtracking
-/// semi-joins (Algorithm 3).
+/// One node of a level's bottom-up schedule.
+struct StepPlan {
+    /// Join-tree node index.
+    node: usize,
+    /// Index over `node`'s relation keyed on its bound attributes, plus
+    /// the levels whose prefix values form the probe key.
+    bound: Option<(usize, Vec<usize>)>,
+    /// Semi-join filters from already-processed children.
+    children: Vec<ChildLink>,
+}
+
+/// Everything needed to produce the candidate list of one level given a
+/// bound prefix. Derived once at construction.
+struct LevelPlan {
+    /// Sort direction of the level's attribute.
+    dir: Direction,
+    /// Levels whose prefix values the candidate list depends on — the
+    /// memo key. A strict subset of the prefix is what makes cells
+    /// shareable between prefixes.
+    dep: Vec<usize>,
+    /// Bottom-up schedule; the last step is the node owning the level's
+    /// attribute.
+    steps: Vec<StepPlan>,
+    /// Position of the level's attribute in the last step's relation.
+    attr_pos: usize,
+}
+
+/// One backtracking frame: a cursor into a memoized candidate list.
+struct Frame {
+    level: usize,
+    cell: u32,
+    next: usize,
+}
+
+/// Ranked enumerator for lexicographic orders based on preprocessing-time
+/// grouped-adjacency indexes and memoized candidate cells (Algorithm 3).
 pub struct LexiEnumerator {
-    tree: JoinTree,
     /// Projection attributes in the user-requested (output) order.
     projection: Vec<Attr>,
     /// Projection attributes in lexicographic priority order, with their
     /// sort direction.
     attr_order: Vec<(Attr, Direction)>,
-    weights: WeightAssignment,
-    /// For every level, a join-tree node whose relation contains the
-    /// attribute (used to read candidate values).
-    attr_node: Vec<usize>,
     /// Permutation from `attr_order` positions to the user projection order.
     output_perm: Vec<usize>,
+    /// The reduced per-node relations — owned, and never cloned again.
+    relations: Vec<Relation>,
+    /// Grouped-adjacency indexes shared by all level plans.
+    indexes: Vec<SortedIndex>,
+    levels: Vec<LevelPlan>,
+    weights: WeightAssignment,
+    /// Cell arena: weight-sorted candidate lists.
+    cells: Vec<Vec<Value>>,
+    /// Per level: dependency sub-prefix → cell id.
+    memo: Vec<HashMap<Tuple, u32>>,
+    /// Values chosen for levels `0..top_frame.level`.
+    prefix: Vec<Value>,
     stack: Vec<Frame>,
     stats: EnumStats,
+}
+
+/// The lexicographic attribute order actually enumerated: the ranking's
+/// declared order restricted to the projection (first occurrence wins),
+/// with projection attributes missing from the declaration appended
+/// (ascending) in projection order.
+fn lex_attr_order(query: &JoinProjectQuery, ranking: &LexRanking) -> Vec<(Attr, Direction)> {
+    let mut order: Vec<(Attr, Direction)> = Vec::with_capacity(query.projection().len());
+    for (a, d) in ranking.order() {
+        if query.is_projected(a) && !order.iter().any(|(x, _)| x == a) {
+            order.push((a.clone(), *d));
+        }
+    }
+    for p in query.projection() {
+        if !order.iter().any(|(a, _)| a == p) {
+            order.push((p.clone(), Direction::Asc));
+        }
+    }
+    order
+}
+
+/// Decorate-sort-undecorate: order candidate values by weight under the
+/// level's direction, ties broken by value (ascending) for determinism.
+/// The bulk [`WeightAssignment::weights_of`] lookup resolves the attribute
+/// once — no attribute hash lookup per comparison, no value lookup beyond
+/// the decorate pass.
+fn sort_candidates(
+    weights: &WeightAssignment,
+    attr: &Attr,
+    dir: Direction,
+    values: &mut Vec<Value>,
+) {
+    let mut decorated: Vec<(Weight, Value)> = weights
+        .weights_of(attr, values)
+        .into_iter()
+        .zip(values.iter().copied())
+        .collect();
+    match dir {
+        Direction::Asc => decorated.sort_unstable(),
+        Direction::Desc => {
+            decorated.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)))
+        }
+    }
+    values.clear();
+    values.extend(decorated.into_iter().map(|(_, v)| v));
+}
+
+/// Distinct keys (projected onto `pos`) of an iterator of tuples: the
+/// first-occurrence-ordered list plus the membership set. Only distinct
+/// keys allocate.
+fn collect_keys<'a>(
+    tuples: impl Iterator<Item = &'a [Value]>,
+    pos: &[usize],
+) -> (Vec<Tuple>, HashSet<Tuple>) {
+    let mut list: Vec<Tuple> = Vec::new();
+    let mut set: HashSet<Tuple> = HashSet::new();
+    let mut buf: Tuple = Vec::with_capacity(pos.len());
+    for t in tuples {
+        buf.clear();
+        buf.extend(pos.iter().map(|&p| t[p]));
+        if !set.contains(buf.as_slice()) {
+            set.insert(buf.clone());
+            list.push(buf.clone());
+        }
+    }
+    (list, set)
+}
+
+/// Post-order over the kept part of the component tree (children before
+/// parents, root last) — the schedule order.
+fn kept_post_order(children: &[Vec<usize>], keep: &[bool], u: usize, out: &mut Vec<usize>) {
+    for &c in &children[u] {
+        if keep[c] {
+            kept_post_order(children, keep, c, out);
+        }
+    }
+    out.push(u);
+}
+
+/// Whether the subtree rooted at `u` contains a marked node; fills `keep`.
+fn mark_keep(children: &[Vec<usize>], marked: &[bool], keep: &mut [bool], u: usize) -> bool {
+    let mut k = marked[u];
+    for &c in &children[u] {
+        if mark_keep(children, marked, keep, c) {
+            k = true;
+        }
+    }
+    keep[u] = k;
+    k
 }
 
 impl LexiEnumerator {
@@ -56,33 +237,22 @@ impl LexiEnumerator {
         db: &Database,
         ranking: &LexRanking,
     ) -> Result<Self, EnumError> {
+        Self::new_ctx(query, db, ranking, &ExecContext::serial())
+    }
+
+    /// [`LexiEnumerator::new`] with the preprocessing pass — the full
+    /// reducer and the grouped-adjacency index builds — running under
+    /// `ctx`. The enumerator, and therefore every emitted answer, is
+    /// identical to the serial build at any thread count.
+    pub fn new_ctx(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: &LexRanking,
+        ctx: &ExecContext,
+    ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let (tree, reduced) = reduce_then_prune(query, JoinTree::build(query)?, db)?;
-
-        // Lexicographic attribute order restricted to the projection.
-        let mut attr_order: Vec<(Attr, Direction)> = ranking
-            .order()
-            .iter()
-            .filter(|(a, _)| query.is_projected(a))
-            .cloned()
-            .collect();
-        for p in query.projection() {
-            if !attr_order.iter().any(|(a, _)| a == p) {
-                attr_order.push((p.clone(), Direction::Asc));
-            }
-        }
-
-        // A node containing each ordered attribute.
-        let attr_node = attr_order
-            .iter()
-            .map(|(a, _)| {
-                tree.nodes()
-                    .iter()
-                    .position(|n| n.vars.contains(a))
-                    .expect("projection attribute must appear in the pruned tree")
-            })
-            .collect::<Vec<_>>();
-
+        let (tree, relations) = reduce_then_prune_ctx(ctx, query, JoinTree::build(query)?, db)?;
+        let attr_order = lex_attr_order(query, ranking);
         let output_perm = query
             .projection()
             .iter()
@@ -94,29 +264,289 @@ impl LexiEnumerator {
             })
             .collect();
 
-        let weights = ranking.weights().clone();
         let mut this = LexiEnumerator {
-            tree,
             projection: query.projection().to_vec(),
             attr_order,
-            weights,
-            attr_node,
             output_perm,
+            relations,
+            indexes: Vec::new(),
+            levels: Vec::new(),
+            weights: ranking.weights().clone(),
+            cells: Vec::new(),
+            memo: Vec::new(),
+            prefix: Vec::new(),
             stack: Vec::new(),
             stats: EnumStats::new(),
         };
+        if this.relations.iter().any(|r| r.is_empty()) {
+            return Ok(this); // empty join: nothing to index, nothing to emit
+        }
+        this.build_plans(&tree, ctx)?;
+        this.memo = (0..this.attr_order.len()).map(|_| HashMap::new()).collect();
+        let cell = this.cell_for(0);
+        this.stack.push(Frame {
+            level: 0,
+            cell,
+            next: 0,
+        });
+        Ok(this)
+    }
 
-        if !reduced.iter().any(|r| r.is_empty()) {
-            let candidates = this.sorted_candidates(&reduced, 0);
-            this.stack.push(Frame {
-                level: 0,
-                relations: reduced,
-                candidates,
-                next: 0,
-                prefix: Vec::new(),
+    /// Derive the per-level plans and build every index they need.
+    fn build_plans(&mut self, tree: &JoinTree, ctx: &ExecContext) -> Result<(), EnumError> {
+        let n = tree.len();
+        // Undirected tree adjacency (parent + children per node).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in tree.nodes().iter().enumerate() {
+            if let Some(p) = node.parent {
+                adj[i].push(p);
+            }
+            adj[i].extend(node.children.iter().copied());
+        }
+        // Index arena, deduplicated across levels by (node, key attrs).
+        let mut index_ids: HashMap<(usize, Vec<Attr>), usize> = HashMap::new();
+        let mut index_specs: Vec<(usize, Vec<Attr>)> = Vec::new();
+        let mut intern = |node: usize, key: Vec<Attr>| -> usize {
+            *index_ids.entry((node, key.clone())).or_insert_with(|| {
+                index_specs.push((node, key));
+                index_specs.len() - 1
+            })
+        };
+
+        let mut levels: Vec<LevelPlan> = Vec::with_capacity(self.attr_order.len());
+        for (k, (attr, dir)) in self.attr_order.iter().enumerate() {
+            let bound_set: BTreeSet<&Attr> = self.attr_order[..k].iter().map(|(a, _)| a).collect();
+            let root = (0..n)
+                .position(|i| self.relations[i].attrs().contains(attr))
+                .expect("projection attribute must appear in the pruned tree");
+            // Component of `attr` in the residual hypergraph: flood the
+            // tree over edges whose shared attributes are not all bound.
+            let mut bfs_children: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut visited = vec![false; n];
+            visited[root] = true;
+            let mut queue = vec![root];
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &v in &adj[u] {
+                    if visited[v] {
+                        continue;
+                    }
+                    let traversable = self.relations[u]
+                        .attrs()
+                        .iter()
+                        .any(|a| !bound_set.contains(a) && self.relations[v].attrs().contains(a));
+                    if traversable {
+                        visited[v] = true;
+                        bfs_children[u].push(v);
+                        queue.push(v);
+                    }
+                }
+            }
+            // Keep only the paths from the root to nodes carrying a bound
+            // attribute: unconstrained subtrees are fully reduced and
+            // filter nothing.
+            let marked: Vec<bool> = (0..n)
+                .map(|i| {
+                    visited[i]
+                        && self.relations[i]
+                            .attrs()
+                            .iter()
+                            .any(|a| bound_set.contains(a))
+                })
+                .collect();
+            let mut keep = vec![false; n];
+            mark_keep(&bfs_children, &marked, &mut keep, root);
+            keep[root] = true;
+            let mut order = Vec::new();
+            kept_post_order(&bfs_children, &keep, root, &mut order);
+
+            let mut dep: Vec<usize> = Vec::new();
+            let mut slot_of: HashMap<usize, usize> = HashMap::new();
+            let mut steps: Vec<StepPlan> = Vec::with_capacity(order.len());
+            for &u in &order {
+                let rel = &self.relations[u];
+                let bound_levels: Vec<usize> = (0..k)
+                    .filter(|&l| rel.attrs().contains(&self.attr_order[l].0))
+                    .collect();
+                let bound = if bound_levels.is_empty() {
+                    None
+                } else {
+                    for &l in &bound_levels {
+                        if !dep.contains(&l) {
+                            dep.push(l);
+                        }
+                    }
+                    let key: Vec<Attr> = bound_levels
+                        .iter()
+                        .map(|&l| self.attr_order[l].0.clone())
+                        .collect();
+                    Some((intern(u, key), bound_levels))
+                };
+                let mut children = Vec::new();
+                for &c in &bfs_children[u] {
+                    if !keep[c] {
+                        continue;
+                    }
+                    let shared: Vec<Attr> = self.relations[c]
+                        .attrs()
+                        .iter()
+                        .filter(|a| !bound_set.contains(a) && rel.attrs().contains(a))
+                        .cloned()
+                        .collect();
+                    children.push(ChildLink {
+                        child_slot: slot_of[&c],
+                        child_key_pos: self.relations[c].positions(&shared)?,
+                        index: intern(u, shared.clone()),
+                        node_key_pos: rel.positions(&shared)?,
+                    });
+                }
+                slot_of.insert(u, steps.len());
+                steps.push(StepPlan {
+                    node: u,
+                    bound,
+                    children,
+                });
+            }
+            dep.sort_unstable();
+            let attr_pos = self.relations[root]
+                .position(attr)
+                .expect("attribute exists in its node");
+            levels.push(LevelPlan {
+                dir: *dir,
+                dep,
+                steps,
+                attr_pos,
             });
         }
-        Ok(this)
+        // Build the interned indexes, each morsel-parallel under `ctx`.
+        self.indexes = index_specs
+            .iter()
+            .map(|(node, key)| par_sorted_index(ctx, &self.relations[*node], key))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.levels = levels;
+        Ok(())
+    }
+
+    /// The memoized cell for `level` under the current prefix, building
+    /// (and counting) it on first use.
+    fn cell_for(&mut self, level: usize) -> u32 {
+        let key: Tuple = self.levels[level]
+            .dep
+            .iter()
+            .map(|&l| self.prefix[l])
+            .collect();
+        if let Some(&id) = self.memo[level].get(&key) {
+            self.stats.record_cell_reuse();
+            return id;
+        }
+        let list = self.compute_candidates(level);
+        let id = self.cells.len() as u32;
+        self.cells.push(list);
+        self.memo[level].insert(key, id);
+        self.stats.record_cell();
+        id
+    }
+
+    /// Run the level's bottom-up schedule over row-id lists and return the
+    /// weight-sorted candidate values. Pure index probes and list merges —
+    /// no relation is copied, no reducer runs.
+    fn compute_candidates(&self, level: usize) -> Vec<Value> {
+        let plan = &self.levels[level];
+        // `None` = all rows of the step's relation are live.
+        let mut live: Vec<Option<Vec<u32>>> = Vec::with_capacity(plan.steps.len());
+        let mut key: Tuple = Vec::new();
+        for step in &plan.steps {
+            let rel = &self.relations[step.node];
+            let mut rows: Option<Vec<u32>> = match &step.bound {
+                Some((idx, bound_levels)) => {
+                    key.clear();
+                    key.extend(bound_levels.iter().map(|&l| self.prefix[l]));
+                    Some(self.indexes[*idx].rows(&key).to_vec())
+                }
+                None => None,
+            };
+            for link in &step.children {
+                let child_rel = &self.relations[plan.steps[link.child_slot].node];
+                // Invariant: a child step always resolved to a concrete row
+                // list — it is either marked (bound probe) or was itself
+                // filtered through one of its children. Only the schedule
+                // root, which no link ever references, can stay `None`.
+                let child_rows = live[link.child_slot]
+                    .as_deref()
+                    .expect("non-root steps always resolve a row list");
+                let (key_list, key_set) = collect_keys(
+                    child_rows.iter().map(|&r| child_rel.tuple(r as usize)),
+                    &link.child_key_pos,
+                );
+                match rows {
+                    None => {
+                        // Distinct keys address disjoint groups, so the
+                        // concatenated adjacency lists are duplicate-free.
+                        let index = &self.indexes[link.index];
+                        let mut merged: Vec<u32> = Vec::new();
+                        for k in &key_list {
+                            merged.extend_from_slice(index.rows(k));
+                        }
+                        rows = Some(merged);
+                    }
+                    Some(ref mut r) => {
+                        let pos = &link.node_key_pos;
+                        let mut buf: Tuple = Vec::with_capacity(pos.len());
+                        r.retain(|&row| {
+                            let t = rel.tuple(row as usize);
+                            buf.clear();
+                            buf.extend(pos.iter().map(|&p| t[p]));
+                            key_set.contains(buf.as_slice())
+                        });
+                    }
+                }
+                if matches!(rows.as_deref(), Some([])) {
+                    return Vec::new();
+                }
+            }
+            live.push(rows);
+        }
+        // Distinct values of the level's attribute among the root's rows.
+        let root = plan.steps.last().expect("schedule contains the root");
+        let rel = &self.relations[root.node];
+        let p = plan.attr_pos;
+        let mut seen: HashSet<Value> = HashSet::new();
+        let mut values: Vec<Value> = Vec::new();
+        match live.last().expect("one live entry per step") {
+            Some(rows) => {
+                for &row in rows {
+                    let v = rel.tuple(row as usize)[p];
+                    if seen.insert(v) {
+                        values.push(v);
+                    }
+                }
+            }
+            None => {
+                for t in rel.iter() {
+                    let v = t[p];
+                    if seen.insert(v) {
+                        values.push(v);
+                    }
+                }
+            }
+        }
+        sort_candidates(
+            &self.weights,
+            &self.attr_order[level].0,
+            plan.dir,
+            &mut values,
+        );
+        values
+    }
+
+    fn emit(&self, last: Value) -> Tuple {
+        let m = self.attr_order.len();
+        self.output_perm
+            .iter()
+            .map(|&p| if p + 1 == m { last } else { self.prefix[p] })
+            .collect()
     }
 
     /// The lexicographic attribute order actually used (projection
@@ -135,22 +565,152 @@ impl LexiEnumerator {
         &self.stats
     }
 
+    /// Number of memoized candidate cells currently held — the enumerator's
+    /// dominant memory cost beyond the reduced relations and indexes.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl Iterator for LexiEnumerator {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let m = self.attr_order.len();
+        loop {
+            let (level, cell, cursor) = match self.stack.last() {
+                None => return None,
+                Some(f) => (f.level, f.cell as usize, f.next),
+            };
+            if cursor >= self.cells[cell].len() {
+                self.stack.pop();
+                if level > 0 {
+                    self.prefix.pop();
+                }
+                continue;
+            }
+            self.stack.last_mut().expect("frame just read").next += 1;
+            let value = self.cells[cell][cursor];
+            if level + 1 == m {
+                self.stats.record_answer();
+                return Some(self.emit(value));
+            }
+            self.prefix.push(value);
+            let cell = self.cell_for(level + 1);
+            self.stack.push(Frame {
+                level: level + 1,
+                cell,
+                next: 0,
+            });
+        }
+    }
+}
+
+/// The pre-index Algorithm 3: per candidate per level it clones every
+/// relation in the current frame, restricts them to the chosen value and
+/// re-runs the full reducer. Correct, and the paper's prose reading of
+/// "two-phase semi-joins" — but `O(|D|)` *per step*, which PR 1 measured
+/// as ~3× *slower* than the general algorithm on DBLP2hop. Retained as the
+/// benchmark baseline ([`crates/bench`]'s `lexi_vs_general` pins the old
+/// engine against the new one) and as a differential-testing oracle; it
+/// ticks [`EnumStats::relation_clones`] and [`EnumStats::reducer_calls`]
+/// for every hot-path sin, which the indexed enumerator's tests assert to
+/// be zero.
+pub struct ReferenceLexi {
+    tree: JoinTree,
+    projection: Vec<Attr>,
+    attr_order: Vec<(Attr, Direction)>,
+    weights: WeightAssignment,
+    /// For every level, a join-tree node whose relation contains the
+    /// attribute (used to read candidate values).
+    attr_node: Vec<usize>,
+    output_perm: Vec<usize>,
+    stack: Vec<RefFrame>,
+    stats: EnumStats,
+}
+
+/// One backtracking frame of the reference engine: the instance restricted
+/// to the values fixed so far, and the remaining candidates.
+struct RefFrame {
+    level: usize,
+    relations: Vec<Relation>,
+    candidates: Vec<Value>,
+    next: usize,
+    prefix: Vec<Value>,
+}
+
+impl ReferenceLexi {
+    /// Build the reference enumerator (see [`LexiEnumerator::new`] for the
+    /// order semantics — both engines share them).
+    pub fn new(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: &LexRanking,
+    ) -> Result<Self, EnumError> {
+        query.validate_against(db)?;
+        let (tree, reduced) = reduce_then_prune(query, JoinTree::build(query)?, db)?;
+        let attr_order = lex_attr_order(query, ranking);
+        let attr_node = attr_order
+            .iter()
+            .map(|(a, _)| {
+                tree.nodes()
+                    .iter()
+                    .position(|n| n.vars.contains(a))
+                    .expect("projection attribute must appear in the pruned tree")
+            })
+            .collect::<Vec<_>>();
+        let output_perm = query
+            .projection()
+            .iter()
+            .map(|p| {
+                attr_order
+                    .iter()
+                    .position(|(a, _)| a == p)
+                    .expect("projection attribute present in order")
+            })
+            .collect();
+        let mut this = ReferenceLexi {
+            tree,
+            projection: query.projection().to_vec(),
+            attr_order,
+            weights: ranking.weights().clone(),
+            attr_node,
+            output_perm,
+            stack: Vec::new(),
+            stats: EnumStats::new(),
+        };
+        if !reduced.iter().any(|r| r.is_empty()) {
+            let candidates = this.sorted_candidates(&reduced, 0);
+            this.stack.push(RefFrame {
+                level: 0,
+                relations: reduced,
+                candidates,
+                next: 0,
+                prefix: Vec::new(),
+            });
+        }
+        Ok(this)
+    }
+
+    /// The projection attributes, in output order.
+    pub fn output_attrs(&self) -> &[Attr] {
+        &self.projection
+    }
+
+    /// Enumeration statistics (including the hot-path sin counters).
+    pub fn stats(&self) -> &EnumStats {
+        &self.stats
+    }
+
     /// Distinct values of the `level`-th ordered attribute in the (reduced)
-    /// instance, sorted by weight according to the attribute's direction.
+    /// instance, weight-sorted via decorate-sort-undecorate.
     fn sorted_candidates(&self, relations: &[Relation], level: usize) -> Vec<Value> {
         let (attr, dir) = &self.attr_order[level];
         let node = self.attr_node[level];
         let mut values = relations[node]
             .distinct_values(attr)
             .expect("attribute exists in its node");
-        values.sort_by(|&a, &b| {
-            let wa = (self.weights.weight_of(attr, a), a);
-            let wb = (self.weights.weight_of(attr, b), b);
-            match dir {
-                Direction::Asc => wa.cmp(&wb),
-                Direction::Desc => wb.cmp(&wa),
-            }
-        });
+        sort_candidates(&self.weights, attr, *dir, &mut values);
         values
     }
 
@@ -159,7 +719,7 @@ impl LexiEnumerator {
     }
 }
 
-impl Iterator for LexiEnumerator {
+impl Iterator for ReferenceLexi {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {
@@ -186,11 +746,13 @@ impl Iterator for LexiEnumerator {
             // ("two-phase semi-joins" in the paper).
             let attr = self.attr_order[level].0.clone();
             let mut restricted = frame.relations.clone();
+            self.stats.record_relation_clones(restricted.len() as u64);
             for rel in restricted.iter_mut() {
                 if let Some(p) = rel.position(&attr) {
                     rel.retain(|t| t[p] == value);
                 }
             }
+            self.stats.record_reducer_call();
             if full_reduce_relations(&self.tree, &mut restricted).is_err() {
                 // Cannot happen: the schema never changes. Treat as pruned.
                 continue;
@@ -201,7 +763,7 @@ impl Iterator for LexiEnumerator {
                 continue;
             }
             let candidates = self.sorted_candidates(&restricted, level + 1);
-            self.stack.push(Frame {
+            self.stack.push(RefFrame {
                 level: level + 1,
                 relations: restricted,
                 candidates,
@@ -287,6 +849,95 @@ mod tests {
     }
 
     #[test]
+    fn matches_the_reference_engine() {
+        for order in [["A", "E"], ["E", "A"]] {
+            let lex = LexRanking::new(order, WeightAssignment::value_as_weight());
+            let via_new: Vec<Tuple> = LexiEnumerator::new(&query(), &db(), &lex)
+                .unwrap()
+                .collect();
+            let via_ref: Vec<Tuple> = ReferenceLexi::new(&query(), &db(), &lex).unwrap().collect();
+            assert_eq!(via_new, via_ref, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn hot_path_performs_no_clones_and_no_reducer_calls() {
+        let lex = LexRanking::new(["A", "E"], WeightAssignment::value_as_weight());
+        let mut e = LexiEnumerator::new(&query(), &db(), &lex).unwrap();
+        let n = e.by_ref().count();
+        assert!(n > 0);
+        assert_eq!(
+            e.stats().relation_clones,
+            0,
+            "next() must not clone relations"
+        );
+        assert_eq!(
+            e.stats().reducer_calls,
+            0,
+            "next() must not run the reducer"
+        );
+        assert!(e.stats().cells_created > 0);
+        // The reference engine trips both counters on the same input —
+        // proof the tripwires actually fire.
+        let mut r = ReferenceLexi::new(&query(), &db(), &lex).unwrap();
+        let _ = r.by_ref().count();
+        assert!(r.stats().relation_clones > 0);
+        assert!(r.stats().reducer_calls > 0);
+    }
+
+    #[test]
+    fn cells_are_reused_across_prefixes_sharing_the_dependency() {
+        // π_{a,b,c}(R(a,b) ⋈ S(b,c)) ordered (a, b, c): the c-candidates
+        // depend only on b, so the two a-values sharing b = 1 reuse one
+        // memoized cell.
+        let mut d = Database::new();
+        d.add_relation(
+            Relation::with_tuples(
+                "R",
+                attrs(["a", "b"]),
+                vec![vec![1, 1], vec![2, 1], vec![3, 2]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d.add_relation(
+            Relation::with_tuples(
+                "S",
+                attrs(["b", "c"]),
+                vec![vec![1, 10], vec![1, 11], vec![2, 12]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .atom("S", "S", ["b", "c"])
+            .project(["a", "b", "c"])
+            .build()
+            .unwrap();
+        let lex = LexRanking::new(["a", "b", "c"], WeightAssignment::value_as_weight());
+        let mut e = LexiEnumerator::new(&q, &d, &lex).unwrap();
+        let results: Vec<Tuple> = e.by_ref().collect();
+        assert_eq!(
+            results,
+            vec![
+                vec![1, 1, 10],
+                vec![1, 1, 11],
+                vec![2, 1, 10],
+                vec![2, 1, 11],
+                vec![3, 2, 12],
+            ]
+        );
+        assert!(
+            e.stats().cells_reused > 0,
+            "a = 2 must reuse the b = 1 cell built for a = 1"
+        );
+        // And the sequence still matches the general algorithm.
+        let via_general: Vec<Tuple> = AcyclicEnumerator::new(&q, &d, lex).unwrap().collect();
+        assert_eq!(results, via_general);
+    }
+
+    #[test]
     fn descending_direction() {
         let lex = LexRanking::with_directions(
             [("A", Direction::Desc), ("E", Direction::Asc)],
@@ -364,5 +1015,60 @@ mod tests {
         let lex = LexRanking::new(["a"], WeightAssignment::value_as_weight());
         let results: Vec<Tuple> = LexiEnumerator::new(&q, &d, &lex).unwrap().collect();
         assert_eq!(results, Vec::<Tuple>::new());
+    }
+
+    #[test]
+    fn cartesian_product_levels_are_independent() {
+        let mut d = Database::new();
+        d.add_relation(Relation::with_tuples("R", attrs(["a"]), vec![vec![2], vec![1]]).unwrap())
+            .unwrap();
+        d.add_relation(Relation::with_tuples("S", attrs(["b"]), vec![vec![4], vec![3]]).unwrap())
+            .unwrap();
+        let q = QueryBuilder::new()
+            .atom("R", "R", ["a"])
+            .atom("S", "S", ["b"])
+            .project(["a", "b"])
+            .build()
+            .unwrap();
+        let lex = LexRanking::new(["a", "b"], WeightAssignment::value_as_weight());
+        let mut e = LexiEnumerator::new(&q, &d, &lex).unwrap();
+        let results: Vec<Tuple> = e.by_ref().collect();
+        assert_eq!(
+            results,
+            vec![vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4]]
+        );
+        // The b-level has no dependency on a, so its single cell is built
+        // once and reused for the second a-value.
+        assert_eq!(e.stats().cells_reused, 1);
+    }
+
+    #[test]
+    fn three_hop_shape_matches_general_and_reference() {
+        // π_{a,p2}(M1(a,p1) ⋈ M2(a2,p1) ⋈ M3(a2,p2)) — the DBLP 3-hop
+        // shape, where the p2 candidates need two propagation steps.
+        let mut d = Database::new();
+        let edges = vec![
+            vec![1, 10],
+            vec![2, 10],
+            vec![2, 11],
+            vec![3, 11],
+            vec![3, 12],
+            vec![4, 13],
+        ];
+        d.add_relation(Relation::with_tuples("M", attrs(["e", "c"]), edges).unwrap())
+            .unwrap();
+        let q = QueryBuilder::new()
+            .atom("M1", "M", ["a", "p1"])
+            .atom("M2", "M", ["a2", "p1"])
+            .atom("M3", "M", ["a2", "p2"])
+            .project(["a", "p2"])
+            .build()
+            .unwrap();
+        let lex = LexRanking::new(["a", "p2"], WeightAssignment::value_as_weight());
+        let via_new: Vec<Tuple> = LexiEnumerator::new(&q, &d, &lex).unwrap().collect();
+        let via_ref: Vec<Tuple> = ReferenceLexi::new(&q, &d, &lex).unwrap().collect();
+        let via_general: Vec<Tuple> = AcyclicEnumerator::new(&q, &d, lex).unwrap().collect();
+        assert_eq!(via_new, via_ref);
+        assert_eq!(via_new, via_general);
     }
 }

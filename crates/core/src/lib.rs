@@ -34,11 +34,11 @@ pub mod stream;
 pub mod union;
 
 pub use acyclic::AcyclicEnumerator;
-pub use auto::{select, top_k, Algorithm, RankedEnumerator};
+pub use auto::{lexi_serves, select, select_ranked, top_k, Algorithm, RankedEnumerator};
 pub use cell::{Cell, CellId, HeapEntry, NextPtr};
 pub use cyclic::CyclicEnumerator;
 pub use error::EnumError;
-pub use lexi::LexiEnumerator;
+pub use lexi::{LexiEnumerator, ReferenceLexi};
 // Re-exported so downstream layers (SQL cursors, the server) can accept an
 // execution context and size pools without depending on `re_exec` directly.
 pub use re_exec::{machine_threads, ExecContext, PoolStats, WorkerPool};

@@ -22,8 +22,21 @@ pub struct EnumStats {
     pub pq_pushes: u64,
     /// Total priority-queue pops.
     pub pq_pops: u64,
-    /// Total cells allocated (including preprocessing).
+    /// Total cells allocated (including preprocessing). For the
+    /// lexicographic enumerator a "cell" is a memoized candidate list.
     pub cells_created: u64,
+    /// Memoized cells served from the memo instead of being rebuilt (the
+    /// lexicographic enumerator's prefix-binding reuse).
+    pub cells_reused: u64,
+    /// `Relation` clones performed **while enumerating** (inside `next`).
+    /// The index-backed enumeration hot paths must keep this at zero; the
+    /// counter exists so tests can assert the ban instead of trusting it.
+    pub relation_clones: u64,
+    /// Full-reducer invocations performed **while enumerating** (inside
+    /// `next`). Same contract as [`EnumStats::relation_clones`]: the one
+    /// preprocessing-time reduction is not counted, enumeration-time
+    /// reductions must not happen.
+    pub reducer_calls: u64,
     /// Number of answers emitted so far.
     pub answers: u64,
     /// Priority-queue operations (pushes + pops) spent between consecutive
@@ -56,6 +69,23 @@ impl EnumStats {
         self.cells_created += 1;
     }
 
+    /// Record a memoized cell served without rebuilding.
+    pub fn record_cell_reuse(&mut self) {
+        self.cells_reused += 1;
+    }
+
+    /// Record `Relation` clones performed inside `next` (hot-path ban
+    /// tripwire; see [`EnumStats::relation_clones`]).
+    pub fn record_relation_clones(&mut self, n: u64) {
+        self.relation_clones += n;
+    }
+
+    /// Record a full-reducer invocation inside `next` (hot-path ban
+    /// tripwire; see [`EnumStats::reducer_calls`]).
+    pub fn record_reducer_call(&mut self) {
+        self.reducer_calls += 1;
+    }
+
     /// Record that an answer was emitted, folding the per-answer operation
     /// count into the histogram.
     pub fn record_answer(&mut self) {
@@ -86,6 +116,9 @@ impl EnumStats {
         self.pq_pushes += other.pq_pushes;
         self.pq_pops += other.pq_pops;
         self.cells_created += other.cells_created;
+        self.cells_reused += other.cells_reused;
+        self.relation_clones += other.relation_clones;
+        self.reducer_calls += other.reducer_calls;
         // answers / histogram are tracked by the composite itself
     }
 
@@ -98,6 +131,7 @@ impl EnumStats {
             pq_pushes: self.pq_pushes,
             pq_pops: self.pq_pops,
             cells_created: self.cells_created,
+            cells_reused: self.cells_reused,
             answers: self.answers,
             ..StatsSnapshot::zero()
         }
@@ -115,6 +149,9 @@ pub struct StatsSnapshot {
     pub pq_pops: u64,
     /// Total cells allocated (including preprocessing).
     pub cells_created: u64,
+    /// Memoized cells served from the memo instead of being rebuilt (the
+    /// lexicographic enumerator's prefix-binding reuse).
+    pub cells_reused: u64,
     /// Number of answers emitted so far.
     pub answers: u64,
     /// Parallel-preprocessing tasks executed on the worker pool (morsels,
@@ -138,6 +175,7 @@ impl StatsSnapshot {
         self.pq_pushes += other.pq_pushes;
         self.pq_pops += other.pq_pops;
         self.cells_created += other.cells_created;
+        self.cells_reused += other.cells_reused;
         self.answers += other.answers;
         self.pool_tasks += other.pool_tasks;
         self.pool_steals += other.pool_steals;
@@ -152,6 +190,7 @@ impl StatsSnapshot {
             pq_pushes: self.pq_pushes.saturating_sub(earlier.pq_pushes),
             pq_pops: self.pq_pops.saturating_sub(earlier.pq_pops),
             cells_created: self.cells_created.saturating_sub(earlier.cells_created),
+            cells_reused: self.cells_reused.saturating_sub(earlier.cells_reused),
             answers: self.answers.saturating_sub(earlier.answers),
             pool_tasks: self.pool_tasks.saturating_sub(earlier.pool_tasks),
             pool_steals: self.pool_steals.saturating_sub(earlier.pool_steals),
@@ -176,6 +215,7 @@ pub struct SharedStats {
     pq_pushes: AtomicU64,
     pq_pops: AtomicU64,
     cells_created: AtomicU64,
+    cells_reused: AtomicU64,
     answers: AtomicU64,
     pool_tasks: AtomicU64,
     pool_steals: AtomicU64,
@@ -195,6 +235,8 @@ impl SharedStats {
         self.pq_pops.fetch_add(delta.pq_pops, Ordering::Relaxed);
         self.cells_created
             .fetch_add(delta.cells_created, Ordering::Relaxed);
+        self.cells_reused
+            .fetch_add(delta.cells_reused, Ordering::Relaxed);
         self.answers.fetch_add(delta.answers, Ordering::Relaxed);
         self.pool_tasks
             .fetch_add(delta.pool_tasks, Ordering::Relaxed);
@@ -210,6 +252,7 @@ impl SharedStats {
             pq_pushes: self.pq_pushes.load(Ordering::Relaxed),
             pq_pops: self.pq_pops.load(Ordering::Relaxed),
             cells_created: self.cells_created.load(Ordering::Relaxed),
+            cells_reused: self.cells_reused.load(Ordering::Relaxed),
             answers: self.answers.load(Ordering::Relaxed),
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             pool_steals: self.pool_steals.load(Ordering::Relaxed),
@@ -258,10 +301,33 @@ mod tests {
         let mut b = EnumStats::new();
         b.record_pop();
         b.record_cell();
+        b.record_cell_reuse();
+        b.record_relation_clones(3);
+        b.record_reducer_call();
         a.merge(&b);
         assert_eq!(a.pq_pushes, 1);
         assert_eq!(a.pq_pops, 1);
         assert_eq!(a.cells_created, 1);
+        assert_eq!(a.cells_reused, 1);
+        assert_eq!(a.relation_clones, 3);
+        assert_eq!(a.reducer_calls, 1);
+    }
+
+    #[test]
+    fn cell_reuse_flows_into_snapshots_and_shared_stats() {
+        let mut s = EnumStats::new();
+        s.record_cell();
+        s.record_cell_reuse();
+        s.record_cell_reuse();
+        let snap = s.snapshot();
+        assert_eq!(snap.cells_created, 1);
+        assert_eq!(snap.cells_reused, 2);
+        let shared = SharedStats::new();
+        shared.add(&snap);
+        shared.add(&snap);
+        assert_eq!(shared.snapshot().cells_reused, 4);
+        let diff = shared.snapshot().diff(&snap);
+        assert_eq!(diff.cells_reused, 2);
     }
 
     #[test]
@@ -304,6 +370,7 @@ mod tests {
                             pq_pushes: 1,
                             pq_pops: 2,
                             cells_created: 3,
+                            cells_reused: 8,
                             answers: 4,
                             pool_tasks: 5,
                             pool_steals: 6,
@@ -320,6 +387,7 @@ mod tests {
         assert_eq!(total.pq_pushes, 400);
         assert_eq!(total.pq_pops, 800);
         assert_eq!(total.cells_created, 1200);
+        assert_eq!(total.cells_reused, 3200);
         assert_eq!(total.answers, 1600);
         assert_eq!(total.pool_tasks, 2000);
         assert_eq!(total.pool_steals, 2400);

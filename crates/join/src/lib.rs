@@ -34,7 +34,8 @@ pub use bind::{bind_atom, bind_atoms};
 pub use error::JoinError;
 pub use hashjoin::{full_join, hash_join, project_distinct, yannakakis_join};
 pub use parallel::{
-    par_dedup, par_hash_join, par_project_distinct, par_semi_join, PartitionedIndex,
+    par_dedup, par_hash_join, par_project_distinct, par_semi_join, par_sorted_index,
+    PartitionedIndex,
 };
 pub use reducer::{
     full_reduce, full_reduce_ctx, full_reduce_relations, full_reduce_relations_ctx,

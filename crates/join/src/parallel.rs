@@ -124,6 +124,77 @@ impl PartitionedIndex {
     }
 }
 
+/// Build a [`re_storage::SortedIndex`] (grouped adjacency) over `relation`
+/// through the execution context: radix-partitioned grouping over
+/// contiguous chunks, merged back into the serial first-occurrence layout.
+/// The result is **identical** to `SortedIndex::build` at any thread count
+/// — groups in first-occurrence order, row ids ascending per key — so the
+/// enumerators that probe it stay byte-deterministic.
+pub fn par_sorted_index(
+    ctx: &ExecContext,
+    relation: &Relation,
+    key_attrs: &[Attr],
+) -> Result<re_storage::SortedIndex, JoinError> {
+    if !ctx.should_parallelise(relation.len()) {
+        return Ok(re_storage::SortedIndex::build(relation, key_attrs)?);
+    }
+    debug_assert!(relation.len() <= u32::MAX as usize);
+    let key_positions = relation.positions(key_attrs)?;
+    let parts = partition_count(ctx);
+    let chunks = relation.chunks(ctx.morsel_rows());
+    // Pass 1 (one task per chunk): bucket global row ids by partition;
+    // ascending within a bucket because chunks scan in storage order.
+    let bucketed: Vec<Vec<Vec<u32>>> = ctx.map(chunks.len(), |c| {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        let mut key: Tuple = Vec::with_capacity(key_positions.len());
+        for (row, t) in chunks[c].global_rows() {
+            key.clear();
+            key.extend(key_positions.iter().map(|&p| t[p]));
+            buckets[partition_of(&key, parts)].push(row as u32);
+        }
+        buckets
+    });
+    // Pass 2 (one task per partition): group the partition's rows per key,
+    // visiting chunk buckets in chunk order so id lists stay ascending and
+    // the first id of each group is the key's globally smallest row.
+    let grouped: Vec<Vec<(Tuple, Vec<u32>)>> = ctx.map(parts, |p| {
+        let rows: usize = bucketed.iter().map(|chunk| chunk[p].len()).sum();
+        let mut map: HashMap<Tuple, Vec<u32>> = HashMap::with_capacity(rows);
+        let mut order: Vec<Tuple> = Vec::new();
+        let mut key: Tuple = Vec::with_capacity(key_positions.len());
+        for chunk in &bucketed {
+            for &row in &chunk[p] {
+                let t = relation.tuple(row as usize);
+                key.clear();
+                key.extend(key_positions.iter().map(|&q| t[q]));
+                if let Some(ids) = map.get_mut(key.as_slice()) {
+                    ids.push(row);
+                } else {
+                    map.insert(key.clone(), vec![row]);
+                    order.push(key.clone());
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let ids = map.remove(&k).expect("ordered key was grouped");
+                (k, ids)
+            })
+            .collect()
+    });
+    // Deterministic merge: global first-occurrence order is ascending
+    // first-row order, which the per-partition groups carry in ids[0].
+    let mut entries: Vec<(Tuple, Vec<u32>)> = grouped.into_iter().flatten().collect();
+    entries.sort_unstable_by_key(|(_, ids)| ids[0]);
+    Ok(re_storage::SortedIndex::from_grouped(
+        key_attrs.to_vec(),
+        key_positions,
+        entries,
+        relation.len(),
+    ))
+}
+
 /// Parallel natural hash join: radix-partitioned build over `right`,
 /// morsel-parallel probe over `left`, per-morsel outputs concatenated in
 /// morsel order. Output identical to [`hash_join`].
@@ -459,6 +530,29 @@ mod tests {
         for b in 0..8u64 {
             assert_eq!(par.get(&[b]), serial.get(&[b]), "key {b}");
             assert_eq!(par.contains(&[b]), serial.contains(&[b]));
+        }
+    }
+
+    #[test]
+    fn par_sorted_index_matches_serial_layout() {
+        let r = right_rel();
+        let serial = re_storage::SortedIndex::build(&r, &attrs(["B"])).unwrap();
+        for threads in [1, 2, 4] {
+            let par = par_sorted_index(&tiny_parallel_ctx(threads), &r, &attrs(["B"])).unwrap();
+            assert_eq!(par.distinct_keys(), serial.distinct_keys());
+            assert_eq!(par.len(), serial.len());
+            for b in 0..8u64 {
+                assert_eq!(par.rows(&[b]), serial.rows(&[b]), "key {b}");
+            }
+        }
+        // Composite keys through the parallel path too.
+        let j = hash_join(&left_rel(), &right_rel(), "J").unwrap();
+        let key = attrs(["B", "C"]);
+        let serial = re_storage::SortedIndex::build(&j, &key).unwrap();
+        let par = par_sorted_index(&tiny_parallel_ctx(3), &j, &key).unwrap();
+        for t in j.iter() {
+            let k = vec![t[1], t[2]];
+            assert_eq!(par.rows(&k), serial.rows(&k));
         }
     }
 

@@ -122,6 +122,55 @@ impl WeightAssignment {
     pub fn has_table(&self, attr: &Attr) -> bool {
         self.tables.contains_key(attr)
     }
+
+    /// A per-attribute resolver: the attribute's table and effective
+    /// default, resolved **once**. [`WeightAssignment::weight_of`] pays two
+    /// hash lookups per call (attribute, then value); inside a sort or a
+    /// bulk decorate pass that doubles the hash traffic for no reason —
+    /// resolve the attribute up front and each value costs at most one
+    /// lookup.
+    pub fn resolver(&self, attr: &Attr) -> AttrWeights<'_> {
+        AttrWeights {
+            table: self.tables.get(attr).map(Arc::as_ref),
+            default: self
+                .attr_defaults
+                .get(attr)
+                .copied()
+                .unwrap_or(self.default),
+        }
+    }
+
+    /// Bulk lookup: the weights of `values` under `attr`, in order — the
+    /// decorate step of decorate-sort-undecorate.
+    pub fn weights_of(&self, attr: &Attr, values: &[Value]) -> Vec<Weight> {
+        let r = self.resolver(attr);
+        values.iter().map(|&v| r.weight_of(v)).collect()
+    }
+}
+
+/// A [`WeightAssignment`] restricted to one attribute (see
+/// [`WeightAssignment::resolver`]).
+#[derive(Clone, Copy, Debug)]
+pub struct AttrWeights<'a> {
+    table: Option<&'a HashMap<Value, Weight>>,
+    default: DefaultWeight,
+}
+
+impl AttrWeights<'_> {
+    /// The weight of one value — a single hash lookup (none when the
+    /// attribute has no table).
+    #[inline]
+    pub fn weight_of(&self, value: Value) -> Weight {
+        if let Some(table) = self.table {
+            if let Some(w) = table.get(&value) {
+                return *w;
+            }
+        }
+        match self.default {
+            DefaultWeight::ValueAsWeight => Weight::new(value as f64),
+            DefaultWeight::Zero => Weight::ZERO,
+        }
+    }
 }
 
 impl Default for WeightAssignment {
@@ -190,6 +239,26 @@ mod tests {
         let w = w.with_table("ignored", table);
         assert_eq!(w.weight_of(&Attr::new("ignored"), 3), Weight::new(0.5));
         assert_eq!(w.weight_of(&Attr::new("ignored"), 4), Weight::ZERO);
+    }
+
+    #[test]
+    fn resolver_agrees_with_weight_of_everywhere() {
+        let mut table = HashMap::new();
+        table.insert(5u64, Weight::new(0.25));
+        let w = WeightAssignment::value_as_weight()
+            .with_table("a", table)
+            .with_attr_default("z", DefaultWeight::Zero);
+        for attr in ["a", "b", "z"] {
+            let attr = Attr::new(attr);
+            let r = w.resolver(&attr);
+            for v in [0u64, 5, 6, 42] {
+                assert_eq!(r.weight_of(v), w.weight_of(&attr, v), "{attr} {v}");
+            }
+        }
+        assert_eq!(
+            w.weights_of(&Attr::new("a"), &[5, 6]),
+            vec![Weight::new(0.25), Weight::new(6.0)]
+        );
     }
 
     #[test]

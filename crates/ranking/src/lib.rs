@@ -26,7 +26,7 @@ pub mod extended;
 pub mod rank;
 pub mod weight;
 
-pub use assignment::{DefaultWeight, WeightAssignment};
+pub use assignment::{AttrWeights, DefaultWeight, WeightAssignment};
 pub use extended::{AvgRanking, ProductRanking, SumProductRanking, WeightedSumRanking};
 pub use rank::{Direction, LexRanking, MaxRanking, MinRanking, Ranking, SumRanking};
 pub use weight::{ExactSum, Weight};

@@ -6,12 +6,15 @@
 //! catalog name plus the **normalised** statement text
 //! ([`re_sql::normalize`]), so spelling variants of the same statement hit
 //! the same entry. Each entry records which enumeration strategy
-//! ([`Algorithm`]) the dispatcher will select for the plan — the
-//! structure-only decision of `rankedenum_core::select` — so clients and
-//! metrics can see the choice without building an enumerator.
+//! ([`Algorithm`]) the cursor layer will select for the plan — the
+//! structure-plus-order decision of `rankedenum_core::select_ranked`
+//! (lexicographic `ORDER BY` on an acyclic query routes to the
+//! index-backed Algorithm 3) — so clients and metrics can see the choice
+//! without building an enumerator.
 
-use rankedenum_core::{select, Algorithm};
-use re_sql::{parse, plan, PlannedQuery, SqlError, SqlPlan};
+use rankedenum_core::{select_ranked, Algorithm};
+use re_sql::{parse, plan, OrderSpec, PlannedQuery, SqlError, SqlPlan};
+use re_storage::Attr;
 use re_storage::Database;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,7 +102,15 @@ impl PlanCache {
         let statement = parse(sql)?;
         let planned = plan(&statement, db)?;
         let algorithm = match &planned.query {
-            PlannedQuery::Single(q) => select(q),
+            PlannedQuery::Single(q) => {
+                let lex_order: Option<Vec<Attr>> = match &planned.order {
+                    Some(OrderSpec::Lex(items)) => {
+                        Some(items.iter().map(|(a, _)| a.clone()).collect())
+                    }
+                    _ => None,
+                };
+                select_ranked(q, lex_order.as_deref())
+            }
             PlannedQuery::Union(_) => Algorithm::UnionMerge,
         };
         let cached = CachedPlan {

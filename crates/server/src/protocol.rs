@@ -307,6 +307,7 @@ impl Response {
                     "cells_created",
                     Json::UInt(report.enumeration.cells_created),
                 ),
+                ("cells_reused", Json::UInt(report.enumeration.cells_reused)),
                 ("answers", Json::UInt(report.enumeration.answers)),
                 ("pool_tasks", Json::UInt(report.enumeration.pool_tasks)),
                 ("pool_steals", Json::UInt(report.enumeration.pool_steals)),
@@ -392,6 +393,7 @@ impl Response {
                     pq_pushes: u64_field("pq_pushes")?,
                     pq_pops: u64_field("pq_pops")?,
                     cells_created: u64_field("cells_created")?,
+                    cells_reused: u64_field("cells_reused")?,
                     answers: u64_field("answers")?,
                     pool_tasks: u64_field("pool_tasks")?,
                     pool_steals: u64_field("pool_steals")?,
@@ -471,6 +473,7 @@ mod tests {
                     pq_pushes: 9,
                     pq_pops: 10,
                     cells_created: 11,
+                    cells_reused: 16,
                     answers: 12,
                     pool_tasks: 13,
                     pool_steals: 14,

@@ -269,6 +269,43 @@ fn union_and_cyclic_statements_report_their_algorithm() {
 }
 
 #[test]
+fn lexicographic_order_routes_to_the_lexi_engine() {
+    // An acyclic statement under a lexicographic ORDER BY is served by the
+    // index-backed Algorithm 3; its answers equal the general algorithm's
+    // SUM-free sequence and the memoized-cell counters reach the stats
+    // endpoint.
+    let server = server_with_db(Duration::from_secs(60));
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let lex_statement = "SELECT DISTINCT AP1.aid, AP2.aid FROM AP AS AP1, AP AS AP2 \
+                         WHERE AP1.pid = AP2.pid ORDER BY AP1.aid, AP2.aid";
+
+    let opened = client.open("dblp", lex_statement).unwrap();
+    assert_eq!(opened.algorithm, "lexi");
+    let mut rows = Vec::new();
+    loop {
+        let page = client.fetch(opened.session, 7).unwrap();
+        rows.extend(page.rows);
+        if page.exhausted {
+            break;
+        }
+    }
+    // Rank order under the default value-as-weight lexicographic ranking
+    // is plain (aid1, aid2) dictionary order; distinct by construction.
+    assert!(rows.windows(2).all(|w| w[0] < w[1]));
+    let single_shot = client.query("dblp", lex_statement).unwrap();
+    assert_eq!(single_shot.algorithm, "lexi");
+    assert!(single_shot.plan_cached, "same normalised statement");
+    assert_eq!(rows, single_shot.rows);
+
+    // The 2-hop a2-level depends on the whole (a1) prefix, so reuse comes
+    // from its single-shot rerun sharing nothing — but the counter must at
+    // least surface through the protocol without erroring.
+    let stats = client.stats().unwrap();
+    assert!(stats.enumeration.cells_created > 0);
+    assert!(stats.enumeration.answers >= 2 * rows.len() as u64);
+}
+
+#[test]
 fn opens_route_preprocessing_through_the_shared_pool() {
     // A cyclic OPEN materialises its GHD bags as tasks on the server's
     // shared pool; the `stats` endpoint must therefore show pool work

@@ -12,7 +12,8 @@
 use crate::error::SqlError;
 use crate::planner::{OrderSpec, PlannedQuery, SqlPlan};
 use rankedenum_core::{
-    Algorithm, ExecContext, RankedEnumerator, RankedStream, StatsSnapshot, UnionEnumerator,
+    lexi_serves, Algorithm, ExecContext, LexiEnumerator, RankedEnumerator, RankedStream,
+    StatsSnapshot, UnionEnumerator,
 };
 use re_ranking::{LexRanking, Ranking, SumRanking, WeightAssignment, WeightedSumRanking};
 use re_storage::{Attr, Database, Tuple};
@@ -56,7 +57,7 @@ impl QueryCursor {
             PlannedQuery::Union(u) => u.projection().to_vec(),
         };
         let columns: Vec<String> = projection.iter().map(|a| a.as_str().to_string()).collect();
-        let stream = match &plan.order {
+        let stream: Box<dyn RankedStream> = match &plan.order {
             None => open_stream(plan, db, SumRanking::new(weights.clone()), ctx)?,
             Some(OrderSpec::Sum(attrs)) => {
                 let listed: BTreeSet<&Attr> = attrs.iter().collect();
@@ -72,12 +73,20 @@ impl QueryCursor {
                     )?
                 }
             }
-            Some(OrderSpec::Lex(items)) => open_stream(
-                plan,
-                db,
-                LexRanking::with_directions(items.clone(), weights.clone()),
-                ctx,
-            )?,
+            Some(OrderSpec::Lex(items)) => {
+                let lex = LexRanking::with_directions(items.clone(), weights.clone());
+                let declared: Vec<Attr> = items.iter().map(|(a, _)| a.clone()).collect();
+                match &plan.query {
+                    // Lexicographic orders on acyclic single queries take
+                    // the index-backed Algorithm 3 — the fast path since
+                    // its PR 4 rebuild (no priority queues, memoized
+                    // candidate cells, cursor-bump delay).
+                    PlannedQuery::Single(q) if lexi_serves(q, &declared) => {
+                        Box::new(LexiEnumerator::new_ctx(q, db, &lex, ctx)?)
+                    }
+                    _ => open_stream(plan, db, lex, ctx)?,
+                }
+            }
         };
         Ok(QueryCursor {
             columns,

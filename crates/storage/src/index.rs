@@ -72,6 +72,125 @@ impl HashIndex {
     }
 }
 
+/// A grouped-adjacency index: row ids grouped by key in one flat buffer.
+///
+/// Functionally a [`HashIndex`] (key tuple → matching row ids), but the
+/// per-key lists live contiguously in a single `Vec<u32>` with the map only
+/// holding `(offset, len)` slots. This is the shape the enumeration hot
+/// paths want: building it is one grouping pass with exactly one allocation
+/// per distinct key (the key tuple itself), probing it is a hash lookup
+/// returning a slice, and iterating a group is a linear scan — no
+/// per-key `Vec` headers, no pointer chasing.
+///
+/// Layout contract (what makes parallel builds byte-identical to serial
+/// ones): groups are laid out in **first-occurrence order** of their key,
+/// and within a group row ids are in **ascending storage order**.
+#[derive(Clone, Debug)]
+pub struct SortedIndex {
+    key_attrs: Vec<Attr>,
+    key_positions: Vec<usize>,
+    /// `(offset, len)` into `rows` per key.
+    groups: HashMap<Tuple, (u32, u32)>,
+    /// All row ids, grouped per key.
+    rows: Vec<u32>,
+}
+
+impl SortedIndex {
+    /// Build an index over `relation` keyed on `key_attrs`.
+    pub fn build(relation: &Relation, key_attrs: &[Attr]) -> Result<Self, StorageError> {
+        let key_positions = relation.positions(key_attrs)?;
+        // Two-pass grouping: bucket per key first, then flatten. The
+        // intermediate map reuses the probe buffer so only distinct keys
+        // allocate.
+        let mut buckets: HashMap<Tuple, Vec<u32>> = HashMap::new();
+        let mut order: Vec<Tuple> = Vec::new();
+        let mut key: Tuple = Vec::with_capacity(key_positions.len());
+        for (i, t) in relation.iter().enumerate() {
+            key.clear();
+            key.extend(key_positions.iter().map(|&p| t[p]));
+            if let Some(ids) = buckets.get_mut(key.as_slice()) {
+                ids.push(i as u32);
+            } else {
+                buckets.insert(key.clone(), vec![i as u32]);
+                order.push(key.clone());
+            }
+        }
+        Ok(Self::from_grouped(
+            key_attrs.to_vec(),
+            key_positions,
+            order.into_iter().map(|k| {
+                let ids = buckets.remove(&k).expect("ordered key was bucketed");
+                (k, ids)
+            }),
+            relation.len(),
+        ))
+    }
+
+    /// Assemble an index from pre-grouped `(key, ascending row ids)` pairs
+    /// in first-occurrence order — the constructor parallel builders use
+    /// after their deterministic merge.
+    pub fn from_grouped(
+        key_attrs: Vec<Attr>,
+        key_positions: Vec<usize>,
+        grouped: impl IntoIterator<Item = (Tuple, Vec<u32>)>,
+        total_rows: usize,
+    ) -> Self {
+        let mut rows: Vec<u32> = Vec::with_capacity(total_rows);
+        let mut groups: HashMap<Tuple, (u32, u32)> = HashMap::new();
+        for (key, ids) in grouped {
+            debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "rows must ascend");
+            let offset = rows.len() as u32;
+            rows.extend_from_slice(&ids);
+            let prev = groups.insert(key, (offset, ids.len() as u32));
+            debug_assert!(prev.is_none(), "duplicate key group");
+        }
+        SortedIndex {
+            key_attrs,
+            key_positions,
+            groups,
+            rows,
+        }
+    }
+
+    /// The attributes this index is keyed on.
+    pub fn key_attrs(&self) -> &[Attr] {
+        &self.key_attrs
+    }
+
+    /// Positions of the key attributes in the indexed relation.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// Row ids matching a key (ascending storage order), or an empty slice.
+    pub fn rows(&self, key: &[Value]) -> &[u32] {
+        match self.groups.get(key) {
+            Some(&(off, len)) => &self.rows[off as usize..(off + len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.groups.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total indexed rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the index covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 /// Degree statistics of one attribute of a relation: for each value, how
 /// many tuples carry it. Used by the star-query heavy/light split
 /// (Algorithm 4) and by the bounded-degree delay analysis (Appendix D).
@@ -195,5 +314,44 @@ mod tests {
         let r = rel();
         assert!(HashIndex::build(&r, &attrs(["Z"])).is_err());
         assert!(DegreeIndex::build(&r, &Attr::new("Z")).is_err());
+        assert!(SortedIndex::build(&r, &attrs(["Z"])).is_err());
+    }
+
+    #[test]
+    fn sorted_index_matches_hash_index_groups() {
+        let r = rel();
+        let sorted = SortedIndex::build(&r, &attrs(["B"])).unwrap();
+        let hash = HashIndex::build(&r, &attrs(["B"])).unwrap();
+        for b in [10u64, 20, 30, 99] {
+            assert_eq!(sorted.rows(&[b]), hash.get(&[b]), "key {b}");
+            assert_eq!(sorted.contains(&[b]), hash.contains(&[b]));
+        }
+        assert_eq!(sorted.distinct_keys(), 3);
+        assert_eq!(sorted.len(), 4);
+        assert!(!sorted.is_empty());
+        assert_eq!(sorted.key_attrs(), &attrs(["B"])[..]);
+        assert_eq!(sorted.key_positions(), &[1]);
+    }
+
+    #[test]
+    fn sorted_index_rows_ascend_and_composite_keys_work() {
+        let r = Relation::with_tuples(
+            "S",
+            attrs(["A", "B"]),
+            vec![vec![1, 7], vec![2, 7], vec![1, 7], vec![1, 8]],
+        )
+        .unwrap();
+        let idx = SortedIndex::build(&r, &attrs(["A", "B"])).unwrap();
+        assert_eq!(idx.rows(&[1, 7]), &[0, 2]);
+        assert_eq!(idx.rows(&[2, 7]), &[1]);
+        assert_eq!(idx.rows(&[9, 9]), &[] as &[u32]);
+    }
+
+    #[test]
+    fn sorted_index_empty_key_groups_everything() {
+        let r = rel();
+        let idx = SortedIndex::build(&r, &[]).unwrap();
+        assert_eq!(idx.rows(&[]), &[0, 1, 2, 3]);
+        assert_eq!(idx.distinct_keys(), 1);
     }
 }

@@ -98,9 +98,9 @@ pub mod scale {
 /// concurrent settings.
 pub mod prelude {
     pub use rankedenum_core::{
-        select, top_k, AcyclicEnumerator, Algorithm, CyclicEnumerator, EnumError, EnumStats,
-        LexiEnumerator, RankedEnumerator, RankedStream, SharedStats, StarEnumerator, StatsSnapshot,
-        UnionEnumerator,
+        lexi_serves, select, select_ranked, top_k, AcyclicEnumerator, Algorithm, CyclicEnumerator,
+        EnumError, EnumStats, LexiEnumerator, RankedEnumerator, RankedStream, ReferenceLexi,
+        SharedStats, StarEnumerator, StatsSnapshot, UnionEnumerator,
     };
     pub use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
     pub use re_exec::{ExecContext, PoolStats, WorkerPool};

@@ -90,6 +90,60 @@ fn acyclic_workloads_are_thread_count_invariant() {
 }
 
 #[test]
+fn lexi_index_builds_are_thread_count_invariant() {
+    // The index-backed LexiEnumerator builds its grouped-adjacency indexes
+    // through the execution context; at any pool size the enumeration must
+    // be byte-identical to the serial build — and to the general algorithm
+    // under the same lexicographic ranking. Random weights keep the
+    // weights injective: on exact weight ties the two engines emit valid
+    // but *different* tie orders (lexi breaks ties per level by value, the
+    // general algorithm globally by output tuple), so LogDegree weights —
+    // which collide en masse — are out of scope for the equality leg.
+    let dblp = DblpWorkload::generate(700, 11, WeightScheme::Random);
+    let imdb = ImdbWorkload::generate(500, 12, WeightScheme::Random);
+    let specs = [
+        dblp.two_hop(),
+        dblp.three_hop(),
+        dblp.three_star(),
+        imdb.two_hop(),
+    ];
+    for (spec, db) in specs
+        .iter()
+        .zip([dblp.db(), dblp.db(), dblp.db(), imdb.db()])
+    {
+        let lex = spec.lex_ranking();
+        let serial_enum = LexiEnumerator::new(&spec.query, db, &lex).unwrap();
+        let mut serial_enum = serial_enum;
+        let serial: Vec<Tuple> = serial_enum.by_ref().take(500).collect();
+        assert_eq!(
+            serial_enum.stats().relation_clones,
+            0,
+            "{}: lexi next() cloned a relation",
+            spec.name
+        );
+        assert_eq!(
+            serial_enum.stats().reducer_calls,
+            0,
+            "{}: lexi next() ran the reducer",
+            spec.name
+        );
+        let general: Vec<Tuple> = AcyclicEnumerator::new(&spec.query, db, lex.clone())
+            .unwrap()
+            .take(500)
+            .collect();
+        assert_eq!(serial, general, "{}: lexi != general", spec.name);
+        for threads in pool_sizes() {
+            let parallel: Vec<Tuple> =
+                LexiEnumerator::new_ctx(&spec.query, db, &lex, &ctx_at(threads))
+                    .unwrap()
+                    .take(500)
+                    .collect();
+            assert_same_rows(&spec.name, threads, &serial, &parallel);
+        }
+    }
+}
+
+#[test]
 fn cyclic_workloads_match_serial_tuples_order_and_bag_sizes() {
     let dblp = DblpWorkload::generate(350, 21, WeightScheme::Random);
     for k in [2usize, 3] {
@@ -232,6 +286,55 @@ fn edges(max_node: u64, max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The new LexiEnumerator emits the identical sequence as the general
+    /// RankedEnumerator under a lexicographic ranking on random acyclic
+    /// instances — serial, pooled, and under the env-sized context that
+    /// `ci.sh` forces to RE_EXEC_THREADS=1 and =4. The hot path must do
+    /// its work through the preprocessing-time indexes alone: zero
+    /// relation clones, zero reducer calls.
+    #[test]
+    fn lexi_matches_general_on_random_acyclic_instances(
+        r in edges(6, 60),
+        s in edges(6, 60),
+        t in edges(6, 60),
+    ) {
+        let mut db = Database::new();
+        db.add_relation(edge_relation("R", ["a", "b"], &r)).unwrap();
+        db.add_relation(edge_relation("S", ["b", "c"], &s)).unwrap();
+        db.add_relation(edge_relation("T", ["c", "d"], &t)).unwrap();
+        let query = QueryBuilder::new()
+            .atom("R", "R", ["a", "b"])
+            .atom("S", "S", ["b", "c"])
+            .atom("T", "T", ["c", "d"])
+            .project(["a", "c", "d"])
+            .build()
+            .unwrap();
+        for order in [["a", "c", "d"], ["d", "a", "c"], ["c", "d", "a"]] {
+            let lex = LexRanking::new(order, WeightAssignment::value_as_weight());
+            let mut lexi = LexiEnumerator::new(&query, &db, &lex).unwrap();
+            let via_lexi: Vec<Tuple> = lexi.by_ref().collect();
+            prop_assert_eq!(lexi.stats().relation_clones, 0);
+            prop_assert_eq!(lexi.stats().reducer_calls, 0);
+            let via_general: Vec<Tuple> = RankedEnumerator::new(&query, &db, lex.clone())
+                .unwrap()
+                .collect();
+            prop_assert_eq!(&via_lexi, &via_general);
+            let via_reference: Vec<Tuple> = ReferenceLexi::new(&query, &db, &lex)
+                .unwrap()
+                .collect();
+            prop_assert_eq!(&via_lexi, &via_reference);
+            let env_ctx = ExecContext::from_env().with_min_par_rows(1).with_morsel_rows(5);
+            let via_env: Vec<Tuple> = LexiEnumerator::new_ctx(&query, &db, &lex, &env_ctx)
+                .unwrap()
+                .collect();
+            prop_assert_eq!(&via_lexi, &via_env);
+            let via_pooled: Vec<Tuple> = LexiEnumerator::new_ctx(&query, &db, &lex, &ctx_at(3))
+                .unwrap()
+                .collect();
+            prop_assert_eq!(&via_lexi, &via_pooled);
+        }
+    }
 
     #[test]
     fn par_kernels_match_serial_on_random_edge_relations(

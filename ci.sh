@@ -28,12 +28,23 @@ run cargo test -q -p re_server --test server_integration
 # scheduling-dependent merge can never slip through.
 run env RE_EXEC_THREADS=1 cargo test -q -p rankedenum --test parallel_determinism
 run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test parallel_determinism
+# The arena frontier kernel is contractually byte-identical to the retained
+# pre-refactor engine (`ReferenceAcyclic`): differential + property suite
+# over all workload queries and random instances, at both thread counts.
+run env RE_EXEC_THREADS=1 cargo test -q -p rankedenum --test frontier_differential
+run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test frontier_differential
 # Pin serial-vs-pooled 6-cycle bag materialisation; writes BENCH_preprocess.json.
 run cargo bench -q -p re_bench --bench preprocess
 # Pin the Algorithm-3 inversion fix: old vs new vs general lexi engines on
-# DBLP 2-/3-hop (writes BENCH_lexi.json), then fail on >25% regression of
-# the lexi/general time-to-1000 ratio against the committed baseline.
+# DBLP 2-/3-hop (writes BENCH_lexi.json); pin the arena frontier kernel's
+# memory and time against the retained owned-tuple engine on 2-hop/3-hop/
+# 6-cycle (writes BENCH_enum.json). check_bench then fails on >25%
+# regressions of the guarded ratios against the committed baselines, on
+# the PR 1 inversion or the PR 4 small-k caveat returning, or on the
+# frontier-memory gates (strict undercut, >=2x on 3-hop, time within
+# 1.05x) breaking.
 run cargo bench -q -p re_bench --bench lexi_vs_general
+run cargo bench -q -p re_bench --bench enum_frontier
 run cargo run -q --release -p re_bench --bin check_bench
 # Drive the server end to end over real sockets at smoke scale.
 run env RE_SCALE=0.05 cargo run -q --release --example server_quickstart

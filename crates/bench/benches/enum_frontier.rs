@@ -1,0 +1,187 @@
+//! Arena frontier kernel vs. the pre-refactor owned-tuple engine:
+//! time-to-k **and** frontier memory, old vs. new, on DBLP 2-hop, 3-hop
+//! and the 6-cycle.
+//!
+//! The arena kernel exists to shrink the frontier's constant factors: cell
+//! outputs in fixed-stride slabs instead of per-cell `Tuple`s, interned
+//! rank keys instead of per-entry clones, 8-byte heap entries instead of
+//! owned `(key, tuple, id)` triples. This harness pins both sides of that
+//! claim against [`ReferenceAcyclic`] (the retained pre-refactor engine):
+//!
+//! * `*_ms` — best-of-samples time-to-k (enumerator build + first k
+//!   answers), the unit a `LIMIT k` client pays;
+//! * `*_bytes` — frontier bytes retained after the k answers: the arena
+//!   engine reports its accounted `frontier_bytes`, the reference engine
+//!   walks its owned cells, queues and keys.
+//!
+//! Outputs are cross-checked tuple-for-tuple before any number is
+//! accepted. Results go to stdout and `BENCH_enum.json` in the repo root;
+//! `ci.sh` then runs `check_bench`, which enforces the acceptance gates
+//! (new strictly smaller frontiers, ≥2× on 3-hop, time within 1.05× of
+//! old) and fails on >25% regressions of the time and bytes ratios
+//! against the committed `BENCH_enum_baseline.json`.
+//!
+//! JSON schema: `{edges, cycle_edges, machine_threads, entries: [{query,
+//! k, old_ms, new_ms, old_bytes, new_bytes, new_peak_bytes}]}`.
+
+use rankedenum_core::{AcyclicEnumerator, CyclicEnumerator, ReferenceAcyclic};
+use re_bench::Scale;
+use re_storage::Tuple;
+use re_workloads::membership::WeightScheme;
+use re_workloads::DblpWorkload;
+use std::time::{Duration, Instant};
+
+const ACYCLIC_SAMPLES: usize = 5;
+const CYCLIC_SAMPLES: usize = 2;
+
+struct Entry {
+    query: String,
+    k: usize,
+    old_ms: f64,
+    new_ms: f64,
+    old_bytes: u64,
+    new_bytes: u64,
+    new_peak_bytes: u64,
+}
+
+/// Best-of-samples runtime of `run`, which returns `(answers, bytes,
+/// peak)`; the answers and byte counts must be identical across samples
+/// (they are deterministic), and the last sample's are returned.
+fn best_of(
+    samples: usize,
+    mut run: impl FnMut() -> (Vec<Tuple>, u64, u64),
+) -> (f64, Vec<Tuple>, u64, u64) {
+    let mut best = Duration::MAX;
+    let mut out = (Vec::new(), 0, 0);
+    for _ in 0..samples {
+        let start = Instant::now();
+        out = run();
+        best = best.min(start.elapsed());
+    }
+    (best.as_secs_f64() * 1_000.0, out.0, out.1, out.2)
+}
+
+fn measure_acyclic(dblp: &DblpWorkload, spec: &re_workloads::QuerySpec, k: usize) -> Entry {
+    let (new_ms, from_new, new_bytes, new_peak) = best_of(ACYCLIC_SAMPLES, || {
+        let mut e = AcyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking())
+            .expect("arena build");
+        let answers: Vec<Tuple> = e.by_ref().take(k).collect();
+        assert_eq!(e.stats().tuple_allocs, 0, "arena hot path allocated");
+        (
+            answers,
+            e.stats().frontier_bytes,
+            e.stats().frontier_peak_bytes,
+        )
+    });
+    let (old_ms, from_old, old_bytes, _) = best_of(ACYCLIC_SAMPLES, || {
+        let mut e = ReferenceAcyclic::new(&spec.query, dblp.db(), spec.sum_ranking())
+            .expect("reference build");
+        let answers: Vec<Tuple> = e.by_ref().take(k).collect();
+        let bytes = e.frontier_bytes();
+        (answers, bytes, bytes)
+    });
+    assert_eq!(from_new, from_old, "{} k={k}: new vs old", spec.name);
+    Entry {
+        query: spec.name.clone(),
+        k,
+        old_ms,
+        new_ms,
+        old_bytes,
+        new_bytes,
+        new_peak_bytes: new_peak,
+    }
+}
+
+fn measure_cyclic(
+    dblp: &DblpWorkload,
+    spec: &re_workloads::QuerySpec,
+    plan: &re_query::GhdPlan,
+    k: usize,
+) -> Entry {
+    let (new_ms, from_new, new_bytes, new_peak) = best_of(CYCLIC_SAMPLES, || {
+        let mut e = CyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking(), plan)
+            .expect("arena cyclic build");
+        let answers: Vec<Tuple> = e.by_ref().take(k).collect();
+        assert_eq!(e.stats().tuple_allocs, 0, "arena hot path allocated");
+        (
+            answers,
+            e.stats().frontier_bytes,
+            e.stats().frontier_peak_bytes,
+        )
+    });
+    let (old_ms, from_old, old_bytes, _) = best_of(CYCLIC_SAMPLES, || {
+        let mut e = ReferenceAcyclic::for_cyclic(&spec.query, dblp.db(), spec.sum_ranking(), plan)
+            .expect("reference cyclic build");
+        let answers: Vec<Tuple> = e.by_ref().take(k).collect();
+        let bytes = e.frontier_bytes();
+        (answers, bytes, bytes)
+    });
+    assert_eq!(from_new, from_old, "{} k={k}: new vs old", spec.name);
+    Entry {
+        query: spec.name.clone(),
+        k,
+        old_ms,
+        new_ms,
+        old_bytes,
+        new_bytes,
+        new_peak_bytes: new_peak,
+    }
+}
+
+fn main() {
+    let factor = Scale::from_env().factor();
+    let edges = 5_000 * factor;
+    let cycle_edges = 2_200 * factor;
+    let dblp = DblpWorkload::generate(edges, 42, WeightScheme::Random);
+    let cycle_dblp = DblpWorkload::generate(cycle_edges, 42, WeightScheme::Random);
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for spec in [dblp.two_hop(), dblp.three_hop()] {
+        for k in [10usize, 1_000] {
+            entries.push(measure_acyclic(&dblp, &spec, k));
+        }
+    }
+    let (cycle_spec, cycle_plan) = cycle_dblp.cycle(3); // the 6-cycle
+    for k in [10usize, 1_000] {
+        entries.push(measure_cyclic(&cycle_dblp, &cycle_spec, &cycle_plan, k));
+    }
+
+    for e in &entries {
+        println!(
+            "enum_frontier/{}/k={}: new {:.2} ms / {} B (peak {} B)  old {:.2} ms / {} B  \
+             (old/new time {:.2}x, old/new bytes {:.2}x)",
+            e.query,
+            e.k,
+            e.new_ms,
+            e.new_bytes,
+            e.new_peak_bytes,
+            e.old_ms,
+            e.old_bytes,
+            e.old_ms / e.new_ms,
+            e.old_bytes as f64 / e.new_bytes as f64,
+        );
+    }
+
+    let entries_json: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"query\":\"{}\",\"k\":{},\"old_ms\":{:.3},\"new_ms\":{:.3},\
+                 \"old_bytes\":{},\"new_bytes\":{},\"new_peak_bytes\":{}}}",
+                e.query, e.k, e.old_ms, e.new_ms, e.old_bytes, e.new_bytes, e.new_peak_bytes
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"edges\":{edges},\"cycle_edges\":{cycle_edges},\"machine_threads\":{},\
+         \"entries\":[{}]}}\n",
+        re_exec::machine_threads(),
+        entries_json.join(",")
+    );
+    // The repo root is two levels above the bench crate.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_enum.json");
+    std::fs::write(&out, json).expect("write BENCH_enum.json");
+    println!("wrote {}", out.display());
+}

@@ -1,27 +1,38 @@
-//! CI perf guard over `BENCH_lexi.json`.
+//! CI perf guard over `BENCH_lexi.json` and `BENCH_enum.json`.
 //!
-//! Compares the freshly written `BENCH_lexi.json` (produced by the
-//! `lexi_vs_general` bench) against the committed baseline
-//! `BENCH_lexi_baseline.json` and fails on a regression of the lexi
-//! time-to-1000. Absolute milliseconds vary with the machine — this
-//! container pins the process to a single core — so the guard compares
-//! the machine-invariant **ratio** `new_ms / general_ms` per query at
-//! k = 1000: both engines run on the same data in the same process, so
-//! their quotient cancels the hardware out. Two checks:
+//! Compares the freshly written bench outputs against the committed
+//! baselines (`BENCH_lexi_baseline.json`, `BENCH_enum_baseline.json`) and
+//! fails on regressions. Absolute milliseconds vary with the machine —
+//! this container pins the process to a single core — so every guard
+//! compares machine-invariant **ratios** of engines run on the same data
+//! in the same process. Checks:
 //!
 //! 1. **Ordering** — the index-backed lexi engine must not be slower than
 //!    the general algorithm on DBLP2hop at k = 1000 (the PR 1 inversion
 //!    must stay closed; a 10% measurement-noise allowance applies).
-//! 2. **Ratio regression** — per query, the fresh `new/general` ratio may
-//!    exceed the baseline ratio by at most 25%.
+//! 2. **Lexi ratio regression** — per query, the fresh `new/general`
+//!    ratio may exceed the baseline ratio by at most 25%.
+//! 3. **Small-k crossover** — lazy index builds must keep the lexi engine
+//!    no slower than its pre-index ancestor at k = 10 (the PR 4 caveat
+//!    must stay closed; 15% noise allowance).
+//! 4. **Frontier memory** — per query at k = 1000, the arena kernel must
+//!    strictly undercut the owned-tuple engine's frontier bytes, by ≥2×
+//!    on DBLP3hop, with time-to-1000 within 1.05× of the old engine; and
+//!    the fresh `new/old` time and bytes ratios may exceed the committed
+//!    baseline ratios by at most 25%.
 
 use std::path::Path;
 use std::process::exit;
 
-/// Tolerated relative regression of the lexi/general ratio.
+/// Tolerated relative regression of a guarded ratio against its baseline.
 const TOLERANCE: f64 = 0.25;
 /// Noise allowance on the ordering check (single pinned core).
 const ORDERING_SLACK: f64 = 0.10;
+/// Noise allowance on the lexi small-k crossover check.
+const SMALL_K_SLACK: f64 = 0.15;
+/// The arena engine's time-to-1000 must stay within this factor of the
+/// owned-tuple engine's (the PR acceptance bound).
+const ENUM_TIME_BOUND: f64 = 1.05;
 
 #[derive(Debug, Clone, PartialEq)]
 struct Entry {
@@ -104,6 +115,150 @@ fn at_k1000<'a>(entries: &'a [Entry], query: &str) -> Option<&'a Entry> {
     entries.iter().find(|e| e.query == query && e.k == 1_000)
 }
 
+/// One entry of the `enum_frontier` schema (old vs. new engine, time and
+/// frontier bytes).
+#[derive(Debug, Clone, PartialEq)]
+struct EnumEntry {
+    query: String,
+    k: u64,
+    old_ms: f64,
+    new_ms: f64,
+    old_bytes: f64,
+    new_bytes: f64,
+}
+
+/// Parse the flat schema `enum_frontier` writes.
+fn parse_enum(content: &str) -> Vec<EnumEntry> {
+    let mut entries = Vec::new();
+    let Some(arr_start) = content.find("\"entries\":[") else {
+        return entries;
+    };
+    let mut rest = &content[arr_start..];
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close + 1];
+        if let (
+            Some(query),
+            Some(k),
+            Some(old_ms),
+            Some(new_ms),
+            Some(old_bytes),
+            Some(new_bytes),
+        ) = (
+            field_str(obj, "query"),
+            field_f64(obj, "k"),
+            field_f64(obj, "old_ms"),
+            field_f64(obj, "new_ms"),
+            field_f64(obj, "old_bytes"),
+            field_f64(obj, "new_bytes"),
+        ) {
+            entries.push(EnumEntry {
+                query,
+                k: k as u64,
+                old_ms,
+                new_ms,
+                old_bytes,
+                new_bytes,
+            });
+        }
+        rest = &rest[open + close + 1..];
+    }
+    entries
+}
+
+fn load_enum(path: &Path) -> Vec<EnumEntry> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    let entries = parse_enum(&content);
+    if entries.is_empty() {
+        eprintln!("check_bench: no entries parsed from {}", path.display());
+        exit(1);
+    }
+    entries
+}
+
+fn enum_at_k1000<'a>(entries: &'a [EnumEntry], query: &str) -> Option<&'a EnumEntry> {
+    entries.iter().find(|e| e.query == query && e.k == 1_000)
+}
+
+/// The frontier-kernel gates over `BENCH_enum.json` (check 4 in the
+/// module docs). Returns human-readable failures.
+fn check_enum(fresh: &[EnumEntry], baseline: &[EnumEntry]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for query in ["DBLP2hop", "DBLP3hop", "DBLP6cycle"] {
+        let before = failures.len();
+        let Some(e) = enum_at_k1000(fresh, query) else {
+            failures.push(format!("fresh BENCH_enum.json has no {query} k=1000 entry"));
+            continue;
+        };
+        if e.new_bytes >= e.old_bytes {
+            failures.push(format!(
+                "{query} k=1000: arena frontier ({} B) does not undercut the \
+                 owned-tuple frontier ({} B)",
+                e.new_bytes, e.old_bytes
+            ));
+        }
+        if query == "DBLP3hop" && 2.0 * e.new_bytes > e.old_bytes {
+            failures.push(format!(
+                "{query} k=1000: arena frontier reduction {:.2}x below the 2x target",
+                e.old_bytes / e.new_bytes
+            ));
+        }
+        if e.new_ms > e.old_ms * ENUM_TIME_BOUND {
+            failures.push(format!(
+                "{query} k=1000: arena time-to-1000 {:.2} ms exceeds {:.0}% of the \
+                 old engine's {:.2} ms",
+                e.new_ms,
+                ENUM_TIME_BOUND * 100.0,
+                e.old_ms
+            ));
+        }
+        if let Some(base) = enum_at_k1000(baseline, query) {
+            let time_ratio = e.new_ms / e.old_ms;
+            let base_time_ratio = base.new_ms / base.old_ms;
+            if time_ratio > base_time_ratio * (1.0 + TOLERANCE) {
+                failures.push(format!(
+                    "{query} k=1000: new/old time ratio regressed {base_time_ratio:.3} -> \
+                     {time_ratio:.3} (> {:.0}% tolerance)",
+                    TOLERANCE * 100.0
+                ));
+            }
+            let bytes_ratio = e.new_bytes / e.old_bytes;
+            let base_bytes_ratio = base.new_bytes / base.old_bytes;
+            if bytes_ratio > base_bytes_ratio * (1.0 + TOLERANCE) {
+                failures.push(format!(
+                    "{query} k=1000: new/old bytes ratio regressed {base_bytes_ratio:.3} -> \
+                     {bytes_ratio:.3} (> {:.0}% tolerance)",
+                    TOLERANCE * 100.0
+                ));
+            }
+        } else {
+            failures.push(format!(
+                "{query} k=1000 present in fresh run but missing from enum baseline"
+            ));
+        }
+        if failures.len() == before {
+            println!(
+                "ok: {query} k=1000 arena {:.2} ms / {} B vs old {:.2} ms / {} B \
+                 ({:.2}x less frontier memory)",
+                e.new_ms,
+                e.new_bytes,
+                e.old_ms,
+                e.old_bytes,
+                e.old_bytes / e.new_bytes
+            );
+        }
+    }
+    failures
+}
+
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let fresh = load(&root.join("BENCH_lexi.json"));
@@ -132,6 +287,26 @@ fn main() {
                     e.old_ms / e.new_ms
                 );
             }
+        }
+    }
+
+    // Check 3: the lazy-index rebuild must keep the lexi engine ahead of
+    // its pre-index ancestor at small k (the PR 4 caveat stays closed).
+    for e in fresh.iter().filter(|e| e.k == 10) {
+        if e.new_ms > e.old_ms * (1.0 + SMALL_K_SLACK) {
+            failures.push(format!(
+                "{} k=10: lexi ({:.2} ms) slower than the pre-index engine ({:.2} ms) — \
+                 the PR 4 small-k caveat is back",
+                e.query, e.new_ms, e.old_ms
+            ));
+        } else {
+            println!(
+                "ok: {} k=10 lexi {:.2} ms <= old engine {:.2} ms ({:.2}x)",
+                e.query,
+                e.new_ms,
+                e.old_ms,
+                e.old_ms / e.new_ms
+            );
         }
     }
 
@@ -165,6 +340,11 @@ fn main() {
         }
     }
 
+    // Check 4: the frontier-kernel gates over BENCH_enum.json.
+    let enum_fresh = load_enum(&root.join("BENCH_enum.json"));
+    let enum_baseline = load_enum(&root.join("BENCH_enum_baseline.json"));
+    failures.extend(check_enum(&enum_fresh, &enum_baseline));
+
     if failures.is_empty() {
         println!("check_bench: all perf guards passed");
     } else {
@@ -194,6 +374,51 @@ mod tests {
         assert_eq!(entries[1].general_ms, 7.1);
         assert_eq!(at_k1000(&entries, "DBLP2hop"), Some(&entries[1]));
         assert_eq!(at_k1000(&entries, "DBLP3hop"), None);
+    }
+
+    const ENUM_SAMPLE: &str = "{\"edges\":5000,\"cycle_edges\":2200,\"entries\":[\
+        {\"query\":\"DBLP3hop\",\"k\":1000,\"old_ms\":18.4,\"new_ms\":10.7,\
+         \"old_bytes\":3298276,\"new_bytes\":1153720,\"new_peak_bytes\":1065672}]}";
+
+    #[test]
+    fn parses_the_enum_schema() {
+        let entries = parse_enum(ENUM_SAMPLE);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].query, "DBLP3hop");
+        assert_eq!(entries[0].old_bytes, 3298276.0);
+        assert_eq!(entries[0].new_bytes, 1153720.0);
+        assert_eq!(enum_at_k1000(&entries, "DBLP3hop"), Some(&entries[0]));
+        assert!(enum_at_k1000(&entries, "DBLP2hop").is_none());
+    }
+
+    #[test]
+    fn enum_gates_fire_on_regressions() {
+        let good = parse_enum(ENUM_SAMPLE);
+        // Identical fresh and baseline entries: the 2hop/6cycle entries are
+        // missing, so only those failures appear — the 3hop gates pass.
+        let failures = check_enum(&good, &good);
+        assert_eq!(failures.len(), 2, "missing 2hop and 6cycle: {failures:?}");
+        // A fresh run whose arena frontier grew past the old engine's must
+        // fail the strict-undercut and 2x gates.
+        let mut bloated = good.clone();
+        bloated[0].new_bytes = bloated[0].old_bytes + 1.0;
+        let failures = check_enum(&bloated, &good);
+        assert!(
+            failures.iter().any(|f| f.contains("does not undercut")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("below the 2x target")),
+            "{failures:?}"
+        );
+        // A slowdown past the 1.05x bound must fail the time gate.
+        let mut slow = good.clone();
+        slow[0].new_ms = slow[0].old_ms * 1.2;
+        let failures = check_enum(&slow, &good);
+        assert!(
+            failures.iter().any(|f| f.contains("exceeds")),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -1,35 +1,53 @@
 //! The general ranked-enumeration algorithm for acyclic join-project
-//! queries (Algorithms 1 and 2 of the paper, Theorem 1).
+//! queries (Algorithms 1 and 2 of the paper, Theorem 1), on the arena
+//! frontier kernel.
 //!
 //! Each join-tree node incrementally materialises — in rank order and
 //! without duplicates — the partial answers over its subtree projection
 //! attributes `Aπ_i`, keyed by the node's anchor value. The materialisation
-//! is driven by per-anchor-value priority queues whose elements are
-//! [`Cell`]s; the `next` chain of a cell records the ranked order so that
-//! every parent tuple reuses the same computation. Popping the root queue
-//! repeatedly yields the final answers in rank order; a last-answer check
-//! removes duplicates (equal outputs are adjacent because ties are broken
-//! by the output tuple).
+//! is driven by per-anchor priority queues whose elements are cells; the
+//! `next` chain of a cell records the ranked order so that every parent
+//! tuple reuses the same computation. Popping the root queue repeatedly
+//! yields the final answers in rank order; a last-answer check removes
+//! duplicates (equal outputs are adjacent because ties are broken by the
+//! output tuple).
+//!
+//! Representation ([`crate::frontier`]): cell outputs live in one
+//! fixed-stride slab per node ([`CellArena`]), rank keys are interned once
+//! per distinct value ([`KeyInterner`]) and heap entries are two `u32`s
+//! ([`FrontierEntry`]) whose order is resolved by table lookup — key id,
+//! then the output tie-break read straight from the arena, then cell id.
+//! Anchor values get dense ids during preprocessing, so the per-anchor
+//! queues are a plain `Vec<FrontierHeap>` and the enumeration hot path
+//! never builds, hashes or clones an anchor tuple. Steady-state `next()`
+//! performs **zero `Tuple` allocations beyond the emitted answer** — the
+//! [`EnumStats::tuple_allocs`] tripwire exists so tests assert the ban —
+//! and every byte the frontier retains is accounted in
+//! [`EnumStats::frontier_bytes`] / [`EnumStats::frontier_peak_bytes`].
 //!
 //! Guarantees (Lemmas 1–3): `O(|D|)` preprocessing (after the full-reducer
 //! pass), `O(|D| log |D|)` worst-case delay, answers emitted in
-//! non-decreasing rank order without duplicates. For free-connex queries
-//! the same code achieves `O(log |D|)` delay (Appendix E), because the
-//! pruned join tree then contains projection attributes only.
+//! non-decreasing rank order without duplicates, byte-identical to the
+//! retained pre-arena engine ([`crate::ReferenceAcyclic`]). For
+//! free-connex queries the same code achieves `O(log |D|)` delay
+//! (Appendix E).
 
-use crate::cell::{Cell, CellId, HeapEntry, NextPtr};
+use crate::cell::CellId;
 use crate::error::EnumError;
+use crate::frontier::{
+    CellArena, FrontierEntry, FrontierHeap, KeyInterner, NEXT_EXHAUSTED, NEXT_NOT_COMPUTED,
+};
 use crate::stats::EnumStats;
 use re_exec::ExecContext;
 use re_join::reduce_then_prune_ctx;
 use re_query::{JoinProjectQuery, JoinTree};
-use re_ranking::Ranking;
-use re_storage::{Attr, Database, Relation, Tuple};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use re_ranking::{RankKey, Ranking};
+use re_storage::{Attr, Database, Relation, Tuple, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
 
-/// Per-node state: the reduced relation, positional plans, the cell arena
-/// and the anchor-keyed priority queues.
+/// Per-node state: the reduced relation, positional plans, and the node's
+/// slice of the frontier kernel (arena + interner + anchor queues).
 struct NodeState<R: Ranking> {
     relation: Relation,
     /// Positions (in `relation`) of the node's anchor attributes.
@@ -43,18 +61,51 @@ struct NodeState<R: Ranking> {
     child_anchor_pos: Vec<Vec<usize>>,
     /// Permutation that reorders this node's subtree-order output by the
     /// *global* projection-attribute order (the user's projection order).
-    /// Heap entries carry the reordered tuple, so tie-breaking is globally
-    /// consistent across all nodes — the property that makes equal outputs
-    /// adjacent in pop order (and, at the root, makes the emitted tie order
-    /// equal to the user projection order).
+    /// Tie-breaking reads the permuted output out of the arena, so it is
+    /// globally consistent across all nodes — the property that makes
+    /// equal outputs adjacent in pop order (and, at the root, makes the
+    /// emitted tie order equal to the user projection order).
     tie_perm: Vec<usize>,
     /// Ranking plan over the node's subtree-order output attributes.
     plan: <R as Ranking>::Plan,
-    /// Cell arena.
-    cells: Vec<Cell<R::Key>>,
-    /// `PQ_i[u]`: one priority queue per anchor value.
-    queues: HashMap<Tuple, BinaryHeap<Reverse<HeapEntry<R::Key>>>>,
+    /// Cell slab (outputs, pointers, metadata — no per-cell allocations).
+    arena: CellArena,
+    /// Interned rank keys; entries carry ids, comparisons go through here.
+    keys: KeyInterner<R::Key>,
+    /// `PQ_i[u]`: one priority queue per anchor id.
+    queues: Vec<FrontierHeap>,
 }
+
+/// Total order of a node's frontier entries: interned key, then the
+/// tie-permuted output read from the arena, then cell id — the same order
+/// the owned-tuple engine realised with cloned `(key, tie, cell)` entries.
+fn entry_cmp<K: RankKey>(
+    keys: &KeyInterner<K>,
+    arena: &CellArena,
+    tie_perm: &[usize],
+    a: FrontierEntry,
+    b: FrontierEntry,
+) -> Ordering {
+    let by_key = keys.cmp(a.key, b.key);
+    if by_key != Ordering::Equal {
+        return by_key;
+    }
+    if a.cell == b.cell {
+        return Ordering::Equal;
+    }
+    let oa = arena.output(a.cell);
+    let ob = arena.output(b.cell);
+    for &p in tie_perm {
+        match oa[p].cmp(&ob[p]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.cell.cmp(&b.cell)
+}
+
+/// Bytes a live frontier heap entry occupies.
+const ENTRY_BYTES: u64 = std::mem::size_of::<FrontierEntry>() as u64;
 
 /// Ranked enumerator for acyclic join-project queries.
 ///
@@ -83,8 +134,15 @@ pub struct AcyclicEnumerator<R: Ranking + Clone> {
     /// Projection attributes in the user-requested order (the order of the
     /// emitted tuples and of rank tie-breaking).
     projection: Vec<Attr>,
-    /// Output of the last emitted answer (for deduplication).
-    last_emitted: Option<Tuple>,
+    /// Root cell of the last emitted answer (cells are never freed, so the
+    /// id stays valid) — the deduplication check compares arena slices
+    /// instead of keeping an owned copy.
+    last_emitted: Option<CellId>,
+    /// Reusable output scratch buffer (cleared per successor, capacity
+    /// kept — the reason steady-state expansion allocates nothing).
+    out_buf: Tuple,
+    /// Reusable child-pointer scratch buffer.
+    ptr_buf: Vec<CellId>,
     stats: EnumStats,
     exhausted: bool,
 }
@@ -150,9 +208,9 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
         let empty_result = reduced.iter().any(|r| r.is_empty());
 
         // Global position of each projection attribute: its index in the
-        // user projection order. Tie-break tuples at every node list the
-        // subtree's values in this global order, which keeps comparisons
-        // consistent across the whole tree.
+        // user projection order. Tie-breaking reads every node's output in
+        // this global order, which keeps comparisons consistent across the
+        // whole tree.
         let global_pos = |a: &Attr| -> usize {
             projection
                 .iter()
@@ -178,73 +236,90 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                 own_proj_pos,
                 children: node.children.clone(),
                 child_anchor_pos,
+                arena: CellArena::new(node.subtree_proj.len(), node.children.len()),
                 tie_perm,
                 plan: ranking.plan(&node.subtree_proj),
                 relation: rel,
-                cells: Vec::new(),
-                queues: HashMap::new(),
+                keys: KeyInterner::new(),
+                queues: Vec::new(),
             });
         }
 
-        // Preprocessing (Algorithm 1): bottom-up cell construction.
+        // Preprocessing (Algorithm 1): bottom-up cell construction. The
+        // anchor maps assign dense queue ids per distinct anchor value;
+        // they are build-time only — cells remember their anchor id, so
+        // the maps are dropped (with their tuples) before enumeration.
         if !empty_result {
+            let mut anchor_ids: Vec<HashMap<Tuple, u32>> = (0..tree.len())
+                .map(|u| HashMap::with_capacity(nodes[u].relation.len().min(1024)))
+                .collect();
+            let mut out_buf: Tuple = Vec::new();
+            let mut ptr_buf: Vec<CellId> = Vec::new();
+            let mut anchor_buf: Tuple = Vec::new();
             for &u in &tree.post_order() {
-                let mut new_cells: Vec<Cell<R::Key>> = Vec::with_capacity(nodes[u].relation.len());
-                let mut inserts: Vec<(Tuple, HeapEntry<R::Key>)> =
-                    Vec::with_capacity(nodes[u].relation.len());
-                {
-                    let ns = &nodes[u];
-                    'rows: for (row, t) in ns.relation.iter().enumerate() {
-                        let mut child_ptrs: Vec<CellId> = Vec::with_capacity(ns.children.len());
-                        let mut output: Tuple = ns.own_proj_pos.iter().map(|&p| t[p]).collect();
+                'rows: for row in 0..nodes[u].relation.len() {
+                    out_buf.clear();
+                    ptr_buf.clear();
+                    anchor_buf.clear();
+                    {
+                        let ns = &nodes[u];
+                        let t = ns.relation.tuple(row);
+                        out_buf.extend(ns.own_proj_pos.iter().map(|&p| t[p]));
                         for (ci, &child) in ns.children.iter().enumerate() {
-                            let key: Tuple =
-                                ns.child_anchor_pos[ci].iter().map(|&p| t[p]).collect();
-                            let Some(top) = nodes[child].queues.get(&key).and_then(|q| q.peek())
-                            else {
+                            anchor_buf.clear();
+                            anchor_buf.extend(ns.child_anchor_pos[ci].iter().map(|&p| t[p]));
+                            let child_ns = &nodes[child];
+                            let top = anchor_ids[child]
+                                .get(anchor_buf.as_slice())
+                                .and_then(|&aid| child_ns.queues[aid as usize].peek());
+                            let Some(top) = top else {
                                 // A dangling tuple; cannot happen on a fully
                                 // reduced instance but skipping it keeps the
                                 // enumerator correct regardless.
                                 debug_assert!(false, "dangling tuple on reduced instance");
                                 continue 'rows;
                             };
-                            let top_cell = top.0.cell;
-                            child_ptrs.push(top_cell);
-                            output.extend(
-                                nodes[child].cells[top_cell as usize].output.iter().copied(),
-                            );
+                            ptr_buf.push(top.cell);
+                            out_buf.extend_from_slice(child_ns.arena.output(top.cell));
                         }
-                        let key = ranking.key(&ns.plan, &output);
-                        let tie: Tuple = ns.tie_perm.iter().map(|&p| output[p]).collect();
-                        let anchor_key: Tuple = ns.anchor_pos.iter().map(|&p| t[p]).collect();
-                        let cell_id = new_cells.len() as CellId;
-                        new_cells.push(Cell {
-                            row: row as u32,
-                            child_ptrs,
-                            advance_from: 0,
-                            next: NextPtr::NotComputed,
-                            output,
-                            key: key.clone(),
-                        });
-                        inserts.push((
-                            anchor_key,
-                            HeapEntry {
-                                key,
-                                output: tie,
-                                cell: cell_id,
-                            },
-                        ));
+                        anchor_buf.clear();
+                        anchor_buf.extend(ns.anchor_pos.iter().map(|&p| t[p]));
                     }
-                }
-                stats.cells_created += new_cells.len() as u64;
-                stats.pq_pushes += inserts.len() as u64;
-                let ns = &mut nodes[u];
-                ns.cells = new_cells;
-                for (anchor_key, entry) in inserts {
-                    ns.queues
-                        .entry(anchor_key)
-                        .or_default()
-                        .push(Reverse(entry));
+                    let key = ranking.key(&nodes[u].plan, &out_buf);
+                    let anchor = match anchor_ids[u].get(anchor_buf.as_slice()) {
+                        Some(&aid) => aid,
+                        None => {
+                            let aid = nodes[u].queues.len() as u32;
+                            nodes[u].queues.push(FrontierHeap::new());
+                            anchor_ids[u].insert(anchor_buf.clone(), aid);
+                            aid
+                        }
+                    };
+                    let ns = &mut nodes[u];
+                    let (key_id, key_bytes) = ns.keys.intern(key);
+                    let cell = ns
+                        .arena
+                        .push(row as u32, anchor, key_id, 0, &out_buf, &ptr_buf);
+                    let NodeState {
+                        arena,
+                        keys,
+                        queues,
+                        tie_perm,
+                        ..
+                    } = ns;
+                    let grown = queues[anchor as usize]
+                        .push(FrontierEntry { key: key_id, cell }, |a, b| {
+                            entry_cmp(keys, arena, tie_perm, a, b)
+                        });
+                    // Bump the raw counters, not `record_*`: preprocessing
+                    // work must not leak into the per-answer delay
+                    // histogram.
+                    stats.cells_created += 1;
+                    stats.pq_pushes += 1;
+                    stats.frontier_alloc(
+                        (arena.bytes_per_cell() + key_bytes + grown) as u64,
+                        arena.bytes_per_cell() as u64 + key_bytes as u64 + ENTRY_BYTES,
+                    );
                 }
             }
         }
@@ -255,6 +330,8 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
             nodes,
             projection,
             last_emitted: None,
+            out_buf: Tuple::new(),
+            ptr_buf: Vec::new(),
             stats,
             exhausted: empty_result,
         })
@@ -278,90 +355,114 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
     /// Total number of cells currently allocated — the dominant part of the
     /// enumerator's memory footprint.
     pub fn cell_count(&self) -> usize {
-        self.nodes.iter().map(|n| n.cells.len()).sum()
+        self.nodes.iter().map(|n| n.arena.len()).sum()
+    }
+
+    /// Bytes currently retained by the frontier (see
+    /// [`EnumStats::frontier_bytes`]).
+    pub fn frontier_bytes(&self) -> u64 {
+        self.stats.frontier_bytes
+    }
+
+    /// Distinct rank keys interned across all nodes (each stored once, no
+    /// matter how many cells or queue entries reference it).
+    pub fn interned_keys(&self) -> usize {
+        self.nodes.iter().map(|n| n.keys.len()).sum()
     }
 
     /// Rank key of an output tuple (in user projection order).
-    pub fn key_of_output(&self, tuple: &[re_storage::Value]) -> R::Key {
+    pub fn key_of_output(&self, tuple: &[Value]) -> R::Key {
         self.ranking.key_of(&self.projection, tuple)
     }
 
-    /// Compute the output tuple and key of a (row, child-pointer) combination
-    /// at `node`.
-    fn make_output(&self, node: usize, row: u32, ptrs: &[CellId]) -> (Tuple, R::Key) {
-        let ns = &self.nodes[node];
-        let t = ns.relation.tuple(row as usize);
-        let mut out: Tuple = ns.own_proj_pos.iter().map(|&p| t[p]).collect();
-        for (ci, &child) in ns.children.iter().enumerate() {
-            out.extend(
-                self.nodes[child].cells[ptrs[ci] as usize]
-                    .output
-                    .iter()
-                    .copied(),
-            );
-        }
-        let key = self.ranking.key(&ns.plan, &out);
-        (out, key)
+    /// Pop the minimum entry of `node`'s queue `anchor`, if any.
+    fn pop_queue(&mut self, node: usize, anchor: u32) -> Option<FrontierEntry> {
+        let NodeState {
+            arena,
+            keys,
+            queues,
+            tie_perm,
+            ..
+        } = &mut self.nodes[node];
+        let popped = queues[anchor as usize].pop(|a, b| entry_cmp(keys, arena, tie_perm, a, b))?;
+        self.stats.record_pop();
+        self.stats.frontier_release(ENTRY_BYTES);
+        Some(popped)
     }
 
-    /// Insert a freshly created cell into `node`'s arena and queue.
-    #[allow(clippy::too_many_arguments)] // mirrors the fields of `Cell`
-    fn push_cell(
+    /// Whether the outputs of two cells of `node` are equal (tie-permuted
+    /// equality coincides with raw slab equality — the permutation is a
+    /// bijection).
+    fn outputs_equal(&self, node: usize, a: CellId, b: CellId) -> bool {
+        a == b || self.nodes[node].arena.output(a) == self.nodes[node].arena.output(b)
+    }
+
+    /// Create the successor cell of `cell` at `node` that advances child
+    /// `ci` to `next_child`, filling the scratch buffers in place (no
+    /// allocations once their capacity has warmed up) and pushing the new
+    /// cell into the anchor queue.
+    fn push_successor(
         &mut self,
         node: usize,
-        row: u32,
-        ptrs: Vec<CellId>,
-        advance_from: u32,
-        output: Tuple,
-        key: R::Key,
-        anchor_key: &Tuple,
-    ) -> CellId {
-        let ns = &mut self.nodes[node];
-        let id = ns.cells.len() as CellId;
-        let tie: Tuple = ns.tie_perm.iter().map(|&p| output[p]).collect();
-        ns.cells.push(Cell {
-            row,
-            child_ptrs: ptrs,
-            advance_from,
-            next: NextPtr::NotComputed,
-            output,
-            key: key.clone(),
-        });
-        let entry = Reverse(HeapEntry {
-            key,
-            output: tie,
-            cell: id,
-        });
-        // Probe before inserting: successor pushes almost always land in an
-        // existing queue, and `entry(anchor_key.clone())` would clone the
-        // anchor tuple on every one of them.
-        match ns.queues.get_mut(anchor_key) {
-            Some(q) => q.push(entry),
-            None => {
-                ns.queues
-                    .insert(anchor_key.clone(), BinaryHeap::from(vec![entry]));
+        cell: CellId,
+        ci: usize,
+        next_child: CellId,
+        anchor: u32,
+    ) {
+        let mut out = std::mem::take(&mut self.out_buf);
+        let mut ptrs = std::mem::take(&mut self.ptr_buf);
+        out.clear();
+        ptrs.clear();
+        let row = self.nodes[node].arena.row(cell);
+        {
+            let ns = &self.nodes[node];
+            let t = ns.relation.tuple(row as usize);
+            out.extend(ns.own_proj_pos.iter().map(|&p| t[p]));
+            ptrs.extend_from_slice(ns.arena.ptrs(cell));
+            ptrs[ci] = next_child;
+            for (cj, &child) in ns.children.iter().enumerate() {
+                out.extend_from_slice(self.nodes[child].arena.output(ptrs[cj]));
             }
         }
+        let key = self.ranking.key(&self.nodes[node].plan, &out);
+        let ns = &mut self.nodes[node];
+        let (key_id, key_bytes) = ns.keys.intern(key);
+        let id = ns.arena.push(row, anchor, key_id, ci as u32, &out, &ptrs);
+        let NodeState {
+            arena,
+            keys,
+            queues,
+            tie_perm,
+            ..
+        } = ns;
+        let grown = queues[anchor as usize].push(
+            FrontierEntry {
+                key: key_id,
+                cell: id,
+            },
+            |a, b| entry_cmp(keys, arena, tie_perm, a, b),
+        );
         self.stats.record_cell();
         self.stats.record_push();
-        id
+        self.stats.frontier_alloc(
+            (arena.bytes_per_cell() + key_bytes + grown) as u64,
+            arena.bytes_per_cell() as u64 + key_bytes as u64 + ENTRY_BYTES,
+        );
+        self.out_buf = out;
+        self.ptr_buf = ptrs;
     }
 
     /// Generate the successor cells of `cell` at `node`: advance one child
     /// pointer at a time (lines 13–16 of Algorithm 2). Only children at or
     /// after the cell's `advance_from` are advanced, so every pointer
-    /// combination is generated exactly once (see [`Cell::advance_from`]).
-    fn expand_successors(&mut self, node: usize, cell: CellId, anchor_key: &Tuple) {
-        let advance_from = self.nodes[node].cells[cell as usize].advance_from as usize;
+    /// combination is generated exactly once.
+    fn expand_successors(&mut self, node: usize, cell: CellId, anchor: u32) {
+        let advance_from = self.nodes[node].arena.advance_from(cell) as usize;
         for ci in advance_from..self.nodes[node].children.len() {
             let child = self.nodes[node].children[ci];
-            let child_cell = self.nodes[node].cells[cell as usize].child_ptrs[ci];
+            let child_cell = self.nodes[node].arena.ptrs(cell)[ci];
             if let Some(next_child) = self.topdown(child_cell, child) {
-                let row = self.nodes[node].cells[cell as usize].row;
-                let mut ptrs = self.nodes[node].cells[cell as usize].child_ptrs.clone();
-                ptrs[ci] = next_child;
-                let (output, key) = self.make_output(node, row, &ptrs);
-                self.push_cell(node, row, ptrs, ci as u32, output, key, anchor_key);
+                self.push_successor(node, cell, ci, next_child, anchor);
             }
         }
     }
@@ -372,31 +473,21 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
     /// Only called on non-root nodes — the root queue is driven directly by
     /// [`Iterator::next`], which owns the popped entry instead of chaining.
     fn topdown(&mut self, cell: CellId, node: usize) -> Option<CellId> {
-        match self.nodes[node].cells[cell as usize].next {
-            NextPtr::Cell(c) => return Some(c),
-            NextPtr::Exhausted => return None,
-            NextPtr::NotComputed => {}
+        match self.nodes[node].arena.next(cell) {
+            NEXT_EXHAUSTED => return None,
+            NEXT_NOT_COMPUTED => {}
+            chained => return Some(chained),
         }
         debug_assert_ne!(node, self.tree.root(), "topdown never drives the root");
-        let anchor_key: Tuple = {
-            let ns = &self.nodes[node];
-            let t = ns.relation.tuple(ns.cells[cell as usize].row as usize);
-            ns.anchor_pos.iter().map(|&p| t[p]).collect()
-        };
+        // The cell remembers its dense anchor id — no anchor tuple is ever
+        // rebuilt or hashed here (the old engine allocated one per call).
+        let anchor = self.nodes[node].arena.anchor(cell);
         let mut first_iteration = true;
         loop {
-            let popped = {
-                let ns = &mut self.nodes[node];
-                ns.queues
-                    .get_mut(&anchor_key)
-                    .and_then(|q| q.pop())
-                    .map(|Reverse(e)| e)
-            };
-            let Some(popped) = popped else {
-                self.nodes[node].cells[cell as usize].next = NextPtr::Exhausted;
+            let Some(popped) = self.pop_queue(node, anchor) else {
+                self.nodes[node].arena.set_next(cell, NEXT_EXHAUSTED);
                 return None;
             };
-            self.stats.record_pop();
             if first_iteration {
                 // When `next` is unset the cell is the current chain end and
                 // therefore the top of its queue.
@@ -404,22 +495,19 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
                 first_iteration = false;
             }
 
-            self.expand_successors(node, popped.cell, &anchor_key);
+            self.expand_successors(node, popped.cell, anchor);
 
             // Chain to the new top; keep popping while it duplicates the
             // output we just advanced past (lines 17–19).
-            let (next_ptr, duplicate) = {
-                let ns = &self.nodes[node];
-                match ns.queues.get(&anchor_key).and_then(|q| q.peek()) {
-                    None => (NextPtr::Exhausted, false),
-                    Some(Reverse(e)) => (NextPtr::Cell(e.cell), e.output == popped.output),
-                }
+            let (next_ptr, duplicate) = match self.nodes[node].queues[anchor as usize].peek() {
+                None => (NEXT_EXHAUSTED, false),
+                Some(e) => (e.cell, self.outputs_equal(node, e.cell, popped.cell)),
             };
-            self.nodes[node].cells[cell as usize].next = next_ptr;
+            self.nodes[node].arena.set_next(cell, next_ptr);
             if !duplicate {
                 return match next_ptr {
-                    NextPtr::Cell(c) => Some(c),
-                    NextPtr::Exhausted | NextPtr::NotComputed => None,
+                    NEXT_EXHAUSTED | NEXT_NOT_COMPUTED => None,
+                    chained => Some(chained),
                 };
             }
         }
@@ -434,46 +522,46 @@ impl<R: Ranking + Clone> Iterator for AcyclicEnumerator<R> {
             return None;
         }
         let root = self.tree.root();
-        let root_key: Tuple = Vec::new();
+        // The root's anchor is the empty tuple, so all root cells share
+        // queue 0.
+        debug_assert!(self.nodes[root].anchor_pos.is_empty());
         loop {
+            if self.nodes[root].queues.is_empty() {
+                self.exhausted = true;
+                return None;
+            }
             // Pop the best root entry and own it — the root never chains,
-            // so no peek-and-clone is needed to keep the queue consistent.
-            let popped = self.nodes[root]
-                .queues
-                .get_mut(&root_key)
-                .and_then(|q| q.pop())
-                .map(|Reverse(e)| e);
-            let Some(top) = popped else {
+            // so no peek is needed to keep the queue consistent.
+            let Some(top) = self.pop_queue(root, 0) else {
                 self.exhausted = true;
                 return None;
             };
-            self.stats.record_pop();
-            self.expand_successors(root, top.cell, &root_key);
+            self.expand_successors(root, top.cell, 0);
             // Keep popping while the new top duplicates the advanced-past
             // output (lines 17–19 of Algorithm 2 at the root).
             loop {
-                let dup = {
-                    let ns = &self.nodes[root];
-                    match ns.queues.get(&root_key).and_then(|q| q.peek()) {
-                        Some(Reverse(e)) if e.output == top.output => Some(e.cell),
-                        _ => None,
-                    }
+                let dup = match self.nodes[root].queues[0].peek() {
+                    Some(e) if self.outputs_equal(root, e.cell, top.cell) => Some(e.cell),
+                    _ => None,
                 };
                 let Some(cell) = dup else { break };
-                self.nodes[root]
-                    .queues
-                    .get_mut(&root_key)
-                    .and_then(|q| q.pop());
-                self.stats.record_pop();
-                self.expand_successors(root, cell, &root_key);
+                self.pop_queue(root, 0);
+                self.expand_successors(root, cell, 0);
             }
-            // At the root the tie tuple *is* the output in user projection
-            // order. One clone survives — the dedup copy; the emitted
-            // tuple itself is moved out of the popped entry.
-            if self.last_emitted.as_ref() != Some(&top.output) {
-                self.last_emitted = Some(top.output.clone());
+            // Deduplicate against the previous answer by comparing arena
+            // slices — no owned copy is kept. The only allocation below is
+            // the emitted answer itself.
+            if self
+                .last_emitted
+                .is_none_or(|last| !self.outputs_equal(root, last, top.cell))
+            {
+                self.last_emitted = Some(top.cell);
                 self.stats.record_answer();
-                return Some(top.output);
+                let ns = &self.nodes[root];
+                let out = ns.arena.output(top.cell);
+                // At the root the tie permutation maps the subtree layout
+                // to the user projection order.
+                return Some(ns.tie_perm.iter().map(|&p| out[p]).collect());
             }
             // Duplicate of the previous answer (possible only through rank
             // ties introduced by later insertions); skip and continue.
@@ -672,6 +760,63 @@ mod tests {
         assert_eq!(e.stats().answers, 3);
         assert_eq!(e.stats().ops_per_answer.len(), 3);
         assert!(e.stats().pq_pops > 0);
+    }
+
+    #[test]
+    fn frontier_memory_is_accounted_and_hot_path_allocates_no_tuples() {
+        let db = paper_db();
+        let q = paper_query();
+        let mut e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let at_build = e.frontier_bytes();
+        assert!(at_build > 0, "preprocessing retains the initial frontier");
+        assert!(e.interned_keys() > 0);
+        let n = e.by_ref().count();
+        assert!(n > 0);
+        assert!(
+            e.frontier_bytes() >= at_build,
+            "retained bytes are monotone"
+        );
+        assert!(e.stats().frontier_peak_bytes > 0);
+        assert!(e.stats().frontier_peak_bytes <= e.stats().frontier_bytes);
+        assert_eq!(
+            e.stats().tuple_allocs,
+            0,
+            "steady-state next() must not allocate tuples beyond the answer"
+        );
+        assert_eq!(e.stats().relation_clones, 0);
+        assert_eq!(e.stats().reducer_calls, 0);
+    }
+
+    #[test]
+    fn equal_rank_keys_are_interned_once() {
+        // Every co-author pair (a1, a2) and its mirror (a2, a1) share the
+        // rank key a1 + a2 — the interner must store each distinct sum
+        // once, not once per cell.
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "AP",
+                attrs(["aid", "pid"]),
+                vec![vec![1, 10], vec![2, 10], vec![3, 10], vec![4, 10]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("AP1", "AP", ["a1", "p"])
+            .atom("AP2", "AP", ["a2", "p"])
+            .project(["a1", "a2"])
+            .build()
+            .unwrap();
+        let mut e = AcyclicEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let n = e.by_ref().count();
+        assert_eq!(n, 16);
+        let cells = e.cell_count();
+        let keys = e.interned_keys();
+        assert!(
+            keys < cells,
+            "rank ties must share interned keys ({keys} keys for {cells} cells)"
+        );
     }
 
     #[test]

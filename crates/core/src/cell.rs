@@ -1,5 +1,5 @@
 //! The *cell* data structure of the paper (Definition 1) and the heap
-//! entries built from it.
+//! entries built from it — the **owned-tuple representation**.
 //!
 //! A cell `⟨t, [p_1, ..., p_k], next⟩` represents one partial answer at a
 //! join-tree node: a tuple `t` of the node's relation together with one
@@ -11,6 +11,13 @@
 //!
 //! Cells live in per-node arenas; "pointers" are `u32` indices into the
 //! child node's arena.
+//!
+//! [`Cell`] and [`HeapEntry`] own their output tuples and keys, so the
+//! frontier footprint grows with answer arity. The live enumerators run on
+//! the fixed-size-handle representation in [`crate::frontier`] instead;
+//! this module now backs [`crate::ReferenceAcyclic`] — the retained
+//! pre-arena engine used as differential oracle and benchmark baseline —
+//! and contributes the shared [`CellId`] type.
 
 use re_storage::Tuple;
 use std::cmp::Ordering;

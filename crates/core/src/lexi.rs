@@ -9,15 +9,21 @@
 //! The work happens in two phases:
 //!
 //! * **Preprocessing** — one full-reducer pass over the join tree (the
-//!   only reducer invocation this enumerator ever makes), then a set of
-//!   [`SortedIndex`] grouped-adjacency structures over the reduced
-//!   relations, built through the [`ExecContext`] so large index builds
-//!   morsel-parallelise under the PR 3 determinism contract. For every
+//!   only reducer invocation this enumerator ever makes). For every
 //!   level of the lexicographic order the constructor also derives a
 //!   *level plan*: which join-tree nodes can constrain the level's
 //!   candidate values once the earlier attributes are bound, and the
 //!   bottom-up semi-join schedule (over row-id lists, never relations)
-//!   that computes them.
+//!   that computes them. The [`SortedIndex`] grouped-adjacency
+//!   structures those schedules probe are **not** built here: each is
+//!   built lazily, on demand, once its level is actually touched — a
+//!   `LIMIT 10` client no longer pays for index builds that a deep
+//!   enumeration would need. The first [`LAZY_BUILD_TOUCHES`] probes of
+//!   an unbuilt index are answered by an `O(|rel|)` scan (cheaper than a
+//!   grouping build); the build happens only when the touch count shows
+//!   the index will amortise. Scan and index answers are set-identical
+//!   and every candidate list is totally re-sorted by `(weight, value)`,
+//!   so the emitted sequence is byte-identical either way.
 //!
 //! * **Enumeration** — depth-first search over the attribute levels. A
 //!   frame holds a cursor into a weight-sorted *candidate list* (the
@@ -61,6 +67,111 @@ use re_query::{JoinProjectQuery, JoinTree};
 use re_ranking::{Direction, LexRanking, Weight, WeightAssignment};
 use re_storage::{Attr, Database, Relation, SortedIndex, Tuple, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Probes an unbuilt [`LazyIndex`] answers by scanning before the build
+/// triggers. A scan is one `O(|rel|)` filter pass; a build is a grouping
+/// pass with an allocation per distinct key — several times costlier — so
+/// small-`k` enumerations that touch an index once or twice come out ahead
+/// never building it, while deep enumerations build on the third touch and
+/// amortise from there.
+pub const LAZY_BUILD_TOUCHES: u32 = 2;
+
+/// A grouped-adjacency index built on demand (see the module docs): the
+/// spec is derived at plan time, the build happens at the
+/// [`LAZY_BUILD_TOUCHES`]`+ 1`-th probe.
+struct LazyIndex {
+    /// Key attributes of the index.
+    key_attrs: Vec<Attr>,
+    /// Positions of the key attributes in the node's relation (validated
+    /// at plan time, which is what makes the lazy build infallible).
+    key_pos: Vec<usize>,
+    /// Probes served so far (scans + index lookups).
+    touches: u32,
+    built: Option<SortedIndex>,
+}
+
+impl LazyIndex {
+    /// Count a probe; build once the scan warm-up is exhausted. The build
+    /// runs through the enumerator's [`ExecContext`] — morsel-parallel on
+    /// a pooled context, byte-identical to the serial build by the
+    /// `re_exec` determinism contract — so deferring it out of
+    /// preprocessing does not serialise it. Returns the built index if
+    /// available.
+    fn touch<'a>(
+        idx: &'a mut LazyIndex,
+        ctx: &ExecContext,
+        rel: &Relation,
+        stats: &mut EnumStats,
+    ) -> Option<&'a SortedIndex> {
+        idx.touches += 1;
+        if idx.built.is_none() && idx.touches > LAZY_BUILD_TOUCHES {
+            let built = par_sorted_index(ctx, rel, &idx.key_attrs)
+                .expect("index key attributes were validated at plan time");
+            let bytes = built.bytes() as u64;
+            stats.frontier_alloc(bytes, bytes);
+            idx.built = Some(built);
+        }
+        idx.built.as_ref()
+    }
+
+    /// Rows matching `key`, in ascending storage order — from the index
+    /// when built, by scan otherwise (identical results: the index groups
+    /// rows ascending per key).
+    fn rows_for(
+        &mut self,
+        ctx: &ExecContext,
+        rel: &Relation,
+        key: &[Value],
+        stats: &mut EnumStats,
+    ) -> Vec<u32> {
+        if let Some(index) = Self::touch(self, ctx, rel, stats) {
+            return index.rows(key).to_vec();
+        }
+        let pos = &self.key_pos;
+        let mut out = Vec::new();
+        for (i, t) in rel.iter().enumerate() {
+            if pos.iter().zip(key).all(|(&p, &v)| t[p] == v) {
+                out.push(i as u32);
+            }
+        }
+        out
+    }
+
+    /// Rows matching *any* key of `key_set` (`key_list` is the same key
+    /// set in first-occurrence order). Index path: concatenated per-key
+    /// groups (disjoint, hence duplicate-free). Scan path: one ascending
+    /// filter pass. The row orders differ but the sets are equal, and
+    /// every downstream consumer is order-insensitive (semi-join
+    /// membership, distinct-value collection, total `(weight, value)`
+    /// candidate sort).
+    fn union_rows(
+        &mut self,
+        ctx: &ExecContext,
+        rel: &Relation,
+        key_list: &[Tuple],
+        key_set: &HashSet<Tuple>,
+        stats: &mut EnumStats,
+    ) -> Vec<u32> {
+        if let Some(index) = Self::touch(self, ctx, rel, stats) {
+            let mut merged: Vec<u32> = Vec::new();
+            for k in key_list {
+                merged.extend_from_slice(index.rows(k));
+            }
+            return merged;
+        }
+        let pos = &self.key_pos;
+        let mut buf: Tuple = Vec::with_capacity(pos.len());
+        let mut out = Vec::new();
+        for (i, t) in rel.iter().enumerate() {
+            buf.clear();
+            buf.extend(pos.iter().map(|&p| t[p]));
+            if key_set.contains(buf.as_slice()) {
+                out.push(i as u32);
+            }
+        }
+        out
+    }
+}
 
 /// Filter on a schedule step: restrict the step's live rows to those whose
 /// shared-attribute key appears among an already-processed child's live
@@ -124,8 +235,12 @@ pub struct LexiEnumerator {
     output_perm: Vec<usize>,
     /// The reduced per-node relations — owned, and never cloned again.
     relations: Vec<Relation>,
-    /// Grouped-adjacency indexes shared by all level plans.
-    indexes: Vec<SortedIndex>,
+    /// Lazily built grouped-adjacency indexes shared by all level plans.
+    indexes: Vec<LazyIndex>,
+    /// The execution context lazy index builds run under (the same one
+    /// preprocessing used) — pooled contexts keep deferred builds
+    /// morsel-parallel.
+    exec: ExecContext,
     levels: Vec<LevelPlan>,
     weights: WeightAssignment,
     /// Cell arena: weight-sorted candidate lists.
@@ -270,6 +385,7 @@ impl LexiEnumerator {
             output_perm,
             relations,
             indexes: Vec::new(),
+            exec: ctx.clone(),
             levels: Vec::new(),
             weights: ranking.weights().clone(),
             cells: Vec::new(),
@@ -281,7 +397,7 @@ impl LexiEnumerator {
         if this.relations.iter().any(|r| r.is_empty()) {
             return Ok(this); // empty join: nothing to index, nothing to emit
         }
-        this.build_plans(&tree, ctx)?;
+        this.build_plans(&tree)?;
         this.memo = (0..this.attr_order.len()).map(|_| HashMap::new()).collect();
         let cell = this.cell_for(0);
         this.stack.push(Frame {
@@ -292,8 +408,9 @@ impl LexiEnumerator {
         Ok(this)
     }
 
-    /// Derive the per-level plans and build every index they need.
-    fn build_plans(&mut self, tree: &JoinTree, ctx: &ExecContext) -> Result<(), EnumError> {
+    /// Derive the per-level plans and the specs of the indexes they probe
+    /// (the indexes themselves are built lazily, on first sustained use).
+    fn build_plans(&mut self, tree: &JoinTree) -> Result<(), EnumError> {
         let n = tree.len();
         // Undirected tree adjacency (parent + children per node).
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -420,11 +537,21 @@ impl LexiEnumerator {
                 attr_pos,
             });
         }
-        // Build the interned indexes, each morsel-parallel under `ctx`.
+        // Register the interned index specs; the builds are deferred to
+        // first sustained use (see [`LazyIndex`]). Positions are resolved
+        // here so the lazy path cannot fail.
         self.indexes = index_specs
-            .iter()
-            .map(|(node, key)| par_sorted_index(ctx, &self.relations[*node], key))
-            .collect::<Result<Vec<_>, _>>()?;
+            .into_iter()
+            .map(|(node, key)| {
+                let key_pos = self.relations[node].positions(&key)?;
+                Ok(LazyIndex {
+                    key_attrs: key,
+                    key_pos,
+                    touches: 0,
+                    built: None,
+                })
+            })
+            .collect::<Result<Vec<_>, EnumError>>()?;
         self.levels = levels;
         Ok(())
     }
@@ -443,6 +570,13 @@ impl LexiEnumerator {
         }
         let list = self.compute_candidates(level);
         let id = self.cells.len() as u32;
+        // The memoized cell and its memo entry are retained for the
+        // enumerator's lifetime — account them like the general engine's
+        // frontier.
+        let bytes = ((list.len() + key.len()) * std::mem::size_of::<Value>()
+            + std::mem::size_of::<Vec<Value>>()
+            + std::mem::size_of::<u32>()) as u64;
+        self.stats.frontier_alloc(bytes, bytes);
         self.cells.push(list);
         self.memo[level].insert(key, id);
         self.stats.record_cell();
@@ -450,25 +584,39 @@ impl LexiEnumerator {
     }
 
     /// Run the level's bottom-up schedule over row-id lists and return the
-    /// weight-sorted candidate values. Pure index probes and list merges —
-    /// no relation is copied, no reducer runs.
-    fn compute_candidates(&self, level: usize) -> Vec<Value> {
-        let plan = &self.levels[level];
+    /// weight-sorted candidate values. Pure probes and list merges — no
+    /// relation is copied, no reducer runs; unbuilt indexes answer by scan
+    /// until their lazy build triggers (see [`LazyIndex`]).
+    fn compute_candidates(&mut self, level: usize) -> Vec<Value> {
+        // Split borrows: the plan is read from `levels` while the lazy
+        // indexes mutate (touch counters, deferred builds).
+        let LexiEnumerator {
+            levels,
+            relations,
+            indexes,
+            exec,
+            weights,
+            attr_order,
+            prefix,
+            stats,
+            ..
+        } = self;
+        let plan = &levels[level];
         // `None` = all rows of the step's relation are live.
         let mut live: Vec<Option<Vec<u32>>> = Vec::with_capacity(plan.steps.len());
         let mut key: Tuple = Vec::new();
         for step in &plan.steps {
-            let rel = &self.relations[step.node];
+            let rel = &relations[step.node];
             let mut rows: Option<Vec<u32>> = match &step.bound {
                 Some((idx, bound_levels)) => {
                     key.clear();
-                    key.extend(bound_levels.iter().map(|&l| self.prefix[l]));
-                    Some(self.indexes[*idx].rows(&key).to_vec())
+                    key.extend(bound_levels.iter().map(|&l| prefix[l]));
+                    Some(indexes[*idx].rows_for(exec, rel, &key, stats))
                 }
                 None => None,
             };
             for link in &step.children {
-                let child_rel = &self.relations[plan.steps[link.child_slot].node];
+                let child_rel = &relations[plan.steps[link.child_slot].node];
                 // Invariant: a child step always resolved to a concrete row
                 // list — it is either marked (bound probe) or was itself
                 // filtered through one of its children. Only the schedule
@@ -482,14 +630,9 @@ impl LexiEnumerator {
                 );
                 match rows {
                     None => {
-                        // Distinct keys address disjoint groups, so the
-                        // concatenated adjacency lists are duplicate-free.
-                        let index = &self.indexes[link.index];
-                        let mut merged: Vec<u32> = Vec::new();
-                        for k in &key_list {
-                            merged.extend_from_slice(index.rows(k));
-                        }
-                        rows = Some(merged);
+                        rows = Some(
+                            indexes[link.index].union_rows(exec, rel, &key_list, &key_set, stats),
+                        );
                     }
                     Some(ref mut r) => {
                         let pos = &link.node_key_pos;
@@ -510,7 +653,7 @@ impl LexiEnumerator {
         }
         // Distinct values of the level's attribute among the root's rows.
         let root = plan.steps.last().expect("schedule contains the root");
-        let rel = &self.relations[root.node];
+        let rel = &relations[root.node];
         let p = plan.attr_pos;
         let mut seen: HashSet<Value> = HashSet::new();
         let mut values: Vec<Value> = Vec::new();
@@ -532,12 +675,7 @@ impl LexiEnumerator {
                 }
             }
         }
-        sort_candidates(
-            &self.weights,
-            &self.attr_order[level].0,
-            plan.dir,
-            &mut values,
-        );
+        sort_candidates(weights, &attr_order[level].0, plan.dir, &mut values);
         values
     }
 
@@ -569,6 +707,19 @@ impl LexiEnumerator {
     /// dominant memory cost beyond the reduced relations and indexes.
     pub fn cell_count(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Grouped-adjacency indexes registered by the level plans (an upper
+    /// bound on what enumeration may ever build).
+    pub fn indexes_planned(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Indexes actually built so far. Lazy construction means a shallow
+    /// (`LIMIT k` with small `k`) enumeration typically builds none — the
+    /// first [`LAZY_BUILD_TOUCHES`] probes per index are served by scans.
+    pub fn indexes_built(&self) -> usize {
+        self.indexes.iter().filter(|i| i.built.is_some()).count()
     }
 }
 
@@ -935,6 +1086,26 @@ mod tests {
         // And the sequence still matches the general algorithm.
         let via_general: Vec<Tuple> = AcyclicEnumerator::new(&q, &d, lex).unwrap().collect();
         assert_eq!(results, via_general);
+    }
+
+    #[test]
+    fn indexes_build_lazily_on_sustained_touch() {
+        let lex = LexRanking::new(["A", "E"], WeightAssignment::value_as_weight());
+        // A fresh enumerator has plans but no built indexes.
+        let mut e = LexiEnumerator::new(&query(), &db(), &lex).unwrap();
+        assert!(e.indexes_planned() > 0, "the E level needs bound probes");
+        assert_eq!(e.indexes_built(), 0, "construction builds nothing");
+        // One answer touches the E level once — still within the scan
+        // warm-up, so nothing is built.
+        assert_eq!(e.next(), Some(vec![1, 1]));
+        assert_eq!(e.indexes_built(), 0, "a single touch stays on scans");
+        // Draining the enumeration probes the E level once per A value
+        // (3 > LAZY_BUILD_TOUCHES), which must trigger the builds — and
+        // account their bytes.
+        let rest = e.by_ref().count();
+        assert_eq!(rest, 5);
+        assert!(e.indexes_built() > 0, "sustained touches build the index");
+        assert!(e.stats().frontier_bytes > 0);
     }
 
     #[test]

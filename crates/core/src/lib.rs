@@ -26,8 +26,10 @@ pub mod auto;
 pub mod cell;
 pub mod cyclic;
 pub mod error;
+pub mod frontier;
 pub mod lexi;
 pub mod merge;
+pub mod reference;
 pub mod star;
 pub mod stats;
 pub mod stream;
@@ -38,7 +40,9 @@ pub use auto::{lexi_serves, select, select_ranked, top_k, Algorithm, RankedEnume
 pub use cell::{Cell, CellId, HeapEntry, NextPtr};
 pub use cyclic::CyclicEnumerator;
 pub use error::EnumError;
+pub use frontier::{CellArena, FrontierEntry, FrontierHeap, KeyInterner};
 pub use lexi::{LexiEnumerator, ReferenceLexi};
+pub use reference::ReferenceAcyclic;
 // Re-exported so downstream layers (SQL cursors, the server) can accept an
 // execution context and size pools without depending on `re_exec` directly.
 pub use re_exec::{machine_threads, ExecContext, PoolStats, WorkerPool};

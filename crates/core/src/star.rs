@@ -21,10 +21,11 @@
 use crate::acyclic::AcyclicEnumerator;
 use crate::error::EnumError;
 use crate::merge::MergeEntry;
-use crate::stats::EnumStats;
+use crate::stats::{EnumStats, StatsSnapshot};
 use re_exec::ExecContext;
 use re_join::{full_reduce_ctx, par_hash_join, par_project_distinct};
 use re_query::{Atom, JoinProjectQuery, JoinTree, StarShape};
+use re_ranking::RankKey;
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, HashIndex, Relation, Tuple};
 use std::cmp::Reverse;
@@ -171,6 +172,20 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
             }));
         }
 
+        let mut stats = EnumStats::new();
+        // The materialised all-heavy output is part of this enumerator's
+        // parked footprint, alongside the sub-enumerators' frontiers
+        // (accounted in their own stats).
+        let heavy_bytes: u64 = heavy_output
+            .iter()
+            .map(|(k, t)| {
+                (std::mem::size_of::<(R::Key, Tuple)>()
+                    + k.heap_bytes()
+                    + t.len() * std::mem::size_of::<re_storage::Value>()) as u64
+            })
+            .sum();
+        stats.frontier_alloc(heavy_bytes, heavy_bytes);
+
         Ok(StarEnumerator {
             ranking,
             projection,
@@ -179,7 +194,7 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
             heavy_cursor: 0,
             subs,
             pq,
-            stats: EnumStats::new(),
+            stats,
         })
     }
 
@@ -223,6 +238,23 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
     /// proxy, excludes the materialised heavy output).
     pub fn cell_count(&self) -> usize {
         self.subs.iter().map(|s| s.cell_count()).sum()
+    }
+
+    /// Combined counters: the merge's own operations and the materialised
+    /// heavy output's bytes, plus every sub-enumerator's work and frontier
+    /// footprint (the tradeoff's memory side, end to end).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut total = self.stats.snapshot();
+        for sub in &self.subs {
+            let s = sub.stats().snapshot();
+            total.pq_pushes += s.pq_pushes;
+            total.pq_pops += s.pq_pops;
+            total.cells_created += s.cells_created;
+            total.tuple_allocs += s.tuple_allocs;
+            total.frontier_bytes += s.frontier_bytes;
+            total.frontier_peak_bytes += s.frontier_peak_bytes;
+        }
+        total
     }
 }
 

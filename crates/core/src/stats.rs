@@ -37,6 +37,23 @@ pub struct EnumStats {
     /// preprocessing-time reduction is not counted, enumeration-time
     /// reductions must not happen.
     pub reducer_calls: u64,
+    /// `Tuple` allocations performed **while enumerating** (inside `next`)
+    /// beyond the emitted answer itself. The arena-backed frontier kernel
+    /// must keep this at zero in steady state — cells, keys and heap
+    /// entries are all fixed-size handles — so the counter is a tripwire
+    /// in the style of [`EnumStats::relation_clones`]; the pre-arena
+    /// reference engine ticks it on every hot-path tuple it builds.
+    pub tuple_allocs: u64,
+    /// Bytes **retained** by the frontier (cell arenas, key interners and
+    /// priority-queue capacity). Monotone: arenas and interners only grow,
+    /// and queue capacity is never returned to the allocator, so this is
+    /// the footprint a session parked between fetches actually holds.
+    pub frontier_bytes: u64,
+    /// Peak bytes of **live** frontier state (retained minus vacant queue
+    /// slots). Monotone by construction (a running maximum).
+    pub frontier_peak_bytes: u64,
+    /// Current live frontier bytes (retained minus vacant queue slots).
+    frontier_live_bytes: u64,
     /// Number of answers emitted so far.
     pub answers: u64,
     /// Priority-queue operations (pushes + pops) spent between consecutive
@@ -86,6 +103,34 @@ impl EnumStats {
         self.reducer_calls += 1;
     }
 
+    /// Record hot-path `Tuple` allocations beyond the emitted answer
+    /// (tripwire; see [`EnumStats::tuple_allocs`]).
+    pub fn record_tuple_allocs(&mut self, n: u64) {
+        self.tuple_allocs += n;
+    }
+
+    /// Record frontier growth: `retained` freshly reserved bytes and
+    /// `live` newly occupied bytes (a cell push contributes to both; a
+    /// heap push into a vacant slot contributes live bytes only).
+    pub fn frontier_alloc(&mut self, retained: u64, live: u64) {
+        self.frontier_bytes += retained;
+        self.frontier_live_bytes += live;
+        if self.frontier_live_bytes > self.frontier_peak_bytes {
+            self.frontier_peak_bytes = self.frontier_live_bytes;
+        }
+    }
+
+    /// Record `live` frontier bytes vacated (a heap pop). Retained bytes
+    /// never shrink — the capacity stays reserved.
+    pub fn frontier_release(&mut self, live: u64) {
+        self.frontier_live_bytes = self.frontier_live_bytes.saturating_sub(live);
+    }
+
+    /// Current live frontier bytes.
+    pub fn frontier_live_bytes(&self) -> u64 {
+        self.frontier_live_bytes
+    }
+
     /// Record that an answer was emitted, folding the per-answer operation
     /// count into the histogram.
     pub fn record_answer(&mut self) {
@@ -119,6 +164,13 @@ impl EnumStats {
         self.cells_reused += other.cells_reused;
         self.relation_clones += other.relation_clones;
         self.reducer_calls += other.reducer_calls;
+        self.tuple_allocs += other.tuple_allocs;
+        // A composite's frontier is the disjoint union of its parts, so
+        // bytes add; the sum of the parts' peaks upper-bounds the
+        // composite peak.
+        self.frontier_bytes += other.frontier_bytes;
+        self.frontier_peak_bytes += other.frontier_peak_bytes;
+        self.frontier_live_bytes += other.frontier_live_bytes;
         // answers / histogram are tracked by the composite itself
     }
 
@@ -133,6 +185,9 @@ impl EnumStats {
             cells_created: self.cells_created,
             cells_reused: self.cells_reused,
             answers: self.answers,
+            tuple_allocs: self.tuple_allocs,
+            frontier_bytes: self.frontier_bytes,
+            frontier_peak_bytes: self.frontier_peak_bytes,
             ..StatsSnapshot::zero()
         }
     }
@@ -154,6 +209,15 @@ pub struct StatsSnapshot {
     pub cells_reused: u64,
     /// Number of answers emitted so far.
     pub answers: u64,
+    /// Hot-path `Tuple` allocations beyond emitted answers (the
+    /// zero-allocation tripwire; see [`EnumStats::tuple_allocs`]).
+    pub tuple_allocs: u64,
+    /// Bytes retained by the frontier (monotone; see
+    /// [`EnumStats::frontier_bytes`]).
+    pub frontier_bytes: u64,
+    /// Peak live frontier bytes (monotone; see
+    /// [`EnumStats::frontier_peak_bytes`]).
+    pub frontier_peak_bytes: u64,
     /// Parallel-preprocessing tasks executed on the worker pool (morsels,
     /// radix partitions and bags — see `re_exec::PoolStats`).
     pub pool_tasks: u64,
@@ -170,13 +234,19 @@ impl StatsSnapshot {
         StatsSnapshot::default()
     }
 
-    /// Component-wise sum.
+    /// Component-wise sum. Every field is monotone per producer —
+    /// including the frontier byte fields, which count retained bytes and
+    /// a running peak — so sums of snapshots (and of snapshot deltas)
+    /// stay meaningful.
     pub fn merge(&mut self, other: &StatsSnapshot) {
         self.pq_pushes += other.pq_pushes;
         self.pq_pops += other.pq_pops;
         self.cells_created += other.cells_created;
         self.cells_reused += other.cells_reused;
         self.answers += other.answers;
+        self.tuple_allocs += other.tuple_allocs;
+        self.frontier_bytes += other.frontier_bytes;
+        self.frontier_peak_bytes += other.frontier_peak_bytes;
         self.pool_tasks += other.pool_tasks;
         self.pool_steals += other.pool_steals;
         self.pool_busy_micros += other.pool_busy_micros;
@@ -192,6 +262,11 @@ impl StatsSnapshot {
             cells_created: self.cells_created.saturating_sub(earlier.cells_created),
             cells_reused: self.cells_reused.saturating_sub(earlier.cells_reused),
             answers: self.answers.saturating_sub(earlier.answers),
+            tuple_allocs: self.tuple_allocs.saturating_sub(earlier.tuple_allocs),
+            frontier_bytes: self.frontier_bytes.saturating_sub(earlier.frontier_bytes),
+            frontier_peak_bytes: self
+                .frontier_peak_bytes
+                .saturating_sub(earlier.frontier_peak_bytes),
             pool_tasks: self.pool_tasks.saturating_sub(earlier.pool_tasks),
             pool_steals: self.pool_steals.saturating_sub(earlier.pool_steals),
             pool_busy_micros: self
@@ -217,6 +292,9 @@ pub struct SharedStats {
     cells_created: AtomicU64,
     cells_reused: AtomicU64,
     answers: AtomicU64,
+    tuple_allocs: AtomicU64,
+    frontier_bytes: AtomicU64,
+    frontier_peak_bytes: AtomicU64,
     pool_tasks: AtomicU64,
     pool_steals: AtomicU64,
     pool_busy_micros: AtomicU64,
@@ -238,6 +316,12 @@ impl SharedStats {
         self.cells_reused
             .fetch_add(delta.cells_reused, Ordering::Relaxed);
         self.answers.fetch_add(delta.answers, Ordering::Relaxed);
+        self.tuple_allocs
+            .fetch_add(delta.tuple_allocs, Ordering::Relaxed);
+        self.frontier_bytes
+            .fetch_add(delta.frontier_bytes, Ordering::Relaxed);
+        self.frontier_peak_bytes
+            .fetch_add(delta.frontier_peak_bytes, Ordering::Relaxed);
         self.pool_tasks
             .fetch_add(delta.pool_tasks, Ordering::Relaxed);
         self.pool_steals
@@ -254,6 +338,9 @@ impl SharedStats {
             cells_created: self.cells_created.load(Ordering::Relaxed),
             cells_reused: self.cells_reused.load(Ordering::Relaxed),
             answers: self.answers.load(Ordering::Relaxed),
+            tuple_allocs: self.tuple_allocs.load(Ordering::Relaxed),
+            frontier_bytes: self.frontier_bytes.load(Ordering::Relaxed),
+            frontier_peak_bytes: self.frontier_peak_bytes.load(Ordering::Relaxed),
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             pool_steals: self.pool_steals.load(Ordering::Relaxed),
             pool_busy_micros: self.pool_busy_micros.load(Ordering::Relaxed),
@@ -372,6 +459,9 @@ mod tests {
                             cells_created: 3,
                             cells_reused: 8,
                             answers: 4,
+                            tuple_allocs: 9,
+                            frontier_bytes: 10,
+                            frontier_peak_bytes: 11,
                             pool_tasks: 5,
                             pool_steals: 6,
                             pool_busy_micros: 7,

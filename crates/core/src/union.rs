@@ -147,9 +147,10 @@ impl<R: Ranking + Clone + 'static> UnionEnumerator<R> {
 
     /// Combined counters: the merge's own operations plus the work of
     /// every branch enumerator (preprocessing cells, per-branch priority
-    /// queues). Branch `answers` are excluded — a branch answer is not a
-    /// union answer until it survives deduplication, so `answers` counts
-    /// only what the union emitted.
+    /// queues, frontier bytes — the union's footprint is the disjoint sum
+    /// of its branch frontiers). Branch `answers` are excluded — a branch
+    /// answer is not a union answer until it survives deduplication, so
+    /// `answers` counts only what the union emitted.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let mut total = self.stats.snapshot();
         for branch in &self.branches {
@@ -157,6 +158,10 @@ impl<R: Ranking + Clone + 'static> UnionEnumerator<R> {
             total.pq_pushes += b.pq_pushes;
             total.pq_pops += b.pq_pops;
             total.cells_created += b.cells_created;
+            total.cells_reused += b.cells_reused;
+            total.tuple_allocs += b.tuple_allocs;
+            total.frontier_bytes += b.frontier_bytes;
+            total.frontier_peak_bytes += b.frontier_peak_bytes;
         }
         total
     }

@@ -23,10 +23,12 @@
 
 pub mod assignment;
 pub mod extended;
+pub mod key;
 pub mod rank;
 pub mod weight;
 
 pub use assignment::{AttrWeights, DefaultWeight, WeightAssignment};
 pub use extended::{AvgRanking, ProductRanking, SumProductRanking, WeightedSumRanking};
+pub use key::RankKey;
 pub use rank::{Direction, LexRanking, MaxRanking, MinRanking, Ranking, SumRanking};
 pub use weight::{ExactSum, Weight};

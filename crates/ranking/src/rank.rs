@@ -9,6 +9,7 @@
 //! SUM, LEXICOGRAPHIC, MIN and MAX all have this property.
 
 use crate::assignment::WeightAssignment;
+use crate::key::RankKey;
 use crate::weight::{ExactSum, Weight};
 use re_storage::{Attr, Value};
 use std::fmt::Debug;
@@ -24,7 +25,10 @@ use std::fmt::Debug;
 /// shared behind `Arc`).
 pub trait Ranking: Send {
     /// The key type; answers are enumerated in non-decreasing key order.
-    type Key: Ord + Clone + Debug + Send;
+    /// The [`RankKey`] bound (a representation fingerprint plus a heap-byte
+    /// estimate on top of `Ord + Clone + Send`) is what lets the frontier
+    /// kernel intern keys and account their memory.
+    type Key: RankKey;
     /// A per-attribute-list plan, precomputed once per join-tree node so
     /// that key computation during enumeration is a constant-time loop.
     type Plan: Clone + Debug + Send;

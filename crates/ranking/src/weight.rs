@@ -297,6 +297,13 @@ impl ExactSum {
         scaled
     }
 
+    /// The canonical component list, in increasing magnitude order (empty
+    /// means zero). Exposed for representation fingerprints and memory
+    /// accounting; the represented value is the exact sum of the entries.
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
     /// The closest `f64` approximation of the exact sum.
     pub fn approx(&self) -> f64 {
         // Summing small-to-large; the final component dominates.

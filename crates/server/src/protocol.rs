@@ -137,8 +137,15 @@ pub struct StatsReport {
     pub sessions_open: u64,
     /// Sessions opened since the server started.
     pub sessions_opened: u64,
-    /// Sessions reaped by idle eviction.
+    /// Sessions reaped by eviction (idle TTL + memory budget).
     pub sessions_evicted: u64,
+    /// Sessions evicted specifically to enforce the memory budget (a
+    /// subset of `sessions_evicted`).
+    pub sessions_evicted_budget: u64,
+    /// Configured parked-memory budget in bytes (`0` = unlimited).
+    pub session_budget_bytes: u64,
+    /// Frontier bytes currently retained by parked sessions.
+    pub session_bytes_parked: u64,
     /// Enumerators built (preprocessing passes run).
     pub enumerators_built: u64,
     /// Plan-cache hits.
@@ -296,6 +303,18 @@ impl Response {
                 ("sessions_open", Json::UInt(report.sessions_open)),
                 ("sessions_opened", Json::UInt(report.sessions_opened)),
                 ("sessions_evicted", Json::UInt(report.sessions_evicted)),
+                (
+                    "sessions_evicted_budget",
+                    Json::UInt(report.sessions_evicted_budget),
+                ),
+                (
+                    "session_budget_bytes",
+                    Json::UInt(report.session_budget_bytes),
+                ),
+                (
+                    "session_bytes_parked",
+                    Json::UInt(report.session_bytes_parked),
+                ),
                 ("enumerators_built", Json::UInt(report.enumerators_built)),
                 ("plan_cache_hits", Json::UInt(report.plan_cache_hits)),
                 ("plan_cache_misses", Json::UInt(report.plan_cache_misses)),
@@ -309,6 +328,15 @@ impl Response {
                 ),
                 ("cells_reused", Json::UInt(report.enumeration.cells_reused)),
                 ("answers", Json::UInt(report.enumeration.answers)),
+                ("tuple_allocs", Json::UInt(report.enumeration.tuple_allocs)),
+                (
+                    "frontier_bytes",
+                    Json::UInt(report.enumeration.frontier_bytes),
+                ),
+                (
+                    "frontier_peak_bytes",
+                    Json::UInt(report.enumeration.frontier_peak_bytes),
+                ),
                 ("pool_tasks", Json::UInt(report.enumeration.pool_tasks)),
                 ("pool_steals", Json::UInt(report.enumeration.pool_steals)),
                 (
@@ -384,6 +412,9 @@ impl Response {
                 sessions_open: u64_field("sessions_open")?,
                 sessions_opened: u64_field("sessions_opened")?,
                 sessions_evicted: u64_field("sessions_evicted")?,
+                sessions_evicted_budget: u64_field("sessions_evicted_budget")?,
+                session_budget_bytes: u64_field("session_budget_bytes")?,
+                session_bytes_parked: u64_field("session_bytes_parked")?,
                 enumerators_built: u64_field("enumerators_built")?,
                 plan_cache_hits: u64_field("plan_cache_hits")?,
                 plan_cache_misses: u64_field("plan_cache_misses")?,
@@ -395,6 +426,9 @@ impl Response {
                     cells_created: u64_field("cells_created")?,
                     cells_reused: u64_field("cells_reused")?,
                     answers: u64_field("answers")?,
+                    tuple_allocs: u64_field("tuple_allocs")?,
+                    frontier_bytes: u64_field("frontier_bytes")?,
+                    frontier_peak_bytes: u64_field("frontier_peak_bytes")?,
                     pool_tasks: u64_field("pool_tasks")?,
                     pool_steals: u64_field("pool_steals")?,
                     pool_busy_micros: u64_field("pool_busy_micros")?,
@@ -464,6 +498,9 @@ mod tests {
                 sessions_open: 1,
                 sessions_opened: 2,
                 sessions_evicted: 3,
+                sessions_evicted_budget: 17,
+                session_budget_bytes: 18,
+                session_bytes_parked: 19,
                 enumerators_built: 4,
                 plan_cache_hits: 5,
                 plan_cache_misses: 6,
@@ -475,6 +512,9 @@ mod tests {
                     cells_created: 11,
                     cells_reused: 16,
                     answers: 12,
+                    tuple_allocs: 20,
+                    frontier_bytes: 21,
+                    frontier_peak_bytes: 22,
                     pool_tasks: 13,
                     pool_steals: 14,
                     pool_busy_micros: 15,

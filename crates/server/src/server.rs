@@ -37,6 +37,12 @@ pub struct ServerConfig {
     /// Threads of the shared preprocessing pool (`0`: size to the machine,
     /// `1`: serial preprocessing — no pool is spawned).
     pub exec_threads: usize,
+    /// Maximum total frontier bytes parked sessions may retain
+    /// (`0`: unlimited). When parking a cursor pushes the total over this
+    /// budget, the heaviest idle sessions are evicted first (the
+    /// just-parked session is never the victim); a later `FETCH` on an
+    /// evicted id reports "evicted to enforce the session memory budget".
+    pub session_budget_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +52,7 @@ impl Default for ServerConfig {
             session_ttl: Duration::from_secs(300),
             plan_cache_capacity: 128,
             exec_threads: 0,
+            session_budget_bytes: 0,
         }
     }
 }
@@ -81,7 +88,7 @@ impl RankedQueryServer {
         Arc::new(RankedQueryServer {
             catalog: Catalog::new(),
             plan_cache: PlanCache::new(config.plan_cache_capacity),
-            sessions: SessionTable::new(config.session_ttl),
+            sessions: SessionTable::with_budget(config.session_ttl, config.session_budget_bytes),
             enum_stats: SharedStats::new(),
             enumerators_built: AtomicU64::new(0),
             exec,
@@ -115,6 +122,9 @@ impl RankedQueryServer {
             sessions_open: self.sessions.open_count(),
             sessions_opened: self.sessions.opened_total(),
             sessions_evicted: self.sessions.evicted_total(),
+            sessions_evicted_budget: self.sessions.evicted_budget_total(),
+            session_budget_bytes: self.sessions.budget_bytes(),
+            session_bytes_parked: self.sessions.parked_bytes(),
             enumerators_built: self.enumerators_built.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache.hits(),
             plan_cache_misses: self.plan_cache.misses(),
@@ -179,9 +189,14 @@ impl RankedQueryServer {
 
     fn do_fetch(&self, id: u64, k: u64) -> Response {
         let Some(mut session) = self.sessions.take(id) else {
-            return Response::Error {
-                message: format!("unknown, expired or busy session {id}"),
+            // Budget evictions get the documented, distinguishable error
+            // so clients can tell "re-OPEN and retry" from a typo'd id.
+            let message = if self.sessions.was_budget_evicted(id) {
+                format!("session {id} was evicted to enforce the session memory budget")
+            } else {
+                format!("unknown, expired or busy session {id}")
             };
+            return Response::Error { message };
         };
         // Catch panics *here*, not only in `handle_line`: the session is
         // checked out, and bailing without `discard`/`put_back` would leak

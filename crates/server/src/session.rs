@@ -1,23 +1,40 @@
 //! The session table: live cursors parked between fetches.
 //!
 //! A session owns a [`QueryCursor`] — a live enumerator that has already
-//! paid its preprocessing pass — plus bookkeeping for metrics and idle
-//! eviction. The table hands a session out *exclusively* for the duration
-//! of one fetch ([`SessionTable::take`] / [`SessionTable::put_back`]): the
-//! cursor leaves the lock while it streams, so a slow page on one session
-//! never blocks fetches on others, and two clients racing on the same id
-//! cannot interleave pages (the loser sees "unknown or busy session").
+//! paid its preprocessing pass — plus bookkeeping for metrics and eviction.
+//! The table hands a session out *exclusively* for the duration of one
+//! fetch ([`SessionTable::take`] / [`SessionTable::put_back`]): the cursor
+//! leaves the lock while it streams, so a slow page on one session never
+//! blocks fetches on others, and two clients racing on the same id cannot
+//! interleave pages (the loser sees "unknown or busy session").
 //!
-//! Sessions idle longer than the configured TTL are reaped lazily: every
-//! table operation first sweeps expired entries, so an abandoned cursor's
-//! memory is reclaimed without a background reaper thread.
+//! Two eviction policies protect the server:
+//!
+//! * **Idle TTL** — sessions idle longer than the configured TTL are
+//!   reaped lazily: every table operation first sweeps expired entries, so
+//!   an abandoned cursor's memory is reclaimed without a background reaper
+//!   thread.
+//! * **Memory budget** — each parked cursor reports its frontier footprint
+//!   (`frontier_bytes` from the enumeration stats, refreshed after every
+//!   page). When the sum over parked sessions exceeds the configured
+//!   budget, the **heaviest idle cursors are evicted first** (ties go to
+//!   the oldest session id) until the table fits — except the session
+//!   that was just parked, so a fetch loop on one big cursor keeps
+//!   making progress even when that cursor alone exceeds the budget.
+//!   Budget-evicted ids are remembered (bounded ring) so a later `FETCH`
+//!   can report the documented "evicted to enforce the session memory
+//!   budget" error instead of a generic unknown-session one.
 
 use rankedenum_core::StatsSnapshot;
 use re_sql::QueryCursor;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// How many budget-evicted session ids are remembered for error
+/// attribution.
+const EVICTED_RING_CAPACITY: usize = 256;
 
 /// A live session: a resumable cursor plus bookkeeping.
 pub struct Session {
@@ -30,39 +47,61 @@ pub struct Session {
     /// Enumeration counters already published to the server metrics
     /// (deltas are published after every page).
     pub reported: StatsSnapshot,
+    /// Frontier bytes the parked cursor retains (refreshed at every park).
+    pub frontier_bytes: u64,
     last_used: Instant,
 }
 
 /// The lock-protected part of the table. `checked_out` tracks sessions
 /// currently lent out for a fetch; `pending_close` records CLOSEs that
 /// raced an in-flight fetch, so `put_back` drops the session instead of
-/// resurrecting it.
+/// resurrecting it; `budget_evicted` remembers recently budget-evicted
+/// ids for error attribution.
 #[derive(Default)]
 struct Inner {
     parked: HashMap<u64, Session>,
     checked_out: HashSet<u64>,
     pending_close: HashSet<u64>,
+    budget_evicted: VecDeque<u64>,
 }
 
-/// Concurrent session table with idle eviction.
+/// Concurrent session table with idle and memory-budget eviction.
 pub struct SessionTable {
     ttl: Duration,
+    /// Maximum total frontier bytes parked sessions may retain
+    /// (`0` = unlimited).
+    budget_bytes: u64,
     next_id: AtomicU64,
     inner: Mutex<Inner>,
     opened: AtomicU64,
     evicted: AtomicU64,
+    evicted_budget: AtomicU64,
 }
 
 impl SessionTable {
-    /// A table that evicts sessions idle longer than `ttl`.
+    /// A table that evicts sessions idle longer than `ttl`, with no
+    /// memory budget.
     pub fn new(ttl: Duration) -> Self {
+        Self::with_budget(ttl, 0)
+    }
+
+    /// A table with an idle TTL and a parked-memory budget in bytes
+    /// (`0` disables the budget).
+    pub fn with_budget(ttl: Duration, budget_bytes: u64) -> Self {
         SessionTable {
             ttl,
+            budget_bytes,
             next_id: AtomicU64::new(1),
             inner: Mutex::new(Inner::default()),
             opened: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            evicted_budget: AtomicU64::new(0),
         }
+    }
+
+    /// The configured parked-memory budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
     }
 
     /// Lock the table, recovering from poisoning: a worker that panicked
@@ -88,26 +127,71 @@ impl SessionTable {
         }
     }
 
+    /// Enforce the memory budget after parking `just_parked`: evict the
+    /// heaviest parked sessions (ties to the oldest id) until the total
+    /// fits, never evicting `just_parked` itself — the caller's cursor
+    /// must stay resumable even when it alone exceeds the budget.
+    ///
+    /// Returns the evicted sessions instead of dropping them: a victim is,
+    /// by policy, the *largest* parked enumerator, and releasing megabytes
+    /// of arena slabs while holding the table mutex would stall every
+    /// concurrent OPEN/FETCH/CLOSE — the caller drops the victims after
+    /// the lock is gone.
+    #[must_use]
+    fn enforce_budget(&self, inner: &mut Inner, just_parked: u64) -> Vec<Session> {
+        let mut victims = Vec::new();
+        if self.budget_bytes == 0 {
+            return victims;
+        }
+        let mut total: u64 = inner.parked.values().map(|s| s.frontier_bytes).sum();
+        while total > self.budget_bytes {
+            let victim = inner
+                .parked
+                .values()
+                .filter(|s| s.id != just_parked)
+                .max_by_key(|s| (s.frontier_bytes, std::cmp::Reverse(s.id)))
+                .map(|s| s.id);
+            let Some(victim) = victim else {
+                break; // only the just-parked session is left
+            };
+            let session = inner.parked.remove(&victim).expect("victim is parked");
+            total = total.saturating_sub(session.frontier_bytes);
+            if inner.budget_evicted.len() == EVICTED_RING_CAPACITY {
+                inner.budget_evicted.pop_front();
+            }
+            inner.budget_evicted.push_back(victim);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            self.evicted_budget.fetch_add(1, Ordering::Relaxed);
+            victims.push(session);
+        }
+        victims
+    }
+
     /// Park a fresh cursor; returns the new session id.
     pub fn insert(&self, db: String, cursor: QueryCursor) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let reported = cursor.stats_snapshot();
         let session = Session {
             id,
             db,
-            reported: cursor.stats_snapshot(),
+            frontier_bytes: reported.frontier_bytes,
+            reported,
             cursor,
             last_used: Instant::now(),
         };
         let mut inner = self.lock();
         self.sweep(&mut inner);
         inner.parked.insert(id, session);
+        let victims = self.enforce_budget(&mut inner, id);
         self.opened.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        drop(victims); // cursor deallocation happens outside the lock
         id
     }
 
     /// Check a session out for exclusive use (one fetch). Returns `None`
-    /// when the id is unknown, expired, or currently checked out by
-    /// another worker.
+    /// when the id is unknown, expired, evicted, or currently checked out
+    /// by another worker.
     pub fn take(&self, id: u64) -> Option<Session> {
         let mut inner = self.lock();
         self.sweep(&mut inner);
@@ -116,17 +200,29 @@ impl SessionTable {
         Some(session)
     }
 
-    /// Return a session after a fetch, refreshing its idle clock. If a
-    /// `close` arrived while the session was checked out, it is honoured
-    /// now: the session is dropped instead of re-parked.
+    /// Whether `id` was recently evicted to enforce the memory budget
+    /// (used to attribute the fetch error precisely).
+    pub fn was_budget_evicted(&self, id: u64) -> bool {
+        self.lock().budget_evicted.contains(&id)
+    }
+
+    /// Return a session after a fetch, refreshing its idle clock and its
+    /// memory charge. If a `close` arrived while the session was checked
+    /// out, it is honoured now: the session is dropped instead of
+    /// re-parked.
     pub fn put_back(&self, mut session: Session) {
         session.last_used = Instant::now();
+        session.frontier_bytes = session.cursor.stats_snapshot().frontier_bytes;
+        let id = session.id;
         let mut inner = self.lock();
-        inner.checked_out.remove(&session.id);
-        if inner.pending_close.remove(&session.id) {
+        inner.checked_out.remove(&id);
+        if inner.pending_close.remove(&id) {
             return; // closed mid-fetch; release the cursor now
         }
-        inner.parked.insert(session.id, session);
+        inner.parked.insert(id, session);
+        let victims = self.enforce_budget(&mut inner, id);
+        drop(inner);
+        drop(victims); // cursor deallocation happens outside the lock
     }
 
     /// Drop a checked-out session for good (exhausted cursors). The caller
@@ -162,14 +258,27 @@ impl SessionTable {
         inner.parked.len() as u64
     }
 
+    /// Total frontier bytes retained by parked sessions.
+    pub fn parked_bytes(&self) -> u64 {
+        let mut inner = self.lock();
+        self.sweep(&mut inner);
+        inner.parked.values().map(|s| s.frontier_bytes).sum()
+    }
+
     /// Sessions opened since construction.
     pub fn opened_total(&self) -> u64 {
         self.opened.load(Ordering::Relaxed)
     }
 
-    /// Sessions reaped by idle eviction since construction.
+    /// Sessions reaped by eviction (idle TTL + memory budget) since
+    /// construction.
     pub fn evicted_total(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Sessions evicted specifically to enforce the memory budget.
+    pub fn evicted_budget_total(&self) -> u64 {
+        self.evicted_budget.load(Ordering::Relaxed)
     }
 }
 
@@ -237,6 +346,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         assert!(table.take(id).is_none(), "expired session is gone");
         assert_eq!(table.evicted_total(), 1);
+        assert_eq!(table.evicted_budget_total(), 0);
         assert_eq!(table.opened_total(), 1);
         assert_eq!(table.open_count(), 0);
     }
@@ -251,5 +361,53 @@ mod tests {
             table.put_back(session);
         }
         assert_eq!(table.evicted_total(), 0);
+    }
+
+    #[test]
+    fn parked_sessions_report_their_frontier_bytes() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let _ = table.insert("d".into(), cursor());
+        assert!(
+            table.parked_bytes() > 0,
+            "a parked enumerator retains frontier memory"
+        );
+    }
+
+    #[test]
+    fn budget_evicts_the_heaviest_idle_session_first() {
+        // Budget of one byte: any second session pushes the table over,
+        // and the heaviest *other* session must go.
+        let table = SessionTable::with_budget(Duration::from_secs(60), 1);
+        let a = table.insert("d".into(), cursor());
+        // Parking a second session evicts the first (the freshly parked
+        // one is protected).
+        let b = table.insert("d".into(), cursor());
+        assert!(table.take(a).is_none(), "heaviest idle session evicted");
+        assert!(table.was_budget_evicted(a));
+        assert!(!table.was_budget_evicted(b));
+        assert!(table.take(b).is_some(), "just-parked session survives");
+        assert_eq!(table.evicted_budget_total(), 1);
+        assert_eq!(table.evicted_total(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_never_evicts() {
+        let table = SessionTable::with_budget(Duration::from_secs(60), 0);
+        let ids: Vec<u64> = (0..4).map(|_| table.insert("d".into(), cursor())).collect();
+        assert_eq!(table.open_count(), 4);
+        for id in ids {
+            assert!(table.take(id).is_some());
+        }
+        assert_eq!(table.evicted_budget_total(), 0);
+    }
+
+    #[test]
+    fn generous_budget_keeps_everything() {
+        let table = SessionTable::with_budget(Duration::from_secs(60), u64::MAX);
+        let a = table.insert("d".into(), cursor());
+        let b = table.insert("d".into(), cursor());
+        assert!(table.take(a).is_some());
+        assert!(table.take(b).is_some());
+        assert_eq!(table.evicted_budget_total(), 0);
     }
 }

@@ -232,6 +232,78 @@ fn idle_sessions_are_evicted_and_reported() {
 }
 
 #[test]
+fn memory_budget_evicts_the_heaviest_idle_session_first() {
+    let tiny_db = || {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("T", attrs(["a"]), vec![vec![1], vec![2], vec![3]]).unwrap(),
+        )
+        .unwrap();
+        db
+    };
+    const TINY: &str = "SELECT DISTINCT T.a FROM T ORDER BY T.a";
+
+    // Probe pass: measure the deterministic parked footprint of the heavy
+    // (2-hop) and tiny cursors on an unlimited server.
+    let probe = server_with_db(Duration::from_secs(60));
+    probe.catalog().register("tiny", tiny_db());
+    let mut client = LocalClient::new(Arc::clone(&probe));
+    let heavy = client.open("dblp", TWO_HOP).unwrap();
+    let heavy_bytes = client.stats().unwrap().session_bytes_parked;
+    client.close(heavy.session).unwrap();
+    let small = client.open("tiny", TINY).unwrap();
+    let small_bytes = client.stats().unwrap().session_bytes_parked;
+    client.close(small.session).unwrap();
+    assert!(heavy_bytes > small_bytes, "2-hop frontier outweighs 3 rows");
+    assert!(small_bytes > 1);
+
+    // Real pass: the budget admits the heavy session plus one tiny one.
+    // Parking a second tiny session pushes the table over, and the policy
+    // must evict the *heaviest* idle cursor — not the oldest, not the
+    // newest.
+    let server = RankedQueryServer::new(ServerConfig {
+        session_budget_bytes: heavy_bytes + small_bytes + 1,
+        ..ServerConfig::default()
+    });
+    server.catalog().register("dblp", coauthor_db());
+    server.catalog().register("tiny", tiny_db());
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let heavy = client.open("dblp", TWO_HOP).unwrap();
+    let small_a = client.open("tiny", TINY).unwrap();
+    let small_b = client.open("tiny", TINY).unwrap();
+
+    // The heavy cursor is gone, with the documented error on FETCH.
+    let err = client.fetch(heavy.session, 3).unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("evicted to enforce the session memory budget"),
+        "budget eviction must be attributed: {err}"
+    );
+    // Both tiny sessions still stream.
+    assert_eq!(
+        client.fetch(small_a.session, 1).unwrap().rows,
+        vec![vec![1]]
+    );
+    assert_eq!(
+        client.fetch(small_b.session, 1).unwrap().rows,
+        vec![vec![1]]
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions_evicted_budget, 1);
+    assert_eq!(stats.sessions_evicted, 1);
+    assert_eq!(stats.session_budget_bytes, heavy_bytes + small_bytes + 1);
+    assert_eq!(stats.sessions_open, 2);
+    assert!(stats.session_bytes_parked <= stats.session_budget_bytes);
+    assert!(stats.enumeration.frontier_bytes > 0);
+    assert!(stats.enumeration.frontier_peak_bytes > 0);
+    assert_eq!(
+        stats.enumeration.tuple_allocs, 0,
+        "arena engines allocate no hot-path tuples server-wide"
+    );
+}
+
+#[test]
 fn union_and_cyclic_statements_report_their_algorithm() {
     let server = RankedQueryServer::new(ServerConfig::default());
     let mut db = Database::new();

@@ -6,13 +6,20 @@
 //! results are displayed.
 
 use crate::value::Value;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A bidirectional string ↔ [`Value`] dictionary.
+///
+/// Both directions share one `Arc<str>` allocation per distinct string:
+/// the map key and the vector entry are reference-counted views of the
+/// same buffer, so interning a fresh string costs exactly one string
+/// allocation (and cloning a dictionary copies no string data at all).
 #[derive(Clone, Debug, Default)]
 pub struct Dictionary {
-    to_id: HashMap<String, Value>,
-    to_str: Vec<String>,
+    to_id: HashMap<Arc<str>, Value>,
+    to_str: Vec<Arc<str>>,
 }
 
 impl Dictionary {
@@ -22,14 +29,28 @@ impl Dictionary {
     }
 
     /// Intern a string, returning its (stable) id.
+    ///
+    /// The hit path is one borrowed lookup with no allocation. The miss
+    /// path allocates the string **once** as an `Arc<str>` shared by both
+    /// directions and inserts through the entry API (the old
+    /// implementation re-hashed with `insert` and allocated the string
+    /// twice — once for the map key, once for the vector).
     pub fn intern(&mut self, s: &str) -> Value {
         if let Some(&id) = self.to_id.get(s) {
             return id;
         }
-        let id = self.to_str.len() as Value;
-        self.to_id.insert(s.to_string(), id);
-        self.to_str.push(s.to_string());
-        id
+        let shared: Arc<str> = Arc::from(s);
+        match self.to_id.entry(shared) {
+            // Unreachable after the miss above, but harmless: the probe
+            // `Arc` is simply dropped.
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(v) => {
+                let id = self.to_str.len() as Value;
+                self.to_str.push(Arc::clone(v.key()));
+                v.insert(id);
+                id
+            }
+        }
     }
 
     /// Look up the id of a previously interned string.
@@ -39,7 +60,7 @@ impl Dictionary {
 
     /// Resolve an id back to its string.
     pub fn resolve(&self, id: Value) -> Option<&str> {
-        self.to_str.get(id as usize).map(|s| s.as_str())
+        self.to_str.get(id as usize).map(|s| &**s)
     }
 
     /// Number of distinct interned strings.
@@ -76,5 +97,20 @@ mod tests {
         assert_eq!(d.id_of("alice"), Some(a));
         assert_eq!(d.id_of("carol"), None);
         assert_eq!(d.resolve(99), None);
+    }
+
+    #[test]
+    fn both_directions_share_one_allocation() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alice");
+        let key = d.to_id.keys().next().unwrap();
+        assert!(
+            Arc::ptr_eq(key, &d.to_str[a as usize]),
+            "map key and vector entry must share the same buffer"
+        );
+        // Clones bump refcounts instead of copying strings.
+        let d2 = d.clone();
+        assert!(Arc::ptr_eq(&d.to_str[a as usize], &d2.to_str[a as usize]));
+        assert_eq!(d2.resolve(a), Some("alice"));
     }
 }

@@ -189,6 +189,17 @@ impl SortedIndex {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Approximate bytes retained by the index (length-based, so stable
+    /// across runs): the flat row buffer plus one key tuple and slot per
+    /// distinct key. Used for enumeration memory accounting.
+    pub fn bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<u32>()
+            + self.groups.len()
+                * (self.key_positions.len() * std::mem::size_of::<Value>()
+                    + std::mem::size_of::<Tuple>()
+                    + std::mem::size_of::<(u32, u32)>())
+    }
 }
 
 /// Degree statistics of one attribute of a relation: for each value, how

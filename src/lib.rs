@@ -99,8 +99,8 @@ pub mod scale {
 pub mod prelude {
     pub use rankedenum_core::{
         lexi_serves, select, select_ranked, top_k, AcyclicEnumerator, Algorithm, CyclicEnumerator,
-        EnumError, EnumStats, LexiEnumerator, RankedEnumerator, RankedStream, ReferenceLexi,
-        SharedStats, StarEnumerator, StatsSnapshot, UnionEnumerator,
+        EnumError, EnumStats, LexiEnumerator, RankedEnumerator, RankedStream, ReferenceAcyclic,
+        ReferenceLexi, SharedStats, StarEnumerator, StatsSnapshot, UnionEnumerator,
     };
     pub use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
     pub use re_exec::{ExecContext, PoolStats, WorkerPool};

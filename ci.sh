@@ -33,6 +33,11 @@ run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test parallel_determinis
 # over all workload queries and random instances, at both thread counts.
 run env RE_EXEC_THREADS=1 cargo test -q -p rankedenum --test frontier_differential
 run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test frontier_differential
+# The worst-case-optimal bag kernel is contractually byte-identical to the
+# retained hash-join cascade: same canonical bag relations, same
+# enumeration sequences, on the cyclic workloads and random instances.
+run env RE_EXEC_THREADS=1 cargo test -q -p rankedenum --test wcoj_differential
+run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test wcoj_differential
 # Pin serial-vs-pooled 6-cycle bag materialisation; writes BENCH_preprocess.json.
 run cargo bench -q -p re_bench --bench preprocess
 # Pin the Algorithm-3 inversion fix: old vs new vs general lexi engines on

@@ -11,15 +11,23 @@
 //! same top answers as the serial run before its time is accepted — a
 //! speedup that changed the output would be a bug, not a result.
 //!
+//! It also pins the worst-case-optimal bag-materialisation PR: 6-cycle
+//! time-to-first-answer under the old pipeline (the Figure-2 GHD template
+//! materialised by the pairwise hash-join cascade) against the new one
+//! (the cost-based two-arc split materialised by the generic-join kernel).
+//! Both runs must produce the same first answer; `check_bench` gates the
+//! speedup at >= 10x.
+//!
 //! Results go to stdout as a table and to `BENCH_preprocess.json` in the
 //! repo root (schema: workload, edges, serial_ms, runs[{threads, ms,
-//! speedup}]).
+//! speedup}], ttf{old_ms, new_ms, speedup}).
 
 use rankedenum_core::{CyclicEnumerator, ExecContext, WorkerPool};
 use re_bench::Scale;
+use re_join::BagKernel;
 use re_storage::Tuple;
 use re_workloads::membership::WeightScheme;
-use re_workloads::DblpWorkload;
+use re_workloads::{cyclic, DblpWorkload};
 use std::time::{Duration, Instant};
 
 const SAMPLES: usize = 3;
@@ -54,6 +62,34 @@ fn measure(
         bag_sizes,
         top,
     }
+}
+
+/// Time-to-first-answer: enumerator construction (the full preprocessing
+/// pass under `kernel`) plus the first `next()`.
+fn time_to_first(
+    dblp: &DblpWorkload,
+    spec: &re_workloads::QuerySpec,
+    plan: &re_query::GhdPlan,
+    kernel: BagKernel,
+) -> (f64, Option<Tuple>) {
+    let ctx = ExecContext::serial();
+    let mut best = Duration::MAX;
+    let mut first = None;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let mut e = CyclicEnumerator::new_ctx_with_kernel(
+            &spec.query,
+            dblp.db(),
+            spec.sum_ranking(),
+            plan,
+            &ctx,
+            kernel,
+        )
+        .expect("cyclic preprocessing");
+        first = e.next();
+        best = best.min(start.elapsed());
+    }
+    (best.as_secs_f64() * 1_000.0, first)
 }
 
 fn main() {
@@ -107,6 +143,25 @@ fn main() {
         );
     }
 
+    // Old pipeline vs. new: the Figure-2 template under the hash-join
+    // cascade against the cost-chosen plan under the generic-join kernel.
+    // `dblp.cycle` already returns the cost-based plan; the Figure-2
+    // template is rebuilt explicitly as the "old" side.
+    let figure2 = cyclic::membership_cycle_plan(&spec.query).expect("figure-2 plan");
+    let (old_ms, old_first) = time_to_first(&dblp, &spec, &figure2, BagKernel::Cascade);
+    let (new_ms, new_first) = time_to_first(&dblp, &spec, &plan, BagKernel::Wcoj);
+    assert_eq!(
+        old_first, new_first,
+        "the old and new pipelines disagree on the first answer"
+    );
+    let ttf_speedup = old_ms / new_ms;
+    println!(
+        "preprocess/{}/ttf: old (figure-2 + cascade) {old_ms:.1} ms, \
+         new (cost-based [{}] + wcoj) {new_ms:.1} ms  ({ttf_speedup:.1}x)",
+        spec.name,
+        plan.shape()
+    );
+
     let runs_json: Vec<String> = runs
         .iter()
         .map(|(threads, ms, speedup)| {
@@ -115,8 +170,11 @@ fn main() {
         .collect();
     let json = format!(
         "{{\"workload\":\"{}\",\"edges\":{edges},\"machine_threads\":{machine},\
-         \"bag_sizes\":{:?},\"serial_ms\":{:.3},\"runs\":[{}]}}\n",
+         \"plan\":\"{}\",\"bag_sizes\":{:?},\"serial_ms\":{:.3},\"runs\":[{}],\
+         \"ttf\":{{\"old_ms\":{old_ms:.3},\"new_ms\":{new_ms:.3},\
+         \"speedup\":{ttf_speedup:.3}}}}}\n",
         spec.name,
+        plan.shape(),
         serial.bag_sizes,
         serial.millis,
         runs_json.join(",")

@@ -20,6 +20,12 @@
 //!    on DBLP3hop, with time-to-1000 within 1.05× of the old engine; and
 //!    the fresh `new/old` time and bytes ratios may exceed the committed
 //!    baseline ratios by at most 25%.
+//! 5. **Cyclic preprocessing cliff** — `BENCH_preprocess.json`'s 6-cycle
+//!    time-to-first-answer under the new pipeline (cost-based GHD + the
+//!    worst-case-optimal kernel) must undercut the old pipeline (Figure-2
+//!    template + hash-join cascade, measured in the same process) by
+//!    ≥10×, and the fresh `new/old` ratio may exceed the committed
+//!    `BENCH_preprocess_baseline.json` ratio by at most 25%.
 
 use std::path::Path;
 use std::process::exit;
@@ -33,6 +39,10 @@ const SMALL_K_SLACK: f64 = 0.15;
 /// The arena engine's time-to-1000 must stay within this factor of the
 /// owned-tuple engine's (the PR acceptance bound).
 const ENUM_TIME_BOUND: f64 = 1.05;
+/// The new cyclic-preprocessing pipeline's 6-cycle time-to-first must be
+/// at most this fraction of the old pipeline's (the >= 10x acceptance
+/// bound of the worst-case-optimal bag-materialisation PR).
+const TTF_RATIO_BOUND: f64 = 0.10;
 
 #[derive(Debug, Clone, PartialEq)]
 struct Entry {
@@ -259,6 +269,78 @@ fn check_enum(fresh: &[EnumEntry], baseline: &[EnumEntry]) -> Vec<String> {
     failures
 }
 
+/// The 6-cycle time-to-first pair `preprocess` writes under `"ttf"`.
+#[derive(Debug, Clone, PartialEq)]
+struct Ttf {
+    old_ms: f64,
+    new_ms: f64,
+}
+
+/// Parse the `"ttf":{...}` object of the `preprocess` schema.
+fn parse_ttf(content: &str) -> Option<Ttf> {
+    let start = content.find("\"ttf\":{")?;
+    let obj = &content[start..];
+    let obj = &obj[..obj.find('}')? + 1];
+    Some(Ttf {
+        old_ms: field_f64(obj, "old_ms")?,
+        new_ms: field_f64(obj, "new_ms")?,
+    })
+}
+
+fn load_ttf(path: &Path) -> Ttf {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    match parse_ttf(&content) {
+        Some(ttf) => ttf,
+        None => {
+            eprintln!("check_bench: no ttf object parsed from {}", path.display());
+            exit(1);
+        }
+    }
+}
+
+/// The cyclic-preprocessing gates over `BENCH_preprocess.json` (check 5
+/// in the module docs). Returns human-readable failures.
+fn check_ttf(fresh: &Ttf, baseline: &Ttf) -> Vec<String> {
+    let mut failures = Vec::new();
+    let ratio = fresh.new_ms / fresh.old_ms;
+    if ratio > TTF_RATIO_BOUND {
+        failures.push(format!(
+            "6-cycle time-to-first: new pipeline {:.1} ms is only {:.1}x faster than \
+             the old pipeline's {:.1} ms (the PR demands >= {:.0}x)",
+            fresh.new_ms,
+            1.0 / ratio,
+            fresh.old_ms,
+            1.0 / TTF_RATIO_BOUND
+        ));
+    }
+    let base_ratio = baseline.new_ms / baseline.old_ms;
+    if ratio > base_ratio * (1.0 + TOLERANCE) {
+        failures.push(format!(
+            "6-cycle time-to-first: new/old ratio regressed {base_ratio:.4} -> {ratio:.4} \
+             (> {:.0}% tolerance)",
+            TOLERANCE * 100.0
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "ok: 6-cycle time-to-first new {:.1} ms vs old {:.1} ms ({:.1}x, \
+             baseline {:.1}x, tolerance {:.0}%)",
+            fresh.new_ms,
+            fresh.old_ms,
+            1.0 / ratio,
+            1.0 / base_ratio,
+            TOLERANCE * 100.0
+        );
+    }
+    failures
+}
+
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let fresh = load(&root.join("BENCH_lexi.json"));
@@ -345,6 +427,12 @@ fn main() {
     let enum_baseline = load_enum(&root.join("BENCH_enum_baseline.json"));
     failures.extend(check_enum(&enum_fresh, &enum_baseline));
 
+    // Check 5: the cyclic-preprocessing cliff stays dead (>= 10x 6-cycle
+    // time-to-first under the cost-based + worst-case-optimal pipeline).
+    let ttf_fresh = load_ttf(&root.join("BENCH_preprocess.json"));
+    let ttf_baseline = load_ttf(&root.join("BENCH_preprocess_baseline.json"));
+    failures.extend(check_ttf(&ttf_fresh, &ttf_baseline));
+
     if failures.is_empty() {
         println!("check_bench: all perf guards passed");
     } else {
@@ -417,6 +505,46 @@ mod tests {
         let failures = check_enum(&slow, &good);
         assert!(
             failures.iter().any(|f| f.contains("exceeds")),
+            "{failures:?}"
+        );
+    }
+
+    const PREPROCESS_SAMPLE: &str = "{\"workload\":\"DBLP6cycle\",\"edges\":2200,\
+        \"plan\":\"cycle-split(0,3)\",\"bag_sizes\":[265048, 265048],\
+        \"serial_ms\":296.696,\"runs\":[{\"threads\":1,\"ms\":362.073,\"speedup\":0.819}],\
+        \"ttf\":{\"old_ms\":3606.578,\"new_ms\":295.608,\"speedup\":12.201}}";
+
+    #[test]
+    fn parses_the_ttf_object() {
+        let ttf = parse_ttf(PREPROCESS_SAMPLE).unwrap();
+        assert_eq!(ttf.old_ms, 3606.578);
+        assert_eq!(ttf.new_ms, 295.608);
+        assert!(parse_ttf("{\"runs\":[]}").is_none());
+    }
+
+    #[test]
+    fn ttf_gates_fire_on_regressions() {
+        let good = parse_ttf(PREPROCESS_SAMPLE).unwrap();
+        assert!(check_ttf(&good, &good).is_empty());
+        // Losing the 10x speedup must fail regardless of the baseline.
+        let slow = Ttf {
+            old_ms: good.old_ms,
+            new_ms: good.old_ms / 5.0,
+        };
+        let failures = check_ttf(&slow, &slow);
+        assert!(
+            failures.iter().any(|f| f.contains("demands >= 10x")),
+            "{failures:?}"
+        );
+        // Drifting >25% past the committed ratio must fail even while the
+        // 10x bound still holds.
+        let drifted = Ttf {
+            old_ms: good.old_ms,
+            new_ms: good.new_ms * 1.5,
+        };
+        let failures = check_ttf(&drifted, &good);
+        assert!(
+            failures.iter().any(|f| f.contains("ratio regressed")),
             "{failures:?}"
         );
     }

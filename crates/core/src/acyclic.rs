@@ -352,6 +352,12 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
         &self.stats
     }
 
+    /// Mutable statistics access for wrappers that annotate build-time
+    /// facts (the cyclic enumerator records its GHD plan here).
+    pub(crate) fn stats_mut(&mut self) -> &mut EnumStats {
+        &mut self.stats
+    }
+
     /// Total number of cells currently allocated — the dominant part of the
     /// enumerator's memory footprint.
     pub fn cell_count(&self) -> usize {

@@ -11,15 +11,33 @@ use crate::acyclic::AcyclicEnumerator;
 use crate::error::EnumError;
 use crate::stats::EnumStats;
 use re_exec::ExecContext;
-use re_join::materialize_bags;
+use re_join::{materialize_bags_with, BagKernel};
 use re_query::{Atom, GhdPlan, JoinProjectQuery, JoinTree, QueryError};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Tuple};
+
+/// How the GHD plan behind a [`CyclicEnumerator`] was chosen — surfaced all
+/// the way to the server `stats` endpoint so a silent degradation to full
+/// materialisation is visible, not swallowed.
+#[derive(Clone, Debug)]
+pub struct GhdReport {
+    /// The plan shape (`"cycle-figure2"`, `"cycle-split(s,t)"`,
+    /// `"single-bag"`, `"explicit"`).
+    pub shape: String,
+    /// Number of bags in the plan.
+    pub bags: usize,
+    /// Rounded AGM estimate from cost-based selection, when it ran.
+    pub estimated_rows: Option<u64>,
+    /// Why selection fell back to single-bag full materialisation, when
+    /// it did.
+    pub fallback: Option<String>,
+}
 
 /// Ranked enumerator for (possibly) cyclic queries, driven by a GHD plan.
 pub struct CyclicEnumerator<R: Ranking + Clone> {
     inner: AcyclicEnumerator<R>,
     bag_sizes: Vec<usize>,
+    report: GhdReport,
 }
 
 impl<R: Ranking + Clone> CyclicEnumerator<R> {
@@ -34,11 +52,11 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
     }
 
     /// Build the enumerator from an explicit GHD plan under an execution
-    /// context. On a pooled context the bags are materialised as parallel
-    /// pool tasks (they are independent sub-joins) and the kernels inside
-    /// each bag — semi-join sweeps, hash joins, distinct-projection — fan
-    /// out further over morsels of the same pool. Bag materialisation
-    /// dominates cyclic preprocessing, so this is where the cores go.
+    /// context with the default (generic join) bag kernel. On a pooled
+    /// context the bags are materialised as parallel pool tasks (they are
+    /// independent sub-joins) and the kernels inside each bag fan out
+    /// further over morsels of the same pool. Bag materialisation dominates
+    /// cyclic preprocessing, so this is where the cores go.
     ///
     /// Determinism contract: the bag relations, `bag_sizes()` and the full
     /// enumeration order are identical to the serial build at any thread
@@ -50,11 +68,38 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         plan: &GhdPlan,
         ctx: &ExecContext,
     ) -> Result<Self, EnumError> {
+        Self::new_ctx_with_kernel(query, db, ranking, plan, ctx, BagKernel::default())
+    }
+
+    /// [`CyclicEnumerator::new_ctx`] with an explicit bag-materialisation
+    /// kernel. Both kernels produce canonical (sorted, distinct) bag
+    /// relations, so the enumeration sequence does not depend on the
+    /// kernel — the `wcoj_differential` suite holds this as a contract.
+    pub fn new_ctx_with_kernel(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        plan: &GhdPlan,
+        ctx: &ExecContext,
+        kernel: BagKernel,
+    ) -> Result<Self, EnumError> {
+        Self::build(query, db, ranking, plan, ctx, kernel, None)
+    }
+
+    fn build(
+        query: &JoinProjectQuery,
+        db: &Database,
+        ranking: R,
+        plan: &GhdPlan,
+        ctx: &ExecContext,
+        kernel: BagKernel,
+        fallback: Option<String>,
+    ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
         let mut bag_db = Database::new();
         let mut atoms = Vec::with_capacity(plan.len());
         let mut bag_sizes = Vec::with_capacity(plan.len());
-        let rels = materialize_bags(query, db, plan.bags(), ctx)?;
+        let rels = materialize_bags_with(query, db, plan.bags(), ctx, kernel)?;
         for (bag, rel) in plan.bags().iter().zip(rels) {
             bag_sizes.push(rel.len());
             atoms.push(Atom::new(
@@ -70,14 +115,30 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
             Err(QueryError::NotAcyclic) => return Err(EnumError::ResidualCyclic),
             Err(e) => return Err(EnumError::Query(e)),
         };
-        let inner = AcyclicEnumerator::with_tree_ctx(&residual, &bag_db, ranking, tree, ctx)?;
-        Ok(CyclicEnumerator { inner, bag_sizes })
+        let mut inner = AcyclicEnumerator::with_tree_ctx(&residual, &bag_db, ranking, tree, ctx)?;
+        let report = GhdReport {
+            shape: plan.shape().to_string(),
+            bags: plan.len(),
+            estimated_rows: plan.estimated_rows().map(|e| e.round() as u64),
+            fallback,
+        };
+        let stats = inner.stats_mut();
+        stats.ghd_bags = report.bags as u64;
+        stats.ghd_estimated_rows = report.estimated_rows.unwrap_or(0);
+        stats.ghd_fallbacks = u64::from(report.fallback.is_some());
+        Ok(CyclicEnumerator {
+            inner,
+            bag_sizes,
+            report,
+        })
     }
 
-    /// Build the enumerator choosing a plan automatically: the cycle
-    /// decomposition of Figure 2 when the query's atoms form a cycle in
-    /// declaration order, otherwise the single-bag (full materialisation)
-    /// fallback.
+    /// Build the enumerator choosing a plan automatically by cost-based
+    /// GHD selection ([`GhdPlan::cost_based`]): the candidate decomposition
+    /// with the smallest AGM bag-size estimate wins; only when no
+    /// decomposition applies does the single-bag (full materialisation)
+    /// fallback run — and then the reason is recorded in
+    /// [`CyclicEnumerator::plan_report`] instead of being swallowed.
     pub fn new_auto(
         query: &JoinProjectQuery,
         db: &Database,
@@ -93,13 +154,40 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         ranking: R,
         ctx: &ExecContext,
     ) -> Result<Self, EnumError> {
-        let plan = GhdPlan::for_cycle(query).unwrap_or_else(|_| GhdPlan::single_bag(query));
-        Self::new_ctx(query, db, ranking, &plan, ctx)
+        let (plan, fallback) = match GhdPlan::cost_based(query, db) {
+            Ok(sel) => {
+                let fallback = if sel.plan.shape() == "single-bag" {
+                    Some(
+                        sel.cycle_error
+                            .unwrap_or_else(|| "no cycle decomposition applicable".to_string()),
+                    )
+                } else {
+                    None
+                };
+                (sel.plan, fallback)
+            }
+            Err(e) => (GhdPlan::single_bag(query), Some(e.to_string())),
+        };
+        Self::build(
+            query,
+            db,
+            ranking,
+            &plan,
+            ctx,
+            BagKernel::default(),
+            fallback,
+        )
     }
 
     /// Sizes of the materialised bag relations (preprocessing cost proxy).
     pub fn bag_sizes(&self) -> &[usize] {
         &self.bag_sizes
+    }
+
+    /// How the GHD plan was chosen (shape, bag count, estimate, fallback
+    /// reason when full materialisation had to run).
+    pub fn plan_report(&self) -> &GhdReport {
+        &self.report
     }
 
     /// The projection attributes, in output order.
@@ -246,5 +334,40 @@ mod tests {
         let q = four_cycle_query();
         let mut e = CyclicEnumerator::new_auto(&q, &db, SumRanking::value_sum()).unwrap();
         assert_eq!(e.next(), None);
+    }
+
+    #[test]
+    fn auto_plans_are_reported_and_fallbacks_carry_a_reason() {
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        let q = four_cycle_query();
+        let e = CyclicEnumerator::new_auto(&q, &db, SumRanking::value_sum()).unwrap();
+        let report = e.plan_report();
+        assert!(report.shape.starts_with("cycle-"), "{}", report.shape);
+        assert_eq!(report.bags, 2);
+        assert!(report.estimated_rows.is_some());
+        assert!(report.fallback.is_none());
+        assert_eq!(e.stats().ghd_bags, 2);
+        assert_eq!(e.stats().ghd_fallbacks, 0);
+        assert!(e.stats().ghd_estimated_rows > 0);
+
+        // A chorded declaration order is not a cycle: selection must fall
+        // back to full materialisation and say why.
+        let chorded = QueryBuilder::new()
+            .atom("R1", "E", ["a", "b"])
+            .atom("R2", "E", ["c", "d"])
+            .atom("R3", "E", ["b", "c"])
+            .atom("R4", "E", ["d", "a"])
+            .project(["a", "c"])
+            .build()
+            .unwrap();
+        let e = CyclicEnumerator::new_auto(&chorded, &db, SumRanking::value_sum()).unwrap();
+        let report = e.plan_report();
+        assert_eq!(report.shape, "single-bag");
+        let reason = report
+            .fallback
+            .as_deref()
+            .expect("fallback reason recorded");
+        assert!(reason.contains("share no variable"), "{reason}");
+        assert_eq!(e.stats().ghd_fallbacks, 1);
     }
 }

@@ -56,6 +56,15 @@ pub struct EnumStats {
     frontier_live_bytes: u64,
     /// Number of answers emitted so far.
     pub answers: u64,
+    /// Bags of the GHD plan this enumerator was built from (zero for
+    /// acyclic queries, which need no decomposition).
+    pub ghd_bags: u64,
+    /// The chosen plan's summed AGM bag-size estimate, rounded, when the
+    /// plan came out of cost-based selection.
+    pub ghd_estimated_rows: u64,
+    /// Times GHD selection fell back to single-bag full materialisation
+    /// because no decomposition applied (the reason travels separately).
+    pub ghd_fallbacks: u64,
     /// Priority-queue operations (pushes + pops) spent between consecutive
     /// answers; one entry per emitted answer.
     pub ops_per_answer: Vec<u64>,
@@ -171,6 +180,9 @@ impl EnumStats {
         self.frontier_bytes += other.frontier_bytes;
         self.frontier_peak_bytes += other.frontier_peak_bytes;
         self.frontier_live_bytes += other.frontier_live_bytes;
+        self.ghd_bags += other.ghd_bags;
+        self.ghd_estimated_rows += other.ghd_estimated_rows;
+        self.ghd_fallbacks += other.ghd_fallbacks;
         // answers / histogram are tracked by the composite itself
     }
 
@@ -188,6 +200,9 @@ impl EnumStats {
             tuple_allocs: self.tuple_allocs,
             frontier_bytes: self.frontier_bytes,
             frontier_peak_bytes: self.frontier_peak_bytes,
+            ghd_bags: self.ghd_bags,
+            ghd_estimated_rows: self.ghd_estimated_rows,
+            ghd_fallbacks: self.ghd_fallbacks,
             ..StatsSnapshot::zero()
         }
     }
@@ -218,6 +233,13 @@ pub struct StatsSnapshot {
     /// Peak live frontier bytes (monotone; see
     /// [`EnumStats::frontier_peak_bytes`]).
     pub frontier_peak_bytes: u64,
+    /// Bags of the GHD plan behind this enumerator (zero when acyclic).
+    pub ghd_bags: u64,
+    /// Rounded AGM bag-size estimate of the chosen GHD plan, when
+    /// cost-based selection produced it.
+    pub ghd_estimated_rows: u64,
+    /// GHD selections that fell back to single-bag full materialisation.
+    pub ghd_fallbacks: u64,
     /// Parallel-preprocessing tasks executed on the worker pool (morsels,
     /// radix partitions and bags — see `re_exec::PoolStats`).
     pub pool_tasks: u64,
@@ -247,6 +269,9 @@ impl StatsSnapshot {
         self.tuple_allocs += other.tuple_allocs;
         self.frontier_bytes += other.frontier_bytes;
         self.frontier_peak_bytes += other.frontier_peak_bytes;
+        self.ghd_bags += other.ghd_bags;
+        self.ghd_estimated_rows += other.ghd_estimated_rows;
+        self.ghd_fallbacks += other.ghd_fallbacks;
         self.pool_tasks += other.pool_tasks;
         self.pool_steals += other.pool_steals;
         self.pool_busy_micros += other.pool_busy_micros;
@@ -267,6 +292,11 @@ impl StatsSnapshot {
             frontier_peak_bytes: self
                 .frontier_peak_bytes
                 .saturating_sub(earlier.frontier_peak_bytes),
+            ghd_bags: self.ghd_bags.saturating_sub(earlier.ghd_bags),
+            ghd_estimated_rows: self
+                .ghd_estimated_rows
+                .saturating_sub(earlier.ghd_estimated_rows),
+            ghd_fallbacks: self.ghd_fallbacks.saturating_sub(earlier.ghd_fallbacks),
             pool_tasks: self.pool_tasks.saturating_sub(earlier.pool_tasks),
             pool_steals: self.pool_steals.saturating_sub(earlier.pool_steals),
             pool_busy_micros: self
@@ -295,6 +325,9 @@ pub struct SharedStats {
     tuple_allocs: AtomicU64,
     frontier_bytes: AtomicU64,
     frontier_peak_bytes: AtomicU64,
+    ghd_bags: AtomicU64,
+    ghd_estimated_rows: AtomicU64,
+    ghd_fallbacks: AtomicU64,
     pool_tasks: AtomicU64,
     pool_steals: AtomicU64,
     pool_busy_micros: AtomicU64,
@@ -322,6 +355,11 @@ impl SharedStats {
             .fetch_add(delta.frontier_bytes, Ordering::Relaxed);
         self.frontier_peak_bytes
             .fetch_add(delta.frontier_peak_bytes, Ordering::Relaxed);
+        self.ghd_bags.fetch_add(delta.ghd_bags, Ordering::Relaxed);
+        self.ghd_estimated_rows
+            .fetch_add(delta.ghd_estimated_rows, Ordering::Relaxed);
+        self.ghd_fallbacks
+            .fetch_add(delta.ghd_fallbacks, Ordering::Relaxed);
         self.pool_tasks
             .fetch_add(delta.pool_tasks, Ordering::Relaxed);
         self.pool_steals
@@ -341,6 +379,9 @@ impl SharedStats {
             tuple_allocs: self.tuple_allocs.load(Ordering::Relaxed),
             frontier_bytes: self.frontier_bytes.load(Ordering::Relaxed),
             frontier_peak_bytes: self.frontier_peak_bytes.load(Ordering::Relaxed),
+            ghd_bags: self.ghd_bags.load(Ordering::Relaxed),
+            ghd_estimated_rows: self.ghd_estimated_rows.load(Ordering::Relaxed),
+            ghd_fallbacks: self.ghd_fallbacks.load(Ordering::Relaxed),
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             pool_steals: self.pool_steals.load(Ordering::Relaxed),
             pool_busy_micros: self.pool_busy_micros.load(Ordering::Relaxed),
@@ -462,6 +503,9 @@ mod tests {
                             tuple_allocs: 9,
                             frontier_bytes: 10,
                             frontier_peak_bytes: 11,
+                            ghd_bags: 2,
+                            ghd_estimated_rows: 12,
+                            ghd_fallbacks: 1,
                             pool_tasks: 5,
                             pool_steals: 6,
                             pool_busy_micros: 7,
@@ -479,6 +523,9 @@ mod tests {
         assert_eq!(total.cells_created, 1200);
         assert_eq!(total.cells_reused, 3200);
         assert_eq!(total.answers, 1600);
+        assert_eq!(total.ghd_bags, 800);
+        assert_eq!(total.ghd_estimated_rows, 4800);
+        assert_eq!(total.ghd_fallbacks, 400);
         assert_eq!(total.pool_tasks, 2000);
         assert_eq!(total.pool_steals, 2400);
         assert_eq!(total.pool_busy_micros, 2800);

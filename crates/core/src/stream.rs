@@ -32,6 +32,14 @@ pub trait RankedStream: Iterator<Item = Tuple> + Send {
     /// Cheap summary of the work done so far. Monotone, so per-page deltas
     /// can be computed by differencing two snapshots.
     fn stats_snapshot(&self) -> StatsSnapshot;
+
+    /// The GHD plan shape behind this stream, when the query needed a
+    /// decomposition: the chosen shape, annotated with the fallback reason
+    /// if selection had to degrade to full materialisation. `None` for
+    /// decomposition-free strategies.
+    fn plan_shape(&self) -> Option<String> {
+        None
+    }
 }
 
 impl<R: Ranking + Clone> RankedStream for AcyclicEnumerator<R> {
@@ -60,6 +68,14 @@ impl<R: Ranking + Clone> RankedStream for CyclicEnumerator<R> {
     fn stats_snapshot(&self) -> StatsSnapshot {
         self.stats().snapshot()
     }
+
+    fn plan_shape(&self) -> Option<String> {
+        let report = self.plan_report();
+        Some(match &report.fallback {
+            Some(reason) => format!("{} [fallback: {reason}]", report.shape),
+            None => report.shape.clone(),
+        })
+    }
 }
 
 impl<R: Ranking + Clone> RankedStream for RankedEnumerator<R> {
@@ -73,6 +89,13 @@ impl<R: Ranking + Clone> RankedStream for RankedEnumerator<R> {
 
     fn stats_snapshot(&self) -> StatsSnapshot {
         self.stats().snapshot()
+    }
+
+    fn plan_shape(&self) -> Option<String> {
+        match self {
+            RankedEnumerator::Acyclic(_) => None,
+            RankedEnumerator::Cyclic(c) => RankedStream::plan_shape(c),
+        }
     }
 }
 

@@ -4,13 +4,37 @@
 //! as the join of the atoms assigned to the bag, projected (with
 //! de-duplication) onto the bag attributes. The resulting bag relations form
 //! an acyclic residual query which the acyclic enumerator then processes.
+//!
+//! Two kernels produce the bag, selected by [`BagKernel`]:
+//! * [`BagKernel::Wcoj`] (the default) runs the generic-join kernel of
+//!   [`crate::wcoj`], whose cost is bounded by the bag's AGM bound instead
+//!   of the largest pairwise intermediate;
+//! * [`BagKernel::Cascade`] is the retained left-deep hash-join cascade,
+//!   ordered by shared-attribute connectivity so a connected join order is
+//!   never passed over for an accidental cartesian product.
+//!
+//! Both kernels emit the *canonical* bag representation — rows
+//! lexicographically sorted and distinct over `bag.attrs` — so they are
+//! byte-interchangeable, which the `wcoj_differential` suite enforces.
 
 use crate::bind::bind_atom;
 use crate::error::JoinError;
 use crate::parallel::{par_hash_join, par_project_distinct, par_semi_join};
+use crate::wcoj::wcoj_materialize;
 use re_exec::ExecContext;
 use re_query::{Bag, JoinProjectQuery};
 use re_storage::{Database, Relation};
+use std::collections::BTreeSet;
+
+/// Which kernel materialises a bag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BagKernel {
+    /// Attribute-at-a-time generic join (worst-case optimal).
+    #[default]
+    Wcoj,
+    /// Left-deep hash-join cascade in shared-attribute connectivity order.
+    Cascade,
+}
 
 /// Materialise one GHD bag: `π_{bag.attrs}(⋈_{i ∈ bag.atoms} atom_i)`,
 /// de-duplicated, named `bag.name`. Serial entry point — see
@@ -23,22 +47,30 @@ pub fn materialize_bag(
     materialize_bag_ctx(query, db, bag, &ExecContext::serial())
 }
 
-/// Materialise one GHD bag under an execution context: the semi-join
-/// sweeps, the left-deep hash joins and the final distinct-projection all
-/// run through the context's (possibly pooled) kernels.
-///
-/// Only the bag's own atoms are bound — binding clones the base relation
-/// per atom, so binding the whole query per bag (as earlier revisions did)
-/// multiplied that copy cost by the bag count for nothing.
-///
-/// Before joining, a round of pairwise semi-joins shrinks the atom relations
-/// (a cheap partial reducer); the join itself is a left-deep hash-join plan
-/// in the order the atoms are listed in the bag.
+/// Materialise one GHD bag under an execution context with the default
+/// (generic join) kernel.
 pub fn materialize_bag_ctx(
     query: &JoinProjectQuery,
     db: &Database,
     bag: &Bag,
     ctx: &ExecContext,
+) -> Result<Relation, JoinError> {
+    materialize_bag_kernel(query, db, bag, ctx, BagKernel::default())
+}
+
+/// Materialise one GHD bag with an explicit kernel choice. The semi-join
+/// sweep and all inner kernels run through the context's (possibly pooled)
+/// primitives; output is canonical (sorted, distinct) either way.
+///
+/// Only the bag's own atoms are bound — binding clones the base relation
+/// per atom, so binding the whole query per bag (as earlier revisions did)
+/// multiplied that copy cost by the bag count for nothing.
+pub fn materialize_bag_kernel(
+    query: &JoinProjectQuery,
+    db: &Database,
+    bag: &Bag,
+    ctx: &ExecContext,
+    kernel: BagKernel,
 ) -> Result<Relation, JoinError> {
     let mut rels: Vec<Relation> = bag
         .atoms
@@ -46,44 +78,112 @@ pub fn materialize_bag_ctx(
         .map(|&i| bind_atom(query, db, i))
         .collect::<Result<_, _>>()?;
 
-    for i in 1..rels.len() {
-        let (a, b) = rels.split_at_mut(i);
-        par_semi_join(ctx, &mut b[0], &a[i - 1])?;
-    }
-    for i in (1..rels.len()).rev() {
-        let (a, b) = rels.split_at_mut(i);
-        par_semi_join(ctx, &mut a[i - 1], &b[0])?;
-    }
+    semi_join_sweep(ctx, &mut rels)?;
 
-    let mut iter = rels.into_iter();
-    let mut acc = iter.next().expect("bags join at least one atom");
-    for next in iter {
-        acc = par_hash_join(ctx, &acc, &next, "bag_join")?;
+    match kernel {
+        BagKernel::Wcoj => wcoj_materialize(bag, &rels, ctx),
+        BagKernel::Cascade => {
+            let order = connectivity_order(&rels);
+            let mut iter = order.into_iter();
+            let mut acc = rels[iter.next().expect("bags join at least one atom")].clone();
+            for next in iter {
+                acc = par_hash_join(ctx, &acc, &rels[next], "bag_join")?;
+            }
+            let mut out = par_project_distinct(ctx, &acc, &bag.attrs)?;
+            // Canonical representation: lex-sort the distinct rows so the
+            // cascade is byte-interchangeable with the generic-join kernel.
+            let positions: Vec<usize> = (0..out.arity()).collect();
+            out.sort_by_positions(&positions);
+            out.set_name(bag.name.clone());
+            Ok(out)
+        }
     }
-    let mut out = par_project_distinct(ctx, &acc, &bag.attrs)?;
-    out.set_name(bag.name.clone());
-    Ok(out)
 }
 
-/// Materialise every bag of a GHD plan. Under a pooled context each bag is
-/// one pool task (they are independent sub-joins), and the intra-bag
-/// kernels fan out further on the same pool — the two levels compose
-/// because the pool supports nested submission. Results come back in bag
-/// order regardless of scheduling.
+/// Reduce every atom against *all* attribute-sharing partners (forward then
+/// backward pass), skipping attribute-disjoint pairs outright. The earlier
+/// sweep only paired list-adjacent atoms, which on the 6-cycle middle bags
+/// (adjacent atoms disjoint) was a pure no-op doing wasted passes.
+fn semi_join_sweep(ctx: &ExecContext, rels: &mut [Relation]) -> Result<(), JoinError> {
+    let n = rels.len();
+    let shares = |a: &Relation, b: &Relation| {
+        let av: BTreeSet<_> = a.attrs().iter().collect();
+        b.attrs().iter().any(|x| av.contains(x))
+    };
+    for i in 1..n {
+        for j in 0..i {
+            if shares(&rels[i], &rels[j]) {
+                let (a, b) = rels.split_at_mut(i);
+                par_semi_join(ctx, &mut b[0], &a[j])?;
+            }
+        }
+    }
+    for i in (0..n.saturating_sub(1)).rev() {
+        for j in i + 1..n {
+            if shares(&rels[i], &rels[j]) {
+                let (a, b) = rels.split_at_mut(j);
+                par_semi_join(ctx, &mut a[i], &b[0])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A join order that follows shared attributes greedily: start from the
+/// first atom, repeatedly append the lowest-indexed unused atom sharing an
+/// attribute with what is already joined, and only fall back to a
+/// disconnected atom (a genuine cartesian step) when no connected one is
+/// left. Deterministic by construction.
+fn connectivity_order(rels: &[Relation]) -> Vec<usize> {
+    let n = rels.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order = vec![0usize];
+    let mut used = vec![false; n];
+    used[0] = true;
+    let mut joined: BTreeSet<_> = rels[0].attrs().iter().cloned().collect();
+    while order.len() < n {
+        let next = (0..n)
+            .find(|&i| !used[i] && rels[i].attrs().iter().any(|a| joined.contains(a)))
+            .unwrap_or_else(|| (0..n).find(|&i| !used[i]).expect("some atom unused"));
+        used[next] = true;
+        joined.extend(rels[next].attrs().iter().cloned());
+        order.push(next);
+    }
+    order
+}
+
+/// Materialise every bag of a GHD plan with the default kernel.
 pub fn materialize_bags(
     query: &JoinProjectQuery,
     db: &Database,
     bags: &[Bag],
     ctx: &ExecContext,
 ) -> Result<Vec<Relation>, JoinError> {
+    materialize_bags_with(query, db, bags, ctx, BagKernel::default())
+}
+
+/// Materialise every bag of a GHD plan with an explicit kernel. Under a
+/// pooled context each bag is one pool task (they are independent
+/// sub-joins), and the intra-bag kernels fan out further on the same pool —
+/// the two levels compose because the pool supports nested submission.
+/// Results come back in bag order regardless of scheduling.
+pub fn materialize_bags_with(
+    query: &JoinProjectQuery,
+    db: &Database,
+    bags: &[Bag],
+    ctx: &ExecContext,
+    kernel: BagKernel,
+) -> Result<Vec<Relation>, JoinError> {
     if !ctx.is_parallel() {
         return bags
             .iter()
-            .map(|bag| materialize_bag_ctx(query, db, bag, ctx))
+            .map(|bag| materialize_bag_kernel(query, db, bag, ctx, kernel))
             .collect();
     }
     ctx.map(bags.len(), |i| {
-        materialize_bag_ctx(query, db, &bags[i], ctx)
+        materialize_bag_kernel(query, db, &bags[i], ctx, kernel)
     })
     .into_iter()
     .collect()
@@ -196,5 +296,55 @@ mod tests {
         // The triangle 1->2->3->1 yields 3 (x,y,z) rotations.
         assert_eq!(bag.len(), 3);
         assert_eq!(bag.arity(), 3);
+    }
+
+    #[test]
+    fn kernels_agree_byte_for_byte() {
+        let db = edge_db(&[
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+            (2, 5),
+            (5, 4),
+            (1, 4),
+            (4, 3),
+            (9, 8),
+        ]);
+        let q = QueryBuilder::new()
+            .atom("R1", "E", ["a1", "a2"])
+            .atom("R2", "E", ["a2", "a3"])
+            .atom("R3", "E", ["a3", "a4"])
+            .atom("R4", "E", ["a4", "a1"])
+            .project(["a1", "a3"])
+            .build()
+            .unwrap();
+        for plan in [GhdPlan::for_cycle(&q).unwrap(), GhdPlan::single_bag(&q)] {
+            for bag in plan.bags() {
+                let ctx = ExecContext::serial();
+                let wcoj = materialize_bag_kernel(&q, &db, bag, &ctx, BagKernel::Wcoj).unwrap();
+                let casc = materialize_bag_kernel(&q, &db, bag, &ctx, BagKernel::Cascade).unwrap();
+                assert_eq!(wcoj.attrs(), casc.attrs(), "{}", bag.name);
+                let w: Vec<Vec<u64>> = wcoj.iter().map(|t| t.to_vec()).collect();
+                let c: Vec<Vec<u64>> = casc.iter().map(|t| t.to_vec()).collect();
+                assert_eq!(w, c, "bag {} kernels diverged", bag.name);
+                // Canonical form: sorted and distinct.
+                let mut sorted = w.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(w, sorted, "bag {} not canonical", bag.name);
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_order_defers_disconnected_atoms() {
+        // Atoms listed so that 0 and 1 are attribute-disjoint: the old
+        // ascending order joined them first as a cartesian product.
+        let a = Relation::with_tuples("A", attrs(["x", "y"]), vec![vec![1u64, 2]]).unwrap();
+        let b = Relation::with_tuples("B", attrs(["z", "w"]), vec![vec![3u64, 4]]).unwrap();
+        let c = Relation::with_tuples("C", attrs(["y", "z"]), vec![vec![2u64, 3]]).unwrap();
+        let order = connectivity_order(&[a, b, c]);
+        assert_eq!(order, vec![0, 2, 1]);
     }
 }

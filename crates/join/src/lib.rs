@@ -28,8 +28,12 @@ pub mod error;
 pub mod hashjoin;
 pub mod parallel;
 pub mod reducer;
+pub mod wcoj;
 
-pub use bag::{materialize_bag, materialize_bag_ctx, materialize_bags};
+pub use bag::{
+    materialize_bag, materialize_bag_ctx, materialize_bag_kernel, materialize_bags,
+    materialize_bags_with, BagKernel,
+};
 pub use bind::{bind_atom, bind_atoms};
 pub use error::JoinError;
 pub use hashjoin::{full_join, hash_join, project_distinct, yannakakis_join};
@@ -41,3 +45,4 @@ pub use reducer::{
     full_reduce, full_reduce_ctx, full_reduce_relations, full_reduce_relations_ctx,
     reduce_then_prune, reduce_then_prune_ctx, semi_join,
 };
+pub use wcoj::wcoj_materialize;

@@ -29,7 +29,7 @@ pub mod star;
 pub mod ucq;
 
 pub use error::QueryError;
-pub use ghd::{Bag, GhdPlan};
+pub use ghd::{Bag, GhdPlan, PlanSelection};
 pub use hypergraph::Hypergraph;
 pub use join_tree::{JoinTree, JoinTreeNode};
 pub use query::{Atom, JoinProjectQuery, QueryBuilder};

@@ -131,7 +131,7 @@ impl Request {
 }
 
 /// Server-wide counters reported by the `stats` endpoint.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsReport {
     /// Sessions currently live.
     pub sessions_open: u64,
@@ -156,6 +156,10 @@ pub struct StatsReport {
     pub plan_cache_size: u64,
     /// Threads of the shared preprocessing pool (1 = serial).
     pub exec_pool_threads: u64,
+    /// Shape of the most recent GHD plan chosen for a cyclic statement,
+    /// annotated with the fallback reason when selection degraded to a
+    /// single full-materialisation bag. Empty until a cyclic query runs.
+    pub ghd_last_plan: String,
     /// Enumeration work aggregated across all workers and sessions,
     /// including the shared pool's parallel-preprocessing counters
     /// (`pool_tasks` / `pool_steals` / `pool_busy_micros`).
@@ -320,6 +324,7 @@ impl Response {
                 ("plan_cache_misses", Json::UInt(report.plan_cache_misses)),
                 ("plan_cache_size", Json::UInt(report.plan_cache_size)),
                 ("exec_pool_threads", Json::UInt(report.exec_pool_threads)),
+                ("ghd_last_plan", Json::Str(report.ghd_last_plan.clone())),
                 ("pq_pushes", Json::UInt(report.enumeration.pq_pushes)),
                 ("pq_pops", Json::UInt(report.enumeration.pq_pops)),
                 (
@@ -336,6 +341,15 @@ impl Response {
                 (
                     "frontier_peak_bytes",
                     Json::UInt(report.enumeration.frontier_peak_bytes),
+                ),
+                ("ghd_bags", Json::UInt(report.enumeration.ghd_bags)),
+                (
+                    "ghd_estimated_rows",
+                    Json::UInt(report.enumeration.ghd_estimated_rows),
+                ),
+                (
+                    "ghd_fallbacks",
+                    Json::UInt(report.enumeration.ghd_fallbacks),
                 ),
                 ("pool_tasks", Json::UInt(report.enumeration.pool_tasks)),
                 ("pool_steals", Json::UInt(report.enumeration.pool_steals)),
@@ -420,6 +434,7 @@ impl Response {
                 plan_cache_misses: u64_field("plan_cache_misses")?,
                 plan_cache_size: u64_field("plan_cache_size")?,
                 exec_pool_threads: u64_field("exec_pool_threads")?,
+                ghd_last_plan: str_field("ghd_last_plan")?,
                 enumeration: StatsSnapshot {
                     pq_pushes: u64_field("pq_pushes")?,
                     pq_pops: u64_field("pq_pops")?,
@@ -429,6 +444,9 @@ impl Response {
                     tuple_allocs: u64_field("tuple_allocs")?,
                     frontier_bytes: u64_field("frontier_bytes")?,
                     frontier_peak_bytes: u64_field("frontier_peak_bytes")?,
+                    ghd_bags: u64_field("ghd_bags")?,
+                    ghd_estimated_rows: u64_field("ghd_estimated_rows")?,
+                    ghd_fallbacks: u64_field("ghd_fallbacks")?,
                     pool_tasks: u64_field("pool_tasks")?,
                     pool_steals: u64_field("pool_steals")?,
                     pool_busy_micros: u64_field("pool_busy_micros")?,
@@ -506,6 +524,7 @@ mod tests {
                 plan_cache_misses: 6,
                 plan_cache_size: 7,
                 exec_pool_threads: 8,
+                ghd_last_plan: "cycle-split(0,3) over 6 atoms".into(),
                 enumeration: StatsSnapshot {
                     pq_pushes: 9,
                     pq_pops: 10,
@@ -515,6 +534,9 @@ mod tests {
                     tuple_allocs: 20,
                     frontier_bytes: 21,
                     frontier_peak_bytes: 22,
+                    ghd_bags: 23,
+                    ghd_estimated_rows: 24,
+                    ghd_fallbacks: 25,
                     pool_tasks: 13,
                     pool_steals: 14,
                     pool_busy_micros: 15,

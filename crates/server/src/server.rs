@@ -65,6 +65,9 @@ pub struct RankedQueryServer {
     /// Enumeration work aggregated across every worker and session.
     enum_stats: SharedStats,
     enumerators_built: AtomicU64,
+    /// Shape of the most recent GHD plan chosen for a cyclic statement
+    /// (with its fallback annotation, if any); empty until one runs.
+    ghd_last_plan: Mutex<String>,
     /// The shared preprocessing context: one machine-sized worker pool
     /// that every OPEN's full reducer and bag materialisation runs on, so
     /// concurrent sessions share the cores instead of each preprocessing
@@ -91,6 +94,7 @@ impl RankedQueryServer {
             sessions: SessionTable::with_budget(config.session_ttl, config.session_budget_bytes),
             enum_stats: SharedStats::new(),
             enumerators_built: AtomicU64::new(0),
+            ghd_last_plan: Mutex::new(String::new()),
             exec,
         })
     }
@@ -130,6 +134,11 @@ impl RankedQueryServer {
             plan_cache_misses: self.plan_cache.misses(),
             plan_cache_size: self.plan_cache.len() as u64,
             exec_pool_threads: self.exec.threads() as u64,
+            ghd_last_plan: self
+                .ghd_last_plan
+                .lock()
+                .map(|s| s.clone())
+                .unwrap_or_default(),
             enumeration,
         }
     }
@@ -272,6 +281,11 @@ impl RankedQueryServer {
         // Count the preprocessing pass towards the shared metrics right
         // away (fetch deltas continue from this snapshot).
         self.enum_stats.add(&cursor.stats_snapshot());
+        if let Some(shape) = cursor.plan_shape() {
+            if let Ok(mut last) = self.ghd_last_plan.lock() {
+                *last = shape;
+            }
+        }
         Ok((cursor, cached.algorithm.label().to_string(), hit))
     }
 }

@@ -330,6 +330,18 @@ fn union_and_cyclic_statements_report_their_algorithm() {
     let page = client.fetch(triangle.session, 100).unwrap();
     assert!(!page.rows.is_empty(), "the graph contains triangles");
 
+    // The stats endpoint surfaces the chosen GHD plan: its shape string,
+    // bag count and cost estimate, and that no fallback was needed.
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.ghd_last_plan.starts_with("cycle-"),
+        "expected a cycle-shaped plan, got `{}`",
+        stats.ghd_last_plan
+    );
+    assert!(stats.enumeration.ghd_bags >= 1);
+    assert!(stats.enumeration.ghd_estimated_rows > 0);
+    assert_eq!(stats.enumeration.ghd_fallbacks, 0);
+
     let union = client
         .query(
             "graph",

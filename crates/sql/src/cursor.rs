@@ -117,6 +117,13 @@ impl QueryCursor {
         self.stream.stats_snapshot()
     }
 
+    /// The GHD plan shape behind this cursor, when the statement needed a
+    /// decomposition (`None` for decomposition-free strategies). Carries
+    /// the fallback annotation when plan selection had to degrade.
+    pub fn plan_shape(&self) -> Option<String> {
+        self.stream.plan_shape()
+    }
+
     /// Whether the enumeration has ended (all distinct answers emitted, or
     /// the statement's `LIMIT` budget is spent).
     pub fn is_exhausted(&self) -> bool {

@@ -202,6 +202,135 @@ impl SortedIndex {
     }
 }
 
+/// A sorted implicit trie over a column subset of a relation — the
+/// multi-level sibling of [`SortedIndex`] that worst-case-optimal join
+/// kernels walk attribute-at-a-time.
+///
+/// Where [`SortedIndex`] groups rows under one fixed key, a `TrieIndex`
+/// stores the selected columns of every tuple as one flat row-major matrix,
+/// lexicographically sorted and de-duplicated. A contiguous range of its
+/// rows then represents "all tuples compatible with the bound prefix", and
+/// the two operations generic join needs are both binary searches:
+/// [`TrieIndex::narrow`] descends one level by fixing the next column to a
+/// value, and [`TrieIndex::group_at`] steps through the distinct values of
+/// the next column inside a range (each group is contiguous because the
+/// matrix is sorted).
+///
+/// The structure is self-contained (it copies the selected columns), so it
+/// probes without touching the source relation, and it is deterministic by
+/// construction: the sorted matrix depends only on the tuple *set*, never
+/// on input order or thread count.
+#[derive(Clone, Debug)]
+pub struct TrieIndex {
+    attrs: Vec<Attr>,
+    /// Row-major `[len × arity]` matrix of the selected columns,
+    /// lexicographically sorted with exact duplicates removed.
+    vals: Vec<Value>,
+}
+
+impl TrieIndex {
+    /// Build a trie over `relation`'s `attrs_in_order` columns: the order
+    /// given here is the level order enumeration will descend in.
+    pub fn build(relation: &Relation, attrs_in_order: &[Attr]) -> Result<Self, StorageError> {
+        let cols = relation.positions(attrs_in_order)?;
+        let mut rows: Vec<Tuple> = relation
+            .iter()
+            .map(|t| cols.iter().map(|&c| t[c]).collect())
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut vals = Vec::with_capacity(rows.len() * cols.len());
+        for r in &rows {
+            vals.extend_from_slice(r);
+        }
+        Ok(TrieIndex {
+            attrs: attrs_in_order.to_vec(),
+            vals,
+        })
+    }
+
+    /// The indexed attributes, in level order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Number of levels (selected columns).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of distinct sorted rows.
+    pub fn len(&self) -> usize {
+        if self.attrs.is_empty() {
+            0
+        } else {
+            self.vals.len() / self.attrs.len()
+        }
+    }
+
+    /// Whether the trie holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The root range covering every row.
+    pub fn full_range(&self) -> (usize, usize) {
+        (0, self.len())
+    }
+
+    #[inline]
+    fn at(&self, row: usize, depth: usize) -> Value {
+        self.vals[row * self.attrs.len() + depth]
+    }
+
+    /// Narrow `[lo, hi)` to the rows whose `depth` column equals `value`
+    /// (possibly empty). All rows in the input range must agree on the
+    /// columns before `depth` — the invariant the descent maintains — so
+    /// the matching rows are one contiguous block found by binary search.
+    pub fn narrow(&self, (lo, hi): (usize, usize), depth: usize, value: Value) -> (usize, usize) {
+        debug_assert!(depth < self.arity());
+        let base = lo;
+        let slice_len = hi - lo;
+        // partition_point over the range: first row with column >= value,
+        // then first row with column > value.
+        let start = base + partition_point(slice_len, |i| self.at(base + i, depth) < value);
+        let end = base + partition_point(slice_len, |i| self.at(base + i, depth) <= value);
+        (start, end)
+    }
+
+    /// The first distinct-value group at `depth` inside `[lo, hi)`: its
+    /// value and the end of its contiguous block. Iterate all groups by
+    /// restarting at the returned end. Returns `None` on an empty range.
+    pub fn group_at(&self, lo: usize, hi: usize, depth: usize) -> Option<(Value, usize)> {
+        if lo >= hi {
+            return None;
+        }
+        let value = self.at(lo, depth);
+        let end = lo + partition_point(hi - lo, |i| self.at(lo + i, depth) <= value);
+        Some((value, end))
+    }
+
+    /// Approximate bytes retained (length-based, stable across runs).
+    pub fn bytes(&self) -> usize {
+        self.vals.len() * std::mem::size_of::<Value>()
+    }
+}
+
+/// `partition_point` over an index range `0..len` for a monotone predicate.
+#[inline]
+fn partition_point(len: usize, mut pred: impl FnMut(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 /// Degree statistics of one attribute of a relation: for each value, how
 /// many tuples carry it. Used by the star-query heavy/light split
 /// (Algorithm 4) and by the bounded-degree delay analysis (Appendix D).
@@ -364,5 +493,69 @@ mod tests {
         let idx = SortedIndex::build(&r, &[]).unwrap();
         assert_eq!(idx.rows(&[]), &[0, 1, 2, 3]);
         assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn trie_index_sorts_dedups_and_reorders_columns() {
+        let r = Relation::with_tuples(
+            "T",
+            attrs(["A", "B"]),
+            vec![vec![2, 10], vec![1, 20], vec![2, 10], vec![1, 10]],
+        )
+        .unwrap();
+        // Level order B then A: rows become (10,1), (10,2), (20,1).
+        let t = TrieIndex::build(&r, &attrs(["B", "A"])).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.attrs(), &attrs(["B", "A"])[..]);
+        assert!(t.bytes() > 0);
+
+        let root = t.full_range();
+        assert_eq!(root, (0, 3));
+        let (v, end) = t.group_at(root.0, root.1, 0).unwrap();
+        assert_eq!((v, end), (10, 2));
+        let (v, end2) = t.group_at(end, root.1, 0).unwrap();
+        assert_eq!((v, end2), (20, 3));
+        assert!(t.group_at(end2, root.1, 0).is_none());
+    }
+
+    #[test]
+    fn trie_index_narrow_descends_by_binary_search() {
+        let r = Relation::with_tuples(
+            "T",
+            attrs(["A", "B"]),
+            vec![
+                vec![1, 5],
+                vec![1, 7],
+                vec![2, 5],
+                vec![2, 6],
+                vec![2, 9],
+                vec![3, 1],
+            ],
+        )
+        .unwrap();
+        let t = TrieIndex::build(&r, &attrs(["A", "B"])).unwrap();
+        let root = t.full_range();
+        let twos = t.narrow(root, 0, 2);
+        assert_eq!(twos, (2, 5));
+        // Inside A = 2, the distinct B groups are 5, 6, 9.
+        let (b, end) = t.group_at(twos.0, twos.1, 1).unwrap();
+        assert_eq!((b, end), (5, 3));
+        let (b, _) = t.group_at(end, twos.1, 1).unwrap();
+        assert_eq!(b, 6);
+        // A missing value narrows to an empty range.
+        let none = t.narrow(root, 0, 9);
+        assert_eq!(none.0, none.1);
+        assert!(t.group_at(none.0, none.1, 1).is_none());
+    }
+
+    #[test]
+    fn trie_index_handles_empty_relations() {
+        let r = Relation::new("T", attrs(["A", "B"]));
+        let t = TrieIndex::build(&r, &attrs(["A"])).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.full_range(), (0, 0));
+        assert!(t.group_at(0, 0, 0).is_none());
     }
 }

@@ -29,6 +29,6 @@ pub use attr::Attr;
 pub use database::Database;
 pub use dictionary::Dictionary;
 pub use error::StorageError;
-pub use index::{DegreeIndex, HashIndex, SortedIndex};
+pub use index::{DegreeIndex, HashIndex, SortedIndex, TrieIndex};
 pub use relation::{Relation, RelationChunk};
 pub use value::{Tuple, Value};

@@ -170,10 +170,16 @@ impl MembershipWorkload {
     }
 
     /// The `2k`-cycle query of Section 6.2.2 with its GHD plan
-    /// (`k = 2, 3, 4` → four, six, eight cycle).
+    /// (`k = 2, 3, 4` → four, six, eight cycle). The plan is chosen by the
+    /// cost model against this workload's instance — for the balanced
+    /// membership cycles that picks the two-arc split, whose bags stay
+    /// near the input size instead of the Figure-2 middle-bag blow-up —
+    /// falling back to the paper's Figure-2 template if selection fails.
     pub fn cycle(&self, k: usize) -> (QuerySpec, GhdPlan) {
         let query = cyclic::membership_cycle(&self.relation, k).expect("valid cycle query");
-        let plan = cyclic::membership_cycle_plan(&query).expect("valid cycle plan");
+        let plan = GhdPlan::cost_based(&query, &self.db)
+            .map(|sel| sel.plan)
+            .unwrap_or_else(|_| cyclic::membership_cycle_plan(&query).expect("valid cycle plan"));
         let entity_vars: Vec<String> = query
             .projection()
             .iter()

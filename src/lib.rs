@@ -99,13 +99,16 @@ pub mod scale {
 pub mod prelude {
     pub use rankedenum_core::{
         lexi_serves, select, select_ranked, top_k, AcyclicEnumerator, Algorithm, CyclicEnumerator,
-        EnumError, EnumStats, LexiEnumerator, RankedEnumerator, RankedStream, ReferenceAcyclic,
-        ReferenceLexi, SharedStats, StarEnumerator, StatsSnapshot, UnionEnumerator,
+        EnumError, EnumStats, GhdReport, LexiEnumerator, RankedEnumerator, RankedStream,
+        ReferenceAcyclic, ReferenceLexi, SharedStats, StarEnumerator, StatsSnapshot,
+        UnionEnumerator,
     };
     pub use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
     pub use re_exec::{ExecContext, PoolStats, WorkerPool};
+    pub use re_join::{materialize_bag_kernel, materialize_bags_with, BagKernel};
     pub use re_query::{
-        Atom, GhdPlan, Hypergraph, JoinProjectQuery, JoinTree, QueryBuilder, UnionQuery,
+        Atom, GhdPlan, Hypergraph, JoinProjectQuery, JoinTree, PlanSelection, QueryBuilder,
+        UnionQuery,
     };
     pub use re_ranking::{
         AvgRanking, Direction, LexRanking, MaxRanking, MinRanking, ProductRanking, Ranking,

@@ -22,6 +22,11 @@ run cargo test -q --workspace
 # part of the workspace tests, but run it explicitly so a hang or flake is
 # attributed to the right target.
 run cargo test -q -p re_server --test server_integration
+# Smoke-scrape the Prometheus metrics surface: the exposition must parse
+# (HELP/TYPE/sample lines well-formed) and the preprocessing-span and
+# OPEN/FETCH latency histograms must populate after a cyclic OPEN + FETCH,
+# both in-process and over TCP.
+run cargo test -q -p re_server --test server_integration metrics_exposition_covers_spans_latencies_and_ttfa
 # Parallel preprocessing is contractually bit-for-bit deterministic: the
 # suite compares every re_workloads query against the serial engine at
 # pool sizes 1, 2 and N. Run it under both env-forced thread counts so a
@@ -47,7 +52,10 @@ run cargo bench -q -p re_bench --bench preprocess
 # regressions of the guarded ratios against the committed baselines, on
 # the PR 1 inversion or the PR 4 small-k caveat returning, or on the
 # frontier-memory gates (strict undercut, >=2x on 3-hop, time within
-# 1.05x) breaking.
+# 1.05x) breaking. The enum bench runs the new engine through the re_obs
+# InstrumentedStream wrapper and stamps "instrumented":true, so the same
+# ratio guards double as the instrumentation-overhead gate; check_bench
+# fails if the stamp is missing.
 run cargo bench -q -p re_bench --bench lexi_vs_general
 run cargo bench -q -p re_bench --bench enum_frontier
 run cargo run -q --release -p re_bench --bin check_bench

@@ -15,16 +15,21 @@
 //!   walks its owned cells, queues and keys.
 //!
 //! Outputs are cross-checked tuple-for-tuple before any number is
-//! accepted. Results go to stdout and `BENCH_enum.json` in the repo root;
-//! `ci.sh` then runs `check_bench`, which enforces the acceptance gates
-//! (new strictly smaller frontiers, ≥2× on 3-hop, time within 1.05× of
-//! old) and fails on >25% regressions of the time and bytes ratios
-//! against the committed `BENCH_enum_baseline.json`.
+//! accepted. The new engine runs through [`InstrumentedStream`] — per-
+//! `next()` wall-clock timing, exactly what a server cursor pays — so the
+//! time ratios double as the **instrumentation-overhead gate**: `ci.sh`
+//! runs `check_bench`, which enforces the acceptance gates (new strictly
+//! smaller frontiers, ≥2× on 3-hop, time within 1.05× of old) and fails
+//! on >25% regressions of the time and bytes ratios against the committed
+//! `BENCH_enum_baseline.json`, instrumentation on.
 //!
-//! JSON schema: `{edges, cycle_edges, machine_threads, entries: [{query,
-//! k, old_ms, new_ms, old_bytes, new_bytes, new_peak_bytes}]}`.
+//! JSON schema: `{edges, cycle_edges, machine_threads, instrumented,
+//! entries: [{query, k, old_ms, new_ms, old_bytes, new_bytes,
+//! new_peak_bytes}]}`.
 
-use rankedenum_core::{AcyclicEnumerator, CyclicEnumerator, ReferenceAcyclic};
+use rankedenum_core::{
+    AcyclicEnumerator, CyclicEnumerator, InstrumentedStream, RankedStream, ReferenceAcyclic,
+};
 use re_bench::Scale;
 use re_storage::Tuple;
 use re_workloads::membership::WeightScheme;
@@ -63,15 +68,15 @@ fn best_of(
 
 fn measure_acyclic(dblp: &DblpWorkload, spec: &re_workloads::QuerySpec, k: usize) -> Entry {
     let (new_ms, from_new, new_bytes, new_peak) = best_of(ACYCLIC_SAMPLES, || {
-        let mut e = AcyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking())
-            .expect("arena build");
+        let opened_at = Instant::now();
+        let (e, phases) = re_obs::capture_phases(|| {
+            AcyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking()).expect("arena build")
+        });
+        let mut e = InstrumentedStream::new(Box::new(e), opened_at, phases);
         let answers: Vec<Tuple> = e.by_ref().take(k).collect();
-        assert_eq!(e.stats().tuple_allocs, 0, "arena hot path allocated");
-        (
-            answers,
-            e.stats().frontier_bytes,
-            e.stats().frontier_peak_bytes,
-        )
+        let snap = e.stats_snapshot();
+        assert_eq!(snap.tuple_allocs, 0, "arena hot path allocated");
+        (answers, snap.frontier_bytes, snap.frontier_peak_bytes)
     });
     let (old_ms, from_old, old_bytes, _) = best_of(ACYCLIC_SAMPLES, || {
         let mut e = ReferenceAcyclic::new(&spec.query, dblp.db(), spec.sum_ranking())
@@ -99,15 +104,16 @@ fn measure_cyclic(
     k: usize,
 ) -> Entry {
     let (new_ms, from_new, new_bytes, new_peak) = best_of(CYCLIC_SAMPLES, || {
-        let mut e = CyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking(), plan)
-            .expect("arena cyclic build");
+        let opened_at = Instant::now();
+        let (e, phases) = re_obs::capture_phases(|| {
+            CyclicEnumerator::new(&spec.query, dblp.db(), spec.sum_ranking(), plan)
+                .expect("arena cyclic build")
+        });
+        let mut e = InstrumentedStream::new(Box::new(e), opened_at, phases);
         let answers: Vec<Tuple> = e.by_ref().take(k).collect();
-        assert_eq!(e.stats().tuple_allocs, 0, "arena hot path allocated");
-        (
-            answers,
-            e.stats().frontier_bytes,
-            e.stats().frontier_peak_bytes,
-        )
+        let snap = e.stats_snapshot();
+        assert_eq!(snap.tuple_allocs, 0, "arena hot path allocated");
+        (answers, snap.frontier_bytes, snap.frontier_peak_bytes)
     });
     let (old_ms, from_old, old_bytes, _) = best_of(CYCLIC_SAMPLES, || {
         let mut e = ReferenceAcyclic::for_cyclic(&spec.query, dblp.db(), spec.sum_ranking(), plan)
@@ -174,7 +180,7 @@ fn main() {
         .collect();
     let json = format!(
         "{{\"edges\":{edges},\"cycle_edges\":{cycle_edges},\"machine_threads\":{},\
-         \"entries\":[{}]}}\n",
+         \"instrumented\":true,\"entries\":[{}]}}\n",
         re_exec::machine_threads(),
         entries_json.join(",")
     );

@@ -26,6 +26,13 @@
 //!    template + hash-join cascade, measured in the same process) by
 //!    ≥10×, and the fresh `new/old` ratio may exceed the committed
 //!    `BENCH_preprocess_baseline.json` ratio by at most 25%.
+//! 6. **Instrumentation overhead** — the fresh `BENCH_enum.json` must
+//!    carry `"instrumented":true`, i.e. the new-engine times of check 4
+//!    were measured through the `re_obs` `InstrumentedStream` wrapper
+//!    (per-`next()` wall-clock timing, global delay/TTFA histograms).
+//!    Check 4's time gates then double as the observability overhead
+//!    gate: instrumented ratios must stay within the same 25% drift
+//!    guard against the (equally instrumented) committed baseline.
 
 use std::path::Path;
 use std::process::exit;
@@ -341,6 +348,25 @@ fn check_ttf(fresh: &Ttf, baseline: &Ttf) -> Vec<String> {
     failures
 }
 
+/// Check 6: the overhead gate proves nothing unless the enum bench
+/// actually ran through the instrumentation wrapper.
+fn check_instrumented(content: &str) -> Option<String> {
+    if content.contains("\"instrumented\":true") {
+        println!(
+            "ok: BENCH_enum.json measured through InstrumentedStream — the check-4 \
+             time gates double as the instrumentation-overhead gate"
+        );
+        None
+    } else {
+        Some(
+            "fresh BENCH_enum.json lacks \"instrumented\":true — the enum bench ran \
+             without the wall-clock instrumentation wrapper, so the overhead gate \
+             proved nothing"
+                .into(),
+        )
+    }
+}
+
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let fresh = load(&root.join("BENCH_lexi.json"));
@@ -432,6 +458,11 @@ fn main() {
     let ttf_fresh = load_ttf(&root.join("BENCH_preprocess.json"));
     let ttf_baseline = load_ttf(&root.join("BENCH_preprocess_baseline.json"));
     failures.extend(check_ttf(&ttf_fresh, &ttf_baseline));
+
+    // Check 6: the fresh enum numbers must come from an instrumented run.
+    if let Ok(content) = std::fs::read_to_string(root.join("BENCH_enum.json")) {
+        failures.extend(check_instrumented(&content));
+    }
 
     if failures.is_empty() {
         println!("check_bench: all perf guards passed");
@@ -547,6 +578,13 @@ mod tests {
             failures.iter().any(|f| f.contains("ratio regressed")),
             "{failures:?}"
         );
+    }
+
+    #[test]
+    fn instrumented_flag_is_required() {
+        assert!(check_instrumented("{\"instrumented\":true,\"entries\":[]}").is_none());
+        let failure = check_instrumented("{\"entries\":[]}").unwrap();
+        assert!(failure.contains("instrumented"), "{failure}");
     }
 
     #[test]

@@ -154,6 +154,7 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         ranking: R,
         ctx: &ExecContext,
     ) -> Result<Self, EnumError> {
+        let ghd_span = re_obs::Span::enter("preprocess.ghd_select");
         let (plan, fallback) = match GhdPlan::cost_based(query, db) {
             Ok(sel) => {
                 let fallback = if sel.plan.shape() == "single-bag" {
@@ -168,6 +169,7 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
             }
             Err(e) => (GhdPlan::single_bag(query), Some(e.to_string())),
         };
+        drop(ghd_span);
         Self::build(
             query,
             db,

@@ -46,7 +46,8 @@ pub use reference::ReferenceAcyclic;
 // Re-exported so downstream layers (SQL cursors, the server) can accept an
 // execution context and size pools without depending on `re_exec` directly.
 pub use re_exec::{machine_threads, ExecContext, PoolStats, WorkerPool};
+pub use re_obs::{HistSnapshot, LocalHistogram, TimingBreakdown};
 pub use star::StarEnumerator;
 pub use stats::{EnumStats, SharedStats, StatsSnapshot};
-pub use stream::RankedStream;
+pub use stream::{InstrumentedStream, RankedStream};
 pub use union::UnionEnumerator;

@@ -208,9 +208,10 @@ impl EnumStats {
     }
 }
 
-/// A plain-counter summary of [`EnumStats`]: four `u64`s, `Copy`, trivially
-/// mergeable. Differences of snapshots are meaningful (all counters are
-/// monotone), so per-page costs can be computed as `after.diff(&before)`.
+/// A plain-counter summary of [`EnumStats`]: fourteen `u64` fields, `Copy`,
+/// trivially mergeable. Differences of snapshots are meaningful (all
+/// counters are monotone), so per-page costs can be computed as
+/// `after.diff(&before)`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Total priority-queue insertions.
@@ -260,6 +261,11 @@ impl StatsSnapshot {
     /// including the frontier byte fields, which count retained bytes and
     /// a running peak — so sums of snapshots (and of snapshot deltas)
     /// stay meaningful.
+    ///
+    /// Peak caveat (same as [`EnumStats::merge`]): the producers' peaks
+    /// need not coincide in time, so the summed `frontier_peak_bytes` is
+    /// an **upper bound** on the true peak of the combined frontier, not
+    /// an observed maximum.
     pub fn merge(&mut self, other: &StatsSnapshot) {
         self.pq_pushes += other.pq_pushes;
         self.pq_pops += other.pq_pops;

@@ -18,8 +18,11 @@ use crate::cyclic::CyclicEnumerator;
 use crate::lexi::LexiEnumerator;
 use crate::stats::StatsSnapshot;
 use crate::union::UnionEnumerator;
+use re_obs::{saturating_nanos, AtomicHistogram, LocalHistogram, TimingBreakdown};
 use re_ranking::Ranking;
 use re_storage::{Attr, Tuple};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A type-erased, thread-migratable ranked enumeration in progress.
 pub trait RankedStream: Iterator<Item = Tuple> + Send {
@@ -39,6 +42,109 @@ pub trait RankedStream: Iterator<Item = Tuple> + Send {
     /// decomposition-free strategies.
     fn plan_shape(&self) -> Option<String> {
         None
+    }
+
+    /// Wall-clock profile of this enumeration (open duration, phase
+    /// breakdown, time-to-first-answer, inter-answer delay histogram).
+    /// `None` unless the stream is wrapped in an [`InstrumentedStream`];
+    /// raw enumerators carry counters only.
+    fn timing_breakdown(&self) -> Option<TimingBreakdown> {
+        None
+    }
+}
+
+/// A [`RankedStream`] wrapper that measures wall-clock behaviour: the
+/// delay between consecutive `next()` returns (recorded both in a
+/// per-stream histogram and the global `cursor.delay_ns` aggregate) and
+/// the time from `opened_at` to the first answer (`cursor.ttfa_ns`).
+///
+/// The per-`next()` cost is two `Instant::now()` calls, one local bucket
+/// increment and one relaxed `fetch_add` — allocation-free, preserving
+/// the enumeration tripwires. The instrumentation-overhead gate in
+/// `check_bench` holds the enum benches (which run through this wrapper)
+/// to the same ratio-drift guard as uninstrumented runs.
+pub struct InstrumentedStream {
+    inner: Box<dyn RankedStream>,
+    opened_at: Instant,
+    open_nanos: u64,
+    phases: Vec<(String, u64)>,
+    answers: u64,
+    first_answer_nanos: Option<u64>,
+    delay: LocalHistogram,
+    delay_global: Arc<AtomicHistogram>,
+    ttfa_global: Arc<AtomicHistogram>,
+}
+
+impl InstrumentedStream {
+    /// Wrap a freshly opened stream. `opened_at` is the instant opening
+    /// began and `phases` the spans captured while it ran; `open_nanos`
+    /// is measured here, so call this immediately after construction.
+    pub fn new(
+        inner: Box<dyn RankedStream>,
+        opened_at: Instant,
+        phases: Vec<(String, u64)>,
+    ) -> Self {
+        let registry = re_obs::global();
+        InstrumentedStream {
+            inner,
+            opened_at,
+            open_nanos: saturating_nanos(opened_at.elapsed()),
+            phases,
+            answers: 0,
+            first_answer_nanos: None,
+            delay: LocalHistogram::new(),
+            delay_global: registry.histogram("cursor.delay_ns"),
+            ttfa_global: registry.histogram("cursor.ttfa_ns"),
+        }
+    }
+}
+
+impl Iterator for InstrumentedStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let start = Instant::now();
+        let item = self.inner.next();
+        if item.is_some() {
+            let nanos = saturating_nanos(start.elapsed());
+            self.delay.record(nanos);
+            self.delay_global.record(nanos);
+            if self.answers == 0 {
+                let ttfa = saturating_nanos(self.opened_at.elapsed());
+                self.first_answer_nanos = Some(ttfa);
+                self.ttfa_global.record(ttfa);
+            }
+            self.answers += 1;
+        }
+        item
+    }
+}
+
+impl RankedStream for InstrumentedStream {
+    fn output_attrs(&self) -> &[Attr] {
+        self.inner.output_attrs()
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        self.inner.algorithm()
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.inner.stats_snapshot()
+    }
+
+    fn plan_shape(&self) -> Option<String> {
+        self.inner.plan_shape()
+    }
+
+    fn timing_breakdown(&self) -> Option<TimingBreakdown> {
+        Some(TimingBreakdown {
+            open_nanos: self.open_nanos,
+            phases: self.phases.clone(),
+            answers: self.answers,
+            first_answer_nanos: self.first_answer_nanos,
+            delay: self.delay.snapshot(),
+        })
     }
 }
 
@@ -173,5 +279,57 @@ mod tests {
             .join()
             .unwrap();
         assert!(!rest.is_empty());
+    }
+
+    #[test]
+    fn instrumented_stream_reports_timing_without_changing_answers() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "E",
+                attrs(["s", "t"]),
+                vec![vec![1, 2], vec![2, 3], vec![2, 4]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        let opened_at = std::time::Instant::now();
+        let (raw, phases) = re_obs::capture_phases(|| {
+            RankedEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap()
+        });
+        let expected: Vec<Tuple> = RankedEnumerator::new(&q, &db, SumRanking::value_sum())
+            .unwrap()
+            .collect();
+        let mut stream = InstrumentedStream::new(Box::new(raw), opened_at, phases);
+
+        // Before the first answer: no TTFA, empty delay histogram.
+        let t0 = stream.timing_breakdown().unwrap();
+        assert_eq!(t0.answers, 0);
+        assert!(t0.first_answer_nanos.is_none());
+        assert!(t0.delay.is_empty());
+        // The 2-hop open ran the full reducer, and the capture saw it.
+        assert!(t0.phase_nanos("preprocess.reduce") > 0);
+
+        let got: Vec<Tuple> = stream.by_ref().collect();
+        assert_eq!(got, expected);
+
+        let t1 = stream.timing_breakdown().unwrap();
+        assert_eq!(t1.answers, expected.len() as u64);
+        assert_eq!(t1.delay.count(), expected.len() as u64);
+        let ttfa = t1.first_answer_nanos.unwrap();
+        // TTFA includes the open, so it can never undercut it.
+        assert!(ttfa >= t1.open_nanos);
+        // Exhausted `next()` calls after the last answer record nothing.
+        assert!(stream.next().is_none());
+        assert_eq!(
+            stream.timing_breakdown().unwrap().delay.count(),
+            t1.delay.count()
+        );
     }
 }

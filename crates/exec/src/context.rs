@@ -148,7 +148,13 @@ impl ExecContext {
         F: Fn(usize) -> T + Sync + 'env,
     {
         match &self.pool {
-            Some(pool) => pool.map_indexed(n, f),
+            Some(pool) => {
+                // Caller-side wall-clock of the fan-out: inside a
+                // `capture_phases` frame this attributes pooled time to
+                // the enclosing preprocessing phase.
+                let _span = re_obs::Span::enter("exec.pooled_run");
+                pool.map_indexed(n, f)
+            }
             None => (0..n).map(f).collect(),
         }
     }
@@ -159,7 +165,10 @@ impl ExecContext {
         F: Fn(usize) + Sync + 'env,
     {
         match &self.pool {
-            Some(pool) => pool.run_indexed(n, f),
+            Some(pool) => {
+                let _span = re_obs::Span::enter("exec.pooled_run");
+                pool.run_indexed(n, f)
+            }
             None => (0..n).for_each(f),
         }
     }

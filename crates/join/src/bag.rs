@@ -176,6 +176,7 @@ pub fn materialize_bags_with(
     ctx: &ExecContext,
     kernel: BagKernel,
 ) -> Result<Vec<Relation>, JoinError> {
+    let _span = re_obs::Span::enter("preprocess.bags");
     if !ctx.is_parallel() {
         return bags
             .iter()

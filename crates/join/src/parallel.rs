@@ -135,6 +135,7 @@ pub fn par_sorted_index(
     relation: &Relation,
     key_attrs: &[Attr],
 ) -> Result<re_storage::SortedIndex, JoinError> {
+    let _span = re_obs::Span::enter("preprocess.sorted_index");
     if !ctx.should_parallelise(relation.len()) {
         return Ok(re_storage::SortedIndex::build(relation, key_attrs)?);
     }

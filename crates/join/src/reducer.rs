@@ -57,6 +57,7 @@ pub fn full_reduce_relations_ctx(
     relations: &mut [Relation],
 ) -> Result<(), JoinError> {
     assert_eq!(tree.len(), relations.len());
+    let _span = re_obs::Span::enter("preprocess.reduce");
     let post = tree.post_order();
     // Bottom-up: parent ⋉ child.
     for &u in &post {

@@ -1,0 +1,238 @@
+//! Prometheus text-format exposition.
+//!
+//! [`render_prometheus`] turns a set of scalar metrics (counters/gauges
+//! supplied by the caller, e.g. the server's `StatsReport`) plus every
+//! histogram in a [`MetricsRegistry`] into the Prometheus text format:
+//! `# HELP` / `# TYPE` comment pairs followed by sample lines.
+//!
+//! Naming: registry names are dotted (`server.fetch_ns`,
+//! `span.preprocess.bags`); exposition sanitises them to
+//! `[a-zA-Z0-9_]` and prefixes `re_`. Histograms whose registry name
+//! starts with `span.` or ends with `_ns` hold nanoseconds and are
+//! rendered as `<name>_seconds` summaries (values divided by 1e9); all
+//! others (e.g. `server.fetch_rows`) render in their native unit.
+//! Summaries expose `quantile="0.5" / "0.9" / "0.99" / "1"` (max), plus
+//! `_sum` (bucket-midpoint approximation) and `_count`.
+
+use crate::hist::HistSnapshot;
+use crate::registry::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Scalar sample kind, mirroring the Prometheus `# TYPE` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone count.
+    Counter,
+    /// Point-in-time level.
+    Gauge,
+}
+
+/// One caller-supplied scalar sample.
+#[derive(Clone, Debug)]
+pub struct ScalarMetric {
+    /// Raw (dotted) metric name; sanitised and `re_`-prefixed on output.
+    pub name: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Map a dotted registry name onto a Prometheus metric name.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("re_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (no exponent surprises for
+/// the magnitudes we emit; integers stay integral).
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_summary(out: &mut String, base: &str, help: &str, snap: &HistSnapshot, scale: f64) {
+    let _ = writeln!(out, "# HELP {base} {help}");
+    let _ = writeln!(out, "# TYPE {base} summary");
+    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+        let v = snap.quantile(q) as f64 * scale;
+        let _ = writeln!(out, "{base}{{quantile=\"{label}\"}} {}", fmt_value(v));
+    }
+    let max = snap.max_estimate() as f64 * scale;
+    let _ = writeln!(out, "{base}{{quantile=\"1\"}} {}", fmt_value(max));
+    let _ = writeln!(out, "{base}_sum {}", fmt_value(snap.approx_sum() * scale));
+    let _ = writeln!(out, "{base}_count {}", snap.count());
+}
+
+/// Render scalars plus every registry histogram as Prometheus text.
+pub fn render_prometheus(scalars: &[ScalarMetric], registry: &MetricsRegistry) -> String {
+    let mut out = String::with_capacity(4096);
+    for m in scalars {
+        let name = sanitize_metric_name(m.name);
+        let kind = match m.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let _ = writeln!(out, "# HELP {name} {}", m.help);
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {}", fmt_value(m.value));
+    }
+    for (raw_name, snap) in registry.histograms() {
+        let is_nanos = raw_name.starts_with("span.") || raw_name.ends_with("_ns");
+        let (base, help, scale) = if is_nanos {
+            let stripped = raw_name.strip_suffix("_ns").unwrap_or(&raw_name);
+            (
+                format!("{}_seconds", sanitize_metric_name(stripped)),
+                format!("Wall-clock distribution of {raw_name} (bucket error < 12.5%)."),
+                1e-9,
+            )
+        } else {
+            (
+                sanitize_metric_name(&raw_name),
+                format!("Distribution of {raw_name} (bucket error < 12.5%)."),
+                1.0,
+            )
+        };
+        render_summary(&mut out, &base, &help, &snap, scale);
+    }
+    for (raw_name, value) in registry.counters_snapshot() {
+        let name = sanitize_metric_name(&raw_name);
+        let _ = writeln!(out, "# HELP {name} Monotone count of {raw_name}.");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out
+}
+
+/// Check that `text` is well-formed Prometheus text exposition: every
+/// line is a comment or a `name[{labels}] value` sample with a valid
+/// metric name and a parseable value. Returns the first offence.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return Err(format!("line {}: no value: {line:?}", no + 1)),
+        };
+        let name = match name_part.split_once('{') {
+            Some((name, labels)) => {
+                if !labels.ends_with('}') {
+                    return Err(format!("line {}: unterminated labels: {line:?}", no + 1));
+                }
+                name
+            }
+            None => name_part,
+        };
+        if !valid_name(name) {
+            return Err(format!("line {}: bad metric name {name:?}", no + 1));
+        }
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {}: bad value {value_part:?}", no + 1));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn scalars_render_with_type_comments() {
+        let reg = MetricsRegistry::new();
+        let text = render_prometheus(
+            &[
+                ScalarMetric {
+                    name: "sessions.open",
+                    help: "Open sessions.",
+                    kind: MetricKind::Gauge,
+                    value: 3.0,
+                },
+                ScalarMetric {
+                    name: "pq.pushes",
+                    help: "Priority-queue pushes.",
+                    kind: MetricKind::Counter,
+                    value: 12345.0,
+                },
+            ],
+            &reg,
+        );
+        assert!(text.contains("# TYPE re_sessions_open gauge\nre_sessions_open 3\n"));
+        assert!(text.contains("# TYPE re_pq_pushes counter\nre_pq_pushes 12345\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn nano_histograms_render_as_second_summaries() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("span.preprocess.bags");
+        h.record(2_000_000_000);
+        let text = render_prometheus(&[], &reg);
+        assert!(text.contains("# TYPE re_span_preprocess_bags_seconds summary"));
+        assert!(text.contains("re_span_preprocess_bags_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("re_span_preprocess_bags_seconds_count 1"));
+        // ~2s with <12.5% bucket error, reported in seconds.
+        let p50_line = text
+            .lines()
+            .find(|l| l.starts_with("re_span_preprocess_bags_seconds{quantile=\"0.5\"}"))
+            .unwrap();
+        let v: f64 = p50_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((2.0..2.3).contains(&v), "p50={v}");
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn native_unit_histograms_keep_their_name() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("server.fetch_rows").record(100);
+        let text = render_prometheus(&[], &reg);
+        assert!(text.contains("# TYPE re_server_fetch_rows summary"));
+        assert!(!text.contains("re_server_fetch_rows_seconds"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn registry_counters_render_as_counters() {
+        let reg = MetricsRegistry::new();
+        reg.counter("server.slow_queries")
+            .fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        let text = render_prometheus(&[], &reg);
+        assert!(text.contains("# TYPE re_server_slow_queries counter\nre_server_slow_queries 2\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("ok_metric 1\n").is_ok());
+        assert!(validate_exposition("ok{quantile=\"0.5\"} 0.25\n").is_ok());
+        assert!(validate_exposition("9bad_name 1\n").is_err());
+        assert!(validate_exposition("no_value\n").is_err());
+        assert!(validate_exposition("bad_value one\n").is_err());
+        assert!(validate_exposition("unterminated{quantile=\"0.5\" 1\n").is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! Lock-free log-bucketed histograms for wall-clock latencies.
+//!
+//! The recording side has to sit on enumeration hot paths — between two
+//! `next()` calls of a ranked stream — so it must be a single atomic
+//! operation: no locks, no allocation, no CAS loops. An
+//! [`AtomicHistogram`] is a fixed array of [`NUM_BUCKETS`] relaxed
+//! `AtomicU64` counters and `record` is exactly one `fetch_add` on the
+//! bucket the value falls into. Everything derived — counts, quantiles,
+//! means — is computed on the snapshot side, off the hot path.
+//!
+//! # Bucket scheme
+//!
+//! Buckets follow the HDR-histogram idea: values below `2^SUB_BITS` (= 8)
+//! get one exact bucket each; above that, every power-of-two range
+//! `[2^m, 2^(m+1))` is split into `2^SUB_BITS` equal sub-buckets. A bucket
+//! covering `[lo, hi]` therefore has width `hi - lo + 1 <= lo / 8`, so any
+//! value is bucketed with **relative error below 12.5%** (exact below 8).
+//! The whole `u64` range fits in 496 buckets — a histogram is ~4 KiB and
+//! never grows or reallocates.
+//!
+//! Quantile estimates return the *inclusive upper edge* of the bucket the
+//! requested rank falls into: for the exact rank-`r` value `x`, the
+//! estimate `e` satisfies `x <= e <= x + max(1, x/8)`. The property test
+//! in `tests/hist_properties.rs` pins this bound against exact sorted
+//! quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BITS` buckets, bounding relative bucket width by `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 3;
+
+/// Sub-buckets per power-of-two range (8).
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total buckets covering all of `u64`: 8 exact low buckets plus
+/// `(64 - SUB_BITS)` power-of-two ranges of 8 sub-buckets each.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket index a value falls into.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        // Position of the most significant set bit; >= SUB_BITS here.
+        let msb = 63 - v.leading_zeros() as usize;
+        let shift = msb - SUB_BITS as usize;
+        let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+        SUB + shift * SUB + sub
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < NUM_BUCKETS, "bucket index out of range");
+    if idx < SUB {
+        (idx as u64, idx as u64)
+    } else {
+        let shift = (idx - SUB) / SUB;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let lo = (SUB as u64 + sub) << shift;
+        let hi = lo + ((1u64 << shift) - 1);
+        (lo, hi)
+    }
+}
+
+/// A fixed-size, lock-free histogram shared between recording threads.
+///
+/// `record` is one relaxed `fetch_add`; snapshots are taken concurrently
+/// with recording and are internally consistent enough for monitoring
+/// (each bucket is read once; a racing `record` lands in either the
+/// current or the next snapshot, never nowhere).
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHistogram {
+            buckets: [ZERO; NUM_BUCKETS],
+        }
+    }
+
+    /// Record one observation. Exactly one atomic `fetch_add`; never
+    /// allocates, never blocks.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current bucket counts out for analysis.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistSnapshot { counts }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A single-threaded histogram with the same bucket scheme, for contexts
+/// that own their recording path (per-cursor delay tracking, benches).
+///
+/// Allocates its bucket array once at construction; `record` is a plain
+/// array increment.
+#[derive(Clone, Debug)]
+pub struct LocalHistogram {
+    counts: Vec<u64>,
+}
+
+impl LocalHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LocalHistogram {
+            counts: vec![0u64; NUM_BUCKETS],
+        }
+    }
+
+    /// Record one observation. A single array increment; never allocates.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+    }
+
+    /// Copy the bucket counts out.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self.counts.clone(),
+        }
+    }
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable copy of a histogram's bucket counts, with quantile and
+/// CDF estimation. Mergeable: merging snapshots from N producers gives
+/// the exact histogram of the union of their observations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            counts: vec![0u64; NUM_BUCKETS],
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Add another snapshot's observations into this one, bucket-wise.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper
+    /// edge of the bucket holding the rank-`ceil(q * count)` observation.
+    /// For the exact value `x` at that rank, the estimate `e` satisfies
+    /// `x <= e <= x + max(1, x / 8)`. Returns 0 on an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(idx).1;
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1).1
+    }
+
+    /// Upper-edge estimate of the largest recorded value (0 if empty).
+    pub fn max_estimate(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|idx| bucket_bounds(idx).1)
+            .unwrap_or(0)
+    }
+
+    /// Approximate sum of all observations, taking each at its bucket
+    /// midpoint. Exact for values below 8; within the 12.5% bucket error
+    /// above.
+    pub fn approx_sum(&self) -> f64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let (lo, hi) = bucket_bounds(idx);
+                c as f64 * ((lo as f64 + hi as f64) / 2.0)
+            })
+            .sum()
+    }
+
+    /// Fraction of observations in buckets entirely at or below the
+    /// bucket containing `v` — an upper-biased CDF estimate mirroring
+    /// `EnumStats::cdf_at`. Returns 0.0 on an empty snapshot.
+    pub fn cdf_at(&self, v: u64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let cut = bucket_of(v);
+        let below: u64 = self.counts[..=cut].iter().sum();
+        below as f64 / total as f64
+    }
+
+    /// Occupied buckets as `(lower_bound, upper_bound, count)` triples in
+    /// ascending value order, for exposition and debugging.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let (lo, hi) = bucket_bounds(idx);
+                (lo, hi, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Exhaustive low range, then boundary probes around every
+        // power-of-two edge.
+        for v in 0u64..4096 {
+            let idx = bucket_of(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} idx={idx} lo={lo} hi={hi}");
+        }
+        for m in 3..64u32 {
+            for probe in [
+                1u64 << m,
+                (1u64 << m) + 1,
+                (1u64 << m) - 1,
+                u64::MAX >> (63 - m),
+            ] {
+                let idx = bucket_of(probe);
+                let (lo, hi) = bucket_bounds(idx);
+                assert!(lo <= probe && probe <= hi);
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let mut expected_lo = 0u64;
+        for idx in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lo, "gap before bucket {idx}");
+            assert!(hi >= lo);
+            if idx + 1 < NUM_BUCKETS {
+                expected_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for idx in 8..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            let width = hi - lo;
+            assert!(
+                width <= lo / 8,
+                "bucket {idx} [{lo},{hi}] wider than 12.5% of its lower edge"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let h = AtomicHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        // Exact p50 is 50; the estimate is the upper edge of 50's bucket.
+        let p50 = s.quantile(0.5);
+        assert!((50..=56).contains(&p50), "p50={p50}");
+        let p99 = s.quantile(0.99);
+        assert!((99..=111).contains(&p99), "p99={p99}");
+        assert!(s.quantile(0.0) >= 1);
+        assert_eq!(s.quantile(1.0), s.max_estimate());
+        assert!(s.max_estimate() >= 100);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LocalHistogram::new();
+        for v in [0u64, 1, 1, 3, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.2), 0);
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(1.0), 7);
+        assert_eq!(s.max_estimate(), 7);
+        assert_eq!(s.approx_sum(), 12.0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        for v in [5u64, 100, 100_000] {
+            a.record(v);
+        }
+        for v in [5u64, 1_000_000] {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.cdf_at(5), 2.0 / 5.0);
+        assert!(merged.max_estimate() >= 1_000_000);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut h = LocalHistogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0.0;
+        for v in [0u64, 1, 9, 10, 99, 100, 10_000, u64::MAX] {
+            let c = s.cdf_at(v);
+            assert!(c >= last);
+            last = c;
+        }
+        assert_eq!(s.cdf_at(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_inert() {
+        let s = HistSnapshot::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.max_estimate(), 0);
+        assert_eq!(s.cdf_at(42), 0.0);
+        assert_eq!(s.nonzero_buckets().count(), 0);
+    }
+}

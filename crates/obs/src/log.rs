@@ -1,0 +1,244 @@
+//! Leveled JSON-lines logging to stderr.
+//!
+//! One log event is one line of JSON: fixed keys `ts_micros`, `level`,
+//! `target`, `msg`, followed by the event's structured fields. Lines go
+//! to stderr so they interleave safely with protocol traffic on stdout.
+//!
+//! The threshold comes from the `RE_LOG` environment variable, read once
+//! per process: `off`, `error`, `warn` (default), `info`, `debug`,
+//! `trace`. Formatting is only paid for events at or below the
+//! threshold; the enabled check is a relaxed atomic load.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error = 1,
+    /// Something degraded but the operation completed (slow queries land
+    /// here).
+    Warn,
+    /// Lifecycle events.
+    Info,
+    /// Detail useful when debugging.
+    Debug,
+    /// Per-item detail.
+    Trace,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Parse an `RE_LOG` value; `None` means logging is off entirely.
+fn parse_filter(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => None,
+        "error" => Some(Level::Error),
+        "" | "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        "trace" => Some(Level::Trace),
+        // An unrecognised filter fails open at the default so a typo
+        // never silences error reporting.
+        _ => Some(Level::Warn),
+    }
+}
+
+/// The active threshold: events at or above this severity are emitted.
+pub fn max_level() -> Option<Level> {
+    static FILTER: OnceLock<Option<Level>> = OnceLock::new();
+    *FILTER.get_or_init(|| match std::env::var("RE_LOG") {
+        Ok(v) => parse_filter(&v),
+        Err(_) => Some(Level::Warn),
+    })
+}
+
+/// Whether an event at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    matches!(max_level(), Some(max) if level <= max)
+}
+
+/// A structured field value. Numbers render bare, strings JSON-escaped.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldValue<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values render as `null`).
+    F64(f64),
+    /// String (escaped).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Append a JSON string literal (with quotes) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render one event as a JSON line (no trailing newline). Pure, so tests
+/// can pin the wire format without capturing stderr.
+pub fn format_event(
+    ts_micros: u64,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, FieldValue<'_>)],
+) -> String {
+    let mut out = String::with_capacity(96 + 24 * fields.len());
+    let _ = write!(
+        out,
+        "{{\"ts_micros\":{ts_micros},\"level\":\"{}\",",
+        level.as_str()
+    );
+    out.push_str("\"target\":");
+    push_json_str(&mut out, target);
+    out.push_str(",\"msg\":");
+    push_json_str(&mut out, msg);
+    for (key, value) in fields {
+        out.push(',');
+        push_json_str(&mut out, key);
+        out.push(':');
+        match value {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(_) => out.push_str("null"),
+            FieldValue::Str(s) => push_json_str(&mut out, s),
+            FieldValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Emit one structured event if `level` passes the `RE_LOG` filter.
+pub fn log_event(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue<'_>)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_micros = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let line = format_event(ts_micros, level, target, msg, fields);
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}");
+}
+
+/// [`log_event`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, FieldValue<'_>)]) {
+    log_event(Level::Warn, target, msg, fields);
+}
+
+/// [`log_event`] at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, FieldValue<'_>)]) {
+    log_event(Level::Info, target, msg, fields);
+}
+
+/// [`log_event`] at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, FieldValue<'_>)]) {
+    log_event(Level::Debug, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_is_one_json_object_per_event() {
+        let line = format_event(
+            1_700_000_000_000_000,
+            Level::Warn,
+            "re_server",
+            "slow query",
+            &[
+                ("sql", FieldValue::Str("SELECT \"x\"\nFROM t")),
+                ("open_ms", FieldValue::U64(512)),
+                ("ratio", FieldValue::F64(1.5)),
+                ("cyclic", FieldValue::Bool(true)),
+                ("delta", FieldValue::I64(-3)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"ts_micros\":1700000000000000,\"level\":\"warn\",\"target\":\"re_server\",\
+             \"msg\":\"slow query\",\"sql\":\"SELECT \\\"x\\\"\\nFROM t\",\"open_ms\":512,\
+             \"ratio\":1.5,\"cyclic\":true,\"delta\":-3}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let line = format_event(
+            0,
+            Level::Info,
+            "t",
+            "m",
+            &[("nan", FieldValue::F64(f64::NAN))],
+        );
+        assert!(line.ends_with("\"nan\":null}"));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\u{1}b\tc");
+        assert_eq!(out, "\"a\\u0001b\\tc\"");
+    }
+
+    #[test]
+    fn filter_parsing_covers_all_levels() {
+        assert_eq!(parse_filter("off"), None);
+        assert_eq!(parse_filter("ERROR"), Some(Level::Error));
+        assert_eq!(parse_filter("warn"), Some(Level::Warn));
+        assert_eq!(parse_filter("info"), Some(Level::Info));
+        assert_eq!(parse_filter("debug"), Some(Level::Debug));
+        assert_eq!(parse_filter("trace"), Some(Level::Trace));
+        // Unknown filters fail open at the default.
+        assert_eq!(parse_filter("verbose"), Some(Level::Warn));
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Trace);
+    }
+}

@@ -1,0 +1,130 @@
+//! The process-wide metrics registry.
+//!
+//! A [`MetricsRegistry`] is a named collection of [`AtomicHistogram`]s and
+//! monotone counters. Lookup by name takes a lock and may allocate, so hot
+//! paths resolve their instrument **once** (at construction or span entry)
+//! and hold the returned `Arc`; recording through the `Arc` is lock- and
+//! allocation-free.
+//!
+//! [`global()`] returns the singleton registry that spans, server op
+//! timers and cursor delay tracking all record into. Being process-wide,
+//! it is shared by every server and test in the process and is never
+//! reset — consumers must treat its contents as monotone and assert on
+//! deltas or lower bounds, exactly like `SharedStats` consumers do.
+
+use crate::hist::{AtomicHistogram, HistSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A named set of histograms and counters.
+///
+/// `BTreeMap` keeps exposition output in a stable, sorted order.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    hists: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests; production code uses [`global()`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    /// Takes a lock — call once and cache the `Arc` near hot paths.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        if let Some(h) = self.hists.read().unwrap().get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.hists.write().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicHistogram::new())),
+        )
+    }
+
+    /// The monotone counter registered under `name`, creating it on first
+    /// use. Same locking caveat as [`histogram`](Self::histogram).
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Snapshot every registered histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistSnapshot)> {
+        self.hists
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Snapshot every registered counter, sorted by name.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// The process-wide registry all instruments record into. Never resets;
+/// assert on deltas, not absolute values.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_lookup_returns_the_same_instrument() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram("x.latency_ns");
+        let b = reg.histogram("x.latency_ns");
+        a.record(7);
+        b.record(9);
+        assert_eq!(reg.histogram("x.latency_ns").snapshot().count(), 2);
+        assert_eq!(reg.histograms().len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_list_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.total").fetch_add(2, Ordering::Relaxed);
+        reg.counter("a.total").fetch_add(1, Ordering::Relaxed);
+        reg.counter("b.total").fetch_add(3, Ordering::Relaxed);
+        let counters = reg.counters_snapshot();
+        assert_eq!(
+            counters,
+            vec![("a.total".to_string(), 1), ("b.total".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let h = global().histogram("test.registry.singleton_ns");
+        h.record(1);
+        let snap = global()
+            .histograms()
+            .into_iter()
+            .find(|(n, _)| n == "test.registry.singleton_ns")
+            .map(|(_, s)| s)
+            .unwrap();
+        // Another test in the process may have recorded too: lower bound.
+        assert!(snap.count() >= 1);
+    }
+}

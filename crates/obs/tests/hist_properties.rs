@@ -1,0 +1,142 @@
+//! Histogram correctness under randomised inputs and concurrency.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Quantile error bound.** For any data set, the log-bucket quantile
+//!    estimate at rank `r` is bounded by the exact sorted rank-`r` value
+//!    `x` as `x <= estimate <= x + max(1, x/8)` — the documented
+//!    `2^-SUB_BITS` (12.5%) bucket error, exact below 8.
+//! 2. **Lossless concurrent recording.** N threads hammering `record`
+//!    while a snapshotter polls never lose or invent an observation, in
+//!    the style of `shared_stats_accumulates_across_threads`.
+
+use proptest::prelude::*;
+use re_obs::{AtomicHistogram, LocalHistogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Exact quantile with the same rank convention the histogram uses:
+/// the `ceil(q * n)`-th smallest value (1-based), clamped to `[1, n]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Log-bucket quantiles match exact sorted quantiles within the
+    /// documented bucket error, across magnitudes from 0 to ~1e12.
+    #[test]
+    fn quantile_estimates_stay_within_bucket_error(
+        small in prop::collection::vec(0u64..64, 1..80),
+        mid in prop::collection::vec(0u64..100_000, 0..80),
+        large in prop::collection::vec(0u64..1_000_000_000_000, 0..40),
+    ) {
+        let mut values = small;
+        values.extend(mid);
+        values.extend(large);
+
+        let mut hist = LocalHistogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = snap.quantile(q);
+            prop_assert!(
+                estimate >= exact,
+                "q={} estimate {} below exact {}", q, estimate, exact
+            );
+            let slack = (exact / 8).max(1);
+            prop_assert!(
+                estimate <= exact + slack,
+                "q={} estimate {} exceeds exact {} + {}", q, estimate, exact, slack
+            );
+        }
+        // max_estimate obeys the same bound on the true maximum.
+        let max = *sorted.last().unwrap();
+        prop_assert!(snap.max_estimate() >= max);
+        prop_assert!(snap.max_estimate() <= max + (max / 8).max(1));
+    }
+
+    /// Merging per-producer snapshots equals one histogram over the
+    /// concatenated observations.
+    #[test]
+    fn merge_equals_union_of_observations(
+        a in prop::collection::vec(0u64..1_000_000, 0..60),
+        b in prop::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let (ha, hb, hall) = (AtomicHistogram::new(), AtomicHistogram::new(), AtomicHistogram::new());
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, hall.snapshot());
+    }
+}
+
+/// Concurrent recorders plus a racing snapshotter: every observation
+/// lands in exactly one bucket, and in-flight snapshots are monotone
+/// prefixes of the final state.
+#[test]
+fn histogram_accumulates_across_threads() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 100_000;
+    let hist = Arc::new(AtomicHistogram::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // A polling snapshotter races the recorders; counts must only grow.
+    let poller = {
+        let hist = Arc::clone(&hist);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            let mut polls = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let now = hist.snapshot().count();
+                assert!(now >= last, "snapshot count went backwards");
+                last = now;
+                polls += 1;
+            }
+            polls
+        })
+    };
+
+    let recorders: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic mix of magnitudes, skewed like a
+                    // latency distribution.
+                    hist.record((i % 7) + ((i + t) % 97) * 1_000);
+                }
+            })
+        })
+        .collect();
+    for r in recorders {
+        r.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let polls = poller.join().unwrap();
+    assert!(polls > 0);
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    assert_eq!(snap.cdf_at(u64::MAX), 1.0);
+    // The largest recorded value is 6 + 96 * 1_000.
+    assert!(snap.max_estimate() >= 96_006);
+}

@@ -149,6 +149,15 @@ pub trait Transport {
         }
     }
 
+    /// Prometheus text-format exposition (counters, spans, latency
+    /// histograms) — the scrapeable sibling of [`stats`](Self::stats).
+    fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(Request::Metrics)? {
+            Response::Metrics { body } => Ok(body),
+            other => Err(unexpected("metrics", other)),
+        }
+    }
+
     /// The catalog listing.
     fn catalog(&mut self) -> Result<Vec<String>, ClientError> {
         match self.request(Request::Catalog)? {

@@ -52,6 +52,9 @@ pub enum Request {
     },
     /// Server-wide metrics.
     Stats,
+    /// Prometheus text-format exposition of counters, spans and latency
+    /// histograms.
+    Metrics,
     /// List the catalog.
     Catalog,
     /// Liveness check.
@@ -94,6 +97,7 @@ impl Request {
                 sql: str_field("sql")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "catalog" => Ok(Request::Catalog),
             "ping" => Ok(Request::Ping),
             other => Err(format!("unknown command `{other}`")),
@@ -123,6 +127,7 @@ impl Request {
                 ("sql", Json::Str(sql.clone())),
             ]),
             Request::Stats => obj([("cmd", Json::Str("stats".into()))]),
+            Request::Metrics => obj([("cmd", Json::Str("metrics".into()))]),
             Request::Catalog => obj([("cmd", Json::Str("catalog".into()))]),
             Request::Ping => obj([("cmd", Json::Str("ping".into()))]),
         };
@@ -142,6 +147,9 @@ pub struct StatsReport {
     /// Sessions evicted specifically to enforce the memory budget (a
     /// subset of `sessions_evicted`).
     pub sessions_evicted_budget: u64,
+    /// Sessions evicted by the idle TTL sweep (the remainder:
+    /// `sessions_evicted - sessions_evicted_budget`).
+    pub sessions_evicted_idle: u64,
     /// Configured parked-memory budget in bytes (`0` = unlimited).
     pub session_budget_bytes: u64,
     /// Frontier bytes currently retained by parked sessions.
@@ -205,6 +213,11 @@ pub enum Response {
     },
     /// Server-wide metrics.
     Stats(StatsReport),
+    /// Prometheus text-format metrics exposition.
+    Metrics {
+        /// The exposition body (`# HELP`/`# TYPE` comments and samples).
+        body: String,
+    },
     /// The catalog listing.
     Catalog {
         /// Names of the registered databases, sorted.
@@ -312,6 +325,10 @@ impl Response {
                     Json::UInt(report.sessions_evicted_budget),
                 ),
                 (
+                    "sessions_evicted_idle",
+                    Json::UInt(report.sessions_evicted_idle),
+                ),
+                (
                     "session_budget_bytes",
                     Json::UInt(report.session_budget_bytes),
                 ),
@@ -357,6 +374,11 @@ impl Response {
                     "pool_busy_micros",
                     Json::UInt(report.enumeration.pool_busy_micros),
                 ),
+            ]),
+            Response::Metrics { body } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("metrics".into())),
+                ("body", Json::Str(body.clone())),
             ]),
             Response::Catalog { databases } => obj([
                 ("ok", Json::Bool(true)),
@@ -427,6 +449,7 @@ impl Response {
                 sessions_opened: u64_field("sessions_opened")?,
                 sessions_evicted: u64_field("sessions_evicted")?,
                 sessions_evicted_budget: u64_field("sessions_evicted_budget")?,
+                sessions_evicted_idle: u64_field("sessions_evicted_idle")?,
                 session_budget_bytes: u64_field("session_budget_bytes")?,
                 session_bytes_parked: u64_field("session_bytes_parked")?,
                 enumerators_built: u64_field("enumerators_built")?,
@@ -452,6 +475,9 @@ impl Response {
                     pool_busy_micros: u64_field("pool_busy_micros")?,
                 },
             })),
+            "metrics" => Ok(Response::Metrics {
+                body: str_field("body")?,
+            }),
             "catalog" => Ok(Response::Catalog {
                 databases: strings_from_json(
                     json.get("databases").ok_or("missing `databases`")?,
@@ -485,6 +511,7 @@ mod tests {
                 sql: "SELECT DISTINCT a FROM T".into(),
             },
             Request::Stats,
+            Request::Metrics,
             Request::Catalog,
             Request::Ping,
         ] {
@@ -517,6 +544,7 @@ mod tests {
                 sessions_opened: 2,
                 sessions_evicted: 3,
                 sessions_evicted_budget: 17,
+                sessions_evicted_idle: 26,
                 session_budget_bytes: 18,
                 session_bytes_parked: 19,
                 enumerators_built: 4,
@@ -542,6 +570,9 @@ mod tests {
                     pool_busy_micros: 15,
                 },
             }),
+            Response::Metrics {
+                body: "# TYPE re_sessions_open gauge\nre_sessions_open 1\n".into(),
+            },
             Response::Catalog {
                 databases: vec!["a".into(), "b".into()],
             },

@@ -16,6 +16,7 @@ use crate::plan_cache::PlanCache;
 use crate::protocol::{Request, Response, StatsReport};
 use crate::session::SessionTable;
 use rankedenum_core::{machine_threads, ExecContext, SharedStats, WorkerPool};
+use re_obs::{saturating_nanos, AtomicHistogram, FieldValue, MetricKind, ScalarMetric};
 use re_sql::OwnedSqlExecutor;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -23,7 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables for a server instance.
 #[derive(Clone, Debug)]
@@ -43,6 +44,11 @@ pub struct ServerConfig {
     /// just-parked session is never the victim); a later `FETCH` on an
     /// evicted id reports "evicted to enforce the session memory budget".
     pub session_budget_bytes: u64,
+    /// OPENs whose preprocessing takes at least this many milliseconds
+    /// are written to the slow-query log (a `warn`-level JSON line with
+    /// the SQL, plan shape, algorithm and phase breakdown). `0` disables
+    /// the log. Defaults to 500, overridable via `RE_SLOW_QUERY_MS`.
+    pub slow_query_millis: u64,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +59,10 @@ impl Default for ServerConfig {
             plan_cache_capacity: 128,
             exec_threads: 0,
             session_budget_bytes: 0,
+            slow_query_millis: std::env::var("RE_SLOW_QUERY_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(500),
         }
     }
 }
@@ -73,6 +83,15 @@ pub struct RankedQueryServer {
     /// concurrent sessions share the cores instead of each preprocessing
     /// serially. `None` pool (exec_threads = 1) means serial preprocessing.
     exec: ExecContext,
+    /// Slow-query threshold in milliseconds (`0`: disabled).
+    slow_query_millis: u64,
+    /// Per-op latency instruments, resolved from the global registry once
+    /// so the dispatch path never takes the registry lock.
+    obs_open_ns: Arc<AtomicHistogram>,
+    obs_fetch_ns: Arc<AtomicHistogram>,
+    obs_close_ns: Arc<AtomicHistogram>,
+    obs_fetch_rows: Arc<AtomicHistogram>,
+    slow_queries: Arc<AtomicU64>,
 }
 
 impl RankedQueryServer {
@@ -88,6 +107,7 @@ impl RankedQueryServer {
         } else {
             ExecContext::pooled(WorkerPool::new(threads))
         };
+        let registry = re_obs::global();
         Arc::new(RankedQueryServer {
             catalog: Catalog::new(),
             plan_cache: PlanCache::new(config.plan_cache_capacity),
@@ -96,6 +116,12 @@ impl RankedQueryServer {
             enumerators_built: AtomicU64::new(0),
             ghd_last_plan: Mutex::new(String::new()),
             exec,
+            slow_query_millis: config.slow_query_millis,
+            obs_open_ns: registry.histogram("server.open_ns"),
+            obs_fetch_ns: registry.histogram("server.fetch_ns"),
+            obs_close_ns: registry.histogram("server.close_ns"),
+            obs_fetch_rows: registry.histogram("server.fetch_rows"),
+            slow_queries: registry.counter("server.slow_queries"),
         })
     }
 
@@ -127,6 +153,7 @@ impl RankedQueryServer {
             sessions_opened: self.sessions.opened_total(),
             sessions_evicted: self.sessions.evicted_total(),
             sessions_evicted_budget: self.sessions.evicted_budget_total(),
+            sessions_evicted_idle: self.sessions.evicted_idle_total(),
             session_budget_bytes: self.sessions.budget_bytes(),
             session_bytes_parked: self.sessions.parked_bytes(),
             enumerators_built: self.enumerators_built.load(Ordering::Relaxed),
@@ -144,9 +171,18 @@ impl RankedQueryServer {
     }
 
     /// Dispatch one request. Never panics on bad input; failures come back
-    /// as [`Response::Error`].
+    /// as [`Response::Error`]. Session-op latencies (OPEN/FETCH/CLOSE,
+    /// including error outcomes) are recorded into the
+    /// `server.{open,fetch,close}_ns` registry histograms.
     pub fn handle(&self, request: Request) -> Response {
-        match request {
+        let timer = match &request {
+            Request::Open { .. } => Some(Arc::clone(&self.obs_open_ns)),
+            Request::Fetch { .. } => Some(Arc::clone(&self.obs_fetch_ns)),
+            Request::Close { .. } => Some(Arc::clone(&self.obs_close_ns)),
+            _ => None,
+        };
+        let start = timer.as_ref().map(|_| Instant::now());
+        let response = match request {
             Request::Open { db, sql } => self.do_open(db, sql),
             Request::Fetch { session, k } => self.do_fetch(session, k),
             Request::Close { session } => Response::Closed {
@@ -154,11 +190,18 @@ impl RankedQueryServer {
             },
             Request::Query { db, sql } => self.do_query(db, sql),
             Request::Stats => Response::Stats(self.stats_report()),
+            Request::Metrics => Response::Metrics {
+                body: self.render_metrics(),
+            },
             Request::Catalog => Response::Catalog {
                 databases: self.catalog.names(),
             },
             Request::Ping => Response::Pong,
+        };
+        if let (Some(hist), Some(start)) = (timer, start) {
+            hist.record(saturating_nanos(start.elapsed()));
         }
+        response
     }
 
     /// Decode a request line, dispatch it, encode the response line.
@@ -183,6 +226,7 @@ impl RankedQueryServer {
     fn do_open(&self, db_name: String, sql: String) -> Response {
         match self.open_cursor(&db_name, &sql) {
             Ok((cursor, algorithm, plan_cached)) => {
+                self.maybe_log_slow_open(&db_name, &sql, &algorithm, &cursor);
                 let columns = cursor.columns().to_vec();
                 let session = self.sessions.insert(db_name, cursor);
                 Response::Opened {
@@ -216,7 +260,10 @@ impl RankedQueryServer {
             (rows, exhausted)
         }));
         let (rows, exhausted) = match page {
-            Ok(page) => page,
+            Ok(page) => {
+                self.obs_fetch_rows.record(page.0.len() as u64);
+                page
+            }
             Err(_) => {
                 // The cursor's internal state is suspect; drop the session.
                 self.sessions.discard(session);
@@ -287,6 +334,210 @@ impl RankedQueryServer {
             }
         }
         Ok((cursor, cached.algorithm.label().to_string(), hit))
+    }
+
+    /// Emit a slow-query log line when an OPEN's preprocessing exceeded
+    /// the configured threshold: SQL, plan shape, algorithm and the exact
+    /// per-phase breakdown captured while the cursor was built.
+    fn maybe_log_slow_open(
+        &self,
+        db_name: &str,
+        sql: &str,
+        algorithm: &str,
+        cursor: &re_sql::QueryCursor,
+    ) {
+        if self.slow_query_millis == 0 {
+            return;
+        }
+        let Some(timing) = cursor.timing() else {
+            return;
+        };
+        let open_ms = timing.open_nanos / 1_000_000;
+        if open_ms < self.slow_query_millis {
+            return;
+        }
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
+        let plan_shape = cursor.plan_shape().unwrap_or_default();
+        re_obs::log::warn(
+            "re_server",
+            "slow query open",
+            &[
+                ("db", FieldValue::Str(db_name)),
+                ("sql", FieldValue::Str(sql)),
+                ("algorithm", FieldValue::Str(algorithm)),
+                ("plan_shape", FieldValue::Str(&plan_shape)),
+                ("open_ms", FieldValue::U64(open_ms)),
+                ("phases", FieldValue::Str(&timing.phases_summary())),
+            ],
+        );
+    }
+
+    /// The Prometheus text exposition behind the `metrics` request: the
+    /// `stats` counters as scalars, then every registry histogram (spans,
+    /// op latencies, cursor delay/TTFA) and registry counter.
+    fn render_metrics(&self) -> String {
+        let report = self.stats_report();
+        let e = &report.enumeration;
+        let gauge = MetricKind::Gauge;
+        let counter = MetricKind::Counter;
+        let scalars = [
+            (
+                "sessions.open",
+                "Sessions currently live.",
+                gauge,
+                report.sessions_open,
+            ),
+            (
+                "sessions.opened",
+                "Sessions opened since start.",
+                counter,
+                report.sessions_opened,
+            ),
+            (
+                "sessions.evicted",
+                "Sessions reaped by eviction (idle TTL + memory budget).",
+                counter,
+                report.sessions_evicted,
+            ),
+            (
+                "sessions.evicted_budget",
+                "Sessions evicted to enforce the memory budget.",
+                counter,
+                report.sessions_evicted_budget,
+            ),
+            (
+                "sessions.evicted_idle",
+                "Sessions evicted by the idle TTL sweep.",
+                counter,
+                report.sessions_evicted_idle,
+            ),
+            (
+                "sessions.budget_bytes",
+                "Configured parked-memory budget (0 = unlimited).",
+                gauge,
+                report.session_budget_bytes,
+            ),
+            (
+                "sessions.bytes_parked",
+                "Frontier bytes retained by parked sessions.",
+                gauge,
+                report.session_bytes_parked,
+            ),
+            (
+                "enumerators.built",
+                "Enumerators built (preprocessing passes).",
+                counter,
+                report.enumerators_built,
+            ),
+            (
+                "plan_cache.hits",
+                "Plan-cache hits.",
+                counter,
+                report.plan_cache_hits,
+            ),
+            (
+                "plan_cache.misses",
+                "Plan-cache misses.",
+                counter,
+                report.plan_cache_misses,
+            ),
+            (
+                "plan_cache.size",
+                "Plans currently cached.",
+                gauge,
+                report.plan_cache_size,
+            ),
+            (
+                "exec.pool_threads",
+                "Threads of the shared preprocessing pool.",
+                gauge,
+                report.exec_pool_threads,
+            ),
+            (
+                "enum.pq_pushes",
+                "Priority-queue insertions.",
+                counter,
+                e.pq_pushes,
+            ),
+            ("enum.pq_pops", "Priority-queue pops.", counter, e.pq_pops),
+            (
+                "enum.cells_created",
+                "Cells allocated.",
+                counter,
+                e.cells_created,
+            ),
+            (
+                "enum.cells_reused",
+                "Memoized cells served from the memo.",
+                counter,
+                e.cells_reused,
+            ),
+            ("enum.answers", "Answers emitted.", counter, e.answers),
+            (
+                "enum.tuple_allocs",
+                "Hot-path tuple allocations (tripwire).",
+                counter,
+                e.tuple_allocs,
+            ),
+            (
+                "enum.frontier_bytes",
+                "Frontier bytes retained (monotone).",
+                counter,
+                e.frontier_bytes,
+            ),
+            (
+                "enum.frontier_peak_bytes",
+                "Summed peak frontier bytes (upper bound).",
+                counter,
+                e.frontier_peak_bytes,
+            ),
+            (
+                "enum.ghd_bags",
+                "Bags across chosen GHD plans.",
+                counter,
+                e.ghd_bags,
+            ),
+            (
+                "enum.ghd_estimated_rows",
+                "Summed AGM bag-size estimates.",
+                counter,
+                e.ghd_estimated_rows,
+            ),
+            (
+                "enum.ghd_fallbacks",
+                "GHD selections that fell back to a single bag.",
+                counter,
+                e.ghd_fallbacks,
+            ),
+            (
+                "exec.pool_tasks",
+                "Parallel-preprocessing tasks executed.",
+                counter,
+                e.pool_tasks,
+            ),
+            (
+                "exec.pool_steals",
+                "Pool tasks stolen across workers.",
+                counter,
+                e.pool_steals,
+            ),
+            (
+                "exec.pool_busy_micros",
+                "Microseconds inside pool task bodies.",
+                counter,
+                e.pool_busy_micros,
+            ),
+        ];
+        let scalars: Vec<ScalarMetric> = scalars
+            .into_iter()
+            .map(|(name, help, kind, value)| ScalarMetric {
+                name,
+                help,
+                kind,
+                value: value as f64,
+            })
+            .collect();
+        re_obs::render_prometheus(&scalars, re_obs::global())
     }
 }
 

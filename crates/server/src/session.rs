@@ -280,6 +280,15 @@ impl SessionTable {
     pub fn evicted_budget_total(&self) -> u64 {
         self.evicted_budget.load(Ordering::Relaxed)
     }
+
+    /// Sessions evicted by the idle TTL sweep: every eviction that was
+    /// not a budget eviction. Reads the two counters independently, so a
+    /// racing eviction can skew the difference by one momentarily; the
+    /// saturating subtraction keeps it from underflowing.
+    pub fn evicted_idle_total(&self) -> u64 {
+        self.evicted_total()
+            .saturating_sub(self.evicted_budget_total())
+    }
 }
 
 #[cfg(test)]

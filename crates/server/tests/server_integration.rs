@@ -228,6 +228,11 @@ fn idle_sessions_are_evicted_and_reported() {
     );
     let stats = client.stats().unwrap();
     assert_eq!(stats.sessions_evicted, 1);
+    assert_eq!(
+        stats.sessions_evicted_idle, 1,
+        "TTL reaping must be attributed to the idle counter"
+    );
+    assert_eq!(stats.sessions_evicted_budget, 0);
     assert_eq!(stats.sessions_open, 0);
 }
 
@@ -291,6 +296,10 @@ fn memory_budget_evicts_the_heaviest_idle_session_first() {
 
     let stats = client.stats().unwrap();
     assert_eq!(stats.sessions_evicted_budget, 1);
+    assert_eq!(
+        stats.sessions_evicted_idle, 0,
+        "a budget eviction must not leak into the idle counter"
+    );
     assert_eq!(stats.sessions_evicted, 1);
     assert_eq!(stats.session_budget_bytes, heavy_bytes + small_bytes + 1);
     assert_eq!(stats.sessions_open, 2);
@@ -470,4 +479,93 @@ fn catalog_updates_do_not_disturb_live_sessions() {
     let fresh = client.query("dblp", TWO_HOP).unwrap();
     assert!(!fresh.plan_cached, "replacement database must re-plan");
     assert_eq!(fresh.rows, vec![vec![7, 7]]);
+}
+
+/// The sample value of `metric` in a Prometheus exposition (0 if the
+/// metric has not been registered yet — the registry is process-global,
+/// so tests assert on deltas).
+fn sample(body: &str, metric: &str) -> f64 {
+    body.lines()
+        .find(|l| l.split(' ').next() == Some(metric))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn metrics_exposition_covers_spans_latencies_and_ttfa() {
+    // Cyclic database: a triangle query forces GHD bag materialisation,
+    // so the OPEN must populate the `preprocess.bags` span histogram.
+    let mut db = Database::new();
+    let mut rows = Vec::new();
+    for a in 0..8u64 {
+        for b in 0..8u64 {
+            if a != b {
+                rows.push(vec![a, b]);
+            }
+        }
+    }
+    db.add_relation(Relation::with_tuples("E", attrs(["s", "t"]), rows).unwrap())
+        .unwrap();
+    let triangle = "SELECT DISTINCT E1.s, E2.s FROM E AS E1, E AS E2, E AS E3 \
+                    WHERE E1.t = E2.s AND E2.t = E3.s AND E3.t = E1.s \
+                    ORDER BY E1.s + E2.s LIMIT 50";
+
+    let server = RankedQueryServer::new(ServerConfig::default());
+    server.catalog().register("g", db);
+    let mut client = LocalClient::new(Arc::clone(&server));
+
+    // The registry is process-global: measure deltas, not absolutes.
+    let before = client.metrics().unwrap();
+    re_obs::validate_exposition(&before).expect("well-formed exposition before any session");
+    let bags_before = sample(&before, "re_span_preprocess_bags_seconds_count");
+    let open_before = sample(&before, "re_server_open_seconds_count");
+    let fetch_before = sample(&before, "re_server_fetch_seconds_count");
+    let ttfa_before = sample(&before, "re_cursor_ttfa_seconds_count");
+
+    let opened = client.open("g", triangle).unwrap();
+    assert_eq!(opened.algorithm, "cyclic-ghd");
+    let after_open = client.metrics().unwrap();
+    re_obs::validate_exposition(&after_open).expect("well-formed exposition after OPEN");
+    assert!(
+        sample(&after_open, "re_span_preprocess_bags_seconds_count") >= bags_before + 1.0,
+        "a cyclic OPEN must record a preprocess.bags span"
+    );
+    assert!(sample(&after_open, "re_server_open_seconds_count") >= open_before + 1.0);
+
+    let page = client.fetch(opened.session, 5).unwrap();
+    assert!(!page.rows.is_empty());
+    let after_fetch = client.metrics().unwrap();
+    re_obs::validate_exposition(&after_fetch).expect("well-formed exposition after FETCH");
+    assert!(
+        sample(&after_fetch, "re_server_fetch_seconds_count") >= fetch_before + 1.0,
+        "a FETCH must record into the fetch-latency histogram"
+    );
+    assert!(
+        sample(&after_fetch, "re_cursor_ttfa_seconds_count") >= ttfa_before + 1.0,
+        "the first answer must record time-to-first-answer"
+    );
+
+    // The summary shape the ROADMAP's p50/p99 targets will be read from.
+    for metric in ["re_server_open_seconds", "re_server_fetch_seconds"] {
+        for quantile in ["0.5", "0.99"] {
+            let line = format!("{metric}{{quantile=\"{quantile}\"}}");
+            assert!(
+                after_fetch.lines().any(|l| l.starts_with(&line)),
+                "missing {line} in exposition"
+            );
+        }
+    }
+    // Scalar counters from the stats report ride along.
+    assert!(sample(&after_fetch, "re_sessions_opened") >= 1.0);
+    assert!(sample(&after_fetch, "re_enum_answers") >= 1.0);
+
+    // The same body arrives intact over TCP (multi-line text inside one
+    // JSON string).
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", &ServerConfig::default()).unwrap();
+    let mut tcp = TcpClient::connect(handle.addr()).unwrap();
+    let scraped = tcp.metrics().unwrap();
+    re_obs::validate_exposition(&scraped).expect("well-formed exposition over TCP");
+    assert!(scraped.contains("re_span_preprocess_bags_seconds_count"));
+    handle.shutdown();
 }

@@ -12,8 +12,8 @@
 use crate::error::SqlError;
 use crate::planner::{OrderSpec, PlannedQuery, SqlPlan};
 use rankedenum_core::{
-    lexi_serves, Algorithm, ExecContext, LexiEnumerator, RankedEnumerator, RankedStream,
-    StatsSnapshot, UnionEnumerator,
+    lexi_serves, Algorithm, ExecContext, InstrumentedStream, LexiEnumerator, RankedEnumerator,
+    RankedStream, StatsSnapshot, TimingBreakdown, UnionEnumerator,
 };
 use re_ranking::{LexRanking, Ranking, SumRanking, WeightAssignment, WeightedSumRanking};
 use re_storage::{Attr, Database, Tuple};
@@ -57,37 +57,45 @@ impl QueryCursor {
             PlannedQuery::Union(u) => u.projection().to_vec(),
         };
         let columns: Vec<String> = projection.iter().map(|a| a.as_str().to_string()).collect();
-        let stream: Box<dyn RankedStream> = match &plan.order {
-            None => open_stream(plan, db, SumRanking::new(weights.clone()), ctx)?,
-            Some(OrderSpec::Sum(attrs)) => {
-                let listed: BTreeSet<&Attr> = attrs.iter().collect();
-                let all: BTreeSet<&Attr> = projection.iter().collect();
-                if listed == all {
-                    open_stream(plan, db, SumRanking::new(weights.clone()), ctx)?
-                } else {
-                    open_stream(
-                        plan,
-                        db,
-                        WeightedSumRanking::over_attrs(attrs.clone(), weights.clone()),
-                        ctx,
-                    )?
-                }
-            }
-            Some(OrderSpec::Lex(items)) => {
-                let lex = LexRanking::with_directions(items.clone(), weights.clone());
-                let declared: Vec<Attr> = items.iter().map(|(a, _)| a.clone()).collect();
-                match &plan.query {
-                    // Lexicographic orders on acyclic single queries take
-                    // the index-backed Algorithm 3 — the fast path since
-                    // its PR 4 rebuild (no priority queues, memoized
-                    // candidate cells, cursor-bump delay).
-                    PlannedQuery::Single(q) if lexi_serves(q, &declared) => {
-                        Box::new(LexiEnumerator::new_ctx(q, db, &lex, ctx)?)
+        // Time the whole open and capture the preprocessing spans that
+        // close on this thread, so the cursor can report an exact phase
+        // breakdown (and the server a slow-query log line).
+        let opened_at = std::time::Instant::now();
+        let (stream, phases) =
+            re_obs::capture_phases(|| -> Result<Box<dyn RankedStream>, SqlError> {
+                Ok(match &plan.order {
+                    None => open_stream(plan, db, SumRanking::new(weights.clone()), ctx)?,
+                    Some(OrderSpec::Sum(attrs)) => {
+                        let listed: BTreeSet<&Attr> = attrs.iter().collect();
+                        let all: BTreeSet<&Attr> = projection.iter().collect();
+                        if listed == all {
+                            open_stream(plan, db, SumRanking::new(weights.clone()), ctx)?
+                        } else {
+                            open_stream(
+                                plan,
+                                db,
+                                WeightedSumRanking::over_attrs(attrs.clone(), weights.clone()),
+                                ctx,
+                            )?
+                        }
                     }
-                    _ => open_stream(plan, db, lex, ctx)?,
-                }
-            }
-        };
+                    Some(OrderSpec::Lex(items)) => {
+                        let lex = LexRanking::with_directions(items.clone(), weights.clone());
+                        let declared: Vec<Attr> = items.iter().map(|(a, _)| a.clone()).collect();
+                        match &plan.query {
+                            // Lexicographic orders on acyclic single queries take
+                            // the index-backed Algorithm 3 — the fast path since
+                            // its PR 4 rebuild (no priority queues, memoized
+                            // candidate cells, cursor-bump delay).
+                            PlannedQuery::Single(q) if lexi_serves(q, &declared) => {
+                                Box::new(LexiEnumerator::new_ctx(q, db, &lex, ctx)?)
+                            }
+                            _ => open_stream(plan, db, lex, ctx)?,
+                        }
+                    }
+                })
+            });
+        let stream = Box::new(InstrumentedStream::new(stream?, opened_at, phases));
         Ok(QueryCursor {
             columns,
             stream,
@@ -122,6 +130,15 @@ impl QueryCursor {
     /// the fallback annotation when plan selection had to degrade.
     pub fn plan_shape(&self) -> Option<String> {
         self.stream.plan_shape()
+    }
+
+    /// Wall-clock profile of this cursor: open duration, captured
+    /// preprocessing phases, time-to-first-answer, and the distribution
+    /// of delays between consecutive answers. Present for every cursor —
+    /// `open_ctx` wraps the stream in an
+    /// [`InstrumentedStream`](rankedenum_core::InstrumentedStream).
+    pub fn timing(&self) -> Option<TimingBreakdown> {
+        self.stream.timing_breakdown()
     }
 
     /// Whether the enumeration has ended (all distinct answers emitted, or
@@ -282,6 +299,24 @@ mod tests {
                 .unwrap()
                 .rows
         );
+    }
+
+    #[test]
+    fn cursors_carry_a_wall_clock_timing_breakdown() {
+        let db = db();
+        let mut cursor = SqlExecutor::new(&db).open(SQL).unwrap();
+        let before = cursor.timing().expect("cursors are instrumented");
+        assert!(before.open_nanos > 0);
+        assert!(before.first_answer_nanos.is_none());
+        // The acyclic open ran the full reducer on this thread.
+        assert!(before.phase_nanos("preprocess.reduce") > 0);
+
+        let page = cursor.fetch(3);
+        assert_eq!(page.len(), 3);
+        let after = cursor.timing().unwrap();
+        assert_eq!(after.answers, 3);
+        assert_eq!(after.delay.count(), 3);
+        assert!(after.first_answer_nanos.unwrap() >= after.open_nanos);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The ranked-query service end to end: start a TCP server over a shared
 //! catalog, then drive the resumable-cursor protocol from several
-//! concurrent clients — `OPEN` once, `FETCH` page by page, `CLOSE` — and
-//! read the aggregated metrics back from the stats endpoint.
+//! concurrent clients — `OPEN` once, `FETCH` page by page, `CLOSE` — then
+//! read the aggregated metrics back from the stats endpoint and scrape
+//! the Prometheus exposition (span durations, OPEN/FETCH latency
+//! quantiles, time-to-first-answer).
 //!
 //! Run with: `cargo run --release --example server_quickstart`
 //! (`RE_SCALE=0.05` shrinks the dataset for smoke tests.)
@@ -114,6 +116,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.plan_cache_hits >= 4,
         "the warmed plan served every session"
     );
+
+    // 6. The scrapeable surface: the same counters plus every wall-clock
+    //    histogram (preprocessing spans, OPEN/FETCH latencies, per-cursor
+    //    delay and time-to-first-answer) in Prometheus text format.
+    let body = client.metrics()?;
+    re_obs::validate_exposition(&body).expect("well-formed Prometheus exposition");
+    println!(
+        "metrics scrape ({} lines); latency summaries:",
+        body.lines().count()
+    );
+    for line in body.lines().filter(|l| {
+        (l.starts_with("re_server_open_seconds") || l.starts_with("re_cursor_ttfa_seconds"))
+            && (l.contains("quantile=\"0.5\"")
+                || l.contains("quantile=\"0.99\"")
+                || l.ends_with("_count")
+                || l.contains("_count "))
+    }) {
+        println!("  {line}");
+    }
+    assert!(body.contains("re_span_preprocess_reduce_seconds_count"));
 
     drop(client);
     handle.shutdown();

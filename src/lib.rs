@@ -99,9 +99,9 @@ pub mod scale {
 pub mod prelude {
     pub use rankedenum_core::{
         lexi_serves, select, select_ranked, top_k, AcyclicEnumerator, Algorithm, CyclicEnumerator,
-        EnumError, EnumStats, GhdReport, LexiEnumerator, RankedEnumerator, RankedStream,
-        ReferenceAcyclic, ReferenceLexi, SharedStats, StarEnumerator, StatsSnapshot,
-        UnionEnumerator,
+        EnumError, EnumStats, GhdReport, HistSnapshot, InstrumentedStream, LexiEnumerator,
+        LocalHistogram, RankedEnumerator, RankedStream, ReferenceAcyclic, ReferenceLexi,
+        SharedStats, StarEnumerator, StatsSnapshot, TimingBreakdown, UnionEnumerator,
     };
     pub use re_baseline::{BfsSortEngine, FullAnyKEngine, MaterializeSortEngine};
     pub use re_exec::{ExecContext, PoolStats, WorkerPool};

@@ -61,6 +61,11 @@ run cargo bench -q -p re_bench --bench enum_frontier
 run cargo run -q --release -p re_bench --bin check_bench
 # Drive the server end to end over real sockets at smoke scale.
 run env RE_SCALE=0.05 cargo run -q --release --example server_quickstart
+# EXPLAIN ANALYZE over the workload suite: per-bag AGM-estimate vs actual
+# rows on the cyclic queries, plus structural validation of the exported
+# Chrome trace (worker-attributed bag fan-out). The example exits non-zero
+# if the report or the trace fails validation.
+run env RE_SCALE=0.05 cargo run -q --release --example explain_analyze
 run cargo bench --workspace --no-run
 
 echo

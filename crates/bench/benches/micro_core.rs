@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
     for spec in [&spec2, &spec4] {
         let tree = JoinTree::build(&spec.query).unwrap();
         group.bench_function(BenchmarkId::new("full_reduce", &spec.name), |b| {
-            b.iter(|| full_reduce(&spec.query, &tree, dblp.db()).unwrap().len())
+            b.iter(|| full_reduce(&spec.query, &tree, dblp.db()).unwrap().0.len())
         });
     }
 

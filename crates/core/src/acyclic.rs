@@ -190,8 +190,12 @@ impl<R: Ranking + Clone> AcyclicEnumerator<R> {
         ctx: &ExecContext,
     ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let (pruned, reduced) = reduce_then_prune_ctx(ctx, query, tree, db)?;
-        Self::from_reduced(query.projection().to_vec(), ranking, pruned, reduced)
+        let (pruned, reduced, rstats) = reduce_then_prune_ctx(ctx, query, tree, db)?;
+        let mut built = Self::from_reduced(query.projection().to_vec(), ranking, pruned, reduced)?;
+        built
+            .stats_mut()
+            .record_reduce(rstats.passes, rstats.input_rows, rstats.output_rows);
+        Ok(built)
     }
 
     /// Build the enumerator from per-node relations that are already bound

@@ -11,7 +11,7 @@ use crate::acyclic::AcyclicEnumerator;
 use crate::error::EnumError;
 use crate::stats::EnumStats;
 use re_exec::ExecContext;
-use re_join::{materialize_bags_with, BagKernel};
+use re_join::{materialize_bags_reported, BagKernel};
 use re_query::{Atom, GhdPlan, JoinProjectQuery, JoinTree, QueryError};
 use re_ranking::Ranking;
 use re_storage::{Attr, Database, Tuple};
@@ -31,6 +31,31 @@ pub struct GhdReport {
     /// Why selection fell back to single-bag full materialisation, when
     /// it did.
     pub fallback: Option<String>,
+    /// Candidate plans compared by cost-based selection (0 when the plan
+    /// was supplied explicitly).
+    pub candidates: usize,
+    /// Per-bag build facts, in plan bag order.
+    pub bag_details: Vec<BagDetail>,
+}
+
+/// Per-bag materialisation facts: what EXPLAIN ANALYZE prints as the
+/// estimate-vs-actual line for each bag of the GHD.
+#[derive(Clone, Debug)]
+pub struct BagDetail {
+    /// Bag (and bag relation) name.
+    pub name: String,
+    /// Atoms joined inside the bag.
+    pub atoms: u64,
+    /// Attribute order the bag kernel bound, as strings.
+    pub attr_order: Vec<String>,
+    /// Rounded per-bag AGM estimate, when cost-based selection produced
+    /// one.
+    pub estimated_rows: Option<u64>,
+    /// Rows actually materialised.
+    pub actual_rows: u64,
+    /// Trie intersections the generic-join walker performed (0 for the
+    /// cascade kernel).
+    pub intersections: u64,
 }
 
 /// Ranked enumerator for (possibly) cyclic queries, driven by a GHD plan.
@@ -83,9 +108,10 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         ctx: &ExecContext,
         kernel: BagKernel,
     ) -> Result<Self, EnumError> {
-        Self::build(query, db, ranking, plan, ctx, kernel, None)
+        Self::build(query, db, ranking, plan, ctx, kernel, None, 0)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         query: &JoinProjectQuery,
         db: &Database,
@@ -94,14 +120,27 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         ctx: &ExecContext,
         kernel: BagKernel,
         fallback: Option<String>,
+        candidates: usize,
     ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
         let mut bag_db = Database::new();
         let mut atoms = Vec::with_capacity(plan.len());
         let mut bag_sizes = Vec::with_capacity(plan.len());
-        let rels = materialize_bags_with(query, db, plan.bags(), ctx, kernel)?;
-        for (bag, rel) in plan.bags().iter().zip(rels) {
+        let mut bag_details = Vec::with_capacity(plan.len());
+        let built = materialize_bags_reported(query, db, plan.bags(), ctx, kernel)?;
+        for (i, (bag, (rel, info))) in plan.bags().iter().zip(built).enumerate() {
             bag_sizes.push(rel.len());
+            bag_details.push(BagDetail {
+                name: info.name,
+                atoms: info.atoms,
+                attr_order: info.attr_order.iter().map(|a| a.to_string()).collect(),
+                estimated_rows: plan
+                    .bag_estimates()
+                    .and_then(|ests| ests.get(i))
+                    .map(|e| e.round() as u64),
+                actual_rows: info.rows,
+                intersections: info.intersections,
+            });
             atoms.push(Atom::new(
                 bag.name.clone(),
                 bag.name.clone(),
@@ -121,6 +160,8 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
             bags: plan.len(),
             estimated_rows: plan.estimated_rows().map(|e| e.round() as u64),
             fallback,
+            candidates,
+            bag_details,
         };
         let stats = inner.stats_mut();
         stats.ghd_bags = report.bags as u64;
@@ -155,7 +196,7 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
         ctx: &ExecContext,
     ) -> Result<Self, EnumError> {
         let ghd_span = re_obs::Span::enter("preprocess.ghd_select");
-        let (plan, fallback) = match GhdPlan::cost_based(query, db) {
+        let (plan, fallback, candidates) = match GhdPlan::cost_based(query, db) {
             Ok(sel) => {
                 let fallback = if sel.plan.shape() == "single-bag" {
                     Some(
@@ -165,9 +206,9 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
                 } else {
                     None
                 };
-                (sel.plan, fallback)
+                (sel.plan, fallback, sel.considered)
             }
-            Err(e) => (GhdPlan::single_bag(query), Some(e.to_string())),
+            Err(e) => (GhdPlan::single_bag(query), Some(e.to_string()), 0),
         };
         drop(ghd_span);
         Self::build(
@@ -178,6 +219,7 @@ impl<R: Ranking + Clone> CyclicEnumerator<R> {
             ctx,
             BagKernel::default(),
             fallback,
+            candidates,
         )
     }
 
@@ -348,6 +390,14 @@ mod tests {
         assert_eq!(report.bags, 2);
         assert!(report.estimated_rows.is_some());
         assert!(report.fallback.is_none());
+        assert!(report.candidates > 1, "cost-based selection compared plans");
+        assert_eq!(report.bag_details.len(), 2);
+        for (detail, &size) in report.bag_details.iter().zip(e.bag_sizes()) {
+            assert_eq!(detail.actual_rows, size as u64);
+            assert!(detail.estimated_rows.is_some());
+            assert!(detail.atoms > 0);
+            assert!(!detail.attr_order.is_empty());
+        }
         assert_eq!(e.stats().ghd_bags, 2);
         assert_eq!(e.stats().ghd_fallbacks, 0);
         assert!(e.stats().ghd_estimated_rows > 0);

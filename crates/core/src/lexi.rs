@@ -366,7 +366,8 @@ impl LexiEnumerator {
         ctx: &ExecContext,
     ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let (tree, relations) = reduce_then_prune_ctx(ctx, query, JoinTree::build(query)?, db)?;
+        let (tree, relations, rstats) =
+            reduce_then_prune_ctx(ctx, query, JoinTree::build(query)?, db)?;
         let attr_order = lex_attr_order(query, ranking);
         let output_perm = query
             .projection()
@@ -394,6 +395,8 @@ impl LexiEnumerator {
             stack: Vec::new(),
             stats: EnumStats::new(),
         };
+        this.stats
+            .record_reduce(rstats.passes, rstats.input_rows, rstats.output_rows);
         if this.relations.iter().any(|r| r.is_empty()) {
             return Ok(this); // empty join: nothing to index, nothing to emit
         }
@@ -799,7 +802,7 @@ impl ReferenceLexi {
         ranking: &LexRanking,
     ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let (tree, reduced) = reduce_then_prune(query, JoinTree::build(query)?, db)?;
+        let (tree, reduced, _) = reduce_then_prune(query, JoinTree::build(query)?, db)?;
         let attr_order = lex_attr_order(query, ranking);
         let attr_node = attr_order
             .iter()

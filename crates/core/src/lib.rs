@@ -38,7 +38,7 @@ pub mod union;
 pub use acyclic::AcyclicEnumerator;
 pub use auto::{lexi_serves, select, select_ranked, top_k, Algorithm, RankedEnumerator};
 pub use cell::{Cell, CellId, HeapEntry, NextPtr};
-pub use cyclic::{CyclicEnumerator, GhdReport};
+pub use cyclic::{BagDetail, CyclicEnumerator, GhdReport};
 pub use error::EnumError;
 pub use frontier::{CellArena, FrontierEntry, FrontierHeap, KeyInterner};
 pub use lexi::{LexiEnumerator, ReferenceLexi};

@@ -69,7 +69,7 @@ impl<R: Ranking + Clone> ReferenceAcyclic<R> {
         tree: JoinTree,
     ) -> Result<Self, EnumError> {
         query.validate_against(db)?;
-        let (pruned, reduced) = reduce_then_prune_ctx(&ExecContext::serial(), query, tree, db)?;
+        let (pruned, reduced, _) = reduce_then_prune_ctx(&ExecContext::serial(), query, tree, db)?;
         Self::from_reduced(query.projection().to_vec(), ranking, pruned, reduced)
     }
 

@@ -78,7 +78,7 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
         // Dangling-free atom relations (node index == atom index because the
         // tree is not pruned).
         let tree = JoinTree::build(query)?;
-        let reduced = full_reduce_ctx(ctx, query, &tree, db)?;
+        let (reduced, rstats) = full_reduce_ctx(ctx, query, &tree, db)?;
         let empty = reduced.iter().any(|r| r.is_empty());
 
         // Heavy/light split per atom, on the atom's leaf attribute(s).
@@ -173,6 +173,7 @@ impl<R: Ranking + Clone> StarEnumerator<R> {
         }
 
         let mut stats = EnumStats::new();
+        stats.record_reduce(rstats.passes, rstats.input_rows, rstats.output_rows);
         // The materialised all-heavy output is part of this enumerator's
         // parked footprint, alongside the sub-enumerators' frontiers
         // (accounted in their own stats).

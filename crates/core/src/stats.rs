@@ -65,6 +65,14 @@ pub struct EnumStats {
     /// Times GHD selection fell back to single-bag full materialisation
     /// because no decomposition applied (the reason travels separately).
     pub ghd_fallbacks: u64,
+    /// Semi-join passes executed by the preprocessing full reducer.
+    pub reduce_passes: u64,
+    /// Rows entering full-reducer passes, summed over passes.
+    pub reduce_input_rows: u64,
+    /// Rows surviving full-reducer passes, summed over passes. The
+    /// difference to [`EnumStats::reduce_input_rows`] is the dangling
+    /// tuples the reducer filtered.
+    pub reduce_output_rows: u64,
     /// Priority-queue operations (pushes + pops) spent between consecutive
     /// answers; one entry per emitted answer.
     pub ops_per_answer: Vec<u64>,
@@ -116,6 +124,14 @@ impl EnumStats {
     /// (tripwire; see [`EnumStats::tuple_allocs`]).
     pub fn record_tuple_allocs(&mut self, n: u64) {
         self.tuple_allocs += n;
+    }
+
+    /// Record the preprocessing full reducer's per-operator totals:
+    /// semi-join `passes` run, rows entering them and rows surviving.
+    pub fn record_reduce(&mut self, passes: u64, input_rows: u64, output_rows: u64) {
+        self.reduce_passes += passes;
+        self.reduce_input_rows += input_rows;
+        self.reduce_output_rows += output_rows;
     }
 
     /// Record frontier growth: `retained` freshly reserved bytes and
@@ -183,6 +199,9 @@ impl EnumStats {
         self.ghd_bags += other.ghd_bags;
         self.ghd_estimated_rows += other.ghd_estimated_rows;
         self.ghd_fallbacks += other.ghd_fallbacks;
+        self.reduce_passes += other.reduce_passes;
+        self.reduce_input_rows += other.reduce_input_rows;
+        self.reduce_output_rows += other.reduce_output_rows;
         // answers / histogram are tracked by the composite itself
     }
 
@@ -203,12 +222,15 @@ impl EnumStats {
             ghd_bags: self.ghd_bags,
             ghd_estimated_rows: self.ghd_estimated_rows,
             ghd_fallbacks: self.ghd_fallbacks,
+            reduce_passes: self.reduce_passes,
+            reduce_input_rows: self.reduce_input_rows,
+            reduce_output_rows: self.reduce_output_rows,
             ..StatsSnapshot::zero()
         }
     }
 }
 
-/// A plain-counter summary of [`EnumStats`]: fourteen `u64` fields, `Copy`,
+/// A plain-counter summary of [`EnumStats`]: seventeen `u64` fields, `Copy`,
 /// trivially mergeable. Differences of snapshots are meaningful (all
 /// counters are monotone), so per-page costs can be computed as
 /// `after.diff(&before)`.
@@ -241,6 +263,12 @@ pub struct StatsSnapshot {
     pub ghd_estimated_rows: u64,
     /// GHD selections that fell back to single-bag full materialisation.
     pub ghd_fallbacks: u64,
+    /// Semi-join passes executed by the preprocessing full reducer.
+    pub reduce_passes: u64,
+    /// Rows entering full-reducer passes, summed over passes.
+    pub reduce_input_rows: u64,
+    /// Rows surviving full-reducer passes, summed over passes.
+    pub reduce_output_rows: u64,
     /// Parallel-preprocessing tasks executed on the worker pool (morsels,
     /// radix partitions and bags — see `re_exec::PoolStats`).
     pub pool_tasks: u64,
@@ -278,6 +306,9 @@ impl StatsSnapshot {
         self.ghd_bags += other.ghd_bags;
         self.ghd_estimated_rows += other.ghd_estimated_rows;
         self.ghd_fallbacks += other.ghd_fallbacks;
+        self.reduce_passes += other.reduce_passes;
+        self.reduce_input_rows += other.reduce_input_rows;
+        self.reduce_output_rows += other.reduce_output_rows;
         self.pool_tasks += other.pool_tasks;
         self.pool_steals += other.pool_steals;
         self.pool_busy_micros += other.pool_busy_micros;
@@ -303,6 +334,13 @@ impl StatsSnapshot {
                 .ghd_estimated_rows
                 .saturating_sub(earlier.ghd_estimated_rows),
             ghd_fallbacks: self.ghd_fallbacks.saturating_sub(earlier.ghd_fallbacks),
+            reduce_passes: self.reduce_passes.saturating_sub(earlier.reduce_passes),
+            reduce_input_rows: self
+                .reduce_input_rows
+                .saturating_sub(earlier.reduce_input_rows),
+            reduce_output_rows: self
+                .reduce_output_rows
+                .saturating_sub(earlier.reduce_output_rows),
             pool_tasks: self.pool_tasks.saturating_sub(earlier.pool_tasks),
             pool_steals: self.pool_steals.saturating_sub(earlier.pool_steals),
             pool_busy_micros: self
@@ -334,6 +372,9 @@ pub struct SharedStats {
     ghd_bags: AtomicU64,
     ghd_estimated_rows: AtomicU64,
     ghd_fallbacks: AtomicU64,
+    reduce_passes: AtomicU64,
+    reduce_input_rows: AtomicU64,
+    reduce_output_rows: AtomicU64,
     pool_tasks: AtomicU64,
     pool_steals: AtomicU64,
     pool_busy_micros: AtomicU64,
@@ -366,6 +407,12 @@ impl SharedStats {
             .fetch_add(delta.ghd_estimated_rows, Ordering::Relaxed);
         self.ghd_fallbacks
             .fetch_add(delta.ghd_fallbacks, Ordering::Relaxed);
+        self.reduce_passes
+            .fetch_add(delta.reduce_passes, Ordering::Relaxed);
+        self.reduce_input_rows
+            .fetch_add(delta.reduce_input_rows, Ordering::Relaxed);
+        self.reduce_output_rows
+            .fetch_add(delta.reduce_output_rows, Ordering::Relaxed);
         self.pool_tasks
             .fetch_add(delta.pool_tasks, Ordering::Relaxed);
         self.pool_steals
@@ -388,6 +435,9 @@ impl SharedStats {
             ghd_bags: self.ghd_bags.load(Ordering::Relaxed),
             ghd_estimated_rows: self.ghd_estimated_rows.load(Ordering::Relaxed),
             ghd_fallbacks: self.ghd_fallbacks.load(Ordering::Relaxed),
+            reduce_passes: self.reduce_passes.load(Ordering::Relaxed),
+            reduce_input_rows: self.reduce_input_rows.load(Ordering::Relaxed),
+            reduce_output_rows: self.reduce_output_rows.load(Ordering::Relaxed),
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             pool_steals: self.pool_steals.load(Ordering::Relaxed),
             pool_busy_micros: self.pool_busy_micros.load(Ordering::Relaxed),
@@ -512,6 +562,9 @@ mod tests {
                             ghd_bags: 2,
                             ghd_estimated_rows: 12,
                             ghd_fallbacks: 1,
+                            reduce_passes: 13,
+                            reduce_input_rows: 14,
+                            reduce_output_rows: 15,
                             pool_tasks: 5,
                             pool_steals: 6,
                             pool_busy_micros: 7,
@@ -532,6 +585,9 @@ mod tests {
         assert_eq!(total.ghd_bags, 800);
         assert_eq!(total.ghd_estimated_rows, 4800);
         assert_eq!(total.ghd_fallbacks, 400);
+        assert_eq!(total.reduce_passes, 5200);
+        assert_eq!(total.reduce_input_rows, 5600);
+        assert_eq!(total.reduce_output_rows, 6000);
         assert_eq!(total.pool_tasks, 2000);
         assert_eq!(total.pool_steals, 2400);
         assert_eq!(total.pool_busy_micros, 2800);

@@ -14,7 +14,7 @@
 
 use crate::acyclic::AcyclicEnumerator;
 use crate::auto::{Algorithm, RankedEnumerator};
-use crate::cyclic::CyclicEnumerator;
+use crate::cyclic::{CyclicEnumerator, GhdReport};
 use crate::lexi::LexiEnumerator;
 use crate::stats::StatsSnapshot;
 use crate::union::UnionEnumerator;
@@ -49,6 +49,13 @@ pub trait RankedStream: Iterator<Item = Tuple> + Send {
     /// `None` unless the stream is wrapped in an [`InstrumentedStream`];
     /// raw enumerators carry counters only.
     fn timing_breakdown(&self) -> Option<TimingBreakdown> {
+        None
+    }
+
+    /// The full GHD selection report (candidates compared, per-bag
+    /// estimate-vs-actual details) when the query ran through a
+    /// decomposition. `None` for decomposition-free strategies.
+    fn ghd_report(&self) -> Option<GhdReport> {
         None
     }
 }
@@ -137,6 +144,10 @@ impl RankedStream for InstrumentedStream {
         self.inner.plan_shape()
     }
 
+    fn ghd_report(&self) -> Option<GhdReport> {
+        self.inner.ghd_report()
+    }
+
     fn timing_breakdown(&self) -> Option<TimingBreakdown> {
         Some(TimingBreakdown {
             open_nanos: self.open_nanos,
@@ -182,6 +193,10 @@ impl<R: Ranking + Clone> RankedStream for CyclicEnumerator<R> {
             None => report.shape.clone(),
         })
     }
+
+    fn ghd_report(&self) -> Option<GhdReport> {
+        Some(self.plan_report().clone())
+    }
 }
 
 impl<R: Ranking + Clone> RankedStream for RankedEnumerator<R> {
@@ -201,6 +216,13 @@ impl<R: Ranking + Clone> RankedStream for RankedEnumerator<R> {
         match self {
             RankedEnumerator::Acyclic(_) => None,
             RankedEnumerator::Cyclic(c) => RankedStream::plan_shape(c),
+        }
+    }
+
+    fn ghd_report(&self) -> Option<GhdReport> {
+        match self {
+            RankedEnumerator::Acyclic(_) => None,
+            RankedEnumerator::Cyclic(c) => RankedStream::ghd_report(c),
         }
     }
 }

@@ -7,7 +7,8 @@
 //! index**, which is what makes every parallel kernel produce output
 //! identical to its serial counterpart at any thread count.
 
-use crate::pool::{default_thread_count, PoolStats, WorkerPool};
+use crate::pool::{current_worker, default_thread_count, PoolStats, WorkerPool, WorkerStat};
+use re_obs::trace;
 use std::sync::{Arc, OnceLock};
 
 /// Default number of tuples per morsel. Large enough that per-task
@@ -139,9 +140,24 @@ impl ExecContext {
             .map_or_else(PoolStats::default, |p| p.stats())
     }
 
+    /// Per-worker pool counters (empty for a serial context). One entry
+    /// per worker plus a trailing caller slot — see
+    /// [`WorkerPool::worker_stats`].
+    pub fn worker_stats(&self) -> Vec<WorkerStat> {
+        self.pool
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.worker_stats())
+    }
+
     /// Evaluate `f(0), ..., f(n - 1)` — on the pool when present, inline
     /// otherwise — and return the results in index order. The index-ordered
     /// merge is the determinism contract: callers never observe scheduling.
+    ///
+    /// When the submitting thread has an active trace, it is re-installed
+    /// inside every task and each task runs under an `exec.task` span
+    /// stamped with its index and the worker lane that executed it — a
+    /// pooled fan-out therefore shows up in the trace as sibling spans on
+    /// per-worker tracks. Untraced runs skip all of this.
     pub fn map<'env, T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send + 'env,
@@ -153,13 +169,21 @@ impl ExecContext {
                 // `capture_phases` frame this attributes pooled time to
                 // the enclosing preprocessing phase.
                 let _span = re_obs::Span::enter("exec.pooled_run");
-                pool.map_indexed(n, f)
+                match trace::current() {
+                    Some((ctx, parent)) => pool.map_indexed(n, move |i| {
+                        let _g = trace::install(&ctx, parent);
+                        let _task = task_span(i);
+                        f(i)
+                    }),
+                    None => pool.map_indexed(n, f),
+                }
             }
             None => (0..n).map(f).collect(),
         }
     }
 
-    /// Run `f(0), ..., f(n - 1)` for effect (pooled or inline).
+    /// Run `f(0), ..., f(n - 1)` for effect (pooled or inline). Same trace
+    /// propagation as [`ExecContext::map`].
     pub fn run<'env, F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync + 'env,
@@ -167,11 +191,29 @@ impl ExecContext {
         match &self.pool {
             Some(pool) => {
                 let _span = re_obs::Span::enter("exec.pooled_run");
-                pool.run_indexed(n, f)
+                match trace::current() {
+                    Some((ctx, parent)) => pool.run_indexed(n, move |i| {
+                        let _g = trace::install(&ctx, parent);
+                        let _task = task_span(i);
+                        f(i)
+                    }),
+                    None => pool.run_indexed(n, f),
+                }
             }
             None => (0..n).for_each(f),
         }
     }
+}
+
+/// An `exec.task` trace span for pooled task `i`, lane-stamped with the
+/// worker that picked the task up.
+fn task_span(i: usize) -> Option<re_obs::trace::SpanGuard> {
+    let mut span = trace::child_span("exec.task")?;
+    span.set_attr("task", re_obs::AttrValue::U64(i as u64));
+    if let Some(worker) = current_worker() {
+        span.set_lane(worker as u32);
+    }
+    Some(span)
 }
 
 /// The machine's available parallelism (re-exported for sizing configs).
@@ -201,6 +243,29 @@ mod tests {
         assert!(!ctx.should_parallelise(99));
         assert!(ctx.should_parallelise(100));
         assert!(!ExecContext::serial().should_parallelise(1 << 30));
+    }
+
+    #[test]
+    fn pooled_map_propagates_the_active_trace() {
+        let ctx = ExecContext::with_threads(2);
+        let tctx = re_obs::TraceCtx::new("fanout");
+        {
+            let _g = trace::install(&tctx, 0);
+            let out = ctx.map(8, |i| i * 2);
+            assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        }
+        let trace = tctx.finish();
+        let tasks: Vec<_> = trace.spans_named("exec.task").collect();
+        assert_eq!(tasks.len(), 8, "one span per task");
+        let mut indices: Vec<u64> = tasks
+            .iter()
+            .filter_map(|s| match s.attrs.first() {
+                Some((k, re_obs::AttrValue::U64(v))) if k == "task" => Some(*v),
+                _ => None,
+            })
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..8).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub mod pool;
 pub use context::{
     machine_threads, ExecContext, DEFAULT_MIN_PAR_ROWS, DEFAULT_MORSEL_ROWS, THREADS_ENV,
 };
-pub use pool::{default_thread_count, PoolStats, WorkerPool};
+pub use pool::{current_worker, default_thread_count, PoolStats, WorkerPool, WorkerStat};

@@ -54,6 +54,41 @@ impl PoolStats {
     }
 }
 
+/// Per-worker slice of [`PoolStats`]: one entry per pool worker, plus a
+/// final entry for caller threads helping a batch to completion. Skew
+/// across entries is the signal — a pool where one worker carries most of
+/// the busy time has a partitioning problem the aggregate hides.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Tasks this worker executed to completion.
+    pub tasks_executed: u64,
+    /// Tasks this worker took from another worker's deque.
+    pub tasks_stolen: u64,
+    /// Wall-clock time this worker spent inside task bodies, in
+    /// microseconds (exclusive per task, as in [`PoolStats`]).
+    pub busy_micros: u64,
+}
+
+/// Per-worker atomic counters (one set per worker plus the caller slot).
+#[derive(Default)]
+struct WorkerCounters {
+    tasks_executed: AtomicU64,
+    tasks_stolen: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+thread_local! {
+    /// The pool worker index of this thread (`None` on non-pool threads,
+    /// including callers helping a batch).
+    static WORKER: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The pool worker index of the current thread, if it is a pool worker.
+/// Trace consumers use this to stamp spans with the lane that ran them.
+pub fn current_worker() -> Option<usize> {
+    WORKER.with(|w| w.get())
+}
+
 /// State shared between the pool handle, its workers and helping callers.
 struct Shared {
     /// One deque per worker; external submissions round-robin over them.
@@ -72,6 +107,9 @@ struct Shared {
     tasks_executed: AtomicU64,
     tasks_stolen: AtomicU64,
     busy_nanos: AtomicU64,
+    /// One counter set per worker, plus a trailing slot aggregating every
+    /// helping caller thread.
+    per_worker: Vec<WorkerCounters>,
 }
 
 impl Shared {
@@ -116,6 +154,9 @@ impl Shared {
     }
 
     fn execute(&self, task: Task, stolen: bool) {
+        // Attribute to the executing worker's counter slot; helping
+        // callers (not pool threads) share the trailing slot.
+        let slot = &self.per_worker[current_worker().unwrap_or(self.queues.len())];
         // Busy time is *exclusive* per task: a task that helps with nested
         // tasks while it waits (the bag → morsel pattern) must not count
         // their wall time again — each nested `execute` reports its own
@@ -126,13 +167,16 @@ impl Shared {
             task();
             let wall = start.elapsed().as_nanos() as u64;
             let inner = cell.get();
-            self.busy_nanos
-                .fetch_add(wall.saturating_sub(inner), Ordering::Relaxed);
+            let exclusive = wall.saturating_sub(inner);
+            self.busy_nanos.fetch_add(exclusive, Ordering::Relaxed);
+            slot.busy_nanos.fetch_add(exclusive, Ordering::Relaxed);
             cell.set(saved + wall);
         });
         self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        slot.tasks_executed.fetch_add(1, Ordering::Relaxed);
         if stolen {
             self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+            slot.tasks_stolen.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -182,6 +226,7 @@ impl WorkerPool {
             tasks_executed: AtomicU64::new(0),
             tasks_stolen: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            per_worker: (0..=threads).map(|_| WorkerCounters::default()).collect(),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -212,6 +257,22 @@ impl WorkerPool {
             tasks_stolen: self.shared.tasks_stolen.load(Ordering::Relaxed),
             busy_micros: self.shared.busy_nanos.load(Ordering::Relaxed) / 1_000,
         }
+    }
+
+    /// Per-worker counter totals: one entry per worker thread, plus a
+    /// final entry aggregating caller threads that helped batches to
+    /// completion. Entries sum to [`WorkerPool::stats`] (up to the
+    /// nanos→micros rounding done per slot).
+    pub fn worker_stats(&self) -> Vec<WorkerStat> {
+        self.shared
+            .per_worker
+            .iter()
+            .map(|c| WorkerStat {
+                tasks_executed: c.tasks_executed.load(Ordering::Relaxed),
+                tasks_stolen: c.tasks_stolen.load(Ordering::Relaxed),
+                busy_micros: c.busy_nanos.load(Ordering::Relaxed) / 1_000,
+            })
+            .collect()
     }
 
     /// Execute `f(0), f(1), ..., f(n - 1)` on the pool and block until all
@@ -321,6 +382,7 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared, home: usize) {
+    WORKER.with(|w| w.set(Some(home)));
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -386,6 +448,39 @@ mod tests {
         assert!(stats.tasks_stolen <= stats.tasks_executed);
         let again = pool.stats();
         assert_eq!(again.diff(&stats), PoolStats::default());
+    }
+
+    #[test]
+    fn per_worker_stats_sum_to_the_aggregate() {
+        let pool = WorkerPool::new(3);
+        pool.run_indexed(64, |_| {
+            std::hint::black_box(0u64);
+        });
+        let total = pool.stats();
+        let per = pool.worker_stats();
+        assert_eq!(per.len(), 4, "3 workers + the caller slot");
+        assert_eq!(
+            per.iter().map(|w| w.tasks_executed).sum::<u64>(),
+            total.tasks_executed
+        );
+        assert_eq!(
+            per.iter().map(|w| w.tasks_stolen).sum::<u64>(),
+            total.tasks_stolen
+        );
+    }
+
+    #[test]
+    fn workers_know_their_index() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(current_worker(), None, "callers are not workers");
+        let seen: Vec<Option<usize>> = pool.map_indexed(16, |_| {
+            // Let siblings steal so multiple workers participate.
+            std::thread::sleep(Duration::from_micros(200));
+            current_worker()
+        });
+        for w in seen.into_iter().flatten() {
+            assert!(w < 2);
+        }
     }
 
     #[test]

@@ -20,10 +20,10 @@
 use crate::bind::bind_atom;
 use crate::error::JoinError;
 use crate::parallel::{par_hash_join, par_project_distinct, par_semi_join};
-use crate::wcoj::wcoj_materialize;
+use crate::wcoj::{wcoj_materialize_reported, WcojReport};
 use re_exec::ExecContext;
 use re_query::{Bag, JoinProjectQuery};
-use re_storage::{Database, Relation};
+use re_storage::{Attr, Database, Relation};
 use std::collections::BTreeSet;
 
 /// Which kernel materialises a bag.
@@ -58,6 +58,24 @@ pub fn materialize_bag_ctx(
     materialize_bag_kernel(query, db, bag, ctx, BagKernel::default())
 }
 
+/// Per-operator report of one bag materialisation: what EXPLAIN ANALYZE
+/// prints next to the bag's AGM estimate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BagBuildInfo {
+    /// The bag's name.
+    pub name: String,
+    /// Atoms joined into the bag.
+    pub atoms: u64,
+    /// The attribute order the kernel bound (generic join's global order;
+    /// the cascade reports the bag's output attributes).
+    pub attr_order: Vec<Attr>,
+    /// Rows actually materialised (distinct rows over the bag attributes).
+    pub rows: u64,
+    /// Trie intersection steps of the generic-join walk (zero for the
+    /// cascade kernel).
+    pub intersections: u64,
+}
+
 /// Materialise one GHD bag with an explicit kernel choice. The semi-join
 /// sweep and all inner kernels run through the context's (possibly pooled)
 /// primitives; output is canonical (sorted, distinct) either way.
@@ -72,6 +90,23 @@ pub fn materialize_bag_kernel(
     ctx: &ExecContext,
     kernel: BagKernel,
 ) -> Result<Relation, JoinError> {
+    materialize_bag_reported(query, db, bag, ctx, kernel).map(|(rel, _)| rel)
+}
+
+/// [`materialize_bag_kernel`] returning the per-operator [`BagBuildInfo`].
+/// When a request trace is installed on the calling thread the build is
+/// recorded as a `bag.materialize` span carrying the same counters and
+/// stamped with the pool worker lane that ran it — under the parallel
+/// per-bag fan-out of [`materialize_bags_with`] this is what makes the
+/// fan-out visible in the exported trace.
+pub fn materialize_bag_reported(
+    query: &JoinProjectQuery,
+    db: &Database,
+    bag: &Bag,
+    ctx: &ExecContext,
+    kernel: BagKernel,
+) -> Result<(Relation, BagBuildInfo), JoinError> {
+    let mut span = re_obs::trace::child_span("bag.materialize");
     let mut rels: Vec<Relation> = bag
         .atoms
         .iter()
@@ -80,8 +115,11 @@ pub fn materialize_bag_kernel(
 
     semi_join_sweep(ctx, &mut rels)?;
 
-    match kernel {
-        BagKernel::Wcoj => wcoj_materialize(bag, &rels, ctx),
+    let (out, wcoj_report) = match kernel {
+        BagKernel::Wcoj => {
+            let (out, report) = wcoj_materialize_reported(bag, &rels, ctx)?;
+            (out, report)
+        }
         BagKernel::Cascade => {
             let order = connectivity_order(&rels);
             let mut iter = order.into_iter();
@@ -95,9 +133,33 @@ pub fn materialize_bag_kernel(
             let positions: Vec<usize> = (0..out.arity()).collect();
             out.sort_by_positions(&positions);
             out.set_name(bag.name.clone());
-            Ok(out)
+            (
+                out,
+                WcojReport {
+                    attr_order: bag.attrs.clone(),
+                    intersections: 0,
+                },
+            )
+        }
+    };
+    let info = BagBuildInfo {
+        name: bag.name.clone(),
+        atoms: bag.atoms.len() as u64,
+        attr_order: wcoj_report.attr_order,
+        rows: out.len() as u64,
+        intersections: wcoj_report.intersections,
+    };
+    if let Some(s) = span.as_mut() {
+        use re_obs::AttrValue;
+        s.set_attr("bag", AttrValue::Str(info.name.clone()));
+        s.set_attr("atoms", AttrValue::U64(info.atoms));
+        s.set_attr("rows", AttrValue::U64(info.rows));
+        s.set_attr("intersections", AttrValue::U64(info.intersections));
+        if let Some(worker) = re_exec::current_worker() {
+            s.set_lane(worker as u32);
         }
     }
+    Ok((out, info))
 }
 
 /// Reduce every atom against *all* attribute-sharing partners (forward then
@@ -176,15 +238,33 @@ pub fn materialize_bags_with(
     ctx: &ExecContext,
     kernel: BagKernel,
 ) -> Result<Vec<Relation>, JoinError> {
+    materialize_bags_reported(query, db, bags, ctx, kernel)
+        .map(|pairs| pairs.into_iter().map(|(rel, _)| rel).collect())
+}
+
+/// [`materialize_bags_with`] returning each bag's [`BagBuildInfo`]
+/// alongside its relation. The fan-out behaviour (one pool task per bag
+/// under a parallel context) is identical.
+pub fn materialize_bags_reported(
+    query: &JoinProjectQuery,
+    db: &Database,
+    bags: &[Bag],
+    ctx: &ExecContext,
+    kernel: BagKernel,
+) -> Result<Vec<(Relation, BagBuildInfo)>, JoinError> {
     let _span = re_obs::Span::enter("preprocess.bags");
+    let mut trace_span = re_obs::trace::child_span("preprocess.bags");
+    if let Some(s) = trace_span.as_mut() {
+        s.set_attr("bags", re_obs::AttrValue::U64(bags.len() as u64));
+    }
     if !ctx.is_parallel() {
         return bags
             .iter()
-            .map(|bag| materialize_bag_kernel(query, db, bag, ctx, kernel))
+            .map(|bag| materialize_bag_reported(query, db, bag, ctx, kernel))
             .collect();
     }
     ctx.map(bags.len(), |i| {
-        materialize_bag_kernel(query, db, &bags[i], ctx, kernel)
+        materialize_bag_reported(query, db, &bags[i], ctx, kernel)
     })
     .into_iter()
     .collect()

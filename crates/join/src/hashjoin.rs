@@ -82,7 +82,7 @@ pub fn yannakakis_join(
     tree: &JoinTree,
     db: &Database,
 ) -> Result<Relation, JoinError> {
-    let reduced = full_reduce(query, tree, db)?;
+    let (reduced, _) = full_reduce(query, tree, db)?;
     let mut materialised: Vec<Option<Relation>> = reduced.into_iter().map(Some).collect();
     for u in tree.post_order() {
         let children = tree.node(u).children.clone();

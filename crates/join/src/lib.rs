@@ -32,7 +32,7 @@ pub mod wcoj;
 
 pub use bag::{
     materialize_bag, materialize_bag_ctx, materialize_bag_kernel, materialize_bags,
-    materialize_bags_with, BagKernel,
+    materialize_bags_reported, materialize_bags_with, BagBuildInfo, BagKernel,
 };
 pub use bind::{bind_atom, bind_atoms};
 pub use error::JoinError;
@@ -43,6 +43,6 @@ pub use parallel::{
 };
 pub use reducer::{
     full_reduce, full_reduce_ctx, full_reduce_relations, full_reduce_relations_ctx,
-    reduce_then_prune, reduce_then_prune_ctx, semi_join,
+    reduce_then_prune, reduce_then_prune_ctx, semi_join, ReduceStats,
 };
-pub use wcoj::wcoj_materialize;
+pub use wcoj::{wcoj_materialize, wcoj_materialize_reported, WcojReport};

@@ -136,8 +136,11 @@ pub fn par_sorted_index(
     key_attrs: &[Attr],
 ) -> Result<re_storage::SortedIndex, JoinError> {
     let _span = re_obs::Span::enter("preprocess.sorted_index");
+    let mut trace_span = re_obs::trace::child_span("index.sorted_build");
     if !ctx.should_parallelise(relation.len()) {
-        return Ok(re_storage::SortedIndex::build(relation, key_attrs)?);
+        let index = re_storage::SortedIndex::build(relation, key_attrs)?;
+        annotate_index_span(trace_span.as_mut(), relation.name(), &index);
+        return Ok(index);
     }
     debug_assert!(relation.len() <= u32::MAX as usize);
     let key_positions = relation.positions(key_attrs)?;
@@ -188,12 +191,30 @@ pub fn par_sorted_index(
     // first-row order, which the per-partition groups carry in ids[0].
     let mut entries: Vec<(Tuple, Vec<u32>)> = grouped.into_iter().flatten().collect();
     entries.sort_unstable_by_key(|(_, ids)| ids[0]);
-    Ok(re_storage::SortedIndex::from_grouped(
+    let index = re_storage::SortedIndex::from_grouped(
         key_attrs.to_vec(),
         key_positions,
         entries,
         relation.len(),
-    ))
+    );
+    annotate_index_span(trace_span.as_mut(), relation.name(), &index);
+    Ok(index)
+}
+
+/// Record a built [`re_storage::SortedIndex`]'s keys/rows/bytes onto an
+/// `index.sorted_build` trace span, when one is open.
+fn annotate_index_span(
+    span: Option<&mut re_obs::trace::SpanGuard>,
+    relation: &str,
+    index: &re_storage::SortedIndex,
+) {
+    if let Some(s) = span {
+        use re_obs::AttrValue;
+        s.set_attr("relation", AttrValue::Str(relation.to_string()));
+        s.set_attr("keys", AttrValue::U64(index.distinct_keys() as u64));
+        s.set_attr("rows", AttrValue::U64(index.len() as u64));
+        s.set_attr("bytes", AttrValue::U64(index.bytes() as u64));
+    }
 }
 
 /// Parallel natural hash join: radix-partitioned build over `right`,

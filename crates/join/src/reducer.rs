@@ -37,13 +37,73 @@ pub fn semi_join(left: &mut Relation, right: &Relation) -> Result<(), JoinError>
     Ok(())
 }
 
+/// Per-operator counters of one full-reducer run: every semi-join pass
+/// contributes its filtered relation's row count before and after, so
+/// `input_rows - output_rows` is exactly the dangling tuples removed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Semi-join passes executed (bottom-up plus top-down).
+    pub passes: u64,
+    /// Rows entering the filtered side of each pass, summed.
+    pub input_rows: u64,
+    /// Rows surviving each pass, summed.
+    pub output_rows: u64,
+}
+
+impl ReduceStats {
+    /// Rows the reducer removed, summed over all passes.
+    pub fn filtered_rows(&self) -> u64 {
+        self.input_rows.saturating_sub(self.output_rows)
+    }
+
+    /// Fold another run's counters into this one (composite enumerators
+    /// reduce once per branch).
+    pub fn merge(&mut self, other: &ReduceStats) {
+        self.passes += other.passes;
+        self.input_rows += other.input_rows;
+        self.output_rows += other.output_rows;
+    }
+}
+
 /// Run the full reducer over already-bound per-node relations.
 ///
 /// `relations[i]` must be the relation of join-tree node `i` (attribute
 /// names are query variables). After the call every relation contains
 /// exactly its non-dangling tuples.
-pub fn full_reduce_relations(tree: &JoinTree, relations: &mut [Relation]) -> Result<(), JoinError> {
+pub fn full_reduce_relations(
+    tree: &JoinTree,
+    relations: &mut [Relation],
+) -> Result<ReduceStats, JoinError> {
     full_reduce_relations_ctx(&ExecContext::serial(), tree, relations)
+}
+
+/// One instrumented semi-join pass: `left ⋉ right`, counted into `stats`
+/// and (when a request trace is installed) recorded as a `reduce.pass`
+/// trace span carrying the pair and the row movement.
+fn reduce_pass(
+    ctx: &ExecContext,
+    left: &mut Relation,
+    right: &Relation,
+    direction: &str,
+    stats: &mut ReduceStats,
+) -> Result<(), JoinError> {
+    let input = left.len() as u64;
+    let mut span = re_obs::trace::child_span("reduce.pass");
+    par_semi_join(ctx, left, right)?;
+    let output = left.len() as u64;
+    stats.passes += 1;
+    stats.input_rows += input;
+    stats.output_rows += output;
+    if let Some(s) = span.as_mut() {
+        use re_obs::AttrValue;
+        s.set_attr("left", AttrValue::Str(left.name().to_string()));
+        s.set_attr("right", AttrValue::Str(right.name().to_string()));
+        s.set_attr("direction", AttrValue::Str(direction.to_string()));
+        s.set_attr("input_rows", AttrValue::U64(input));
+        s.set_attr("output_rows", AttrValue::U64(output));
+        s.set_attr("filtered_rows", AttrValue::U64(input - output));
+    }
+    Ok(())
 }
 
 /// [`full_reduce_relations`] under an execution context: the semi-join
@@ -55,25 +115,33 @@ pub fn full_reduce_relations_ctx(
     ctx: &ExecContext,
     tree: &JoinTree,
     relations: &mut [Relation],
-) -> Result<(), JoinError> {
+) -> Result<ReduceStats, JoinError> {
     assert_eq!(tree.len(), relations.len());
     let _span = re_obs::Span::enter("preprocess.reduce");
+    let mut trace_span = re_obs::trace::child_span("preprocess.reduce");
+    let mut stats = ReduceStats::default();
     let post = tree.post_order();
     // Bottom-up: parent ⋉ child.
     for &u in &post {
         if let Some(p) = tree.node(u).parent {
             let (parent_rel, child_rel) = two_mut(relations, p, u);
-            par_semi_join(ctx, parent_rel, child_rel)?;
+            reduce_pass(ctx, parent_rel, child_rel, "bottom-up", &mut stats)?;
         }
     }
     // Top-down: child ⋉ parent (reverse post-order visits parents first).
     for &u in post.iter().rev() {
         for &c in &tree.node(u).children {
             let (parent_rel, child_rel) = two_mut(relations, u, c);
-            par_semi_join(ctx, child_rel, parent_rel)?;
+            reduce_pass(ctx, child_rel, parent_rel, "top-down", &mut stats)?;
         }
     }
-    Ok(())
+    if let Some(s) = trace_span.as_mut() {
+        use re_obs::AttrValue;
+        s.set_attr("passes", AttrValue::U64(stats.passes));
+        s.set_attr("input_rows", AttrValue::U64(stats.input_rows));
+        s.set_attr("output_rows", AttrValue::U64(stats.output_rows));
+    }
+    Ok(stats)
 }
 
 /// Bind the atoms of an acyclic query and run the full reducer, returning
@@ -83,7 +151,7 @@ pub fn full_reduce(
     query: &JoinProjectQuery,
     tree: &JoinTree,
     db: &Database,
-) -> Result<Vec<Relation>, JoinError> {
+) -> Result<(Vec<Relation>, ReduceStats), JoinError> {
     full_reduce_ctx(&ExecContext::serial(), query, tree, db)
 }
 
@@ -94,7 +162,7 @@ pub fn full_reduce_ctx(
     query: &JoinProjectQuery,
     tree: &JoinTree,
     db: &Database,
-) -> Result<Vec<Relation>, JoinError> {
+) -> Result<(Vec<Relation>, ReduceStats), JoinError> {
     let bound = bind_atoms(query, db)?;
     // Reorder to node order (node i of an unpruned tree is atom i, but a
     // pruned tree may have fewer nodes).
@@ -103,8 +171,8 @@ pub fn full_reduce_ctx(
         .iter()
         .map(|n| bound[n.atom_index].clone())
         .collect();
-    full_reduce_relations_ctx(ctx, tree, &mut relations)?;
-    Ok(relations)
+    let stats = full_reduce_relations_ctx(ctx, tree, &mut relations)?;
+    Ok((relations, stats))
 }
 
 /// Full-reduce over the **unpruned** tree, then prune non-projecting
@@ -120,7 +188,7 @@ pub fn reduce_then_prune(
     query: &JoinProjectQuery,
     tree: JoinTree,
     db: &Database,
-) -> Result<(JoinTree, Vec<Relation>), JoinError> {
+) -> Result<(JoinTree, Vec<Relation>, ReduceStats), JoinError> {
     reduce_then_prune_ctx(&ExecContext::serial(), query, tree, db)
 }
 
@@ -131,8 +199,8 @@ pub fn reduce_then_prune_ctx(
     query: &JoinProjectQuery,
     tree: JoinTree,
     db: &Database,
-) -> Result<(JoinTree, Vec<Relation>), JoinError> {
-    let reduced_all = full_reduce_ctx(ctx, query, &tree, db)?;
+) -> Result<(JoinTree, Vec<Relation>, ReduceStats), JoinError> {
+    let (reduced_all, stats) = full_reduce_ctx(ctx, query, &tree, db)?;
     let mut by_atom: Vec<Option<Relation>> = vec![None; query.atoms().len()];
     for (node, rel) in tree.nodes().iter().zip(reduced_all) {
         by_atom[node.atom_index] = Some(rel);
@@ -143,7 +211,7 @@ pub fn reduce_then_prune_ctx(
         .iter()
         .map(|n| by_atom[n.atom_index].take().expect("kept node was reduced"))
         .collect();
-    Ok((pruned, reduced))
+    Ok((pruned, reduced, stats))
 }
 
 /// Sanity check used by tests and debug assertions: a reduced instance is
@@ -271,12 +339,17 @@ mod tests {
         let q = path_query();
         let tree = JoinTree::build_rooted(&q, 1).unwrap();
         let db = path_db();
-        let reduced = full_reduce(&q, &tree, &db).unwrap();
+        let (reduced, stats) = full_reduce(&q, &tree, &db).unwrap();
         // node order == atom order for unpruned trees
         assert_eq!(reduced[0].len(), 2); // (1,1), (2,1)
         assert_eq!(reduced[1].len(), 1); // (1,5)
         assert_eq!(reduced[2].len(), 2); // (5,2), (5,3)
         assert!(is_fully_reduced(&tree, &reduced).unwrap());
+        // 3 nodes, root 1: two bottom-up passes plus two top-down passes,
+        // and exactly the dangling (3,9) plus R2's (7,6) were filtered.
+        assert_eq!(stats.passes, 4);
+        assert_eq!(stats.filtered_rows(), 2);
+        assert_eq!(stats.input_rows - 2, stats.output_rows);
     }
 
     #[test]
@@ -286,7 +359,7 @@ mod tests {
         let mut db = path_db();
         // Make R3 share no C values with R2.
         db.set_relation(Relation::with_tuples("R3", attrs(["C", "D"]), vec![vec![99, 2]]).unwrap());
-        let reduced = full_reduce(&q, &tree, &db).unwrap();
+        let (reduced, _) = full_reduce(&q, &tree, &db).unwrap();
         assert!(reduced.iter().all(|r| r.is_empty()));
     }
 
@@ -295,11 +368,36 @@ mod tests {
         let q = path_query();
         let tree = JoinTree::build(&q).unwrap();
         let db = path_db();
-        let reduced = full_reduce(&q, &tree, &db).unwrap();
+        let (reduced, _) = full_reduce(&q, &tree, &db).unwrap();
         let mut again = reduced.clone();
-        full_reduce_relations(&tree, &mut again).unwrap();
+        let stats = full_reduce_relations(&tree, &mut again).unwrap();
         for (a, b) in reduced.iter().zip(&again) {
             assert_eq!(a.len(), b.len());
+        }
+        // An already-reduced instance loses nothing on the second run.
+        assert_eq!(stats.filtered_rows(), 0);
+    }
+
+    #[test]
+    fn reduce_passes_land_in_an_installed_trace() {
+        let q = path_query();
+        let tree = JoinTree::build(&q).unwrap();
+        let db = path_db();
+        let tctx = re_obs::TraceCtx::new("reduce");
+        {
+            let _g = re_obs::trace::install(&tctx, 0);
+            full_reduce(&q, &tree, &db).unwrap();
+        }
+        let trace = tctx.finish();
+        let parent = trace.spans_named("preprocess.reduce").next().unwrap();
+        let passes: Vec<_> = trace.spans_named("reduce.pass").collect();
+        assert_eq!(passes.len(), 4);
+        for p in &passes {
+            assert_eq!(p.parent, parent.id);
+            assert!(p
+                .attrs
+                .iter()
+                .any(|(k, v)| k == "input_rows" && matches!(v, re_obs::AttrValue::U64(_))));
         }
     }
 }

@@ -38,6 +38,9 @@ struct GenericJoin {
     /// with the trie depth its copy of the attribute sits at.
     levels: Vec<Vec<(usize, usize)>>,
     out_arity: usize,
+    /// The global attribute order (output attributes then existentials) —
+    /// surfaced through [`WcojReport`] so EXPLAIN can print it.
+    order: Vec<Attr>,
 }
 
 impl GenericJoin {
@@ -76,6 +79,7 @@ impl GenericJoin {
             tries,
             levels,
             out_arity: bag.attrs.len(),
+            order,
         })
     }
 
@@ -98,6 +102,11 @@ struct Walker<'a> {
     bound: Vec<Value>,
     trail: Vec<(usize, (usize, usize))>,
     out: Vec<Value>,
+    /// Trie range narrowings performed — one per participant per attempted
+    /// binding, the unit the AGM bound actually charges. Deterministic at
+    /// any thread count: the chunked parallel walk performs exactly the
+    /// serial walk's bindings, just partitioned by level-0 candidate.
+    intersections: u64,
 }
 
 impl<'a> Walker<'a> {
@@ -108,6 +117,7 @@ impl<'a> Walker<'a> {
             bound: Vec::with_capacity(gj.levels.len()),
             trail: Vec::new(),
             out: Vec::new(),
+            intersections: 0,
         }
     }
 
@@ -116,6 +126,7 @@ impl<'a> Walker<'a> {
     fn bind(&mut self, level: usize, value: Value) -> bool {
         for &(k, d) in &self.gj.levels[level] {
             let narrowed = self.gj.tries[k].narrow(self.ranges[k], d, value);
+            self.intersections += 1;
             self.trail.push((k, self.ranges[k]));
             self.ranges[k] = narrowed;
             if narrowed.0 >= narrowed.1 {
@@ -191,6 +202,17 @@ impl<'a> Walker<'a> {
     }
 }
 
+/// Per-operator report of one generic-join bag materialisation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WcojReport {
+    /// The global attribute order the walk bound (output attributes first,
+    /// then existentials in first-appearance order).
+    pub attr_order: Vec<Attr>,
+    /// Total trie range narrowings performed — the intersection work the
+    /// AGM bound charges. Identical at any thread count.
+    pub intersections: u64,
+}
+
 /// Materialise one GHD bag by generic join over already-bound (and
 /// typically semi-join-reduced) atom relations. The output is the
 /// canonical bag representation: lexicographically sorted distinct rows
@@ -200,9 +222,19 @@ pub fn wcoj_materialize(
     rels: &[Relation],
     ctx: &ExecContext,
 ) -> Result<Relation, JoinError> {
+    wcoj_materialize_reported(bag, rels, ctx).map(|(rel, _)| rel)
+}
+
+/// [`wcoj_materialize`] returning the per-operator [`WcojReport`]
+/// alongside the bag relation.
+pub fn wcoj_materialize_reported(
+    bag: &Bag,
+    rels: &[Relation],
+    ctx: &ExecContext,
+) -> Result<(Relation, WcojReport), JoinError> {
     let mut out = Relation::new(bag.name.clone(), bag.attrs.clone());
     if bag.attrs.is_empty() || rels.iter().any(|r| r.is_empty()) {
-        return Ok(out);
+        return Ok((out, WcojReport::default()));
     }
     let gj = GenericJoin::compile(bag, rels)?;
 
@@ -219,31 +251,39 @@ pub fn wcoj_materialize(
     }
 
     let total_rows: usize = rels.iter().map(|r| r.len()).sum();
-    let rows = if !ctx.is_parallel() || !ctx.should_parallelise(total_rows) || candidates.len() < 2
-    {
-        let mut walker = Walker::new(&gj);
-        walker.enumerate_root(&candidates);
-        walker.out
-    } else {
-        // One chunk of first-attribute candidates per task, a few tasks per
-        // thread for balance; concatenating per-chunk outputs in chunk
-        // order reproduces the serial (ascending-candidate) walk exactly.
-        let chunk = (candidates.len()).div_ceil(ctx.threads().max(1) * 4).max(1);
-        let chunks: Vec<&[Value]> = candidates.chunks(chunk).collect();
-        let parts = ctx.map(chunks.len(), |i| {
+    let (rows, intersections) =
+        if !ctx.is_parallel() || !ctx.should_parallelise(total_rows) || candidates.len() < 2 {
             let mut walker = Walker::new(&gj);
-            walker.enumerate_root(chunks[i]);
-            walker.out
-        });
-        let mut rows = Vec::with_capacity(parts.iter().map(Vec::len).sum());
-        for p in parts {
-            rows.extend_from_slice(&p);
-        }
-        rows
-    };
+            walker.enumerate_root(&candidates);
+            (walker.out, walker.intersections)
+        } else {
+            // One chunk of first-attribute candidates per task, a few tasks per
+            // thread for balance; concatenating per-chunk outputs in chunk
+            // order reproduces the serial (ascending-candidate) walk exactly.
+            let chunk = (candidates.len()).div_ceil(ctx.threads().max(1) * 4).max(1);
+            let chunks: Vec<&[Value]> = candidates.chunks(chunk).collect();
+            let parts = ctx.map(chunks.len(), |i| {
+                let mut walker = Walker::new(&gj);
+                walker.enumerate_root(chunks[i]);
+                (walker.out, walker.intersections)
+            });
+            let mut rows = Vec::with_capacity(parts.iter().map(|(p, _)| p.len()).sum());
+            let mut intersections = 0u64;
+            for (p, n) in parts {
+                rows.extend_from_slice(&p);
+                intersections += n;
+            }
+            (rows, intersections)
+        };
     out.reserve_rows(rows.len() / bag.attrs.len());
     out.append_rows(&rows);
-    Ok(out)
+    Ok((
+        out,
+        WcojReport {
+            attr_order: gj.order,
+            intersections,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -309,20 +349,27 @@ mod tests {
         let s = rel("S", ["b", "c"], &edges);
         let t = rel("T", ["a", "c"], &edges);
         let b = bag("tri", &["a", "b", "c"], vec![0, 1, 2]);
-        let serial = wcoj_materialize(
+        let (serial, serial_report) = wcoj_materialize_reported(
             &b,
             &[r.clone(), s.clone(), t.clone()],
             &ExecContext::serial(),
         )
         .unwrap();
+        assert_eq!(serial_report.attr_order, attrs(["a", "b", "c"]));
+        assert!(serial_report.intersections > 0);
         for threads in [2usize, 4] {
             let ctx = ExecContext::with_threads(threads)
                 .with_min_par_rows(1)
                 .with_morsel_rows(3);
-            let par = wcoj_materialize(&b, &[r.clone(), s.clone(), t.clone()], &ctx).unwrap();
+            let (par, par_report) =
+                wcoj_materialize_reported(&b, &[r.clone(), s.clone(), t.clone()], &ctx).unwrap();
             let a: Vec<Vec<u64>> = serial.iter().map(|t| t.to_vec()).collect();
             let p: Vec<Vec<u64>> = par.iter().map(|t| t.to_vec()).collect();
             assert_eq!(a, p, "{threads} threads diverged");
+            assert_eq!(
+                par_report, serial_report,
+                "intersection counts are deterministic"
+            );
         }
     }
 

@@ -40,6 +40,40 @@ pub struct ScalarMetric {
     pub value: f64,
 }
 
+/// One caller-supplied scalar sample carrying a fixed label set, e.g. a
+/// per-worker pool counter rendered as
+/// `re_exec_worker_tasks{worker="3"} 42`. Samples sharing a `name` are
+/// grouped under one `# HELP`/`# TYPE` header regardless of their order
+/// in the input slice.
+#[derive(Clone, Debug)]
+pub struct LabeledMetric {
+    /// Raw (dotted) metric name; sanitised and `re_`-prefixed on output.
+    pub name: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// `(key, value)` label pairs rendered inside `{...}`; values are
+    /// escaped per the exposition format.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Escape a label value for the text exposition (`\\`, `"`, newline).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Map a dotted registry name onto a Prometheus metric name.
 pub fn sanitize_metric_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 3);
@@ -79,6 +113,17 @@ fn render_summary(out: &mut String, base: &str, help: &str, snap: &HistSnapshot,
 
 /// Render scalars plus every registry histogram as Prometheus text.
 pub fn render_prometheus(scalars: &[ScalarMetric], registry: &MetricsRegistry) -> String {
+    render_prometheus_labeled(scalars, &[], registry)
+}
+
+/// [`render_prometheus`] plus labeled scalar samples (e.g. per-worker
+/// pool counters). Labeled samples are grouped by metric name, each group
+/// emitted under a single header in order of first appearance.
+pub fn render_prometheus_labeled(
+    scalars: &[ScalarMetric],
+    labeled: &[LabeledMetric],
+    registry: &MetricsRegistry,
+) -> String {
     let mut out = String::with_capacity(4096);
     for m in scalars {
         let name = sanitize_metric_name(m.name);
@@ -89,6 +134,30 @@ pub fn render_prometheus(scalars: &[ScalarMetric], registry: &MetricsRegistry) -
         let _ = writeln!(out, "# HELP {name} {}", m.help);
         let _ = writeln!(out, "# TYPE {name} {kind}");
         let _ = writeln!(out, "{name} {}", fmt_value(m.value));
+    }
+    let mut emitted: Vec<&'static str> = Vec::new();
+    for m in labeled {
+        if emitted.contains(&m.name) {
+            continue;
+        }
+        emitted.push(m.name);
+        let name = sanitize_metric_name(m.name);
+        let kind = match m.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let _ = writeln!(out, "# HELP {name} {}", m.help);
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for sample in labeled.iter().filter(|s| s.name == m.name) {
+            let mut labels = String::new();
+            for (i, (k, v)) in sample.labels.iter().enumerate() {
+                if i > 0 {
+                    labels.push(',');
+                }
+                let _ = write!(labels, "{k}=\"{}\"", escape_label_value(v));
+            }
+            let _ = writeln!(out, "{name}{{{labels}}} {}", fmt_value(sample.value));
+        }
     }
     for (raw_name, snap) in registry.histograms() {
         let is_nanos = raw_name.starts_with("span.") || raw_name.ends_with("_ns");
@@ -223,6 +292,51 @@ mod tests {
             .fetch_add(2, std::sync::atomic::Ordering::Relaxed);
         let text = render_prometheus(&[], &reg);
         assert!(text.contains("# TYPE re_server_slow_queries counter\nre_server_slow_queries 2\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn labeled_samples_group_under_one_header() {
+        let reg = MetricsRegistry::new();
+        let labeled: Vec<LabeledMetric> = (0..2)
+            .flat_map(|i| {
+                [
+                    ("exec.worker_tasks", "Tasks per worker.", 10 + i),
+                    ("exec.worker_steals", "Steals per worker.", i),
+                ]
+                .map(|(name, help, value)| LabeledMetric {
+                    name,
+                    help,
+                    kind: MetricKind::Counter,
+                    labels: vec![("worker".to_string(), i.to_string())],
+                    value: value as f64,
+                })
+            })
+            .collect();
+        let text = render_prometheus_labeled(&[], &labeled, &reg);
+        // Interleaved input still groups: one header per metric name.
+        assert_eq!(
+            text.matches("# TYPE re_exec_worker_tasks counter").count(),
+            1
+        );
+        assert!(text.contains("re_exec_worker_tasks{worker=\"0\"} 10"));
+        assert!(text.contains("re_exec_worker_tasks{worker=\"1\"} 11"));
+        assert!(text.contains("re_exec_worker_steals{worker=\"1\"} 1"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        let labeled = [LabeledMetric {
+            name: "weird",
+            help: "Escaping check.",
+            kind: MetricKind::Gauge,
+            labels: vec![("k".to_string(), "a\"b\\c\nd".to_string())],
+            value: 1.0,
+        }];
+        let text = render_prometheus_labeled(&[], &labeled, &reg);
+        assert!(text.contains("re_weird{k=\"a\\\"b\\\\c\\nd\"} 1"));
         validate_exposition(&text).unwrap();
     }
 

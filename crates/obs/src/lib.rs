@@ -17,7 +17,11 @@
 //! * [`log`] — a leveled JSON-lines logger filtered by `RE_LOG`;
 //! * [`expo`] — Prometheus text exposition over the registry;
 //! * [`timing`] — the per-cursor [`TimingBreakdown`] carried by ranked
-//!   streams.
+//!   streams;
+//! * [`trace`] — request-scoped hierarchical trace trees ([`TraceCtx`],
+//!   worker-lane-stamped child spans, `RE_TRACE_SAMPLE` sampling, a
+//!   bounded ring of recent traces in the registry and a Chrome
+//!   trace-event exporter).
 //!
 //! Recording is designed for hot paths: resolve instruments once, then
 //! every `record` is a single relaxed atomic add (asserted allocation-free
@@ -31,10 +35,15 @@ pub mod log;
 pub mod registry;
 pub mod span;
 pub mod timing;
+pub mod trace;
 
-pub use expo::{render_prometheus, validate_exposition, MetricKind, ScalarMetric};
+pub use expo::{
+    render_prometheus, render_prometheus_labeled, sanitize_metric_name, validate_exposition,
+    LabeledMetric, MetricKind, ScalarMetric,
+};
 pub use hist::{AtomicHistogram, HistSnapshot, LocalHistogram, NUM_BUCKETS, SUB_BITS};
 pub use log::{FieldValue, Level};
-pub use registry::{global, MetricsRegistry};
+pub use registry::{global, MetricsRegistry, TRACE_RING_CAPACITY};
 pub use span::{capture_phases, saturating_nanos, Span};
 pub use timing::TimingBreakdown;
+pub use trace::{AttrValue, Trace, TraceCtx, TraceId, TraceSpan};

@@ -13,17 +13,26 @@
 //! deltas or lower bounds, exactly like `SharedStats` consumers do.
 
 use crate::hist::{AtomicHistogram, HistSnapshot};
-use std::collections::BTreeMap;
+use crate::trace::Trace;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// A named set of histograms and counters.
+/// How many completed traces the registry retains, oldest evicted first.
+/// Small on purpose: traces are a debugging tool, not storage — a slow
+/// query's trace should still be in the ring when the operator comes
+/// looking after the slow-query log line.
+pub const TRACE_RING_CAPACITY: usize = 32;
+
+/// A named set of histograms and counters, plus a bounded ring of recent
+/// completed traces.
 ///
 /// `BTreeMap` keeps exposition output in a stable, sorted order.
 #[derive(Default)]
 pub struct MetricsRegistry {
     hists: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    traces: RwLock<VecDeque<Arc<Trace>>>,
 }
 
 impl MetricsRegistry {
@@ -77,6 +86,26 @@ impl MetricsRegistry {
             .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
             .collect()
     }
+
+    /// Retain a completed trace in the bounded ring, evicting the oldest
+    /// once [`TRACE_RING_CAPACITY`] is reached.
+    pub fn push_trace(&self, trace: Arc<Trace>) {
+        let mut ring = self.traces.write().unwrap();
+        if ring.len() == TRACE_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<Arc<Trace>> {
+        self.traces.read().unwrap().iter().cloned().collect()
+    }
+
+    /// The most recently completed retained trace.
+    pub fn latest_trace(&self) -> Option<Arc<Trace>> {
+        self.traces.read().unwrap().back().cloned()
+    }
 }
 
 /// The process-wide registry all instruments record into. Never resets;
@@ -111,6 +140,22 @@ mod tests {
         assert_eq!(
             counters,
             vec![("a.total".to_string(), 1), ("b.total".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn trace_ring_is_bounded_and_ordered() {
+        let reg = MetricsRegistry::new();
+        for i in 0..(TRACE_RING_CAPACITY + 3) {
+            let ctx = crate::trace::TraceCtx::new(&format!("t{i}"));
+            reg.push_trace(Arc::new(ctx.finish()));
+        }
+        let ring = reg.recent_traces();
+        assert_eq!(ring.len(), TRACE_RING_CAPACITY);
+        assert_eq!(ring[0].name, "t3", "oldest traces evicted first");
+        assert_eq!(
+            reg.latest_trace().unwrap().name,
+            format!("t{}", TRACE_RING_CAPACITY + 2)
         );
     }
 

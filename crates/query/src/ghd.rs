@@ -53,6 +53,9 @@ pub struct GhdPlan {
     shape: String,
     /// Total AGM bag-size estimate from cost-based selection, when one ran.
     estimated_rows: Option<f64>,
+    /// Per-bag AGM estimates (same order as `bags`), when cost-based
+    /// selection ran. Summing them gives `estimated_rows`.
+    bag_estimates: Option<Vec<f64>>,
 }
 
 /// The outcome of [`GhdPlan::cost_based`]: the winning plan together with
@@ -141,6 +144,7 @@ impl GhdPlan {
             bags,
             shape: "explicit".to_string(),
             estimated_rows: None,
+            bag_estimates: None,
         })
     }
 
@@ -173,6 +177,7 @@ impl GhdPlan {
             }],
             shape: "single-bag".to_string(),
             estimated_rows: None,
+            bag_estimates: None,
         }
     }
 
@@ -370,6 +375,12 @@ impl GhdPlan {
         let (cost, _, idx) = best.expect("candidates checked non-empty");
         let mut plan = candidates.swap_remove(idx);
         plan.estimated_rows = Some(cost);
+        plan.bag_estimates = Some(
+            plan.bags
+                .iter()
+                .map(|bag| agm_estimate(query, &cards, bag))
+                .collect(),
+        );
         Ok(PlanSelection {
             plan,
             considered,
@@ -392,6 +403,13 @@ impl GhdPlan {
     /// [`GhdPlan::cost_based`].
     pub fn estimated_rows(&self) -> Option<f64> {
         self.estimated_rows
+    }
+
+    /// Per-bag AGM estimates in bag order, when the plan came out of
+    /// [`GhdPlan::cost_based`]; the entries sum to
+    /// [`GhdPlan::estimated_rows`].
+    pub fn bag_estimates(&self) -> Option<&[f64]> {
+        self.bag_estimates.as_deref()
     }
 
     /// Number of bags.
@@ -642,6 +660,10 @@ mod tests {
         let est = sel.plan.estimated_rows().unwrap();
         // 2 · N² for N = 100.
         assert!((est - 20_000.0).abs() < 1.0, "estimate {est}");
+        let per_bag = sel.plan.bag_estimates().unwrap();
+        assert_eq!(per_bag.len(), 2);
+        let sum: f64 = per_bag.iter().sum();
+        assert!((sum - est).abs() < 1e-9, "per-bag estimates sum to total");
     }
 
     #[test]

@@ -141,10 +141,26 @@ pub trait Transport {
         }
     }
 
+    /// Render the statement's plan as a stable text tree
+    /// (`analyze: false`), or execute it server-side and annotate the
+    /// plan with the actual per-operator counters (`analyze: true`).
+    /// An `EXPLAIN` / `EXPLAIN ANALYZE` prefix written in the SQL takes
+    /// precedence over the flag.
+    fn explain(&mut self, db: &str, sql: &str, analyze: bool) -> Result<String, ClientError> {
+        match self.request(Request::Explain {
+            db: db.to_string(),
+            sql: sql.to_string(),
+            analyze,
+        })? {
+            Response::Explained { text } => Ok(text),
+            other => Err(unexpected("explained", other)),
+        }
+    }
+
     /// Server-wide metrics.
     fn stats(&mut self) -> Result<StatsReport, ClientError> {
         match self.request(Request::Stats)? {
-            Response::Stats(report) => Ok(report),
+            Response::Stats(report) => Ok(*report),
             other => Err(unexpected("stats", other)),
         }
     }

@@ -65,6 +65,6 @@ pub use client::{
 };
 pub use json::Json;
 pub use plan_cache::{CachedPlan, PlanCache};
-pub use protocol::{Request, Response, StatsReport};
+pub use protocol::{Request, Response, StatsReport, WorkerCounters};
 pub use server::{serve, RankedQueryServer, ServerConfig, ServerHandle};
 pub use session::{Session, SessionTable};

@@ -50,6 +50,19 @@ pub enum Request {
         /// The SQL statement.
         sql: String,
     },
+    /// Render the statement's plan as a stable text tree without running
+    /// it (`analyze: false`), or execute it and annotate the plan with
+    /// the actual per-operator counters (`analyze: true`). An `EXPLAIN`
+    /// / `EXPLAIN ANALYZE` prefix written in the SQL itself takes
+    /// precedence over the flag.
+    Explain {
+        /// Catalog name of the database.
+        db: String,
+        /// The SQL statement (with or without an `EXPLAIN` prefix).
+        sql: String,
+        /// Whether to execute the statement and report actuals.
+        analyze: bool,
+    },
     /// Server-wide metrics.
     Stats,
     /// Prometheus text-format exposition of counters, spans and latency
@@ -80,6 +93,11 @@ impl Request {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("`{cmd}` needs an unsigned integer `{name}`"))
         };
+        let bool_field = |name: &str| -> Result<bool, String> {
+            json.get(name)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("`{cmd}` needs a boolean `{name}`"))
+        };
         match cmd {
             "open" => Ok(Request::Open {
                 db: str_field("db")?,
@@ -95,6 +113,11 @@ impl Request {
             "query" => Ok(Request::Query {
                 db: str_field("db")?,
                 sql: str_field("sql")?,
+            }),
+            "explain" => Ok(Request::Explain {
+                db: str_field("db")?,
+                sql: str_field("sql")?,
+                analyze: bool_field("analyze")?,
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -126,6 +149,12 @@ impl Request {
                 ("db", Json::Str(db.clone())),
                 ("sql", Json::Str(sql.clone())),
             ]),
+            Request::Explain { db, sql, analyze } => obj([
+                ("cmd", Json::Str("explain".into())),
+                ("db", Json::Str(db.clone())),
+                ("sql", Json::Str(sql.clone())),
+                ("analyze", Json::Bool(*analyze)),
+            ]),
             Request::Stats => obj([("cmd", Json::Str("stats".into()))]),
             Request::Metrics => obj([("cmd", Json::Str("metrics".into()))]),
             Request::Catalog => obj([("cmd", Json::Str("catalog".into()))]),
@@ -133,6 +162,20 @@ impl Request {
         };
         json.to_string()
     }
+}
+
+/// Counters of one shared-pool worker slot, as carried by the `stats`
+/// endpoint. The last entry of [`StatsReport::per_worker`] is the caller
+/// slot (threads helping a batch to completion) — see the exec pool's
+/// `WorkerStat`. Skew across entries is the signal the aggregate hides.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Tasks this worker executed to completion.
+    pub tasks: u64,
+    /// Tasks this worker took from another worker's deque.
+    pub steals: u64,
+    /// Microseconds this worker spent inside task bodies.
+    pub busy_micros: u64,
 }
 
 /// Server-wide counters reported by the `stats` endpoint.
@@ -172,6 +215,9 @@ pub struct StatsReport {
     /// including the shared pool's parallel-preprocessing counters
     /// (`pool_tasks` / `pool_steals` / `pool_busy_micros`).
     pub enumeration: StatsSnapshot,
+    /// Per-worker slices of the pool counters: one entry per pool worker
+    /// plus a trailing caller slot; empty when preprocessing is serial.
+    pub per_worker: Vec<WorkerCounters>,
 }
 
 /// A server response.
@@ -211,8 +257,14 @@ pub enum Response {
         /// Whether the plan came from the plan cache.
         plan_cached: bool,
     },
+    /// The rendered plan text of an `Explain` request.
+    Explained {
+        /// The stable text tree (`EXPLAIN` header, plan structure, and —
+        /// under `ANALYZE` — the execution section with actual counters).
+        text: String,
+    },
     /// Server-wide metrics.
-    Stats(StatsReport),
+    Stats(Box<StatsReport>),
     /// Prometheus text-format metrics exposition.
     Metrics {
         /// The exposition body (`# HELP`/`# TYPE` comments and samples).
@@ -253,6 +305,43 @@ fn rows_from_json(json: &Json) -> Result<Vec<Tuple>, String> {
                         .ok_or_else(|| "row values must be unsigned".to_string())
                 })
                 .collect()
+        })
+        .collect()
+}
+
+fn workers_to_json(workers: &[WorkerCounters]) -> Json {
+    Json::Arr(
+        workers
+            .iter()
+            .map(|w| {
+                Json::Arr(vec![
+                    Json::UInt(w.tasks),
+                    Json::UInt(w.steals),
+                    Json::UInt(w.busy_micros),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn workers_from_json(json: &Json) -> Result<Vec<WorkerCounters>, String> {
+    json.as_arr()
+        .ok_or_else(|| "`per_worker` must be an array".to_string())?
+        .iter()
+        .map(|entry| {
+            let triple = entry.as_arr().filter(|t| t.len() == 3).ok_or_else(|| {
+                "per-worker entry must be [tasks, steals, busy_micros]".to_string()
+            })?;
+            let field = |i: usize| {
+                triple[i]
+                    .as_u64()
+                    .ok_or_else(|| "per-worker counters must be unsigned".to_string())
+            };
+            Ok(WorkerCounters {
+                tasks: field(0)?,
+                steals: field(1)?,
+                busy_micros: field(2)?,
+            })
         })
         .collect()
 }
@@ -368,12 +457,30 @@ impl Response {
                     "ghd_fallbacks",
                     Json::UInt(report.enumeration.ghd_fallbacks),
                 ),
+                (
+                    "reduce_passes",
+                    Json::UInt(report.enumeration.reduce_passes),
+                ),
+                (
+                    "reduce_input_rows",
+                    Json::UInt(report.enumeration.reduce_input_rows),
+                ),
+                (
+                    "reduce_output_rows",
+                    Json::UInt(report.enumeration.reduce_output_rows),
+                ),
                 ("pool_tasks", Json::UInt(report.enumeration.pool_tasks)),
                 ("pool_steals", Json::UInt(report.enumeration.pool_steals)),
                 (
                     "pool_busy_micros",
                     Json::UInt(report.enumeration.pool_busy_micros),
                 ),
+                ("per_worker", workers_to_json(&report.per_worker)),
+            ]),
+            Response::Explained { text } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("explained".into())),
+                ("text", Json::Str(text.clone())),
             ]),
             Response::Metrics { body } => obj([
                 ("ok", Json::Bool(true)),
@@ -444,7 +551,7 @@ impl Response {
                 algorithm: str_field("algorithm")?,
                 plan_cached: bool_field("plan_cached")?,
             }),
-            "stats" => Ok(Response::Stats(StatsReport {
+            "stats" => Ok(Response::Stats(Box::new(StatsReport {
                 sessions_open: u64_field("sessions_open")?,
                 sessions_opened: u64_field("sessions_opened")?,
                 sessions_evicted: u64_field("sessions_evicted")?,
@@ -470,11 +577,20 @@ impl Response {
                     ghd_bags: u64_field("ghd_bags")?,
                     ghd_estimated_rows: u64_field("ghd_estimated_rows")?,
                     ghd_fallbacks: u64_field("ghd_fallbacks")?,
+                    reduce_passes: u64_field("reduce_passes")?,
+                    reduce_input_rows: u64_field("reduce_input_rows")?,
+                    reduce_output_rows: u64_field("reduce_output_rows")?,
                     pool_tasks: u64_field("pool_tasks")?,
                     pool_steals: u64_field("pool_steals")?,
                     pool_busy_micros: u64_field("pool_busy_micros")?,
                 },
-            })),
+                per_worker: workers_from_json(
+                    json.get("per_worker").ok_or("missing `per_worker`")?,
+                )?,
+            }))),
+            "explained" => Ok(Response::Explained {
+                text: str_field("text")?,
+            }),
             "metrics" => Ok(Response::Metrics {
                 body: str_field("body")?,
             }),
@@ -510,6 +626,11 @@ mod tests {
                 db: "d".into(),
                 sql: "SELECT DISTINCT a FROM T".into(),
             },
+            Request::Explain {
+                db: "d".into(),
+                sql: "SELECT DISTINCT a FROM T ORDER BY a".into(),
+                analyze: true,
+            },
             Request::Stats,
             Request::Metrics,
             Request::Catalog,
@@ -539,7 +660,7 @@ mod tests {
                 algorithm: "union-merge".into(),
                 plan_cached: false,
             },
-            Response::Stats(StatsReport {
+            Response::Stats(Box::new(StatsReport {
                 sessions_open: 1,
                 sessions_opened: 2,
                 sessions_evicted: 3,
@@ -565,11 +686,29 @@ mod tests {
                     ghd_bags: 23,
                     ghd_estimated_rows: 24,
                     ghd_fallbacks: 25,
+                    reduce_passes: 27,
+                    reduce_input_rows: 28,
+                    reduce_output_rows: 29,
                     pool_tasks: 13,
                     pool_steals: 14,
                     pool_busy_micros: 15,
                 },
-            }),
+                per_worker: vec![
+                    WorkerCounters {
+                        tasks: 30,
+                        steals: 31,
+                        busy_micros: 32,
+                    },
+                    WorkerCounters {
+                        tasks: 33,
+                        steals: 0,
+                        busy_micros: 34,
+                    },
+                ],
+            })),
+            Response::Explained {
+                text: "EXPLAIN\nstatement: join-project (2 atoms)\n".into(),
+            },
             Response::Metrics {
                 body: "# TYPE re_sessions_open gauge\nre_sessions_open 1\n".into(),
             },
@@ -591,5 +730,11 @@ mod tests {
         assert!(Request::decode("{\"cmd\":\"nope\"}").is_err());
         assert!(Request::decode("{\"cmd\":\"fetch\",\"session\":1}").is_err());
         assert!(Request::decode("{\"cmd\":\"open\",\"db\":\"d\"}").is_err());
+        // `explain` needs a boolean `analyze`, not a number.
+        assert!(Request::decode("{\"cmd\":\"explain\",\"db\":\"d\",\"sql\":\"s\"}").is_err());
+        assert!(
+            Request::decode("{\"cmd\":\"explain\",\"db\":\"d\",\"sql\":\"s\",\"analyze\":1}")
+                .is_err()
+        );
     }
 }

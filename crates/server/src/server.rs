@@ -13,11 +13,14 @@
 
 use crate::catalog::Catalog;
 use crate::plan_cache::PlanCache;
-use crate::protocol::{Request, Response, StatsReport};
+use crate::protocol::{Request, Response, StatsReport, WorkerCounters};
 use crate::session::SessionTable;
 use rankedenum_core::{machine_threads, ExecContext, SharedStats, WorkerPool};
-use re_obs::{saturating_nanos, AtomicHistogram, FieldValue, MetricKind, ScalarMetric};
-use re_sql::OwnedSqlExecutor;
+use re_obs::trace::TraceCtx;
+use re_obs::{
+    saturating_nanos, AtomicHistogram, FieldValue, LabeledMetric, MetricKind, ScalarMetric,
+};
+use re_sql::{ExplainMode, OwnedSqlExecutor};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -49,6 +52,12 @@ pub struct ServerConfig {
     /// the SQL, plan shape, algorithm and phase breakdown). `0` disables
     /// the log. Defaults to 500, overridable via `RE_SLOW_QUERY_MS`.
     pub slow_query_millis: u64,
+    /// Trace one in every `trace_sample` OPENs as a request-scoped span
+    /// tree (preprocessing phases, pool fan-out with worker attribution),
+    /// retained in the global registry's trace ring for later export.
+    /// `0` disables tracing. Defaults to the `RE_TRACE_SAMPLE`
+    /// environment variable (itself defaulting to 0).
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +72,7 @@ impl Default for ServerConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(500),
+            trace_sample: re_obs::trace::env_sample_rate(),
         }
     }
 }
@@ -85,6 +95,10 @@ pub struct RankedQueryServer {
     exec: ExecContext,
     /// Slow-query threshold in milliseconds (`0`: disabled).
     slow_query_millis: u64,
+    /// 1-in-N OPEN trace sampling (`0`: off).
+    trace_sample: u64,
+    /// OPENs dispatched so far, the sampling clock.
+    open_seq: AtomicU64,
     /// Per-op latency instruments, resolved from the global registry once
     /// so the dispatch path never takes the registry lock.
     obs_open_ns: Arc<AtomicHistogram>,
@@ -117,6 +131,8 @@ impl RankedQueryServer {
             ghd_last_plan: Mutex::new(String::new()),
             exec,
             slow_query_millis: config.slow_query_millis,
+            trace_sample: config.trace_sample,
+            open_seq: AtomicU64::new(0),
             obs_open_ns: registry.histogram("server.open_ns"),
             obs_fetch_ns: registry.histogram("server.fetch_ns"),
             obs_close_ns: registry.histogram("server.close_ns"),
@@ -167,6 +183,16 @@ impl RankedQueryServer {
                 .map(|s| s.clone())
                 .unwrap_or_default(),
             enumeration,
+            per_worker: self
+                .exec
+                .worker_stats()
+                .iter()
+                .map(|w| WorkerCounters {
+                    tasks: w.tasks_executed,
+                    steals: w.tasks_stolen,
+                    busy_micros: w.busy_micros,
+                })
+                .collect(),
         }
     }
 
@@ -189,7 +215,8 @@ impl RankedQueryServer {
                 existed: self.sessions.close(session),
             },
             Request::Query { db, sql } => self.do_query(db, sql),
-            Request::Stats => Response::Stats(self.stats_report()),
+            Request::Explain { db, sql, analyze } => self.do_explain(db, sql, analyze),
+            Request::Stats => Response::Stats(Box::new(self.stats_report())),
             Request::Metrics => Response::Metrics {
                 body: self.render_metrics(),
             },
@@ -224,9 +251,27 @@ impl RankedQueryServer {
     }
 
     fn do_open(&self, db_name: String, sql: String) -> Response {
-        match self.open_cursor(&db_name, &sql) {
+        // 1-in-N sampling: mint a request-scoped trace so every span the
+        // preprocessing pass opens (reduce passes, bag materialisation,
+        // pool tasks with worker lanes) lands in one exportable tree.
+        let seq = self.open_seq.fetch_add(1, Ordering::Relaxed);
+        let trace_ctx = if re_obs::trace::should_sample(self.trace_sample, seq) {
+            Some(TraceCtx::new("server.open"))
+        } else {
+            None
+        };
+        let guard = trace_ctx.as_ref().map(|ctx| re_obs::trace::install(ctx, 0));
+        let outcome = self.open_cursor(&db_name, &sql);
+        drop(guard);
+        let trace_id = trace_ctx.map(|ctx| {
+            let trace = ctx.finish();
+            let id = trace.trace_id.to_string();
+            re_obs::global().push_trace(Arc::new(trace));
+            id
+        });
+        match outcome {
             Ok((cursor, algorithm, plan_cached)) => {
-                self.maybe_log_slow_open(&db_name, &sql, &algorithm, &cursor);
+                self.maybe_log_slow_open(&db_name, &sql, &algorithm, &cursor, trace_id.as_deref());
                 let columns = cursor.columns().to_vec();
                 let session = self.sessions.insert(db_name, cursor);
                 Response::Opened {
@@ -237,6 +282,32 @@ impl RankedQueryServer {
                 }
             }
             Err(message) => Response::Error { message },
+        }
+    }
+
+    /// Render the plan of `sql` — structure only (`analyze: false`) or
+    /// annotated with the actual per-operator counters of one full run
+    /// (`analyze: true`). The ANALYZE run preprocesses on the shared pool
+    /// and always mints a trace (pushed to the registry ring), but its
+    /// counters stay in the report text — they are diagnostics, not
+    /// workload, so they do not inflate the server-wide aggregates.
+    fn do_explain(&self, db_name: String, sql: String, analyze: bool) -> Response {
+        let Some(db) = self.catalog.get(&db_name) else {
+            return Response::Error {
+                message: format!("unknown database `{db_name}`"),
+            };
+        };
+        let mode = if analyze {
+            ExplainMode::Analyze
+        } else {
+            ExplainMode::Plan
+        };
+        let executor = OwnedSqlExecutor::new(db).with_exec_context(self.exec.clone());
+        match executor.explain(&sql, mode) {
+            Ok(text) => Response::Explained { text },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
         }
     }
 
@@ -345,6 +416,7 @@ impl RankedQueryServer {
         sql: &str,
         algorithm: &str,
         cursor: &re_sql::QueryCursor,
+        trace_id: Option<&str>,
     ) {
         if self.slow_query_millis == 0 {
             return;
@@ -368,6 +440,9 @@ impl RankedQueryServer {
                 ("plan_shape", FieldValue::Str(&plan_shape)),
                 ("open_ms", FieldValue::U64(open_ms)),
                 ("phases", FieldValue::Str(&timing.phases_summary())),
+                // Joins the log line to the sampled span tree, when this
+                // OPEN drew a trace ("untraced" otherwise).
+                ("trace_id", FieldValue::Str(trace_id.unwrap_or("untraced"))),
             ],
         );
     }
@@ -510,6 +585,24 @@ impl RankedQueryServer {
                 e.ghd_fallbacks,
             ),
             (
+                "enum.reduce_passes",
+                "Semi-join reducer passes.",
+                counter,
+                e.reduce_passes,
+            ),
+            (
+                "enum.reduce_input_rows",
+                "Rows scanned by the semi-join reducer.",
+                counter,
+                e.reduce_input_rows,
+            ),
+            (
+                "enum.reduce_output_rows",
+                "Rows surviving the semi-join reducer.",
+                counter,
+                e.reduce_output_rows,
+            ),
+            (
                 "exec.pool_tasks",
                 "Parallel-preprocessing tasks executed.",
                 counter,
@@ -537,7 +630,49 @@ impl RankedQueryServer {
                 value: value as f64,
             })
             .collect();
-        re_obs::render_prometheus(&scalars, re_obs::global())
+        // Per-worker slices of the pool counters, labeled by slot. The
+        // final slot aggregates caller threads helping batches (see the
+        // exec pool's `WorkerStat`); skew across workers is the signal
+        // the `exec.pool_*` aggregates hide.
+        let worker_label = |i: usize| {
+            if i + 1 == report.per_worker.len() {
+                "caller".to_string()
+            } else {
+                i.to_string()
+            }
+        };
+        let labeled: Vec<LabeledMetric> = report
+            .per_worker
+            .iter()
+            .enumerate()
+            .flat_map(|(i, w)| {
+                [
+                    (
+                        "exec.worker_tasks",
+                        "Pool tasks executed, per worker slot.",
+                        w.tasks,
+                    ),
+                    (
+                        "exec.worker_steals",
+                        "Pool tasks stolen from another deque, per worker slot.",
+                        w.steals,
+                    ),
+                    (
+                        "exec.worker_busy_micros",
+                        "Microseconds inside task bodies, per worker slot.",
+                        w.busy_micros,
+                    ),
+                ]
+                .map(|(name, help, value)| LabeledMetric {
+                    name,
+                    help,
+                    kind: counter,
+                    labels: vec![("worker".to_string(), worker_label(i))],
+                    value: value as f64,
+                })
+            })
+            .collect();
+        re_obs::render_prometheus_labeled(&scalars, &labeled, re_obs::global())
     }
 }
 

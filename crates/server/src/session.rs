@@ -26,6 +26,7 @@
 //!   budget" error instead of a generic unknown-session one.
 
 use rankedenum_core::StatsSnapshot;
+use re_obs::FieldValue;
 use re_sql::QueryCursor;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +36,22 @@ use std::time::{Duration, Instant};
 /// How many budget-evicted session ids are remembered for error
 /// attribution.
 const EVICTED_RING_CAPACITY: usize = 256;
+
+/// Emit the structured eviction event: which session went, why, and how
+/// many frontier bytes its cursor was retaining. `info`-level — evictions
+/// are policy working as intended, not a degradation.
+fn log_eviction(session: &Session, reason: &str) {
+    re_obs::log::info(
+        "re_server",
+        "session evicted",
+        &[
+            ("session", FieldValue::U64(session.id)),
+            ("db", FieldValue::Str(&session.db)),
+            ("reason", FieldValue::Str(reason)),
+            ("retained_bytes", FieldValue::U64(session.frontier_bytes)),
+        ],
+    );
+}
 
 /// A live session: a resumable cursor plus bookkeeping.
 pub struct Session {
@@ -117,13 +134,16 @@ impl SessionTable {
     fn sweep(&self, inner: &mut Inner) {
         let now = Instant::now();
         let ttl = self.ttl;
-        let before = inner.parked.len();
-        inner
+        let expired: Vec<u64> = inner
             .parked
-            .retain(|_, s| now.duration_since(s.last_used) <= ttl);
-        let expired = (before - inner.parked.len()) as u64;
-        if expired > 0 {
-            self.evicted.fetch_add(expired, Ordering::Relaxed);
+            .values()
+            .filter(|s| now.duration_since(s.last_used) > ttl)
+            .map(|s| s.id)
+            .collect();
+        for id in expired {
+            let session = inner.parked.remove(&id).expect("expired id is parked");
+            log_eviction(&session, "idle-ttl");
+            self.evicted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -162,6 +182,7 @@ impl SessionTable {
             inner.budget_evicted.push_back(victim);
             self.evicted.fetch_add(1, Ordering::Relaxed);
             self.evicted_budget.fetch_add(1, Ordering::Relaxed);
+            log_eviction(&session, "memory-budget");
             victims.push(session);
         }
         victims

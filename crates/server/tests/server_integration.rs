@@ -569,3 +569,129 @@ fn metrics_exposition_covers_spans_latencies_and_ttfa() {
     assert!(scraped.contains("re_span_preprocess_bags_seconds_count"));
     handle.shutdown();
 }
+
+#[test]
+fn explain_and_explain_analyze_over_the_protocol() {
+    let server = server_with_db(Duration::from_secs(60));
+    let mut client = LocalClient::new(Arc::clone(&server));
+
+    let plan = client.explain("dblp", TWO_HOP, false).unwrap();
+    assert!(plan.starts_with("EXPLAIN\n"), "{plan}");
+    assert!(plan.contains("algorithm: acyclic"), "{plan}");
+    assert!(
+        plan.contains("join tree (rooted, projection-pruned):"),
+        "{plan}"
+    );
+    assert!(
+        !plan.contains("execution:"),
+        "plain EXPLAIN must not execute"
+    );
+
+    let analyzed = client.explain("dblp", TWO_HOP, true).unwrap();
+    assert!(analyzed.starts_with("EXPLAIN ANALYZE\n"), "{analyzed}");
+    assert!(analyzed.contains("execution:"), "{analyzed}");
+    assert!(analyzed.contains("answers:"), "{analyzed}");
+    assert!(analyzed.contains("trace:"), "{analyzed}");
+
+    // An EXPLAIN prefix written in the SQL text overrides the flag.
+    let prefixed = client
+        .explain("dblp", &format!("EXPLAIN ANALYZE {TWO_HOP}"), false)
+        .unwrap();
+    assert!(prefixed.starts_with("EXPLAIN ANALYZE\n"), "{prefixed}");
+
+    // Failures arrive as server errors, not panics.
+    assert!(client.explain("nope", TWO_HOP, false).is_err());
+    assert!(client
+        .explain("dblp", "SELECT AP.aid FROM AP", false)
+        .is_err());
+
+    // The same request works across the wire.
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", &ServerConfig::default()).unwrap();
+    let mut tcp = TcpClient::connect(handle.addr()).unwrap();
+    let over_tcp = tcp.explain("dblp", TWO_HOP, true).unwrap();
+    assert!(over_tcp.starts_with("EXPLAIN ANALYZE\n"), "{over_tcp}");
+    assert!(over_tcp.contains("execution:"), "{over_tcp}");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_expose_per_worker_pool_counters() {
+    let mut db = Database::new();
+    let mut rows = Vec::new();
+    for i in 0..60u64 {
+        rows.push(vec![i % 12, 100 + i % 9]);
+        rows.push(vec![(i * 5 + 3) % 12, 100 + i % 9]);
+    }
+    let mut rel = Relation::with_tuples("M", attrs(["e", "c"]), rows).unwrap();
+    rel.dedup_tuples();
+    db.add_relation(rel).unwrap();
+    let four_cycle = "SELECT DISTINCT M1.e, M3.e FROM M AS M1, M AS M2, M AS M3, M AS M4 \
+                      WHERE M1.c = M2.c AND M2.e = M3.e AND M3.c = M4.c AND M4.e = M1.e \
+                      ORDER BY M1.e + M3.e LIMIT 50";
+
+    let server = RankedQueryServer::new(ServerConfig {
+        exec_threads: 2,
+        ..ServerConfig::default()
+    });
+    server.catalog().register("m", db);
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let opened = client.open("m", four_cycle).unwrap();
+    assert_eq!(opened.algorithm, "cyclic-ghd");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.per_worker.len(),
+        3,
+        "two pool workers plus the trailing caller slot"
+    );
+    // The per-worker slices partition the aggregates exactly: both are
+    // bumped together at every task completion.
+    let tasks: u64 = stats.per_worker.iter().map(|w| w.tasks).sum();
+    let steals: u64 = stats.per_worker.iter().map(|w| w.steals).sum();
+    assert!(tasks > 0, "cyclic preprocessing must run pool tasks");
+    assert_eq!(tasks, stats.enumeration.pool_tasks);
+    assert_eq!(steals, stats.enumeration.pool_steals);
+
+    // And the exposition carries them as labeled samples.
+    let body = client.metrics().unwrap();
+    re_obs::validate_exposition(&body).expect("well-formed exposition with labeled samples");
+    assert!(
+        body.contains("re_exec_worker_tasks{worker=\"0\"}"),
+        "{body}"
+    );
+    assert!(
+        body.contains("re_exec_worker_tasks{worker=\"1\"}"),
+        "{body}"
+    );
+    assert!(
+        body.contains("re_exec_worker_busy_micros{worker=\"caller\"}"),
+        "{body}"
+    );
+}
+
+#[test]
+fn sampled_opens_push_request_traces_into_the_ring() {
+    let server = RankedQueryServer::new(ServerConfig {
+        trace_sample: 1, // trace every OPEN
+        ..ServerConfig::default()
+    });
+    server.catalog().register("dblp", coauthor_db());
+    let mut client = LocalClient::new(Arc::clone(&server));
+    let opened = client.open("dblp", TWO_HOP).unwrap();
+    assert!(!opened.columns.is_empty());
+
+    // The trace ring is process-global; find this server's OPEN trace.
+    let traces = re_obs::global().recent_traces();
+    let trace = traces
+        .iter()
+        .rev()
+        .find(|t| t.name == "server.open")
+        .expect("a fully-sampled OPEN must push its trace");
+    assert!(
+        trace.spans.iter().any(|s| s.name == "preprocess.reduce"),
+        "the OPEN's preprocessing spans belong to the request trace"
+    );
+    let json = trace.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("preprocess.reduce"));
+}

@@ -112,6 +112,26 @@ impl Statement {
     }
 }
 
+/// What an `EXPLAIN` prefix asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// `EXPLAIN <query>` — render the plan without running it.
+    Plan,
+    /// `EXPLAIN ANALYZE <query>` — run the query and annotate the plan
+    /// with the actual per-operator counters and timings.
+    Analyze,
+}
+
+/// A parsed top-level input: a statement, optionally wrapped in an
+/// `EXPLAIN` / `EXPLAIN ANALYZE` prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlInput {
+    /// The explain prefix, if one was written.
+    pub explain: Option<ExplainMode>,
+    /// The statement being (explained or) executed.
+    pub statement: Statement,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -132,6 +132,14 @@ impl QueryCursor {
         self.stream.plan_shape()
     }
 
+    /// The full GHD selection report behind this cursor (candidates
+    /// compared, per-bag estimate-vs-actual details), when the statement
+    /// ran through a decomposition. `None` for decomposition-free
+    /// strategies.
+    pub fn ghd_report(&self) -> Option<rankedenum_core::GhdReport> {
+        self.stream.ghd_report()
+    }
+
     /// Wall-clock profile of this cursor: open duration, captured
     /// preprocessing phases, time-to-first-answer, and the distribution
     /// of delays between consecutive answers. Present for every cursor —

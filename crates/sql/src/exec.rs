@@ -1,8 +1,10 @@
 //! Execution: run a SQL statement through the ranked enumeration engine.
 
+use crate::ast::ExplainMode;
 use crate::cursor::QueryCursor;
 use crate::error::SqlError;
-use crate::parser::parse;
+use crate::explain::{explain_analyze, explain_plan};
+use crate::parser::{parse, parse_input};
 use crate::planner::{plan, SqlPlan};
 use rankedenum_core::ExecContext;
 use re_ranking::WeightAssignment;
@@ -30,6 +32,17 @@ impl QueryResult {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+}
+
+/// The outcome of executing one top-level SQL input: rows for plain
+/// statements, a rendered plan for `EXPLAIN` / `EXPLAIN ANALYZE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlOutput {
+    /// A plain statement ran; these are its results.
+    Rows(QueryResult),
+    /// An `EXPLAIN`-prefixed statement; the rendered plan (annotated with
+    /// actual counters for `EXPLAIN ANALYZE`).
+    Explained(String),
 }
 
 /// Executes SQL statements against a [`Database`] using the ranked
@@ -102,6 +115,37 @@ impl<'a> SqlExecutor<'a> {
     /// Open a cursor on an already-planned statement.
     pub fn open_plan(&self, plan: &SqlPlan) -> Result<QueryCursor, SqlError> {
         open_plan_on(self.db, &self.weights, plan, &ExecContext::serial())
+    }
+
+    /// Parse any top-level input and dispatch it: plain statements run to
+    /// completion, `EXPLAIN` renders the plan without executing,
+    /// `EXPLAIN ANALYZE` runs the statement and annotates the plan with
+    /// actual counters.
+    pub fn execute(&self, sql: &str) -> Result<SqlOutput, SqlError> {
+        let input = parse_input(sql)?;
+        let plan = plan(&input.statement, self.db)?;
+        match input.explain {
+            None => self.run_plan(&plan).map(SqlOutput::Rows),
+            Some(mode) => self.explain_plan(&plan, mode).map(SqlOutput::Explained),
+        }
+    }
+
+    /// Explain a statement. `sql` may be written with or without the
+    /// `EXPLAIN [ANALYZE]` prefix; a written prefix overrides `mode`.
+    pub fn explain(&self, sql: &str, mode: ExplainMode) -> Result<String, SqlError> {
+        let input = parse_input(sql)?;
+        let plan = plan(&input.statement, self.db)?;
+        self.explain_plan(&plan, input.explain.unwrap_or(mode))
+    }
+
+    /// Explain an already-planned statement.
+    pub fn explain_plan(&self, plan: &SqlPlan, mode: ExplainMode) -> Result<String, SqlError> {
+        match mode {
+            ExplainMode::Plan => explain_plan(self.db, plan),
+            ExplainMode::Analyze => {
+                explain_analyze(self.db, &self.weights, plan, &ExecContext::serial())
+            }
+        }
     }
 }
 
@@ -203,6 +247,35 @@ impl OwnedSqlExecutor {
     pub fn open_plan(&self, plan: &SqlPlan) -> Result<QueryCursor, SqlError> {
         open_plan_on(&self.db, &self.weights, plan, &self.exec)
     }
+
+    /// Parse any top-level input and dispatch it (see
+    /// [`SqlExecutor::execute`]). `EXPLAIN ANALYZE` runs under this
+    /// executor's execution context, so pooled preprocessing shows up in
+    /// the per-operator counters and the recorded trace.
+    pub fn execute(&self, sql: &str) -> Result<SqlOutput, SqlError> {
+        let input = parse_input(sql)?;
+        let plan = plan(&input.statement, &self.db)?;
+        match input.explain {
+            None => self.run_plan(&plan).map(SqlOutput::Rows),
+            Some(mode) => self.explain_plan(&plan, mode).map(SqlOutput::Explained),
+        }
+    }
+
+    /// Explain a statement. `sql` may be written with or without the
+    /// `EXPLAIN [ANALYZE]` prefix; a written prefix overrides `mode`.
+    pub fn explain(&self, sql: &str, mode: ExplainMode) -> Result<String, SqlError> {
+        let input = parse_input(sql)?;
+        let plan = plan(&input.statement, &self.db)?;
+        self.explain_plan(&plan, input.explain.unwrap_or(mode))
+    }
+
+    /// Explain an already-planned (possibly cached) statement.
+    pub fn explain_plan(&self, plan: &SqlPlan, mode: ExplainMode) -> Result<String, SqlError> {
+        match mode {
+            ExplainMode::Plan => explain_plan(&self.db, plan),
+            ExplainMode::Analyze => explain_analyze(&self.db, &self.weights, plan, &self.exec),
+        }
+    }
 }
 
 /// Shared execution path of both executors: instantiate derived relations,
@@ -231,7 +304,7 @@ fn run_plan_on(
 /// referenced base relations plus the materialised filters) otherwise, so
 /// open cost scales with the queried relations, not the whole catalog
 /// entry.
-fn open_plan_on(
+pub(crate) fn open_plan_on(
     db: &Database,
     weights: &WeightAssignment,
     plan: &SqlPlan,

@@ -49,17 +49,21 @@ pub mod ast;
 pub mod cursor;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod normalize;
 pub mod parser;
 pub mod planner;
 pub mod token;
 
-pub use ast::{ColumnRef, OrderBy, Predicate, SelectStatement, Statement, TableRef};
+pub use ast::{
+    ColumnRef, ExplainMode, OrderBy, Predicate, SelectStatement, SqlInput, Statement, TableRef,
+};
 pub use cursor::QueryCursor;
 pub use error::SqlError;
-pub use exec::{query, OwnedSqlExecutor, QueryResult, SqlExecutor};
+pub use exec::{query, OwnedSqlExecutor, QueryResult, SqlExecutor, SqlOutput};
+pub use explain::{explain_analyze, explain_plan, explain_query};
 pub use normalize::normalize;
-pub use parser::parse;
+pub use parser::{parse, parse_input};
 pub use planner::{plan, DerivedRelation, OrderSpec, PlannedQuery, PushedFilter, SqlPlan};
 pub use token::{tokenize, Keyword, Token};
 

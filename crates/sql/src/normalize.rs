@@ -28,6 +28,8 @@ fn keyword_str(k: Keyword) -> &'static str {
         Keyword::Desc => "DESC",
         Keyword::True => "TRUE",
         Keyword::False => "FALSE",
+        Keyword::Explain => "EXPLAIN",
+        Keyword::Analyze => "ANALYZE",
     }
 }
 

@@ -14,17 +14,38 @@
 //!               | column [ASC|DESC] (',' column [ASC|DESC])*   -- LEX
 //! ```
 
-use crate::ast::{ColumnRef, OrderBy, Predicate, SelectStatement, Statement, TableRef};
+use crate::ast::{
+    ColumnRef, ExplainMode, OrderBy, Predicate, SelectStatement, SqlInput, Statement, TableRef,
+};
 use crate::error::SqlError;
 use crate::token::{tokenize, Keyword, Spanned, Token};
 use re_ranking::Direction;
 
-/// Parse a statement (a single `SELECT` or a `UNION` chain).
+/// Parse a statement (a single `SELECT` or a `UNION` chain). Rejects an
+/// `EXPLAIN` prefix — use [`parse_input`] at entry points that accept one.
 pub fn parse(input: &str) -> Result<Statement, SqlError> {
     let tokens = tokenize(input)?;
     let mut parser = Parser { tokens, index: 0 };
     let statement = parser.statement()?;
     Ok(statement)
+}
+
+/// Parse a top-level input: an optional `EXPLAIN [ANALYZE]` prefix followed
+/// by a statement.
+pub fn parse_input(input: &str) -> Result<SqlInput, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, index: 0 };
+    let explain = if parser.eat_keyword(Keyword::Explain) {
+        if parser.eat_keyword(Keyword::Analyze) {
+            Some(ExplainMode::Analyze)
+        } else {
+            Some(ExplainMode::Plan)
+        }
+    } else {
+        None
+    };
+    let statement = parser.statement()?;
+    Ok(SqlInput { explain, statement })
 }
 
 struct Parser {
@@ -360,5 +381,29 @@ mod tests {
     fn non_distinct_select_parses_with_flag_false() {
         let b = &parse("SELECT a FROM R").unwrap().branches[0];
         assert!(!b.distinct);
+    }
+
+    #[test]
+    fn explain_prefixes_parse_via_parse_input() {
+        let plain = parse_input("SELECT DISTINCT a FROM R").unwrap();
+        assert_eq!(plain.explain, None);
+        let explained = parse_input("EXPLAIN SELECT DISTINCT a FROM R;").unwrap();
+        assert_eq!(explained.explain, Some(ExplainMode::Plan));
+        assert_eq!(explained.statement, plain.statement);
+        let analyzed = parse_input("explain analyze SELECT DISTINCT a FROM R").unwrap();
+        assert_eq!(analyzed.explain, Some(ExplainMode::Analyze));
+        assert_eq!(analyzed.statement, plain.statement);
+    }
+
+    #[test]
+    fn plain_parse_rejects_an_explain_prefix() {
+        let err = parse("EXPLAIN SELECT DISTINCT a FROM R").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { ref expected, .. } if expected == "Select"));
+    }
+
+    #[test]
+    fn explain_without_a_statement_is_rejected() {
+        assert!(parse_input("EXPLAIN").is_err());
+        assert!(parse_input("EXPLAIN ANALYZE").is_err());
     }
 }

@@ -20,6 +20,8 @@ pub enum Keyword {
     Desc,
     True,
     False,
+    Explain,
+    Analyze,
 }
 
 impl Keyword {
@@ -39,6 +41,8 @@ impl Keyword {
             "DESC" => Keyword::Desc,
             "TRUE" => Keyword::True,
             "FALSE" => Keyword::False,
+            "EXPLAIN" => Keyword::Explain,
+            "ANALYZE" => Keyword::Analyze,
             _ => return None,
         })
     }
@@ -301,6 +305,19 @@ mod tests {
             vec![
                 Token::Keyword(Keyword::True),
                 Token::Keyword(Keyword::False),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn explain_and_analyze_are_keywords() {
+        assert_eq!(
+            toks("explain ANALYZE Select"),
+            vec![
+                Token::Keyword(Keyword::Explain),
+                Token::Keyword(Keyword::Analyze),
+                Token::Keyword(Keyword::Select),
                 Token::Eof
             ]
         );

@@ -51,6 +51,7 @@
 //! | [`core`] | the paper's enumerators (acyclic, lexicographic, star, cyclic, union) |
 //! | [`sql`] | SQL front-end: parse/plan/execute `SELECT DISTINCT ... ORDER BY ... LIMIT k`, resumable cursors |
 //! | [`server`] | concurrent ranked-query service: catalog, sessions, plan cache, JSON-lines TCP protocol |
+//! | [`obs`] | observability kernel: structured logs, latency histograms, Prometheus exposition, trace trees |
 //! | [`baseline`] | the evaluation baselines (materialise+sort, BFS+sort, full any-k) |
 //! | [`datagen`] | synthetic DBLP/IMDB/social/LDBC-style dataset generators |
 //! | [`workloads`] | the paper's concrete benchmark queries wired to the generators |
@@ -60,6 +61,7 @@ pub use re_baseline as baseline;
 pub use re_datagen as datagen;
 pub use re_exec as exec;
 pub use re_join as join;
+pub use re_obs as obs;
 pub use re_query as query;
 pub use re_ranking as ranking;
 pub use re_server as server;

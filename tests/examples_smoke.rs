@@ -12,6 +12,7 @@ use std::process::Command;
 const EXAMPLES: &[&str] = &[
     "appendix_b_blowup",
     "coauthor_top_k",
+    "explain_analyze",
     "graph_cycles",
     "ldbc_union",
     "quickstart",

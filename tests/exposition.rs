@@ -1,0 +1,96 @@
+//! Property tests over the Prometheus exposition layer: any generated
+//! metric name sanitizes to a valid identifier, and any exposition the
+//! renderer produces — scalars, labeled samples with hostile label
+//! values, histogram summaries — validates line by line.
+
+use proptest::prelude::*;
+use rand::RngCore;
+use rankedenum::obs::{
+    render_prometheus_labeled, sanitize_metric_name, validate_exposition, LabeledMetric,
+    MetricKind, MetricsRegistry, ScalarMetric,
+};
+
+/// The vendored proptest has no string strategies, so generate names from
+/// a char pool that covers the hostile cases: exposition delimiters,
+/// escapes, whitespace (including newlines) and non-ASCII.
+struct AnyString {
+    max_len: usize,
+}
+
+const POOL: &[char] = &[
+    'a', 'z', 'A', 'Z', '0', '9', '_', '.', '-', ':', '/', ' ', '\n', '\t', '"', '\\', '{', '}',
+    '=', '#', 'é', 'λ', '→', '∆', '\u{0}',
+];
+
+impl Strategy for AnyString {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let len = (rng.next_u64() as usize) % (self.max_len + 1);
+        (0..len)
+            .map(|_| POOL[(rng.next_u64() as usize) % POOL.len()])
+            .collect()
+    }
+}
+
+/// The name grammar `validate_exposition` enforces (sans colons, which the
+/// sanitizer never emits).
+fn valid_prom_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sanitized_names_are_always_valid(name in AnyString { max_len: 48 }) {
+        let sanitized = sanitize_metric_name(&name);
+        prop_assert!(sanitized.starts_with("re_"), "missing prefix: {sanitized:?}");
+        prop_assert!(
+            valid_prom_name(&sanitized),
+            "bad sanitized name {sanitized:?} from {name:?}"
+        );
+    }
+
+    #[test]
+    fn rendered_expositions_always_validate(
+        names in prop::collection::vec(AnyString { max_len: 24 }, 0..6),
+        values in prop::collection::vec(-1e12f64..1e12, 6..7),
+        label_values in prop::collection::vec(AnyString { max_len: 16 }, 0..6),
+    ) {
+        let scalars: Vec<ScalarMetric> = names
+            .iter()
+            .zip(&values)
+            .enumerate()
+            .map(|(i, (n, &v))| ScalarMetric {
+                name: Box::leak(n.clone().into_boxed_str()),
+                help: "Generated scalar.",
+                kind: if i % 2 == 0 { MetricKind::Counter } else { MetricKind::Gauge },
+                value: v,
+            })
+            .collect();
+        // Labeled samples carry runtime strings (worker ids today, maybe
+        // session tags tomorrow) — the escaper has to survive quotes,
+        // backslashes and newlines in the values.
+        let labeled: Vec<LabeledMetric> = label_values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| LabeledMetric {
+                name: "exec.worker_tasks",
+                help: "Generated labeled sample.",
+                kind: MetricKind::Counter,
+                labels: vec![("worker".to_string(), v.clone())],
+                value: i as f64,
+            })
+            .collect();
+        let reg = MetricsRegistry::new();
+        reg.histogram("span.generated").record(1_234_567);
+        let body = render_prometheus_labeled(&scalars, &labeled, &reg);
+        if let Err(e) = validate_exposition(&body) {
+            prop_assert!(false, "invalid exposition ({e}):\n{body}");
+        }
+    }
+}

@@ -43,6 +43,13 @@ run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test frontier_differenti
 # enumeration sequences, on the cyclic workloads and random instances.
 run env RE_EXEC_THREADS=1 cargo test -q -p rankedenum --test wcoj_differential
 run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test wcoj_differential
+# Chaos suite: deterministic fault injection (RE_FAULT failpoints) against
+# the live server — typed overload/deadline/cancel errors, byte-identical
+# recovery after every injected fault, no leaked sessions, counters
+# reconciled. Serial and pooled preprocessing exercise different unwind
+# paths (caller stack vs pool tasks), so run both.
+run env RE_EXEC_THREADS=1 cargo test -q -p re_server --test chaos
+run env RE_EXEC_THREADS=4 cargo test -q -p re_server --test chaos
 # Pin serial-vs-pooled 6-cycle bag materialisation; writes BENCH_preprocess.json.
 run cargo bench -q -p re_bench --bench preprocess
 # Pin the Algorithm-3 inversion fix: old vs new vs general lexi engines on

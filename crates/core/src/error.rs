@@ -1,5 +1,6 @@
 //! Error type for the enumeration layer.
 
+use re_exec::CancelKind;
 use re_join::JoinError;
 use re_query::QueryError;
 use re_storage::StorageError;
@@ -14,6 +15,9 @@ pub enum EnumError {
     Query(QueryError),
     /// Join-layer failure.
     Join(String),
+    /// Preprocessing was cancelled cooperatively (deadline or explicit
+    /// cancel) and unwound at a morsel/pass boundary.
+    Cancelled(CancelKind),
     /// The residual query produced by a GHD plan is still cyclic.
     ResidualCyclic,
     /// The degree threshold of the star-query algorithm must be at least 1.
@@ -26,6 +30,7 @@ impl fmt::Display for EnumError {
             EnumError::Storage(e) => write!(f, "storage error: {e}"),
             EnumError::Query(e) => write!(f, "query error: {e}"),
             EnumError::Join(e) => write!(f, "join error: {e}"),
+            EnumError::Cancelled(kind) => write!(f, "{kind}"),
             EnumError::ResidualCyclic => {
                 write!(f, "the residual query over the GHD bags is still cyclic")
             }
@@ -55,6 +60,14 @@ impl From<JoinError> for EnumError {
         match e {
             JoinError::Storage(s) => EnumError::Storage(s),
             JoinError::Query(q) => EnumError::Query(q),
+            JoinError::Cancelled(kind) => EnumError::Cancelled(kind),
+            JoinError::Fault(m) => EnumError::Join(m),
         }
+    }
+}
+
+impl From<CancelKind> for EnumError {
+    fn from(kind: CancelKind) -> Self {
+        EnumError::Cancelled(kind)
     }
 }

@@ -45,7 +45,7 @@ pub use lexi::{LexiEnumerator, ReferenceLexi};
 pub use reference::ReferenceAcyclic;
 // Re-exported so downstream layers (SQL cursors, the server) can accept an
 // execution context and size pools without depending on `re_exec` directly.
-pub use re_exec::{machine_threads, ExecContext, PoolStats, WorkerPool};
+pub use re_exec::{machine_threads, CancelKind, CancelToken, ExecContext, PoolStats, WorkerPool};
 pub use re_obs::{HistSnapshot, LocalHistogram, TimingBreakdown};
 pub use star::StarEnumerator;
 pub use stats::{EnumStats, SharedStats, StatsSnapshot};

@@ -230,10 +230,15 @@ impl EnumStats {
     }
 }
 
-/// A plain-counter summary of [`EnumStats`]: seventeen `u64` fields, `Copy`,
-/// trivially mergeable. Differences of snapshots are meaningful (all
-/// counters are monotone), so per-page costs can be computed as
+/// A plain-counter summary of [`EnumStats`]: twenty-one `u64` fields,
+/// `Copy`, trivially mergeable. Differences of snapshots are meaningful
+/// (all counters are monotone), so per-page costs can be computed as
 /// `after.diff(&before)`.
+///
+/// The four robustness outcomes (`requests_shed`, `deadline_exceeded`,
+/// `cancelled`, `faults_injected`) are zero in enumerator-produced
+/// snapshots — the serving layer that observes those outcomes adds them
+/// as deltas, exactly like the pool counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Total priority-queue insertions.
@@ -277,6 +282,18 @@ pub struct StatsSnapshot {
     /// Wall-clock time spent inside pool task bodies, in microseconds,
     /// summed over all threads.
     pub pool_busy_micros: u64,
+    /// Requests refused by admission control (in-flight gate, pipeline
+    /// cap or load shedding) with a typed `overloaded` error.
+    pub requests_shed: u64,
+    /// Requests aborted because their deadline passed (mid-preprocessing
+    /// or mid-fetch).
+    pub deadline_exceeded: u64,
+    /// Requests aborted by an explicit `CANCEL` (or a fetch on a cursor
+    /// that was cancelled).
+    pub cancelled: u64,
+    /// Faults injected by armed `re_fault` failpoints (process-global
+    /// total folded in by the serving layer).
+    pub faults_injected: u64,
 }
 
 impl StatsSnapshot {
@@ -312,6 +329,10 @@ impl StatsSnapshot {
         self.pool_tasks += other.pool_tasks;
         self.pool_steals += other.pool_steals;
         self.pool_busy_micros += other.pool_busy_micros;
+        self.requests_shed += other.requests_shed;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.cancelled += other.cancelled;
+        self.faults_injected += other.faults_injected;
     }
 
     /// Component-wise difference `self - earlier` (saturating, so a stale
@@ -346,6 +367,12 @@ impl StatsSnapshot {
             pool_busy_micros: self
                 .pool_busy_micros
                 .saturating_sub(earlier.pool_busy_micros),
+            requests_shed: self.requests_shed.saturating_sub(earlier.requests_shed),
+            deadline_exceeded: self
+                .deadline_exceeded
+                .saturating_sub(earlier.deadline_exceeded),
+            cancelled: self.cancelled.saturating_sub(earlier.cancelled),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
         }
     }
 
@@ -378,6 +405,10 @@ pub struct SharedStats {
     pool_tasks: AtomicU64,
     pool_steals: AtomicU64,
     pool_busy_micros: AtomicU64,
+    requests_shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cancelled: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 impl SharedStats {
@@ -419,6 +450,13 @@ impl SharedStats {
             .fetch_add(delta.pool_steals, Ordering::Relaxed);
         self.pool_busy_micros
             .fetch_add(delta.pool_busy_micros, Ordering::Relaxed);
+        self.requests_shed
+            .fetch_add(delta.requests_shed, Ordering::Relaxed);
+        self.deadline_exceeded
+            .fetch_add(delta.deadline_exceeded, Ordering::Relaxed);
+        self.cancelled.fetch_add(delta.cancelled, Ordering::Relaxed);
+        self.faults_injected
+            .fetch_add(delta.faults_injected, Ordering::Relaxed);
     }
 
     /// Current totals.
@@ -441,6 +479,10 @@ impl SharedStats {
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             pool_steals: self.pool_steals.load(Ordering::Relaxed),
             pool_busy_micros: self.pool_busy_micros.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -568,6 +610,10 @@ mod tests {
                             pool_tasks: 5,
                             pool_steals: 6,
                             pool_busy_micros: 7,
+                            requests_shed: 16,
+                            deadline_exceeded: 17,
+                            cancelled: 18,
+                            faults_injected: 19,
                         });
                     }
                 })
@@ -591,6 +637,10 @@ mod tests {
         assert_eq!(total.pool_tasks, 2000);
         assert_eq!(total.pool_steals, 2400);
         assert_eq!(total.pool_busy_micros, 2800);
+        assert_eq!(total.requests_shed, 6400);
+        assert_eq!(total.deadline_exceeded, 6800);
+        assert_eq!(total.cancelled, 7200);
+        assert_eq!(total.faults_injected, 7600);
     }
 
     #[test]

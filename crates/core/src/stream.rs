@@ -18,6 +18,7 @@ use crate::cyclic::{CyclicEnumerator, GhdReport};
 use crate::lexi::LexiEnumerator;
 use crate::stats::StatsSnapshot;
 use crate::union::UnionEnumerator;
+use re_exec::{CancelKind, CancelToken};
 use re_obs::{saturating_nanos, AtomicHistogram, LocalHistogram, TimingBreakdown};
 use re_ranking::Ranking;
 use re_storage::{Attr, Tuple};
@@ -58,6 +59,15 @@ pub trait RankedStream: Iterator<Item = Tuple> + Send {
     fn ghd_report(&self) -> Option<GhdReport> {
         None
     }
+
+    /// Why the stream stopped early, if it did: a cancellation-aware
+    /// wrapper ([`InstrumentedStream`] with a token attached) returns
+    /// `Some(kind)` once its token trips, letting consumers distinguish a
+    /// cancelled stream from an exhausted one — both return `None` from
+    /// `next()`. Raw enumerators never cancel.
+    fn cancel_status(&self) -> Option<CancelKind> {
+        None
+    }
 }
 
 /// A [`RankedStream`] wrapper that measures wall-clock behaviour: the
@@ -80,6 +90,11 @@ pub struct InstrumentedStream {
     delay: LocalHistogram,
     delay_global: Arc<AtomicHistogram>,
     ttfa_global: Arc<AtomicHistogram>,
+    /// Cancellation token polled before each `next()`; `None` never trips.
+    cancel: Option<CancelToken>,
+    /// Latched once the token trips: the stream stays stopped (and keeps
+    /// reporting the same kind) even if time or flags move on.
+    cancel_status: Option<CancelKind>,
 }
 
 impl InstrumentedStream {
@@ -102,7 +117,16 @@ impl InstrumentedStream {
             delay: LocalHistogram::new(),
             delay_global: registry.histogram("cursor.delay_ns"),
             ttfa_global: registry.histogram("cursor.ttfa_ns"),
+            cancel: None,
+            cancel_status: None,
         }
+    }
+
+    /// Attach a cancellation token: once it trips, `next()` returns `None`
+    /// and [`RankedStream::cancel_status`] reports why.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -110,6 +134,15 @@ impl Iterator for InstrumentedStream {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {
+        if self.cancel_status.is_some() {
+            return None;
+        }
+        if let Some(token) = &self.cancel {
+            if let Err(kind) = token.check() {
+                self.cancel_status = Some(kind);
+                return None;
+            }
+        }
         let start = Instant::now();
         let item = self.inner.next();
         if item.is_some() {
@@ -156,6 +189,10 @@ impl RankedStream for InstrumentedStream {
             first_answer_nanos: self.first_answer_nanos,
             delay: self.delay.snapshot(),
         })
+    }
+
+    fn cancel_status(&self) -> Option<CancelKind> {
+        self.cancel_status
     }
 }
 
@@ -353,5 +390,38 @@ mod tests {
             stream.timing_breakdown().unwrap().delay.count(),
             t1.delay.count()
         );
+    }
+
+    #[test]
+    fn tripped_cancel_token_stops_the_stream_with_a_latched_status() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "E",
+                attrs(["s", "t"]),
+                vec![vec![1, 2], vec![2, 3], vec![2, 4]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = QueryBuilder::new()
+            .atom("E1", "E", ["x", "y"])
+            .atom("E2", "E", ["y", "z"])
+            .project(["x", "z"])
+            .build()
+            .unwrap();
+        let raw = RankedEnumerator::new(&q, &db, SumRanking::value_sum()).unwrap();
+        let token = re_exec::CancelToken::unbounded();
+        let mut stream = InstrumentedStream::new(Box::new(raw), std::time::Instant::now(), vec![])
+            .with_cancel_token(token.clone());
+        assert_eq!(stream.cancel_status(), None);
+        let first = stream.next();
+        assert!(first.is_some(), "untripped token must not block answers");
+        token.cancel();
+        assert!(stream.next().is_none(), "tripped token stops the stream");
+        assert_eq!(stream.cancel_status(), Some(CancelKind::Explicit));
+        // The status is latched: further polls keep reporting it.
+        assert!(stream.next().is_none());
+        assert_eq!(stream.cancel_status(), Some(CancelKind::Explicit));
     }
 }

@@ -7,6 +7,7 @@
 //! index**, which is what makes every parallel kernel produce output
 //! identical to its serial counterpart at any thread count.
 
+use crate::cancel::{CancelKind, CancelToken};
 use crate::pool::{current_worker, default_thread_count, PoolStats, WorkerPool, WorkerStat};
 use re_obs::trace;
 use std::sync::{Arc, OnceLock};
@@ -30,6 +31,8 @@ pub struct ExecContext {
     pool: Option<Arc<WorkerPool>>,
     morsel_rows: usize,
     min_par_rows: usize,
+    /// Cooperative cancellation handle; `None` (the default) never trips.
+    cancel: Option<CancelToken>,
 }
 
 impl Default for ExecContext {
@@ -55,6 +58,7 @@ impl ExecContext {
             pool: None,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             min_par_rows: DEFAULT_MIN_PAR_ROWS,
+            cancel: None,
         }
     }
 
@@ -64,6 +68,7 @@ impl ExecContext {
             pool: Some(pool),
             morsel_rows: DEFAULT_MORSEL_ROWS,
             min_par_rows: DEFAULT_MIN_PAR_ROWS,
+            cancel: None,
         }
     }
 
@@ -107,6 +112,28 @@ impl ExecContext {
         self
     }
 
+    /// Attach a cancellation token: kernels running under this context
+    /// poll it at morsel / pass / bag boundaries and unwind with a typed
+    /// error when it trips.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Poll the attached token (no token ⇒ always `Ok`). Kernels call this
+    /// at unit-of-work boundaries; the cost without a token is one branch.
+    pub fn check_cancelled(&self) -> Result<(), CancelKind> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
+    }
+
     /// Whether a pool backs this context.
     pub fn is_parallel(&self) -> bool {
         self.pool.is_some()
@@ -131,6 +158,12 @@ impl ExecContext {
     /// path under this context.
     pub fn should_parallelise(&self, rows: usize) -> bool {
         self.pool.is_some() && rows >= self.min_par_rows
+    }
+
+    /// Tasks queued on the backing pool but not yet picked up (0 for a
+    /// serial context) — the admission-control load signal.
+    pub fn pool_queued(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.queued_tasks())
     }
 
     /// Pool counters (zero for a serial context).

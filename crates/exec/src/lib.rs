@@ -21,9 +21,11 @@
 //! their inputs with `re_storage::Relation::chunks` (zero-copy morsel
 //! views).
 
+pub mod cancel;
 pub mod context;
 pub mod pool;
 
+pub use cancel::{CancelKind, CancelToken};
 pub use context::{
     machine_threads, ExecContext, DEFAULT_MIN_PAR_ROWS, DEFAULT_MORSEL_ROWS, THREADS_ENV,
 };

@@ -250,6 +250,12 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Tasks queued but not yet picked up by any thread. A cheap load
+    /// signal: admission control sheds new work when this backs up.
+    pub fn queued_tasks(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
     /// Current counter totals.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -308,6 +314,13 @@ impl WorkerPool {
             let job = Arc::clone(&job);
             self.shared.push(Box::new(move || {
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Failpoint at the task seam. A task body has no error
+                    // channel, so an armed `error` action escalates to the
+                    // same panic path the `panic` action takes; both settle
+                    // the batch and surface as the deferred batch panic.
+                    if re_fault::fire("pool.task.start").is_err() {
+                        panic!("injected fault at failpoint `pool.task.start`");
+                    }
                     f_static(i);
                 }));
                 if outcome.is_err() {

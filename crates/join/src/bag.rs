@@ -106,6 +106,10 @@ pub fn materialize_bag_reported(
     ctx: &ExecContext,
     kernel: BagKernel,
 ) -> Result<(Relation, BagBuildInfo), JoinError> {
+    // Bag boundary: the cancellation poll point of the per-bag fan-out,
+    // and the `bags.materialize` failpoint.
+    ctx.check_cancelled()?;
+    re_fault::fire("bags.materialize")?;
     let mut span = re_obs::trace::child_span("bag.materialize");
     let mut rels: Vec<Relation> = bag
         .atoms
@@ -175,6 +179,7 @@ fn semi_join_sweep(ctx: &ExecContext, rels: &mut [Relation]) -> Result<(), JoinE
     for i in 1..n {
         for j in 0..i {
             if shares(&rels[i], &rels[j]) {
+                ctx.check_cancelled()?;
                 let (a, b) = rels.split_at_mut(i);
                 par_semi_join(ctx, &mut b[0], &a[j])?;
             }
@@ -183,6 +188,7 @@ fn semi_join_sweep(ctx: &ExecContext, rels: &mut [Relation]) -> Result<(), JoinE
     for i in (0..n.saturating_sub(1)).rev() {
         for j in i + 1..n {
             if shares(&rels[i], &rels[j]) {
+                ctx.check_cancelled()?;
                 let (a, b) = rels.split_at_mut(j);
                 par_semi_join(ctx, &mut a[i], &b[0])?;
             }

@@ -1,5 +1,6 @@
 //! Error type for join processing.
 
+use re_exec::CancelKind;
 use re_query::QueryError;
 use re_storage::StorageError;
 use std::fmt;
@@ -11,6 +12,11 @@ pub enum JoinError {
     Storage(StorageError),
     /// A query-layer error (cyclic query handed to an acyclic-only routine).
     Query(QueryError),
+    /// The execution context's cancellation token tripped (deadline or
+    /// explicit cancel); the kernel unwound at a morsel/pass boundary.
+    Cancelled(CancelKind),
+    /// An armed `re_fault` failpoint injected an error.
+    Fault(String),
 }
 
 impl fmt::Display for JoinError {
@@ -18,6 +24,8 @@ impl fmt::Display for JoinError {
         match self {
             JoinError::Storage(e) => write!(f, "storage error: {e}"),
             JoinError::Query(e) => write!(f, "query error: {e}"),
+            JoinError::Cancelled(kind) => write!(f, "{kind}"),
+            JoinError::Fault(m) => write!(f, "{m}"),
         }
     }
 }
@@ -33,5 +41,17 @@ impl From<StorageError> for JoinError {
 impl From<QueryError> for JoinError {
     fn from(e: QueryError) -> Self {
         JoinError::Query(e)
+    }
+}
+
+impl From<CancelKind> for JoinError {
+    fn from(kind: CancelKind) -> Self {
+        JoinError::Cancelled(kind)
+    }
+}
+
+impl From<re_fault::FaultError> for JoinError {
+    fn from(e: re_fault::FaultError) -> Self {
+        JoinError::Fault(e.to_string())
     }
 }

@@ -87,6 +87,10 @@ fn reduce_pass(
     direction: &str,
     stats: &mut ReduceStats,
 ) -> Result<(), JoinError> {
+    // Pass boundary: the cancellation poll point of the reducer sweeps,
+    // and the `reduce.pass` failpoint.
+    ctx.check_cancelled()?;
+    re_fault::fire("reduce.pass")?;
     let input = left.len() as u64;
     let mut span = re_obs::trace::child_span("reduce.pass");
     par_semi_join(ctx, left, right)?;

@@ -253,8 +253,16 @@ pub fn wcoj_materialize_reported(
     let total_rows: usize = rels.iter().map(|r| r.len()).sum();
     let (rows, intersections) =
         if !ctx.is_parallel() || !ctx.should_parallelise(total_rows) || candidates.len() < 2 {
+            // The serial walk advances one candidate chunk at a time so a
+            // tripped cancel token aborts within one morsel of candidates;
+            // enumerating consecutive chunks is the very same walk as
+            // enumerating the full ascending candidate list.
+            let step = ctx.morsel_rows().max(1);
             let mut walker = Walker::new(&gj);
-            walker.enumerate_root(&candidates);
+            for chunk in candidates.chunks(step) {
+                ctx.check_cancelled()?;
+                walker.enumerate_root(chunk);
+            }
             (walker.out, walker.intersections)
         } else {
             // One chunk of first-attribute candidates per task, a few tasks per
@@ -263,10 +271,17 @@ pub fn wcoj_materialize_reported(
             let chunk = (candidates.len()).div_ceil(ctx.threads().max(1) * 4).max(1);
             let chunks: Vec<&[Value]> = candidates.chunks(chunk).collect();
             let parts = ctx.map(chunks.len(), |i| {
+                // A tripped token turns the remaining chunks into no-ops;
+                // the post-map check below converts the partial output
+                // into the typed cancellation error.
+                if ctx.check_cancelled().is_err() {
+                    return (Vec::new(), 0);
+                }
                 let mut walker = Walker::new(&gj);
                 walker.enumerate_root(chunks[i]);
                 (walker.out, walker.intersections)
             });
+            ctx.check_cancelled()?;
             let mut rows = Vec::with_capacity(parts.iter().map(|(p, _)| p.len()).sum());
             let mut intersections = 0u64;
             for (p, n) in parts {

@@ -16,7 +16,25 @@ use crate::hist::{AtomicHistogram, HistSnapshot};
 use crate::trace::Trace;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Recover a read guard from a poisoned registry lock.
+///
+/// Every value behind the registry's locks is an `Arc`/`BTreeMap` insert —
+/// a panic mid-operation cannot leave them half-written in a way a reader
+/// could observe, so poisoning only records that *some* thread panicked
+/// (e.g. an injected fault). Metrics must keep flowing during incidents —
+/// that is when they are read — so the policy is: recover, never propagate.
+fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Recover a write guard from a poisoned registry lock; same policy as
+/// [`read_recover`].
+fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// How many completed traces the registry retains, oldest evicted first.
 /// Small on purpose: traces are a debugging tool, not storage — a slow
@@ -44,10 +62,10 @@ impl MetricsRegistry {
     /// The histogram registered under `name`, creating it on first use.
     /// Takes a lock — call once and cache the `Arc` near hot paths.
     pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
-        if let Some(h) = self.hists.read().unwrap().get(name) {
+        if let Some(h) = read_recover(&self.hists).get(name) {
             return Arc::clone(h);
         }
-        let mut map = self.hists.write().unwrap();
+        let mut map = write_recover(&self.hists);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicHistogram::new())),
@@ -57,10 +75,10 @@ impl MetricsRegistry {
     /// The monotone counter registered under `name`, creating it on first
     /// use. Same locking caveat as [`histogram`](Self::histogram).
     pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
-        if let Some(c) = self.counters.read().unwrap().get(name) {
+        if let Some(c) = read_recover(&self.counters).get(name) {
             return Arc::clone(c);
         }
-        let mut map = self.counters.write().unwrap();
+        let mut map = write_recover(&self.counters);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicU64::new(0))),
@@ -69,9 +87,7 @@ impl MetricsRegistry {
 
     /// Snapshot every registered histogram, sorted by name.
     pub fn histograms(&self) -> Vec<(String, HistSnapshot)> {
-        self.hists
-            .read()
-            .unwrap()
+        read_recover(&self.hists)
             .iter()
             .map(|(name, h)| (name.clone(), h.snapshot()))
             .collect()
@@ -79,9 +95,7 @@ impl MetricsRegistry {
 
     /// Snapshot every registered counter, sorted by name.
     pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
-        self.counters
-            .read()
-            .unwrap()
+        read_recover(&self.counters)
             .iter()
             .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
             .collect()
@@ -90,7 +104,7 @@ impl MetricsRegistry {
     /// Retain a completed trace in the bounded ring, evicting the oldest
     /// once [`TRACE_RING_CAPACITY`] is reached.
     pub fn push_trace(&self, trace: Arc<Trace>) {
-        let mut ring = self.traces.write().unwrap();
+        let mut ring = write_recover(&self.traces);
         if ring.len() == TRACE_RING_CAPACITY {
             ring.pop_front();
         }
@@ -99,12 +113,12 @@ impl MetricsRegistry {
 
     /// The retained traces, oldest first.
     pub fn recent_traces(&self) -> Vec<Arc<Trace>> {
-        self.traces.read().unwrap().iter().cloned().collect()
+        read_recover(&self.traces).iter().cloned().collect()
     }
 
     /// The most recently completed retained trace.
     pub fn latest_trace(&self) -> Option<Arc<Trace>> {
-        self.traces.read().unwrap().back().cloned()
+        read_recover(&self.traces).back().cloned()
     }
 }
 
@@ -157,6 +171,36 @@ mod tests {
             reg.latest_trace().unwrap().name,
             format!("t{}", TRACE_RING_CAPACITY + 2)
         );
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("poison.total").fetch_add(1, Ordering::Relaxed);
+        reg.histogram("poison.ns").record(5);
+        // Poison every registry lock: panic while holding the write guard.
+        for _ in 0..3 {
+            let reg = Arc::clone(&reg);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let _h = reg.hists.write().unwrap();
+                let _c = reg.counters.write().unwrap();
+                let _t = reg.traces.write().unwrap();
+                panic!("poison the registry locks");
+            }));
+        }
+        assert!(reg.hists.is_poisoned(), "the panic poisoned the lock");
+        // Every accessor still works and sees the pre-panic state.
+        reg.counter("poison.total").fetch_add(2, Ordering::Relaxed);
+        assert_eq!(
+            reg.counters_snapshot(),
+            vec![("poison.total".to_string(), 3)]
+        );
+        assert_eq!(reg.histogram("poison.ns").snapshot().count(), 1);
+        assert_eq!(reg.histograms().len(), 1);
+        let ctx = crate::trace::TraceCtx::new("after-poison");
+        reg.push_trace(Arc::new(ctx.finish()));
+        assert_eq!(reg.latest_trace().unwrap().name, "after-poison");
+        assert_eq!(reg.recent_traces().len(), 1);
     }
 
     #[test]

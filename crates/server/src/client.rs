@@ -12,6 +12,7 @@ use re_storage::Tuple;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -21,7 +22,24 @@ pub enum ClientError {
     /// The peer sent something the protocol cannot decode.
     Protocol(String),
     /// The server answered with an error response.
-    Server(String),
+    Server {
+        /// Human-readable reason.
+        message: String,
+        /// Machine-readable classification (`"overloaded"`,
+        /// `"deadline_exceeded"`, `"cancelled"`, `"fault"`; empty when
+        /// unclassified).
+        code: String,
+        /// Back-off hint for `"overloaded"` errors, in milliseconds.
+        retry_after_millis: Option<u64>,
+    },
+}
+
+impl ClientError {
+    /// Whether the server shed this request under load — worth a backed-
+    /// off retry, unlike a malformed statement.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ClientError::Server { code, .. } if code == "overloaded")
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -29,7 +47,13 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Server { message, code, .. } => {
+                if code.is_empty() {
+                    write!(f, "server error: {message}")
+                } else {
+                    write!(f, "server error ({code}): {message}")
+                }
+            }
         }
     }
 }
@@ -85,9 +109,23 @@ pub trait Transport {
 
     /// Open a resumable cursor; returns the session descriptor.
     fn open(&mut self, db: &str, sql: &str) -> Result<OpenedSession, ClientError> {
+        self.open_with_deadline(db, sql, None)
+    }
+
+    /// [`open`](Self::open) with a per-request deadline in milliseconds:
+    /// the open (preprocessing included) and every later fetch on the
+    /// session abort with a typed `deadline_exceeded` error once it
+    /// passes.
+    fn open_with_deadline(
+        &mut self,
+        db: &str,
+        sql: &str,
+        deadline_millis: Option<u64>,
+    ) -> Result<OpenedSession, ClientError> {
         match self.request(Request::Open {
             db: db.to_string(),
             sql: sql.to_string(),
+            deadline_millis,
         })? {
             Response::Opened {
                 session,
@@ -117,6 +155,16 @@ pub trait Transport {
         match self.request(Request::Close { session })? {
             Response::Closed { existed } => Ok(existed),
             other => Err(unexpected("closed", other)),
+        }
+    }
+
+    /// Cancel a session cooperatively; returns whether it existed. A
+    /// cursor mid-fetch unwinds at its next morsel boundary; later
+    /// fetches on the id report a typed `cancelled` error.
+    fn cancel(&mut self, session: u64) -> Result<bool, ClientError> {
+        match self.request(Request::Cancel { session })? {
+            Response::Cancelled { existed } => Ok(existed),
+            other => Err(unexpected("cancelled", other)),
         }
     }
 
@@ -193,7 +241,15 @@ pub trait Transport {
 
 fn unexpected(wanted: &str, got: Response) -> ClientError {
     match got {
-        Response::Error { message } => ClientError::Server(message),
+        Response::Error {
+            message,
+            code,
+            retry_after_millis,
+        } => ClientError::Server {
+            message,
+            code,
+            retry_after_millis,
+        },
         other => ClientError::Protocol(format!("expected a `{wanted}` response, got {other:?}")),
     }
 }
@@ -218,6 +274,57 @@ impl Transport for LocalClient {
     }
 }
 
+/// Reconnect policy for [`TcpClient::connect_with_retry`]: capped
+/// exponential backoff with deterministic, seeded jitter (so tests replay
+/// the exact same schedule).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Connection attempts before giving up (at least 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles every retry.
+    pub base_delay: Duration,
+    /// Ceiling on the backoff, applied before jitter.
+    pub max_delay: Duration,
+    /// Seed for the jitter sequence; the same seed replays the same
+    /// delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+            seed: 0x5eed_c0de,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt` (0-based; attempt 0 has no
+    /// backoff): `min(base << (attempt-1), max)` plus up to 25% seeded
+    /// jitter, so colliding reconnectors spread out deterministically.
+    fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let base = self.base_delay.as_millis() as u64;
+        let capped = base
+            .saturating_mul(1u64 << (attempt - 1).min(20))
+            .min(self.max_delay.as_millis() as u64);
+        // splitmix64 of (seed, attempt): cheap, deterministic jitter.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter = if capped == 0 { 0 } else { z % (capped / 4 + 1) };
+        Duration::from_millis(capped + jitter)
+    }
+}
+
 /// TCP client speaking the JSON-lines protocol over one connection.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
@@ -233,6 +340,25 @@ impl TcpClient {
             reader,
             writer: stream,
         })
+    }
+
+    /// Connect with retries under `policy` — the reconnect path after a
+    /// dropped connection (the server keeps serving; the session table is
+    /// shared across connections, so a re-OPEN or a fetch on a still-live
+    /// session id works from the new connection).
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        policy: &RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let mut last_err = None;
+        for attempt in 0..policy.attempts.max(1) {
+            std::thread::sleep(policy.delay_before(attempt));
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
     }
 }
 

@@ -61,7 +61,7 @@ pub mod session;
 
 pub use catalog::Catalog;
 pub use client::{
-    ClientError, LocalClient, OpenedSession, Page, QueryOutcome, TcpClient, Transport,
+    ClientError, LocalClient, OpenedSession, Page, QueryOutcome, RetryPolicy, TcpClient, Transport,
 };
 pub use json::Json;
 pub use plan_cache::{CachedPlan, PlanCache};

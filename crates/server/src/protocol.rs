@@ -30,6 +30,11 @@ pub enum Request {
         db: String,
         /// The SQL statement.
         sql: String,
+        /// Optional per-request deadline in milliseconds, measured from
+        /// dispatch. Overrides the server's configured default; the open
+        /// (including preprocessing) and every later fetch on the session
+        /// abort cooperatively once it passes.
+        deadline_millis: Option<u64>,
     },
     /// Fetch the next page of up to `k` answers from a session.
     Fetch {
@@ -40,6 +45,14 @@ pub enum Request {
     },
     /// Close a session, releasing its cursor.
     Close {
+        /// Session id.
+        session: u64,
+    },
+    /// Cancel a session cooperatively: a parked cursor is dropped at
+    /// once; a cursor mid-fetch trips its cancel token and unwinds at the
+    /// next morsel boundary. Later fetches report a typed `cancelled`
+    /// error on the owning cursor.
+    Cancel {
         /// Session id.
         session: u64,
     },
@@ -102,12 +115,23 @@ impl Request {
             "open" => Ok(Request::Open {
                 db: str_field("db")?,
                 sql: str_field("sql")?,
+                // Optional — absent means "use the server default"; when
+                // present it must be an unsigned integer.
+                deadline_millis: match json.get("deadline_millis") {
+                    None => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        "`open` needs an unsigned integer `deadline_millis`".to_string()
+                    })?),
+                },
             }),
             "fetch" => Ok(Request::Fetch {
                 session: u64_field("session")?,
                 k: u64_field("k")?,
             }),
             "close" => Ok(Request::Close {
+                session: u64_field("session")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
                 session: u64_field("session")?,
             }),
             "query" => Ok(Request::Query {
@@ -130,11 +154,21 @@ impl Request {
     /// Encode the request as one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         let json = match self {
-            Request::Open { db, sql } => obj([
-                ("cmd", Json::Str("open".into())),
-                ("db", Json::Str(db.clone())),
-                ("sql", Json::Str(sql.clone())),
-            ]),
+            Request::Open {
+                db,
+                sql,
+                deadline_millis,
+            } => {
+                let mut fields = vec![
+                    ("cmd", Json::Str("open".into())),
+                    ("db", Json::Str(db.clone())),
+                    ("sql", Json::Str(sql.clone())),
+                ];
+                if let Some(ms) = deadline_millis {
+                    fields.push(("deadline_millis", Json::UInt(*ms)));
+                }
+                obj(fields)
+            }
             Request::Fetch { session, k } => obj([
                 ("cmd", Json::Str("fetch".into())),
                 ("session", Json::UInt(*session)),
@@ -142,6 +176,10 @@ impl Request {
             ]),
             Request::Close { session } => obj([
                 ("cmd", Json::Str("close".into())),
+                ("session", Json::UInt(*session)),
+            ]),
+            Request::Cancel { session } => obj([
+                ("cmd", Json::Str("cancel".into())),
                 ("session", Json::UInt(*session)),
             ]),
             Request::Query { db, sql } => obj([
@@ -213,7 +251,9 @@ pub struct StatsReport {
     pub ghd_last_plan: String,
     /// Enumeration work aggregated across all workers and sessions,
     /// including the shared pool's parallel-preprocessing counters
-    /// (`pool_tasks` / `pool_steals` / `pool_busy_micros`).
+    /// (`pool_tasks` / `pool_steals` / `pool_busy_micros`) and the
+    /// robustness outcomes (`requests_shed` / `deadline_exceeded` /
+    /// `cancelled` / `faults_injected`).
     pub enumeration: StatsSnapshot,
     /// Per-worker slices of the pool counters: one entry per pool worker
     /// plus a trailing caller slot; empty when preprocessing is serial.
@@ -244,6 +284,12 @@ pub enum Response {
     /// A session was closed.
     Closed {
         /// Whether the session existed.
+        existed: bool,
+    },
+    /// A `Cancel` was processed.
+    Cancelled {
+        /// Whether the session existed (parked or mid-fetch) when the
+        /// cancel arrived.
         existed: bool,
     },
     /// A one-shot result.
@@ -281,6 +327,13 @@ pub enum Response {
     Error {
         /// Human-readable reason.
         message: String,
+        /// Machine-readable classification: `"overloaded"`,
+        /// `"deadline_exceeded"`, `"cancelled"`, `"fault"`, or empty for
+        /// an unclassified failure (bad SQL, unknown session, ...).
+        code: String,
+        /// For `"overloaded"` errors: a hint, in milliseconds, of how
+        /// long the client should back off before retrying.
+        retry_after_millis: Option<u64>,
     },
 }
 
@@ -363,6 +416,34 @@ fn strings_from_json(json: &Json, what: &str) -> Result<Vec<String>, String> {
 }
 
 impl Response {
+    /// An unclassified error response (no code, no retry hint).
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::Error {
+            message: message.into(),
+            code: String::new(),
+            retry_after_millis: None,
+        }
+    }
+
+    /// An error response with a machine-readable `code`.
+    pub fn error_coded(message: impl Into<String>, code: impl Into<String>) -> Response {
+        Response::Error {
+            message: message.into(),
+            code: code.into(),
+            retry_after_millis: None,
+        }
+    }
+
+    /// The typed `overloaded` error: the request was shed by admission
+    /// control, with a back-off hint.
+    pub fn overloaded(message: impl Into<String>, retry_after_millis: u64) -> Response {
+        Response::Error {
+            message: message.into(),
+            code: "overloaded".into(),
+            retry_after_millis: Some(retry_after_millis),
+        }
+    }
+
     /// Encode the response as one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         let json = match self {
@@ -388,6 +469,11 @@ impl Response {
             Response::Closed { existed } => obj([
                 ("ok", Json::Bool(true)),
                 ("type", Json::Str("closed".into())),
+                ("existed", Json::Bool(*existed)),
+            ]),
+            Response::Cancelled { existed } => obj([
+                ("ok", Json::Bool(true)),
+                ("type", Json::Str("cancelled".into())),
                 ("existed", Json::Bool(*existed)),
             ]),
             Response::Result {
@@ -475,6 +561,19 @@ impl Response {
                     "pool_busy_micros",
                     Json::UInt(report.enumeration.pool_busy_micros),
                 ),
+                (
+                    "requests_shed",
+                    Json::UInt(report.enumeration.requests_shed),
+                ),
+                (
+                    "deadline_exceeded",
+                    Json::UInt(report.enumeration.deadline_exceeded),
+                ),
+                ("cancelled", Json::UInt(report.enumeration.cancelled)),
+                (
+                    "faults_injected",
+                    Json::UInt(report.enumeration.faults_injected),
+                ),
                 ("per_worker", workers_to_json(&report.per_worker)),
             ]),
             Response::Explained { text } => obj([
@@ -493,11 +592,24 @@ impl Response {
                 ("databases", strings_to_json(databases)),
             ]),
             Response::Pong => obj([("ok", Json::Bool(true)), ("type", Json::Str("pong".into()))]),
-            Response::Error { message } => obj([
-                ("ok", Json::Bool(false)),
-                ("type", Json::Str("error".into())),
-                ("error", Json::Str(message.clone())),
-            ]),
+            Response::Error {
+                message,
+                code,
+                retry_after_millis,
+            } => {
+                let mut fields = vec![
+                    ("ok", Json::Bool(false)),
+                    ("type", Json::Str("error".into())),
+                    ("error", Json::Str(message.clone())),
+                ];
+                if !code.is_empty() {
+                    fields.push(("code", Json::Str(code.clone())));
+                }
+                if let Some(ms) = retry_after_millis {
+                    fields.push(("retry_after_millis", Json::UInt(*ms)));
+                }
+                obj(fields)
+            }
         };
         json.to_string()
     }
@@ -542,6 +654,9 @@ impl Response {
             "closed" => Ok(Response::Closed {
                 existed: bool_field("existed")?,
             }),
+            "cancelled" => Ok(Response::Cancelled {
+                existed: bool_field("existed")?,
+            }),
             "result" => Ok(Response::Result {
                 columns: strings_from_json(
                     json.get("columns").ok_or("missing `columns`")?,
@@ -583,6 +698,10 @@ impl Response {
                     pool_tasks: u64_field("pool_tasks")?,
                     pool_steals: u64_field("pool_steals")?,
                     pool_busy_micros: u64_field("pool_busy_micros")?,
+                    requests_shed: u64_field("requests_shed")?,
+                    deadline_exceeded: u64_field("deadline_exceeded")?,
+                    cancelled: u64_field("cancelled")?,
+                    faults_injected: u64_field("faults_injected")?,
                 },
                 per_worker: workers_from_json(
                     json.get("per_worker").ok_or("missing `per_worker`")?,
@@ -603,6 +722,12 @@ impl Response {
             "pong" => Ok(Response::Pong),
             "error" => Ok(Response::Error {
                 message: str_field("error")?,
+                code: json
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                retry_after_millis: json.get("retry_after_millis").and_then(Json::as_u64),
             }),
             other => Err(format!("unknown response type `{other}`")),
         }
@@ -619,9 +744,16 @@ mod tests {
             Request::Open {
                 db: "dblp".into(),
                 sql: "SELECT DISTINCT a FROM T ORDER BY a LIMIT 5".into(),
+                deadline_millis: None,
+            },
+            Request::Open {
+                db: "dblp".into(),
+                sql: "SELECT DISTINCT a FROM T ORDER BY a LIMIT 5".into(),
+                deadline_millis: Some(1500),
             },
             Request::Fetch { session: 7, k: 10 },
             Request::Close { session: 7 },
+            Request::Cancel { session: 9 },
             Request::Query {
                 db: "d".into(),
                 sql: "SELECT DISTINCT a FROM T".into(),
@@ -654,6 +786,8 @@ mod tests {
                 exhausted: false,
             },
             Response::Closed { existed: true },
+            Response::Cancelled { existed: true },
+            Response::Cancelled { existed: false },
             Response::Result {
                 columns: vec!["x".into()],
                 rows: vec![vec![9]],
@@ -692,6 +826,10 @@ mod tests {
                     pool_tasks: 13,
                     pool_steals: 14,
                     pool_busy_micros: 15,
+                    requests_shed: 35,
+                    deadline_exceeded: 36,
+                    cancelled: 37,
+                    faults_injected: 38,
                 },
                 per_worker: vec![
                     WorkerCounters {
@@ -718,10 +856,39 @@ mod tests {
             Response::Pong,
             Response::Error {
                 message: "boom".into(),
+                code: String::new(),
+                retry_after_millis: None,
+            },
+            Response::Error {
+                message: "too busy".into(),
+                code: "overloaded".into(),
+                retry_after_millis: Some(250),
+            },
+            Response::Error {
+                message: "query deadline exceeded".into(),
+                code: "deadline_exceeded".into(),
+                retry_after_millis: None,
             },
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn error_code_and_retry_hint_are_optional_on_the_wire() {
+        // Old-style error lines (no `code`, no `retry_after_millis`)
+        // still decode — the fields default to unclassified.
+        let decoded =
+            Response::decode("{\"ok\":false,\"type\":\"error\",\"error\":\"boom\"}").unwrap();
+        assert_eq!(decoded, Response::error("boom"));
+        // And the unclassified encoding omits the optional fields.
+        assert!(!Response::error("boom").encode().contains("code"));
+        assert!(
+            Response::overloaded("busy", 40)
+                .encode()
+                .contains("\"retry_after_millis\":40"),
+            "the back-off hint rides on overloaded errors"
+        );
     }
 
     #[test]
@@ -730,6 +897,12 @@ mod tests {
         assert!(Request::decode("{\"cmd\":\"nope\"}").is_err());
         assert!(Request::decode("{\"cmd\":\"fetch\",\"session\":1}").is_err());
         assert!(Request::decode("{\"cmd\":\"open\",\"db\":\"d\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"cancel\"}").is_err());
+        // `deadline_millis`, when present, must be an unsigned integer.
+        assert!(Request::decode(
+            "{\"cmd\":\"open\",\"db\":\"d\",\"sql\":\"s\",\"deadline_millis\":\"soon\"}"
+        )
+        .is_err());
         // `explain` needs a boolean `analyze`, not a number.
         assert!(Request::decode("{\"cmd\":\"explain\",\"db\":\"d\",\"sql\":\"s\"}").is_err());
         assert!(

@@ -15,7 +15,9 @@ use crate::catalog::Catalog;
 use crate::plan_cache::PlanCache;
 use crate::protocol::{Request, Response, StatsReport, WorkerCounters};
 use crate::session::SessionTable;
-use rankedenum_core::{machine_threads, ExecContext, SharedStats, WorkerPool};
+use rankedenum_core::{
+    machine_threads, CancelKind, CancelToken, ExecContext, SharedStats, StatsSnapshot, WorkerPool,
+};
 use re_obs::trace::TraceCtx;
 use re_obs::{
     saturating_nanos, AtomicHistogram, FieldValue, LabeledMetric, MetricKind, ScalarMetric,
@@ -58,6 +60,27 @@ pub struct ServerConfig {
     /// `0` disables tracing. Defaults to the `RE_TRACE_SAMPLE`
     /// environment variable (itself defaulting to 0).
     pub trace_sample: u64,
+    /// Admission control: maximum expensive requests (OPEN / FETCH /
+    /// QUERY / EXPLAIN) in flight at once across all connections. Excess
+    /// requests are shed with a typed `overloaded` error carrying a
+    /// `retry_after_millis` back-off hint. Cheap requests (PING, STATS,
+    /// METRICS, CATALOG, CLOSE, CANCEL) always pass, so health checks and
+    /// cancels work *especially* under overload.
+    pub max_inflight: u64,
+    /// Per-connection pipeline cap: the most complete request lines one
+    /// connection may have queued unanswered at once. Requests beyond
+    /// the cap are answered — in order — with `overloaded`, keeping the
+    /// connection usable.
+    pub max_pipeline: usize,
+    /// Load shedding: OPEN / QUERY requests are shed with `overloaded`
+    /// while the shared preprocessing pool has more than this many tasks
+    /// queued (`0` disables the signal).
+    pub shed_pool_queue: usize,
+    /// Default deadline, in milliseconds, applied to every OPEN / QUERY
+    /// that does not carry its own `deadline_millis` (`0`: none).
+    /// Defaults to the `RE_QUERY_DEADLINE_MS` environment variable
+    /// (itself defaulting to 0).
+    pub default_deadline_millis: u64,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +96,13 @@ impl Default for ServerConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(500),
             trace_sample: re_obs::trace::env_sample_rate(),
+            max_inflight: 64,
+            max_pipeline: 32,
+            shed_pool_queue: 0,
+            default_deadline_millis: std::env::var("RE_QUERY_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 }
@@ -95,6 +125,15 @@ pub struct RankedQueryServer {
     exec: ExecContext,
     /// Slow-query threshold in milliseconds (`0`: disabled).
     slow_query_millis: u64,
+    /// Admission control: expensive requests currently in flight, and the
+    /// cap beyond which new ones are shed.
+    inflight: AtomicU64,
+    max_inflight: u64,
+    /// Load-shedding threshold on the shared pool's queue depth
+    /// (`0`: signal disabled).
+    shed_pool_queue: usize,
+    /// Default OPEN/QUERY deadline in milliseconds (`0`: none).
+    default_deadline_millis: u64,
     /// 1-in-N OPEN trace sampling (`0`: off).
     trace_sample: u64,
     /// OPENs dispatched so far, the sampling clock.
@@ -131,6 +170,10 @@ impl RankedQueryServer {
             ghd_last_plan: Mutex::new(String::new()),
             exec,
             slow_query_millis: config.slow_query_millis,
+            inflight: AtomicU64::new(0),
+            max_inflight: config.max_inflight,
+            shed_pool_queue: config.shed_pool_queue,
+            default_deadline_millis: config.default_deadline_millis,
             trace_sample: config.trace_sample,
             open_seq: AtomicU64::new(0),
             obs_open_ns: registry.histogram("server.open_ns"),
@@ -164,6 +207,9 @@ impl RankedQueryServer {
         enumeration.pool_tasks += pool.tasks_executed;
         enumeration.pool_steals += pool.tasks_stolen;
         enumeration.pool_busy_micros += pool.busy_micros;
+        // Folded from the process-global failpoint registry, like the pool
+        // counters — the injection sites don't report through `SharedStats`.
+        enumeration.faults_injected += re_fault::injected_total();
         StatsReport {
             sessions_open: self.sessions.open_count(),
             sessions_opened: self.sessions.opened_total(),
@@ -177,11 +223,15 @@ impl RankedQueryServer {
             plan_cache_misses: self.plan_cache.misses(),
             plan_cache_size: self.plan_cache.len() as u64,
             exec_pool_threads: self.exec.threads() as u64,
+            // Poison recovery, not skip: the stored value is a whole
+            // `String` swapped in one assignment, so a panicking writer
+            // cannot leave it half-updated — same policy as the session
+            // table and the metrics registry.
             ghd_last_plan: self
                 .ghd_last_plan
                 .lock()
-                .map(|s| s.clone())
-                .unwrap_or_default(),
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone(),
             enumeration,
             per_worker: self
                 .exec
@@ -196,11 +246,98 @@ impl RankedQueryServer {
         }
     }
 
+    /// Add a delta with only the robustness counters set to the shared
+    /// metrics (the other fields stay zero and merge as no-ops).
+    fn bump(&self, set: impl FnOnce(&mut StatsSnapshot)) {
+        let mut delta = StatsSnapshot::zero();
+        set(&mut delta);
+        self.enum_stats.add(&delta);
+    }
+
+    /// Record a shed request: counter plus the structured log event.
+    fn note_shed(&self, reason: &str, retry_after_millis: u64) {
+        self.bump(|d| d.requests_shed = 1);
+        re_obs::log::warn(
+            "re_server",
+            "request shed",
+            &[
+                ("reason", FieldValue::Str(reason)),
+                ("retry_after_millis", FieldValue::U64(retry_after_millis)),
+                // Shed requests never reach the traced open path.
+                ("trace_id", FieldValue::Str("untraced")),
+            ],
+        );
+    }
+
+    /// The back-off hint for a shed request, scaled to how loaded the
+    /// server currently looks (deeper pool queue → longer back-off).
+    fn retry_after_hint(&self) -> u64 {
+        let queued = self.exec.pool_queued() as u64;
+        (25 + queued * 5).min(5_000)
+    }
+
+    /// Admission control for expensive requests. On success the returned
+    /// guard holds one in-flight slot and releases it on drop — including
+    /// the unwind of a panicking dispatch, so a crashed request can never
+    /// leak its slot and ratchet the server shut.
+    fn admit(&self, request: &Request) -> Result<InflightGuard<'_>, Response> {
+        let prev = self.inflight.fetch_add(1, Ordering::SeqCst);
+        let guard = InflightGuard {
+            inflight: &self.inflight,
+        };
+        if prev >= self.max_inflight {
+            let retry = self.retry_after_hint();
+            self.note_shed("max-inflight", retry);
+            return Err(Response::overloaded(
+                format!(
+                    "server is at its in-flight request limit ({}); retry later",
+                    self.max_inflight
+                ),
+                retry,
+            ));
+        }
+        // Preprocessing-heavy requests are also shed while the shared
+        // pool's queue is deep: finishing the work already admitted beats
+        // queueing more behind it.
+        if self.shed_pool_queue > 0
+            && matches!(request, Request::Open { .. } | Request::Query { .. })
+        {
+            let queued = self.exec.pool_queued();
+            if queued > self.shed_pool_queue {
+                let retry = self.retry_after_hint();
+                self.note_shed("pool-queue-depth", retry);
+                return Err(Response::overloaded(
+                    format!("preprocessing pool is backed up ({queued} tasks queued); retry later"),
+                    retry,
+                ));
+            }
+        }
+        Ok(guard)
+    }
+
     /// Dispatch one request. Never panics on bad input; failures come back
     /// as [`Response::Error`]. Session-op latencies (OPEN/FETCH/CLOSE,
     /// including error outcomes) are recorded into the
     /// `server.{open,fetch,close}_ns` registry histograms.
     pub fn handle(&self, request: Request) -> Response {
+        if let Err(fault) = re_fault::fire("server.dispatch") {
+            return Response::error_coded(fault.to_string(), "fault");
+        }
+        let expensive = matches!(
+            &request,
+            Request::Open { .. }
+                | Request::Fetch { .. }
+                | Request::Query { .. }
+                | Request::Explain { .. }
+        );
+        let _admission = if expensive {
+            match self.admit(&request) {
+                Ok(guard) => Some(guard),
+                Err(response) => return response,
+            }
+        } else {
+            None
+        };
         let timer = match &request {
             Request::Open { .. } => Some(Arc::clone(&self.obs_open_ns)),
             Request::Fetch { .. } => Some(Arc::clone(&self.obs_fetch_ns)),
@@ -209,11 +346,16 @@ impl RankedQueryServer {
         };
         let start = timer.as_ref().map(|_| Instant::now());
         let response = match request {
-            Request::Open { db, sql } => self.do_open(db, sql),
+            Request::Open {
+                db,
+                sql,
+                deadline_millis,
+            } => self.do_open(db, sql, deadline_millis),
             Request::Fetch { session, k } => self.do_fetch(session, k),
             Request::Close { session } => Response::Closed {
                 existed: self.sessions.close(session),
             },
+            Request::Cancel { session } => self.do_cancel(session),
             Request::Query { db, sql } => self.do_query(db, sql),
             Request::Explain { db, sql, analyze } => self.do_explain(db, sql, analyze),
             Request::Stats => Response::Stats(Box::new(self.stats_report())),
@@ -241,16 +383,20 @@ impl RankedQueryServer {
         let response = match Request::decode(line) {
             Ok(request) => {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(request)))
-                    .unwrap_or_else(|_| Response::Error {
-                        message: "internal error while serving the request".to_string(),
-                    })
+                    .unwrap_or_else(|_| Response::error("internal error while serving the request"))
             }
-            Err(message) => Response::Error { message },
+            Err(message) => Response::error(message),
         };
         response.encode()
     }
 
-    fn do_open(&self, db_name: String, sql: String) -> Response {
+    fn do_open(&self, db_name: String, sql: String, deadline_millis: Option<u64>) -> Response {
+        // The request's own deadline wins; otherwise the configured
+        // default applies. The token exists even without a deadline so a
+        // later `CANCEL` can reach the cursor mid-fetch.
+        let deadline = deadline_millis
+            .or_else(|| (self.default_deadline_millis > 0).then_some(self.default_deadline_millis));
+        let token = CancelToken::new(deadline.map(Duration::from_millis));
         // 1-in-N sampling: mint a request-scoped trace so every span the
         // preprocessing pass opens (reduce passes, bag materialisation,
         // pool tasks with worker lanes) lands in one exportable tree.
@@ -261,7 +407,7 @@ impl RankedQueryServer {
             None
         };
         let guard = trace_ctx.as_ref().map(|ctx| re_obs::trace::install(ctx, 0));
-        let outcome = self.open_cursor(&db_name, &sql);
+        let outcome = self.open_cursor(&db_name, &sql, Some(&token));
         drop(guard);
         let trace_id = trace_ctx.map(|ctx| {
             let trace = ctx.finish();
@@ -273,7 +419,12 @@ impl RankedQueryServer {
             Ok((cursor, algorithm, plan_cached)) => {
                 self.maybe_log_slow_open(&db_name, &sql, &algorithm, &cursor, trace_id.as_deref());
                 let columns = cursor.columns().to_vec();
-                let session = self.sessions.insert(db_name, cursor);
+                if let Err(fault) = re_fault::fire("session.park") {
+                    // The cursor is built but never parked: it drops here,
+                    // leaking nothing.
+                    return Response::error_coded(fault.to_string(), "fault");
+                }
+                let session = self.sessions.insert(db_name, cursor, Some(token));
                 Response::Opened {
                     session,
                     columns,
@@ -281,8 +432,33 @@ impl RankedQueryServer {
                     plan_cached,
                 }
             }
-            Err(message) => Response::Error { message },
+            Err(response) => {
+                self.log_cancelled_outcome(&response, "open", trace_id.as_deref());
+                response
+            }
         }
+    }
+
+    /// Emit the structured event for an OPEN/QUERY/FETCH that ended in a
+    /// cooperative cancellation (deadline or explicit), joined to the
+    /// request's trace when one was sampled.
+    fn log_cancelled_outcome(&self, response: &Response, op: &str, trace_id: Option<&str>) {
+        let Response::Error { message, code, .. } = response else {
+            return;
+        };
+        if code != "deadline_exceeded" && code != "cancelled" {
+            return;
+        }
+        re_obs::log::warn(
+            "re_server",
+            "request cancelled",
+            &[
+                ("op", FieldValue::Str(op)),
+                ("code", FieldValue::Str(code)),
+                ("reason", FieldValue::Str(message)),
+                ("trace_id", FieldValue::Str(trace_id.unwrap_or("untraced"))),
+            ],
+        );
     }
 
     /// Render the plan of `sql` — structure only (`analyze: false`) or
@@ -293,9 +469,7 @@ impl RankedQueryServer {
     /// workload, so they do not inflate the server-wide aggregates.
     fn do_explain(&self, db_name: String, sql: String, analyze: bool) -> Response {
         let Some(db) = self.catalog.get(&db_name) else {
-            return Response::Error {
-                message: format!("unknown database `{db_name}`"),
-            };
+            return Response::error(format!("unknown database `{db_name}`"));
         };
         let mode = if analyze {
             ExplainMode::Analyze
@@ -305,48 +479,87 @@ impl RankedQueryServer {
         let executor = OwnedSqlExecutor::new(db).with_exec_context(self.exec.clone());
         match executor.explain(&sql, mode) {
             Ok(text) => Response::Explained { text },
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
+            Err(e) => self.classify_sql_error(e),
         }
+    }
+
+    fn do_cancel(&self, id: u64) -> Response {
+        let existed = self.sessions.cancel(id);
+        if existed {
+            // The single bump for this cancellation: fetches that later
+            // observe the tripped token report the typed error without
+            // re-counting.
+            self.bump(|d| d.cancelled = 1);
+            re_obs::log::warn(
+                "re_server",
+                "session cancelled",
+                &[
+                    ("session", FieldValue::U64(id)),
+                    ("trace_id", FieldValue::Str("untraced")),
+                ],
+            );
+        }
+        Response::Cancelled { existed }
     }
 
     fn do_fetch(&self, id: u64, k: u64) -> Response {
         let Some(mut session) = self.sessions.take(id) else {
-            // Budget evictions get the documented, distinguishable error
-            // so clients can tell "re-OPEN and retry" from a typo'd id.
+            // Cancelled and budget-evicted sessions get documented,
+            // distinguishable errors so clients can tell "re-OPEN and
+            // retry" from a typo'd id.
+            if let Some(kind) = self.sessions.was_cancelled(id) {
+                return Response::error_coded(format!("session {id}: {kind}"), kind.code());
+            }
             let message = if self.sessions.was_budget_evicted(id) {
                 format!("session {id} was evicted to enforce the session memory budget")
             } else {
                 format!("unknown, expired or busy session {id}")
             };
-            return Response::Error { message };
+            return Response::error(message);
         };
         // Catch panics *here*, not only in `handle_line`: the session is
         // checked out, and bailing without `discard`/`put_back` would leak
         // its id in the table's checked-out set forever.
-        let page = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        type FetchOutcome = Result<(Vec<re_storage::Tuple>, bool), re_fault::FaultError>;
+        let page = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> FetchOutcome {
+            re_fault::fire("fetch.next")?;
             let rows = session.cursor.fetch(k.min(usize::MAX as u64) as usize);
             let exhausted = session.cursor.is_exhausted();
-            (rows, exhausted)
+            Ok((rows, exhausted))
         }));
         let (rows, exhausted) = match page {
-            Ok(page) => {
+            Ok(Ok(page)) => {
                 self.obs_fetch_rows.record(page.0.len() as u64);
                 page
+            }
+            Ok(Err(fault)) => {
+                // An injected error is indistinguishable from a real mid-
+                // fetch failure by design: the cursor is suspect, drop it.
+                self.sessions.discard(session);
+                return Response::error_coded(fault.to_string(), "fault");
             }
             Err(_) => {
                 // The cursor's internal state is suspect; drop the session.
                 self.sessions.discard(session);
-                return Response::Error {
-                    message: format!("internal error while fetching from session {id}"),
-                };
+                return Response::error(format!("internal error while fetching from session {id}"));
             }
         };
         // Publish this page's enumeration work to the shared metrics.
         let snapshot = session.cursor.stats_snapshot();
         self.enum_stats.add(&snapshot.diff(&session.reported));
         session.reported = snapshot;
+        // A tripped cancel token (deadline passed mid-page, or a CANCEL
+        // racing this fetch) latches on the stream: report the typed
+        // error on the owning cursor and release it.
+        if let Some(kind) = session.cursor.cancel_status() {
+            if kind == CancelKind::Deadline {
+                self.bump(|d| d.deadline_exceeded = 1);
+            }
+            self.sessions.discard_cancelled(session, kind);
+            let response = Response::error_coded(format!("session {id}: {kind}"), kind.code());
+            self.log_cancelled_outcome(&response, "fetch", None);
+            return response;
+        }
         if exhausted {
             // A finished cursor holds no future answers; release its memory
             // now instead of waiting for CLOSE or eviction.
@@ -358,13 +571,31 @@ impl RankedQueryServer {
     }
 
     fn do_query(&self, db_name: String, sql: String) -> Response {
-        match self.open_cursor(&db_name, &sql) {
+        // One-shot queries run under the configured default deadline, if
+        // any (there is no session to CANCEL, so the token is pure
+        // deadline).
+        let token = (self.default_deadline_millis > 0).then(|| {
+            CancelToken::with_deadline(Duration::from_millis(self.default_deadline_millis))
+        });
+        match self.open_cursor(&db_name, &sql, token.as_ref()) {
             Ok((mut cursor, algorithm, plan_cached)) => {
                 let at_open = cursor.stats_snapshot();
                 let rows = cursor.fetch_all();
                 // `open_cursor` already published the preprocessing work;
                 // only the enumeration delta is new.
                 self.enum_stats.add(&cursor.stats_snapshot().diff(&at_open));
+                // A deadline that struck mid-drain produced a truncated
+                // result; report the typed error instead of passing the
+                // partial rows off as complete.
+                if let Some(kind) = cursor.cancel_status() {
+                    if kind == CancelKind::Deadline {
+                        self.bump(|d| d.deadline_exceeded = 1);
+                    }
+                    let response =
+                        Response::error_coded(format!("query aborted: {kind}"), kind.code());
+                    self.log_cancelled_outcome(&response, "query", None);
+                    return response;
+                }
                 Response::Result {
                     columns: cursor.columns().to_vec(),
                     rows,
@@ -372,37 +603,65 @@ impl RankedQueryServer {
                     plan_cached,
                 }
             }
-            Err(message) => Response::Error { message },
+            Err(response) => {
+                self.log_cancelled_outcome(&response, "query", None);
+                response
+            }
+        }
+    }
+
+    /// Map an executor error to a response: cooperative cancellations get
+    /// their typed code (and counter bump); everything else stays an
+    /// unclassified error.
+    fn classify_sql_error(&self, e: re_sql::SqlError) -> Response {
+        match e {
+            re_sql::SqlError::Cancelled(kind) => {
+                match kind {
+                    CancelKind::Deadline => self.bump(|d| d.deadline_exceeded = 1),
+                    CancelKind::Explicit => self.bump(|d| d.cancelled = 1),
+                }
+                Response::error_coded(kind.to_string(), kind.code())
+            }
+            other => Response::error(other.to_string()),
         }
     }
 
     /// Shared open path of `open` and `query`: catalog lookup, plan cache,
-    /// enumerator construction (the one preprocessing pass).
+    /// enumerator construction (the one preprocessing pass, run under the
+    /// cancel token when one is given). Failures come back as ready-made
+    /// responses, typed for cooperative cancellations.
     fn open_cursor(
         &self,
         db_name: &str,
         sql: &str,
-    ) -> Result<(re_sql::QueryCursor, String, bool), String> {
+        token: Option<&CancelToken>,
+    ) -> Result<(re_sql::QueryCursor, String, bool), Response> {
         let (db, generation) = self
             .catalog
             .get_versioned(db_name)
-            .ok_or_else(|| format!("unknown database `{db_name}`"))?;
+            .ok_or_else(|| Response::error(format!("unknown database `{db_name}`")))?;
         let (cached, hit) = self
             .plan_cache
             .get_or_plan(db_name, generation, &db, sql)
-            .map_err(|e| e.to_string())?;
-        let executor = OwnedSqlExecutor::new(db).with_exec_context(self.exec.clone());
+            .map_err(|e| Response::error(e.to_string()))?;
+        let exec = match token {
+            Some(token) => self.exec.clone().with_cancel_token(token.clone()),
+            None => self.exec.clone(),
+        };
+        let executor = OwnedSqlExecutor::new(db).with_exec_context(exec);
         let cursor = executor
             .open_plan(&cached.plan)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| self.classify_sql_error(e))?;
         self.enumerators_built.fetch_add(1, Ordering::Relaxed);
         // Count the preprocessing pass towards the shared metrics right
         // away (fetch deltas continue from this snapshot).
         self.enum_stats.add(&cursor.stats_snapshot());
         if let Some(shape) = cursor.plan_shape() {
-            if let Ok(mut last) = self.ghd_last_plan.lock() {
-                *last = shape;
-            }
+            // Poison recovery, not skip — see `stats_report`.
+            *self
+                .ghd_last_plan
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = shape;
         }
         Ok((cursor, cached.algorithm.label().to_string(), hit))
     }
@@ -620,6 +879,30 @@ impl RankedQueryServer {
                 counter,
                 e.pool_busy_micros,
             ),
+            (
+                "server.requests_shed",
+                "Requests refused by admission control (in-flight gate, pipeline cap, load shedding).",
+                counter,
+                e.requests_shed,
+            ),
+            (
+                "server.deadline_exceeded",
+                "Requests aborted because their deadline passed.",
+                counter,
+                e.deadline_exceeded,
+            ),
+            (
+                "server.cancelled",
+                "Sessions cancelled by explicit CANCEL requests.",
+                counter,
+                e.cancelled,
+            ),
+            (
+                "fault.injected_total",
+                "Faults injected by armed failpoints (RE_FAULT).",
+                counter,
+                e.faults_injected,
+            ),
         ];
         let scalars: Vec<ScalarMetric> = scalars
             .into_iter()
@@ -673,6 +956,18 @@ impl RankedQueryServer {
             })
             .collect();
         re_obs::render_prometheus_labeled(&scalars, &labeled, re_obs::global())
+    }
+}
+
+/// One admitted in-flight slot; released on drop — including a panic's
+/// unwind — so a crashed request can never leak its slot.
+struct InflightGuard<'a> {
+    inflight: &'a AtomicU64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -744,12 +1039,13 @@ pub fn serve(
             let conn_rx = Arc::clone(&conn_rx);
             let server = Arc::clone(&server);
             let shutdown = Arc::clone(&shutdown);
+            let max_pipeline = config.max_pipeline;
             std::thread::spawn(move || loop {
                 // Holding the receiver lock only while popping keeps the
                 // other workers free to pick up the next connection.
                 let next = conn_rx.lock().expect("worker queue poisoned").recv();
                 match next {
-                    Ok(stream) => serve_connection(&server, stream, &shutdown),
+                    Ok(stream) => serve_connection(&server, stream, &shutdown, max_pipeline),
                     Err(_) => return, // acceptor gone, queue drained
                 }
             })
@@ -794,11 +1090,22 @@ pub fn serve(
 /// `read_line`, whose guard *discards* the bytes it read when a timeout
 /// strikes mid-line), so a request split across TCP segments with a stall
 /// in between is reassembled intact.
-fn serve_connection(server: &RankedQueryServer, stream: TcpStream, shutdown: &AtomicBool) {
+///
+/// Pipelining is capped per drain batch: a client that writes more than
+/// `max_pipeline` complete request lines before reading any response gets
+/// the excess answered — still in order — with typed `overloaded` errors,
+/// so one greedy connection cannot queue unbounded work behind itself.
+fn serve_connection(
+    server: &RankedQueryServer,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    max_pipeline: usize,
+) {
     let Ok(mut reader) = stream.try_clone() else {
         return;
     };
     let _ = reader.set_read_timeout(Some(Duration::from_millis(100)));
+    let max_pipeline = max_pipeline.max(1);
     let mut writer = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
@@ -817,16 +1124,28 @@ fn serve_connection(server: &RankedQueryServer, stream: TcpStream, shutdown: &At
             }
             Err(_) => return, // broken pipe
         }
+        let mut served_in_batch = 0usize;
         while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
             let line_bytes: Vec<u8> = pending.drain(..=newline).collect();
             let response = match std::str::from_utf8(&line_bytes) {
                 Ok(line) if line.trim().is_empty() => continue,
-                Ok(line) => server.handle_line(line.trim()),
-                Err(_) => Response::Error {
-                    message: "request line is not valid UTF-8".to_string(),
+                Ok(_) if served_in_batch >= max_pipeline => {
+                    // Shed without dispatching.
+                    let retry = server.retry_after_hint();
+                    server.note_shed("pipeline-cap", retry);
+                    Response::overloaded(
+                        format!(
+                            "connection pipelined more than {max_pipeline} requests; \
+                             read responses before sending more"
+                        ),
+                        retry,
+                    )
+                    .encode()
                 }
-                .encode(),
+                Ok(line) => server.handle_line(line.trim()),
+                Err(_) => Response::error("request line is not valid UTF-8").encode(),
             };
+            served_in_batch += 1;
             if writer
                 .write_all(response.as_bytes())
                 .and_then(|_| writer.write_all(b"\n"))

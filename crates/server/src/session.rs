@@ -25,7 +25,7 @@
 //!   can report the documented "evicted to enforce the session memory
 //!   budget" error instead of a generic unknown-session one.
 
-use rankedenum_core::StatsSnapshot;
+use rankedenum_core::{CancelKind, CancelToken, StatsSnapshot};
 use re_obs::FieldValue;
 use re_sql::QueryCursor;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -36,6 +36,11 @@ use std::time::{Duration, Instant};
 /// How many budget-evicted session ids are remembered for error
 /// attribution.
 const EVICTED_RING_CAPACITY: usize = 256;
+
+/// How many cancelled session ids (with the kind of cancellation) are
+/// remembered, so a later `FETCH` reports the typed error instead of a
+/// generic unknown-session one.
+const CANCELLED_RING_CAPACITY: usize = 256;
 
 /// Emit the structured eviction event: which session went, why, and how
 /// many frontier bytes its cursor was retaining. `info`-level — evictions
@@ -80,6 +85,23 @@ struct Inner {
     checked_out: HashSet<u64>,
     pending_close: HashSet<u64>,
     budget_evicted: VecDeque<u64>,
+    /// Cancel tokens by session id, kept while the session lives so a
+    /// `CANCEL` can trip a cursor that is checked out mid-fetch.
+    tokens: HashMap<u64, CancelToken>,
+    /// CANCELs that raced an in-flight fetch: `put_back` honours them by
+    /// dropping the session instead of re-parking it.
+    pending_cancel: HashSet<u64>,
+    /// Recently cancelled ids with why, for typed error attribution.
+    cancelled: VecDeque<(u64, CancelKind)>,
+}
+
+impl Inner {
+    fn remember_cancelled(&mut self, id: u64, kind: CancelKind) {
+        if self.cancelled.len() == CANCELLED_RING_CAPACITY {
+            self.cancelled.pop_front();
+        }
+        self.cancelled.push_back((id, kind));
+    }
 }
 
 /// Concurrent session table with idle and memory-budget eviction.
@@ -142,6 +164,7 @@ impl SessionTable {
             .collect();
         for id in expired {
             let session = inner.parked.remove(&id).expect("expired id is parked");
+            inner.tokens.remove(&id);
             log_eviction(&session, "idle-ttl");
             self.evicted.fetch_add(1, Ordering::Relaxed);
         }
@@ -175,6 +198,7 @@ impl SessionTable {
                 break; // only the just-parked session is left
             };
             let session = inner.parked.remove(&victim).expect("victim is parked");
+            inner.tokens.remove(&victim);
             total = total.saturating_sub(session.frontier_bytes);
             if inner.budget_evicted.len() == EVICTED_RING_CAPACITY {
                 inner.budget_evicted.pop_front();
@@ -188,8 +212,11 @@ impl SessionTable {
         victims
     }
 
-    /// Park a fresh cursor; returns the new session id.
-    pub fn insert(&self, db: String, cursor: QueryCursor) -> u64 {
+    /// Park a fresh cursor; returns the new session id. When the cursor
+    /// runs under a cancel token (a deadline, or just `CANCEL`-ability),
+    /// the table keeps a handle to it so a later `CANCEL` can trip the
+    /// cursor even mid-fetch.
+    pub fn insert(&self, db: String, cursor: QueryCursor, token: Option<CancelToken>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let reported = cursor.stats_snapshot();
         let session = Session {
@@ -203,11 +230,68 @@ impl SessionTable {
         let mut inner = self.lock();
         self.sweep(&mut inner);
         inner.parked.insert(id, session);
+        if let Some(token) = token {
+            inner.tokens.insert(id, token);
+        }
         let victims = self.enforce_budget(&mut inner, id);
         self.opened.fetch_add(1, Ordering::Relaxed);
         drop(inner);
         drop(victims); // cursor deallocation happens outside the lock
         id
+    }
+
+    /// Cancel a session; returns whether it existed. A parked session is
+    /// dropped at once (its memory released outside the lock); a session
+    /// checked out by an in-flight fetch has its cancel token tripped —
+    /// the fetch unwinds at the next morsel boundary and `put_back` drops
+    /// it. Either way the id lands in the cancelled ring, so later
+    /// fetches get the typed `cancelled` error.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        self.sweep(&mut inner);
+        if let Some(token) = inner.tokens.get(&id) {
+            token.cancel();
+        }
+        if let Some(session) = inner.parked.remove(&id) {
+            inner.tokens.remove(&id);
+            inner.remember_cancelled(id, CancelKind::Explicit);
+            drop(inner);
+            drop(session); // cursor deallocation happens outside the lock
+            return true;
+        }
+        if inner.checked_out.contains(&id) {
+            inner.pending_cancel.insert(id);
+            inner.remember_cancelled(id, CancelKind::Explicit);
+            return true;
+        }
+        false
+    }
+
+    /// Whether `id` was recently cancelled (explicitly or by its
+    /// deadline), and why — used to attribute later fetch errors.
+    pub fn was_cancelled(&self, id: u64) -> Option<CancelKind> {
+        self.lock()
+            .cancelled
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == id)
+            .map(|(_, kind)| *kind)
+    }
+
+    /// Drop a checked-out session whose fetch observed a tripped cancel
+    /// token, recording why so later fetches on the id report the typed
+    /// error. The caller must have obtained it through
+    /// [`SessionTable::take`].
+    pub fn discard_cancelled(&self, session: Session, kind: CancelKind) {
+        let id = session.id;
+        let mut inner = self.lock();
+        inner.checked_out.remove(&id);
+        inner.pending_close.remove(&id);
+        inner.pending_cancel.remove(&id);
+        inner.tokens.remove(&id);
+        inner.remember_cancelled(id, kind);
+        drop(inner);
+        drop(session); // cursor deallocation happens outside the lock
     }
 
     /// Check a session out for exclusive use (one fetch). Returns `None`
@@ -237,7 +321,13 @@ impl SessionTable {
         let id = session.id;
         let mut inner = self.lock();
         inner.checked_out.remove(&id);
+        if inner.pending_cancel.remove(&id) {
+            // cancelled mid-fetch (already in the cancelled ring)
+            inner.tokens.remove(&id);
+            return; // the cursor drops after the lock is released
+        }
         if inner.pending_close.remove(&id) {
+            inner.tokens.remove(&id);
             return; // closed mid-fetch; release the cursor now
         }
         inner.parked.insert(id, session);
@@ -252,6 +342,8 @@ impl SessionTable {
         let mut inner = self.lock();
         inner.checked_out.remove(&session.id);
         inner.pending_close.remove(&session.id);
+        inner.pending_cancel.remove(&session.id);
+        inner.tokens.remove(&session.id);
         drop(inner);
         drop(session);
     }
@@ -262,7 +354,10 @@ impl SessionTable {
     pub fn close(&self, id: u64) -> bool {
         let mut inner = self.lock();
         self.sweep(&mut inner);
-        if inner.parked.remove(&id).is_some() {
+        if let Some(session) = inner.parked.remove(&id) {
+            inner.tokens.remove(&id);
+            drop(inner);
+            drop(session); // cursor deallocation happens outside the lock
             return true;
         }
         if inner.checked_out.contains(&id) {
@@ -333,7 +428,7 @@ mod tests {
     #[test]
     fn take_is_exclusive_and_put_back_restores() {
         let table = SessionTable::new(Duration::from_secs(60));
-        let id = table.insert("d".into(), cursor());
+        let id = table.insert("d".into(), cursor(), None);
         assert_eq!(table.open_count(), 1);
         let mut session = table.take(id).expect("session exists");
         assert!(table.take(id).is_none(), "checked-out session is busy");
@@ -349,7 +444,7 @@ mod tests {
     #[test]
     fn close_during_checkout_is_honoured_at_put_back() {
         let table = SessionTable::new(Duration::from_secs(60));
-        let id = table.insert("d".into(), cursor());
+        let id = table.insert("d".into(), cursor(), None);
         let session = table.take(id).expect("session exists");
         // A racing CLOSE while the fetch is in flight succeeds...
         assert!(table.close(id), "close of a checked-out session succeeds");
@@ -362,7 +457,7 @@ mod tests {
     #[test]
     fn discard_releases_a_checked_out_session() {
         let table = SessionTable::new(Duration::from_secs(60));
-        let id = table.insert("d".into(), cursor());
+        let id = table.insert("d".into(), cursor(), None);
         let session = table.take(id).unwrap();
         table.discard(session);
         assert!(table.take(id).is_none());
@@ -372,7 +467,7 @@ mod tests {
     #[test]
     fn idle_sessions_are_evicted() {
         let table = SessionTable::new(Duration::from_millis(20));
-        let id = table.insert("d".into(), cursor());
+        let id = table.insert("d".into(), cursor(), None);
         std::thread::sleep(Duration::from_millis(60));
         assert!(table.take(id).is_none(), "expired session is gone");
         assert_eq!(table.evicted_total(), 1);
@@ -384,7 +479,7 @@ mod tests {
     #[test]
     fn fresh_activity_resets_the_idle_clock() {
         let table = SessionTable::new(Duration::from_millis(80));
-        let id = table.insert("d".into(), cursor());
+        let id = table.insert("d".into(), cursor(), None);
         for _ in 0..4 {
             std::thread::sleep(Duration::from_millis(30));
             let session = table.take(id).expect("recently used session survives");
@@ -396,7 +491,7 @@ mod tests {
     #[test]
     fn parked_sessions_report_their_frontier_bytes() {
         let table = SessionTable::new(Duration::from_secs(60));
-        let _ = table.insert("d".into(), cursor());
+        let _ = table.insert("d".into(), cursor(), None);
         assert!(
             table.parked_bytes() > 0,
             "a parked enumerator retains frontier memory"
@@ -408,10 +503,10 @@ mod tests {
         // Budget of one byte: any second session pushes the table over,
         // and the heaviest *other* session must go.
         let table = SessionTable::with_budget(Duration::from_secs(60), 1);
-        let a = table.insert("d".into(), cursor());
+        let a = table.insert("d".into(), cursor(), None);
         // Parking a second session evicts the first (the freshly parked
         // one is protected).
-        let b = table.insert("d".into(), cursor());
+        let b = table.insert("d".into(), cursor(), None);
         assert!(table.take(a).is_none(), "heaviest idle session evicted");
         assert!(table.was_budget_evicted(a));
         assert!(!table.was_budget_evicted(b));
@@ -423,7 +518,9 @@ mod tests {
     #[test]
     fn unlimited_budget_never_evicts() {
         let table = SessionTable::with_budget(Duration::from_secs(60), 0);
-        let ids: Vec<u64> = (0..4).map(|_| table.insert("d".into(), cursor())).collect();
+        let ids: Vec<u64> = (0..4)
+            .map(|_| table.insert("d".into(), cursor(), None))
+            .collect();
         assert_eq!(table.open_count(), 4);
         for id in ids {
             assert!(table.take(id).is_some());
@@ -432,10 +529,48 @@ mod tests {
     }
 
     #[test]
+    fn cancel_of_a_parked_session_drops_it_and_is_attributed() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let token = CancelToken::unbounded();
+        let id = table.insert("d".into(), cursor(), Some(token.clone()));
+        assert!(table.cancel(id), "parked session is cancellable");
+        assert!(token.is_cancelled(), "the table tripped the token");
+        assert!(table.take(id).is_none(), "cancelled session is gone");
+        assert_eq!(table.was_cancelled(id), Some(CancelKind::Explicit));
+        assert!(!table.cancel(id), "second cancel finds nothing");
+        assert_eq!(table.open_count(), 0);
+    }
+
+    #[test]
+    fn cancel_of_a_checked_out_session_trips_the_token_and_put_back_drops_it() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let token = CancelToken::unbounded();
+        let id = table.insert("d".into(), cursor(), Some(token.clone()));
+        let session = table.take(id).expect("session exists");
+        assert!(table.cancel(id), "checked-out session is cancellable");
+        assert!(token.is_cancelled(), "the in-flight fetch sees the trip");
+        // The completing fetch must not resurrect the session.
+        table.put_back(session);
+        assert!(table.take(id).is_none());
+        assert_eq!(table.was_cancelled(id), Some(CancelKind::Explicit));
+        assert_eq!(table.open_count(), 0);
+    }
+
+    #[test]
+    fn discard_cancelled_records_the_deadline_kind() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let id = table.insert("d".into(), cursor(), Some(CancelToken::unbounded()));
+        let session = table.take(id).unwrap();
+        table.discard_cancelled(session, CancelKind::Deadline);
+        assert_eq!(table.was_cancelled(id), Some(CancelKind::Deadline));
+        assert!(table.take(id).is_none());
+    }
+
+    #[test]
     fn generous_budget_keeps_everything() {
         let table = SessionTable::with_budget(Duration::from_secs(60), u64::MAX);
-        let a = table.insert("d".into(), cursor());
-        let b = table.insert("d".into(), cursor());
+        let a = table.insert("d".into(), cursor(), None);
+        let b = table.insert("d".into(), cursor(), None);
         assert!(table.take(a).is_some());
         assert!(table.take(b).is_some());
         assert_eq!(table.evicted_budget_total(), 0);

@@ -209,7 +209,7 @@ fn tcp_front_end_serves_the_protocol_through_the_worker_pool() {
     let err = client.fetch(999_999, 5).unwrap_err();
     assert!(err.to_string().contains("session"));
     let err = client.open("dblp", "SELECT broken FROM").unwrap_err();
-    assert!(matches!(err, re_server::ClientError::Server(_)));
+    assert!(matches!(err, re_server::ClientError::Server { .. }));
 
     handle.shutdown();
 }

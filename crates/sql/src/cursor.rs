@@ -12,8 +12,8 @@
 use crate::error::SqlError;
 use crate::planner::{OrderSpec, PlannedQuery, SqlPlan};
 use rankedenum_core::{
-    lexi_serves, Algorithm, ExecContext, InstrumentedStream, LexiEnumerator, RankedEnumerator,
-    RankedStream, StatsSnapshot, TimingBreakdown, UnionEnumerator,
+    lexi_serves, Algorithm, CancelKind, ExecContext, InstrumentedStream, LexiEnumerator,
+    RankedEnumerator, RankedStream, StatsSnapshot, TimingBreakdown, UnionEnumerator,
 };
 use re_ranking::{LexRanking, Ranking, SumRanking, WeightAssignment, WeightedSumRanking};
 use re_storage::{Attr, Database, Tuple};
@@ -95,7 +95,14 @@ impl QueryCursor {
                     }
                 })
             });
-        let stream = Box::new(InstrumentedStream::new(stream?, opened_at, phases));
+        // Thread the context's cancel token (when present) into the
+        // stream wrapper, so a deadline or explicit cancel also stops the
+        // enumeration phase — preprocessing already checks it per morsel.
+        let mut instrumented = InstrumentedStream::new(stream?, opened_at, phases);
+        if let Some(token) = ctx.cancel_token() {
+            instrumented = instrumented.with_cancel_token(token.clone());
+        }
+        let stream = Box::new(instrumented);
         Ok(QueryCursor {
             columns,
             stream,
@@ -153,6 +160,13 @@ impl QueryCursor {
     /// the statement's `LIMIT` budget is spent).
     pub fn is_exhausted(&self) -> bool {
         self.exhausted
+    }
+
+    /// Why this cursor stopped early, if it did: `Some(kind)` once the
+    /// cursor's cancel token tripped mid-enumeration (the short page that
+    /// observed it is the last page), `None` for an ordinary exhaustion.
+    pub fn cancel_status(&self) -> Option<CancelKind> {
+        self.stream.cancel_status()
     }
 
     /// The next page: up to `k` further answers in rank order. Consecutive

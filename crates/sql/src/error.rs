@@ -1,5 +1,6 @@
 //! Errors of the SQL front-end.
 
+use rankedenum_core::CancelKind;
 use re_query::QueryError;
 use re_storage::StorageError;
 use std::fmt;
@@ -35,6 +36,9 @@ pub enum SqlError {
     Storage(StorageError),
     /// The enumeration engine rejected the plan.
     Execution(String),
+    /// The statement was cancelled cooperatively — either its deadline
+    /// passed or the client asked for it — and unwound cleanly.
+    Cancelled(CancelKind),
 }
 
 impl fmt::Display for SqlError {
@@ -56,6 +60,7 @@ impl fmt::Display for SqlError {
             SqlError::Query(e) => write!(f, "query error: {e}"),
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
             SqlError::Execution(msg) => write!(f, "execution error: {msg}"),
+            SqlError::Cancelled(kind) => write!(f, "{kind}"),
         }
     }
 }
@@ -76,7 +81,10 @@ impl From<StorageError> for SqlError {
 
 impl From<rankedenum_core::EnumError> for SqlError {
     fn from(e: rankedenum_core::EnumError) -> Self {
-        SqlError::Execution(e.to_string())
+        match e {
+            rankedenum_core::EnumError::Cancelled(kind) => SqlError::Cancelled(kind),
+            other => SqlError::Execution(other.to_string()),
+        }
     }
 }
 
@@ -115,5 +123,8 @@ mod tests {
         assert!(matches!(q, SqlError::Query(_)));
         let s: SqlError = StorageError::UnknownRelation("R".into()).into();
         assert!(matches!(s, SqlError::Storage(_)));
+        let c: SqlError = rankedenum_core::EnumError::Cancelled(CancelKind::Deadline).into();
+        assert_eq!(c, SqlError::Cancelled(CancelKind::Deadline));
+        assert_eq!(c.to_string(), "query deadline exceeded");
     }
 }

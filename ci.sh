@@ -20,8 +20,18 @@ run cargo build --workspace --release
 run cargo test -q --workspace
 # The server integration suite (sessions, plan cache, TCP worker pool) is
 # part of the workspace tests, but run it explicitly so a hang or flake is
-# attributed to the right target.
-run cargo test -q -p re_server --test server_integration
+# attributed to the right target. RE_TRANSPORT selects the wire protocol
+# every TcpClient in the suite negotiates on its first frame; run the full
+# suite under both so JSON-lines and binary framing stay byte-equivalent
+# end to end.
+run env RE_TRANSPORT=json cargo test -q -p re_server --test server_integration
+run env RE_TRANSPORT=binary cargo test -q -p re_server --test server_integration
+# Reactor front-end: idle-cost (zero wakeups while parked), pipelining
+# order, both protocols on both front-ends, reactor metrics; plus the
+# binary-codec property/fuzz suite and the JSON/binary transport
+# equivalence suite.
+run cargo test -q -p re_server --test reactor_integration
+run cargo test -q -p re_server --test transport_equivalence
 # Smoke-scrape the Prometheus metrics surface: the exposition must parse
 # (HELP/TYPE/sample lines well-formed) and the preprocessing-span and
 # OPEN/FETCH latency histograms must populate after a cyclic OPEN + FETCH,
@@ -47,9 +57,13 @@ run env RE_EXEC_THREADS=4 cargo test -q -p rankedenum --test wcoj_differential
 # the live server — typed overload/deadline/cancel errors, byte-identical
 # recovery after every injected fault, no leaked sessions, counters
 # reconciled. Serial and pooled preprocessing exercise different unwind
-# paths (caller stack vs pool tasks), so run both.
-run env RE_EXEC_THREADS=1 cargo test -q -p re_server --test chaos
-run env RE_EXEC_THREADS=4 cargo test -q -p re_server --test chaos
+# paths (caller stack vs pool tasks), so run both — and both wire
+# protocols, since disconnect/fault handling runs in the reactor's
+# per-connection state machines.
+run env RE_EXEC_THREADS=1 RE_TRANSPORT=json cargo test -q -p re_server --test chaos
+run env RE_EXEC_THREADS=4 RE_TRANSPORT=json cargo test -q -p re_server --test chaos
+run env RE_EXEC_THREADS=1 RE_TRANSPORT=binary cargo test -q -p re_server --test chaos
+run env RE_EXEC_THREADS=4 RE_TRANSPORT=binary cargo test -q -p re_server --test chaos
 # Pin serial-vs-pooled 6-cycle bag materialisation; writes BENCH_preprocess.json.
 run cargo bench -q -p re_bench --bench preprocess
 # Pin the Algorithm-3 inversion fix: old vs new vs general lexi engines on
@@ -65,6 +79,14 @@ run cargo bench -q -p re_bench --bench preprocess
 # fails if the stamp is missing.
 run cargo bench -q -p re_bench --bench lexi_vs_general
 run cargo bench -q -p re_bench --bench enum_frontier
+# Load-gen the three server front-end modes (thread-per-conn JSON, reactor
+# JSON, reactor binary) in one run: 64 paced clients on 8 workers, solo
+# transport probes, coordinated-omission-corrected latencies; writes
+# BENCH_server.json. check_bench gates the reactor's >=3x sessions/sec,
+# its corrected p99 staying under the thread front-end's, and the binary
+# protocol's solo p50 staying under JSON's, with a 25% drift guard
+# against BENCH_server_baseline.json.
+run cargo run -q --release -p re_bench --bin server_load
 run cargo run -q --release -p re_bench --bin check_bench
 # Drive the server end to end over real sockets at smoke scale.
 run env RE_SCALE=0.05 cargo run -q --release --example server_quickstart

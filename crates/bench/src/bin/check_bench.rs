@@ -33,6 +33,16 @@
 //!    Check 4's time gates then double as the observability overhead
 //!    gate: instrumented ratios must stay within the same 25% drift
 //!    guard against the (equally instrumented) committed baseline.
+//! 7. **Server transport** — `BENCH_server.json`'s same-run three-way
+//!    comparison (thread-per-connection JSON vs reactor JSON vs reactor
+//!    binary, 64 paced clients on 8 workers) must show the reactor
+//!    sustaining ≥3× the thread front-end's sessions/sec with a
+//!    coordinated-omission-corrected FETCH p99 no worse than the thread
+//!    front-end's, and the binary protocol's p50 no worse than
+//!    JSON-lines' in the time-paired codec probe (alternating batches
+//!    against one server, so environment noise cancels out of the
+//!    ratio); the reactor/thread speedup and paired binary/JSON ratio
+//!    may drift at most 25% past `BENCH_server_baseline.json`.
 
 use std::path::Path;
 use std::process::exit;
@@ -50,6 +60,10 @@ const ENUM_TIME_BOUND: f64 = 1.05;
 /// at most this fraction of the old pipeline's (the >= 10x acceptance
 /// bound of the worst-case-optimal bag-materialisation PR).
 const TTF_RATIO_BOUND: f64 = 0.10;
+/// The reactor front-end must sustain at least this many times the
+/// thread-per-connection front-end's sessions/sec under the paced
+/// 64-client load (the event-driven-server PR acceptance bound).
+const SERVER_SPEEDUP_BOUND: f64 = 3.0;
 
 #[derive(Debug, Clone, PartialEq)]
 struct Entry {
@@ -367,6 +381,166 @@ fn check_instrumented(content: &str) -> Option<String> {
     }
 }
 
+/// One mode of the `server_load` schema (thread_json / reactor_json /
+/// reactor_binary).
+#[derive(Debug, Clone, PartialEq)]
+struct ServerMode {
+    mode: String,
+    sessions_per_sec: f64,
+    corrected_p99_us: f64,
+}
+
+/// The full `server_load` schema: the three storm modes plus the
+/// time-paired codec probe's p50s (the binary-vs-JSON gate signal — the
+/// probe alternates protocols against one server so environment drift
+/// cancels out of the ratio).
+#[derive(Debug, Clone, PartialEq)]
+struct ServerReport {
+    modes: Vec<ServerMode>,
+    paired_json_p50_us: f64,
+    paired_binary_p50_us: f64,
+}
+
+/// Parse the `server_load` schema: the top-level paired-probe fields and
+/// the `"modes":[...]` array.
+fn parse_server(content: &str) -> Option<ServerReport> {
+    let paired_json_p50_us = field_f64(content, "paired_json_p50_us")?;
+    let paired_binary_p50_us = field_f64(content, "paired_binary_p50_us")?;
+    let arr_start = content.find("\"modes\":[")?;
+    let mut modes = Vec::new();
+    let mut rest = &content[arr_start..];
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close + 1];
+        if let (Some(mode), Some(sessions_per_sec), Some(corrected_p99_us)) = (
+            field_str(obj, "mode"),
+            field_f64(obj, "sessions_per_sec"),
+            field_f64(obj, "corrected_p99_us"),
+        ) {
+            modes.push(ServerMode {
+                mode,
+                sessions_per_sec,
+                corrected_p99_us,
+            });
+        }
+        rest = &rest[open + close + 1..];
+    }
+    if modes.is_empty() {
+        return None;
+    }
+    Some(ServerReport {
+        modes,
+        paired_json_p50_us,
+        paired_binary_p50_us,
+    })
+}
+
+fn load_server(path: &Path) -> ServerReport {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    match parse_server(&content) {
+        Some(report) => report,
+        None => {
+            eprintln!(
+                "check_bench: cannot parse the server_load schema from {}",
+                path.display()
+            );
+            exit(1);
+        }
+    }
+}
+
+fn server_mode<'a>(report: &'a ServerReport, name: &str) -> Option<&'a ServerMode> {
+    report.modes.iter().find(|m| m.mode == name)
+}
+
+/// The server-transport gates over `BENCH_server.json` (check 7 in the
+/// module docs). Returns human-readable failures.
+fn check_server(fresh: &ServerReport, baseline: &ServerReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let (Some(thread), Some(reactor), Some(_binary)) = (
+        server_mode(fresh, "thread_json"),
+        server_mode(fresh, "reactor_json"),
+        server_mode(fresh, "reactor_binary"),
+    ) else {
+        failures.push(
+            "fresh BENCH_server.json is missing one of thread_json / reactor_json / \
+             reactor_binary"
+                .into(),
+        );
+        return failures;
+    };
+
+    let speedup = reactor.sessions_per_sec / thread.sessions_per_sec;
+    if speedup < SERVER_SPEEDUP_BOUND {
+        failures.push(format!(
+            "server load: reactor sustains only {speedup:.2}x the thread front-end's \
+             sessions/sec ({:.1} vs {:.1}; the PR demands >= {SERVER_SPEEDUP_BOUND:.0}x)",
+            reactor.sessions_per_sec, thread.sessions_per_sec
+        ));
+    }
+    if reactor.corrected_p99_us > thread.corrected_p99_us {
+        failures.push(format!(
+            "server load: reactor corrected FETCH p99 {:.0} us exceeds the thread \
+             front-end's {:.0} us",
+            reactor.corrected_p99_us, thread.corrected_p99_us
+        ));
+    }
+    if fresh.paired_binary_p50_us > fresh.paired_json_p50_us {
+        failures.push(format!(
+            "server load: binary paired FETCH p50 {:.0} us exceeds JSON-lines' {:.0} us",
+            fresh.paired_binary_p50_us, fresh.paired_json_p50_us
+        ));
+    }
+
+    match (
+        server_mode(baseline, "thread_json"),
+        server_mode(baseline, "reactor_json"),
+    ) {
+        (Some(base_thread), Some(base_reactor)) => {
+            let base_speedup = base_reactor.sessions_per_sec / base_thread.sessions_per_sec;
+            if speedup < base_speedup * (1.0 - TOLERANCE) {
+                failures.push(format!(
+                    "server load: reactor/thread speedup regressed {base_speedup:.2}x -> \
+                     {speedup:.2}x (> {:.0}% tolerance)",
+                    TOLERANCE * 100.0
+                ));
+            }
+            let paired_ratio = fresh.paired_binary_p50_us / fresh.paired_json_p50_us;
+            let base_paired_ratio = baseline.paired_binary_p50_us / baseline.paired_json_p50_us;
+            if paired_ratio > base_paired_ratio * (1.0 + TOLERANCE) {
+                failures.push(format!(
+                    "server load: binary/json paired p50 ratio regressed \
+                     {base_paired_ratio:.3} -> {paired_ratio:.3} (> {:.0}% tolerance)",
+                    TOLERANCE * 100.0
+                ));
+            }
+        }
+        _ => failures.push("server baseline is missing one of thread_json / reactor_json".into()),
+    }
+
+    if failures.is_empty() {
+        println!(
+            "ok: server load reactor {:.1} sessions/s vs thread {:.1} ({speedup:.2}x), \
+             corrected p99 {:.0} vs {:.0} us, binary paired p50 {:.0} vs json {:.0} us",
+            reactor.sessions_per_sec,
+            thread.sessions_per_sec,
+            reactor.corrected_p99_us,
+            thread.corrected_p99_us,
+            fresh.paired_binary_p50_us,
+            fresh.paired_json_p50_us
+        );
+    }
+    failures
+}
+
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let fresh = load(&root.join("BENCH_lexi.json"));
@@ -463,6 +637,12 @@ fn main() {
     if let Ok(content) = std::fs::read_to_string(root.join("BENCH_enum.json")) {
         failures.extend(check_instrumented(&content));
     }
+
+    // Check 7: the event-driven server front-end beats thread-per-conn
+    // on sessions/sec and tail latency, and binary framing beats JSON.
+    let server_fresh = load_server(&root.join("BENCH_server.json"));
+    let server_baseline = load_server(&root.join("BENCH_server_baseline.json"));
+    failures.extend(check_server(&server_fresh, &server_baseline));
 
     if failures.is_empty() {
         println!("check_bench: all perf guards passed");
@@ -585,6 +765,87 @@ mod tests {
         assert!(check_instrumented("{\"instrumented\":true,\"entries\":[]}").is_none());
         let failure = check_instrumented("{\"entries\":[]}").unwrap();
         assert!(failure.contains("instrumented"), "{failure}");
+    }
+
+    const SERVER_SAMPLE: &str = "{\"clients\":64,\"workers\":8,\
+        \"paired_json_p50_us\":120.0,\"paired_binary_p50_us\":85.0,\"modes\":[\
+        {\"mode\":\"thread_json\",\"sessions_per_sec\":32.4,\"solo_p50_us\":119.0,\
+         \"service_p50_us\":243.0,\"corrected_p99_us\":3461860.0,\"fetches\":1024},\
+        {\"mode\":\"reactor_json\",\"sessions_per_sec\":222.9,\"solo_p50_us\":128.0,\
+         \"service_p50_us\":406.0,\"corrected_p99_us\":60957.0,\"fetches\":1024},\
+        {\"mode\":\"reactor_binary\",\"sessions_per_sec\":227.7,\"solo_p50_us\":100.0,\
+         \"service_p50_us\":428.0,\"corrected_p99_us\":32710.0,\"fetches\":1024}]}";
+
+    #[test]
+    fn parses_the_server_schema() {
+        let report = parse_server(SERVER_SAMPLE).unwrap();
+        assert_eq!(report.modes.len(), 3);
+        assert_eq!(report.paired_json_p50_us, 120.0);
+        assert_eq!(report.paired_binary_p50_us, 85.0);
+        let reactor = server_mode(&report, "reactor_json").unwrap();
+        assert_eq!(reactor.sessions_per_sec, 222.9);
+        assert_eq!(reactor.corrected_p99_us, 60957.0);
+        assert!(server_mode(&report, "reactor_quic").is_none());
+        assert!(parse_server("{\"entries\":[]}").is_none());
+    }
+
+    #[test]
+    fn server_gates_fire_on_regressions() {
+        let good = parse_server(SERVER_SAMPLE).unwrap();
+        assert!(check_server(&good, &good).is_empty());
+        // Losing the 3x sessions/sec speedup must fail regardless of the
+        // baseline.
+        let mut slow = good.clone();
+        slow.modes[1].sessions_per_sec = slow.modes[0].sessions_per_sec * 2.0;
+        let failures = check_server(&slow, &slow);
+        assert!(
+            failures.iter().any(|f| f.contains("demands >= 3x")),
+            "{failures:?}"
+        );
+        // A reactor tail worse than the thread front-end's must fail.
+        let mut tail = good.clone();
+        tail.modes[1].corrected_p99_us = tail.modes[0].corrected_p99_us * 2.0;
+        let failures = check_server(&tail, &good);
+        assert!(
+            failures.iter().any(|f| f.contains("corrected FETCH p99")),
+            "{failures:?}"
+        );
+        // Binary losing to JSON on the paired probe must fail.
+        let mut codec = good.clone();
+        codec.paired_binary_p50_us = codec.paired_json_p50_us + 1.0;
+        let failures = check_server(&codec, &good);
+        assert!(
+            failures.iter().any(|f| f.contains("paired FETCH p50")),
+            "{failures:?}"
+        );
+        // Drifting >25% past the committed speedup must fail even while
+        // the 3x bound still holds.
+        let mut drifted = good.clone();
+        drifted.modes[1].sessions_per_sec = drifted.modes[0].sessions_per_sec * 4.0;
+        let failures = check_server(&drifted, &good);
+        assert!(
+            failures.iter().any(|f| f.contains("speedup regressed")),
+            "{failures:?}"
+        );
+        // Losing >25% of the paired codec advantage must fail even while
+        // binary still beats JSON outright.
+        let mut eroded = good.clone();
+        eroded.paired_binary_p50_us = 110.0; // ratio 0.917 vs baseline 0.708
+        let failures = check_server(&eroded, &good);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("paired p50 ratio regressed")),
+            "{failures:?}"
+        );
+        // A missing mode is a hard failure.
+        let mut missing = good.clone();
+        missing.modes.truncate(2);
+        let failures = check_server(&missing, &good);
+        assert!(
+            failures.iter().any(|f| f.contains("missing one of")),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -3,13 +3,16 @@
 //! Both speak the same typed [`Request`]/[`Response`] protocol through the
 //! [`Transport`] trait, which also provides the convenience methods
 //! (`open` / `fetch` / `close` / `query` / `stats` / `catalog`). The
-//! in-process client skips serialisation entirely; the TCP client writes
-//! JSON lines over a [`TcpStream`].
+//! in-process client skips serialisation entirely; the TCP client speaks
+//! either wire protocol over a [`TcpStream`] — JSON lines by default, or
+//! the length-prefixed binary protocol (see [`crate::wire`]) when built
+//! with [`TcpClient::connect_binary`] or `RE_TRANSPORT=binary`.
 
 use crate::protocol::{Request, Response, StatsReport};
 use crate::server::RankedQueryServer;
+use crate::wire::{self, WireProtocol};
 use re_storage::Tuple;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
@@ -325,27 +328,71 @@ impl RetryPolicy {
     }
 }
 
-/// TCP client speaking the JSON-lines protocol over one connection.
+/// TCP client speaking one of the two wire protocols over one
+/// connection: JSON lines (the readable default) or the length-prefixed
+/// binary protocol (u64-exact, cheaper to parse — see [`crate::wire`]).
+///
+/// Every request goes out as *one* `write` syscall, and the socket runs
+/// with `TCP_NODELAY`, so a request is one segment on the wire instead
+/// of body/newline/flush dribble. [`TcpClient::pipeline`] batches
+/// several requests into one write and reads their in-order responses —
+/// the client side of the server's FETCH pipelining.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    protocol: WireProtocol,
+    /// Binary connections announce themselves with the `"REB1"` magic,
+    /// prepended to the first request's write (one syscall, one segment).
+    magic_sent: bool,
 }
 
 impl TcpClient {
-    /// Connect to a serving address.
+    /// Connect to a serving address. The wire protocol follows the
+    /// `RE_TRANSPORT` environment variable (`json` — the default — or
+    /// `binary`), so whole test suites flip protocol without code
+    /// changes; use [`TcpClient::connect_json`] /
+    /// [`TcpClient::connect_binary`] to pin one explicitly.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, env_protocol())
+    }
+
+    /// Connect speaking JSON lines, regardless of `RE_TRANSPORT`.
+    pub fn connect_json(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, WireProtocol::Json)
+    }
+
+    /// Connect speaking the binary protocol, regardless of
+    /// `RE_TRANSPORT`.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, WireProtocol::Binary)
+    }
+
+    /// Connect speaking `protocol`.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        protocol: WireProtocol,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone()?);
         Ok(TcpClient {
             reader,
             writer: stream,
+            protocol,
+            magic_sent: false,
         })
+    }
+
+    /// The wire protocol this connection speaks.
+    pub fn protocol(&self) -> WireProtocol {
+        self.protocol
     }
 
     /// Connect with retries under `policy` — the reconnect path after a
     /// dropped connection (the server keeps serving; the session table is
     /// shared across connections, so a re-OPEN or a fetch on a still-live
-    /// session id works from the new connection).
+    /// session id works from the new connection). The wire protocol
+    /// follows `RE_TRANSPORT`, like [`TcpClient::connect`].
     pub fn connect_with_retry(
         addr: impl ToSocketAddrs + Clone,
         policy: &RetryPolicy,
@@ -360,21 +407,94 @@ impl TcpClient {
         }
         Err(last_err.expect("at least one attempt ran"))
     }
+
+    /// Send `requests` back-to-back in **one** write, then read their
+    /// responses, which the server answers in request order. This is the
+    /// client side of FETCH pipelining: one round trip (and one syscall
+    /// each way, fitting segments permitting) covers the whole batch.
+    /// Batches longer than the server's `max_pipeline` get the excess
+    /// answered with typed `overloaded` errors — still in order, still
+    /// one response per request.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let mut buf = Vec::new();
+        self.start_message(&mut buf);
+        for request in requests {
+            self.append_request(request, &mut buf);
+        }
+        self.writer.write_all(&buf)?;
+        requests.iter().map(|_| self.read_response()).collect()
+    }
+
+    /// Begin an outbound buffer: the first binary write leads with the
+    /// protocol magic.
+    fn start_message(&mut self, buf: &mut Vec<u8>) {
+        if self.protocol == WireProtocol::Binary && !self.magic_sent {
+            buf.extend_from_slice(&wire::BINARY_MAGIC);
+            self.magic_sent = true;
+        }
+    }
+
+    fn append_request(&self, request: &Request, buf: &mut Vec<u8>) {
+        match self.protocol {
+            WireProtocol::Json => {
+                buf.extend_from_slice(request.encode().as_bytes());
+                buf.push(b'\n');
+            }
+            WireProtocol::Binary => wire::append_frame(buf, &wire::encode_request(request)),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        match self.protocol {
+            WireProtocol::Json => {
+                let mut response_line = String::new();
+                let n = self.reader.read_line(&mut response_line)?;
+                if n == 0 {
+                    return Err(ClientError::Protocol(
+                        "server closed the connection".to_string(),
+                    ));
+                }
+                Response::decode(response_line.trim()).map_err(ClientError::Protocol)
+            }
+            WireProtocol::Binary => {
+                let mut len_bytes = [0u8; 4];
+                self.reader.read_exact(&mut len_bytes).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                        ClientError::Protocol("server closed the connection".to_string())
+                    } else {
+                        ClientError::Io(e)
+                    }
+                })?;
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                if len > wire::MAX_FRAME_LEN {
+                    return Err(ClientError::Protocol(format!(
+                        "response frame length {len} exceeds the {}-byte cap",
+                        wire::MAX_FRAME_LEN
+                    )));
+                }
+                let mut payload = vec![0u8; len];
+                self.reader.read_exact(&mut payload)?;
+                wire::decode_response(&payload).map_err(ClientError::Protocol)
+            }
+        }
+    }
+}
+
+/// The wire protocol selected by `RE_TRANSPORT` (`binary`, or anything
+/// else — including unset — for JSON lines).
+fn env_protocol() -> WireProtocol {
+    match std::env::var("RE_TRANSPORT").as_deref() {
+        Ok("binary") => WireProtocol::Binary,
+        _ => WireProtocol::Json,
+    }
 }
 
 impl Transport for TcpClient {
     fn request(&mut self, request: Request) -> Result<Response, ClientError> {
-        let line = request.encode();
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut response_line = String::new();
-        let n = self.reader.read_line(&mut response_line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol(
-                "server closed the connection".to_string(),
-            ));
-        }
-        Response::decode(response_line.trim()).map_err(ClientError::Protocol)
+        let mut buf = Vec::new();
+        self.start_message(&mut buf);
+        self.append_request(&request, &mut buf);
+        self.writer.write_all(&buf)?;
+        self.read_response()
     }
 }

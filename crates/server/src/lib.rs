@@ -56,8 +56,10 @@ pub mod client;
 pub mod json;
 pub mod plan_cache;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod session;
+pub mod wire;
 
 pub use catalog::Catalog;
 pub use client::{
@@ -65,6 +67,10 @@ pub use client::{
 };
 pub use json::Json;
 pub use plan_cache::{CachedPlan, PlanCache};
-pub use protocol::{Request, Response, StatsReport, WorkerCounters};
-pub use server::{serve, RankedQueryServer, ServerConfig, ServerHandle};
+pub use protocol::{Request, Response, StatsReport, TransportCounters, WorkerCounters};
+pub use server::{
+    serve, serve_reactor, serve_threaded, RankedQueryServer, ServerConfig, ServerHandle,
+    ServerTransport,
+};
 pub use session::{Session, SessionTable};
+pub use wire::WireProtocol;

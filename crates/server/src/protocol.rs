@@ -216,6 +216,31 @@ pub struct WorkerCounters {
     pub busy_micros: u64,
 }
 
+/// Transport-level counters of the TCP front-end, as carried by the
+/// `stats` endpoint. All zero while only the in-process client is used;
+/// populated by whichever front-end (reactor or thread-per-connection)
+/// serves the instance. The reactor's defining property is visible here:
+/// `epoll_waits` and `wakeups` stand still while every connection is
+/// idle — parked sessions cost no periodic polling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Times the reactor's poll wait returned (with at least one event
+    /// or a wakeup; an idle reactor does not tick this).
+    pub epoll_waits: u64,
+    /// Wakeup-pipe signals the reactor consumed (worker completions and
+    /// shutdown).
+    pub wakeups: u64,
+    /// Request bytes read off accepted connections.
+    pub bytes_in: u64,
+    /// Response bytes written to accepted connections.
+    pub bytes_out: u64,
+    /// Connections accepted since start.
+    pub conns_accepted: u64,
+    /// Connections that ended with a peer EOF/reset (as opposed to
+    /// server shutdown).
+    pub disconnects: u64,
+}
+
 /// Server-wide counters reported by the `stats` endpoint.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsReport {
@@ -255,6 +280,9 @@ pub struct StatsReport {
     /// robustness outcomes (`requests_shed` / `deadline_exceeded` /
     /// `cancelled` / `faults_injected`).
     pub enumeration: StatsSnapshot,
+    /// Transport-level counters of the TCP front-end (zero when only the
+    /// in-process client is used).
+    pub transport: TransportCounters,
     /// Per-worker slices of the pool counters: one entry per pool worker
     /// plus a trailing caller slot; empty when preprocessing is serial.
     pub per_worker: Vec<WorkerCounters>,
@@ -574,6 +602,21 @@ impl Response {
                     "faults_injected",
                     Json::UInt(report.enumeration.faults_injected),
                 ),
+                (
+                    "reactor_epoll_waits",
+                    Json::UInt(report.transport.epoll_waits),
+                ),
+                ("reactor_wakeups", Json::UInt(report.transport.wakeups)),
+                ("reactor_bytes_in", Json::UInt(report.transport.bytes_in)),
+                ("reactor_bytes_out", Json::UInt(report.transport.bytes_out)),
+                (
+                    "reactor_conns_accepted",
+                    Json::UInt(report.transport.conns_accepted),
+                ),
+                (
+                    "reactor_disconnects",
+                    Json::UInt(report.transport.disconnects),
+                ),
                 ("per_worker", workers_to_json(&report.per_worker)),
             ]),
             Response::Explained { text } => obj([
@@ -703,6 +746,19 @@ impl Response {
                     cancelled: u64_field("cancelled")?,
                     faults_injected: u64_field("faults_injected")?,
                 },
+                // Absent on pre-reactor stats lines; default to zero so
+                // old captures keep decoding.
+                transport: {
+                    let opt = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
+                    TransportCounters {
+                        epoll_waits: opt("reactor_epoll_waits"),
+                        wakeups: opt("reactor_wakeups"),
+                        bytes_in: opt("reactor_bytes_in"),
+                        bytes_out: opt("reactor_bytes_out"),
+                        conns_accepted: opt("reactor_conns_accepted"),
+                        disconnects: opt("reactor_disconnects"),
+                    }
+                },
                 per_worker: workers_from_json(
                     json.get("per_worker").ok_or("missing `per_worker`")?,
                 )?,
@@ -830,6 +886,14 @@ mod tests {
                     deadline_exceeded: 36,
                     cancelled: 37,
                     faults_injected: 38,
+                },
+                transport: TransportCounters {
+                    epoll_waits: 39,
+                    wakeups: 40,
+                    bytes_in: 41,
+                    bytes_out: 42,
+                    conns_accepted: 43,
+                    disconnects: 44,
                 },
                 per_worker: vec![
                     WorkerCounters {

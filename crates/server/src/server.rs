@@ -13,8 +13,9 @@
 
 use crate::catalog::Catalog;
 use crate::plan_cache::PlanCache;
-use crate::protocol::{Request, Response, StatsReport, WorkerCounters};
+use crate::protocol::{Request, Response, StatsReport, TransportCounters, WorkerCounters};
 use crate::session::SessionTable;
+use crate::wire::{self, InboundItem, Negotiation, WireProtocol};
 use rankedenum_core::{
     machine_threads, CancelKind, CancelToken, ExecContext, SharedStats, StatsSnapshot, WorkerPool,
 };
@@ -31,11 +32,34 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which TCP front-end [`serve`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServerTransport {
+    /// The event-driven reactor: one epoll thread drives every
+    /// connection's state machine and hands parsed requests to the
+    /// worker pool; idle connections cost one buffer and no thread. The
+    /// default.
+    #[default]
+    Reactor,
+    /// The legacy thread-per-connection front-end: each pooled worker
+    /// owns one connection until EOF (bounding concurrent connections at
+    /// `workers`). Kept for comparison benchmarks and as a fallback.
+    ThreadPerConn,
+}
+
 /// Tunables for a server instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads of the TCP front-end (= max concurrent connections).
+    /// Worker threads of the TCP front-end. Under the
+    /// [`ServerTransport::Reactor`] front-end this sizes the dispatch
+    /// pool (concurrent *requests*, connections are unbounded); under
+    /// [`ServerTransport::ThreadPerConn`] it bounds concurrent
+    /// *connections*.
     pub workers: usize,
+    /// Which TCP front-end [`serve`] runs (reactor by default). Both
+    /// speak JSON-lines and the binary protocol, negotiated per
+    /// connection from its first bytes.
+    pub transport: ServerTransport,
     /// Idle time after which a session's cursor is reaped.
     pub session_ttl: Duration,
     /// Maximum number of cached plans.
@@ -87,6 +111,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 4,
+            transport: ServerTransport::default(),
             session_ttl: Duration::from_secs(300),
             plan_cache_capacity: 128,
             exec_threads: 0,
@@ -103,6 +128,36 @@ impl Default for ServerConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+        }
+    }
+}
+
+/// Transport-level counters, bumped by whichever TCP front-end serves
+/// the instance and snapshotted into [`StatsReport::transport`]. Plain
+/// relaxed atomics: every field is a monotone total.
+#[derive(Default)]
+pub(crate) struct TransportStats {
+    pub(crate) epoll_waits: AtomicU64,
+    pub(crate) wakeups: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) conns_accepted: AtomicU64,
+    pub(crate) disconnects: AtomicU64,
+}
+
+impl TransportStats {
+    pub(crate) fn add(&self, field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TransportCounters {
+        TransportCounters {
+            epoll_waits: self.epoll_waits.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +200,8 @@ pub struct RankedQueryServer {
     obs_close_ns: Arc<AtomicHistogram>,
     obs_fetch_rows: Arc<AtomicHistogram>,
     slow_queries: Arc<AtomicU64>,
+    /// Transport counters of whichever TCP front-end serves this instance.
+    transport_stats: TransportStats,
 }
 
 impl RankedQueryServer {
@@ -181,7 +238,13 @@ impl RankedQueryServer {
             obs_close_ns: registry.histogram("server.close_ns"),
             obs_fetch_rows: registry.histogram("server.fetch_rows"),
             slow_queries: registry.counter("server.slow_queries"),
+            transport_stats: TransportStats::default(),
         })
+    }
+
+    /// The transport counters, for the TCP front-ends to bump.
+    pub(crate) fn transport_stats(&self) -> &TransportStats {
+        &self.transport_stats
     }
 
     /// The database catalog (register databases here before serving).
@@ -243,6 +306,7 @@ impl RankedQueryServer {
                     busy_micros: w.busy_micros,
                 })
                 .collect(),
+            transport: self.transport_stats.snapshot(),
         }
     }
 
@@ -255,7 +319,7 @@ impl RankedQueryServer {
     }
 
     /// Record a shed request: counter plus the structured log event.
-    fn note_shed(&self, reason: &str, retry_after_millis: u64) {
+    pub(crate) fn note_shed(&self, reason: &str, retry_after_millis: u64) {
         self.bump(|d| d.requests_shed = 1);
         re_obs::log::warn(
             "re_server",
@@ -271,9 +335,52 @@ impl RankedQueryServer {
 
     /// The back-off hint for a shed request, scaled to how loaded the
     /// server currently looks (deeper pool queue → longer back-off).
-    fn retry_after_hint(&self) -> u64 {
+    pub(crate) fn retry_after_hint(&self) -> u64 {
         let queued = self.exec.pool_queued() as u64;
         (25 + queued * 5).min(5_000)
+    }
+
+    /// The typed response for a request shed by the per-connection
+    /// pipeline cap (counts and logs the shed; both front-ends answer the
+    /// excess — in order — with exactly this).
+    pub(crate) fn shed_pipeline_response(&self, max_pipeline: usize) -> Response {
+        let retry = self.retry_after_hint();
+        self.note_shed("pipeline-cap", retry);
+        Response::overloaded(
+            format!(
+                "connection pipelined more than {max_pipeline} requests; \
+                 read responses before sending more"
+            ),
+            retry,
+        )
+    }
+
+    /// [`Self::handle`] behind a panic boundary: a bug inside dispatch
+    /// becomes an error response, never a dead worker thread (the shared
+    /// tables recover from lock poisoning — see [`SessionTable`]).
+    pub(crate) fn handle_caught(&self, request: Request) -> Response {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(request)))
+            .unwrap_or_else(|_| Response::error("internal error while serving the request"))
+    }
+
+    /// Disconnect cleanup for a FETCH whose connection died while the
+    /// fetch was still running: trip the session's cancel token so the
+    /// cursor stops cooperatively, but only if that session's cursor is
+    /// *currently checked out* — a parked session survives its client's
+    /// disconnect by design (clients resume sessions across reconnects).
+    pub(crate) fn cancel_disconnected_fetch(&self, session: u64) {
+        if self.sessions.cancel_if_checked_out(session) {
+            self.bump(|d| d.cancelled = 1);
+            re_obs::log::warn(
+                "re_server",
+                "session cancelled",
+                &[
+                    ("session", FieldValue::U64(session)),
+                    ("reason", FieldValue::Str("peer-disconnect")),
+                    ("trace_id", FieldValue::Str("untraced")),
+                ],
+            );
+        }
     }
 
     /// Admission control for expensive requests. On success the returned
@@ -381,10 +488,7 @@ impl RankedQueryServer {
     /// poisoning (see [`SessionTable`]), so the server keeps serving.
     pub fn handle_line(&self, line: &str) -> String {
         let response = match Request::decode(line) {
-            Ok(request) => {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(request)))
-                    .unwrap_or_else(|_| Response::error("internal error while serving the request"))
-            }
+            Ok(request) => self.handle_caught(request),
             Err(message) => Response::error(message),
         };
         response.encode()
@@ -903,6 +1007,42 @@ impl RankedQueryServer {
                 counter,
                 e.faults_injected,
             ),
+            (
+                "reactor.epoll_waits",
+                "Poll waits the reactor returned from (0 while idle).",
+                counter,
+                report.transport.epoll_waits,
+            ),
+            (
+                "reactor.wakeups",
+                "Worker-completion wakeups delivered over the wake pipe.",
+                counter,
+                report.transport.wakeups,
+            ),
+            (
+                "reactor.bytes_in",
+                "Bytes read off client connections.",
+                counter,
+                report.transport.bytes_in,
+            ),
+            (
+                "reactor.bytes_out",
+                "Bytes written to client connections.",
+                counter,
+                report.transport.bytes_out,
+            ),
+            (
+                "reactor.conns_accepted",
+                "Connections accepted by the TCP front-end.",
+                counter,
+                report.transport.conns_accepted,
+            ),
+            (
+                "reactor.disconnects",
+                "Connections that ended (EOF, reset, or shutdown).",
+                counter,
+                report.transport.disconnects,
+            ),
         ];
         let scalars: Vec<ScalarMetric> = scalars
             .into_iter()
@@ -976,11 +1116,28 @@ impl Drop for InflightGuard<'_> {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// The reactor's wake pipe (None for the thread-per-connection
+    /// front-end), poked on shutdown so an idle reactor leaves its
+    /// indefinite poll wait.
+    waker: Option<Arc<re_net::WakePipe>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
+    pub(crate) fn from_parts(
+        addr: SocketAddr,
+        shutdown: Arc<AtomicBool>,
+        waker: Option<Arc<re_net::WakePipe>>,
+        threads: Vec<JoinHandle<()>>,
+    ) -> Self {
+        ServerHandle {
+            addr,
+            shutdown,
+            waker,
+            threads,
+        }
+    }
+
     /// The address the listener is bound to (use for clients; port 0 in
     /// the bind address picks a free port).
     pub fn addr(&self) -> SocketAddr {
@@ -994,13 +1151,13 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(waker) = &self.waker {
+            waker.wake();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Wake a blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
     }
 }
@@ -1013,16 +1170,45 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Serve the JSON-lines protocol on `bind_addr` (e.g. `"127.0.0.1:0"`)
-/// with a pool of `config.workers` threads.
+/// Serve the request protocol on `bind_addr` (e.g. `"127.0.0.1:0"`) with
+/// the front-end selected by `config.transport`: the event-driven reactor
+/// by default, or the legacy thread-per-connection pool. Both negotiate
+/// JSON-lines vs the binary protocol per connection from its first bytes.
+pub fn serve(
+    server: Arc<RankedQueryServer>,
+    bind_addr: &str,
+    config: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    match config.transport {
+        ServerTransport::Reactor => serve_reactor(server, bind_addr, config),
+        ServerTransport::ThreadPerConn => serve_threaded(server, bind_addr, config),
+    }
+}
+
+/// Serve with the event-driven reactor: one poll thread drives every
+/// connection's read/dispatch/write state machine and hands parsed
+/// requests to a `config.workers`-thread dispatch pool; completions come
+/// back over a wake pipe. Idle connections cost one buffer and zero
+/// wakeups, so tens of thousands of parked sessions can stay connected.
+pub fn serve_reactor(
+    server: Arc<RankedQueryServer>,
+    bind_addr: &str,
+    config: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    crate::reactor::serve_reactor(server, bind_addr, config)
+}
+
+/// Serve with the legacy thread-per-connection front-end: a pool of
+/// `config.workers` threads, each owning one connection until EOF.
 ///
 /// The acceptor thread pushes connections into a channel; each worker pops
-/// one and serves it to completion (one request line → one response line,
-/// until EOF). A worker therefore handles one connection at a time — the
-/// pool size bounds concurrent connections, and requests on *different*
-/// connections run truly in parallel while sharing the catalog, plan cache
-/// and session table.
-pub fn serve(
+/// one and serves it to completion. A worker therefore handles one
+/// connection at a time — the pool size bounds concurrent connections, and
+/// requests on *different* connections run truly in parallel while sharing
+/// the catalog, plan cache and session table. Kept as the comparison
+/// baseline for the reactor (see `crates/bench/src/bin/server_load.rs`)
+/// and as a fallback.
+pub fn serve_threaded(
     server: Arc<RankedQueryServer>,
     bind_addr: &str,
     config: &ServerConfig,
@@ -1072,36 +1258,40 @@ pub fn serve(
         })
     };
 
-    Ok(ServerHandle {
-        addr,
-        shutdown,
-        acceptor: Some(acceptor),
-        workers,
-    })
+    let mut threads = workers;
+    threads.push(acceptor);
+    Ok(ServerHandle::from_parts(addr, shutdown, None, threads))
 }
 
-/// Serve one connection: JSON-lines request/response until EOF or server
-/// shutdown.
+/// Serve one connection until EOF or server shutdown, in whichever
+/// protocol its first bytes negotiate (JSON-lines or binary frames).
 ///
 /// Reads run with a short timeout so an idle connection re-checks the
 /// shutdown flag periodically — `ServerHandle::shutdown` therefore joins
-/// within one timeout interval even while clients stay connected. Lines
-/// are assembled from raw reads into a byte accumulator (never through
-/// `read_line`, whose guard *discards* the bytes it read when a timeout
-/// strikes mid-line), so a request split across TCP segments with a stall
-/// in between is reassembled intact.
+/// within one timeout interval even while clients stay connected.
+/// Requests are assembled from raw reads into a byte accumulator (never
+/// through `read_line`, whose guard *discards* the bytes it read when a
+/// timeout strikes mid-line), so a request split across TCP segments with
+/// a stall in between is reassembled intact.
 ///
 /// Pipelining is capped per drain batch: a client that writes more than
-/// `max_pipeline` complete request lines before reading any response gets
-/// the excess answered — still in order — with typed `overloaded` errors,
-/// so one greedy connection cannot queue unbounded work behind itself.
+/// `max_pipeline` complete requests before reading any response gets the
+/// excess answered — still in order — with typed `overloaded` errors, so
+/// one greedy connection cannot queue unbounded work behind itself. All
+/// of a batch's responses are buffered and flushed with *one* write
+/// syscall (the connection runs with `TCP_NODELAY`, so the flush is not
+/// delayed waiting for an ACK either).
 fn serve_connection(
     server: &RankedQueryServer,
     stream: TcpStream,
     shutdown: &AtomicBool,
     max_pipeline: usize,
 ) {
+    let stats = server.transport_stats();
+    stats.add(&stats.conns_accepted, 1);
+    let _ = stream.set_nodelay(true);
     let Ok(mut reader) = stream.try_clone() else {
+        stats.add(&stats.disconnects, 1);
         return;
     };
     let _ = reader.set_read_timeout(Some(Duration::from_millis(100)));
@@ -1109,51 +1299,74 @@ fn serve_connection(
     let mut writer = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
-    loop {
+    let mut protocol: Option<WireProtocol> = None;
+    'conn: loop {
         if shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         match reader.read(&mut chunk) {
-            Ok(0) => return, // EOF
-            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Ok(0) => break, // EOF
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                stats.add(&stats.bytes_in, n as u64);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 continue
             }
-            Err(_) => return, // broken pipe
+            Err(_) => break, // broken pipe
         }
-        let mut served_in_batch = 0usize;
-        while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = pending.drain(..=newline).collect();
-            let response = match std::str::from_utf8(&line_bytes) {
-                Ok(line) if line.trim().is_empty() => continue,
-                Ok(_) if served_in_batch >= max_pipeline => {
-                    // Shed without dispatching.
-                    let retry = server.retry_after_hint();
-                    server.note_shed("pipeline-cap", retry);
-                    Response::overloaded(
-                        format!(
-                            "connection pipelined more than {max_pipeline} requests; \
-                             read responses before sending more"
-                        ),
-                        retry,
-                    )
-                    .encode()
+        if protocol.is_none() {
+            match wire::negotiate(&pending) {
+                Negotiation::NeedMore => continue,
+                Negotiation::Json => protocol = Some(WireProtocol::Json),
+                Negotiation::Binary => {
+                    pending.drain(..wire::BINARY_MAGIC.len());
+                    protocol = Some(WireProtocol::Binary);
                 }
-                Ok(line) => server.handle_line(line.trim()),
-                Err(_) => Response::error("request line is not valid UTF-8").encode(),
-            };
-            served_in_batch += 1;
-            if writer
-                .write_all(response.as_bytes())
-                .and_then(|_| writer.write_all(b"\n"))
-                .and_then(|_| writer.flush())
-                .is_err()
-            {
-                return;
             }
         }
+        let proto = protocol.expect("negotiated above");
+        // Drain every complete request buffered so far, answer them in
+        // order into one output buffer, then flush it with one write.
+        let mut served_in_batch = 0usize;
+        let mut out: Vec<u8> = Vec::new();
+        let mut framing_broken = false;
+        loop {
+            match wire::next_inbound(proto, &mut pending) {
+                Ok(None) => break,
+                Ok(Some(item)) => {
+                    let response = if served_in_batch >= max_pipeline {
+                        server.shed_pipeline_response(max_pipeline)
+                    } else {
+                        match item {
+                            InboundItem::Request(request) => server.handle_caught(request),
+                            InboundItem::Malformed(message) => Response::error(message),
+                        }
+                    };
+                    served_in_batch += 1;
+                    wire::append_response(proto, &response, &mut out);
+                }
+                Err(message) => {
+                    // Framing is unrecoverable (e.g. an oversized length
+                    // prefix): send a final error and tear down.
+                    wire::append_response(proto, &Response::error(message), &mut out);
+                    framing_broken = true;
+                    break;
+                }
+            }
+        }
+        if !out.is_empty() {
+            if writer.write_all(&out).and_then(|_| writer.flush()).is_err() {
+                break 'conn;
+            }
+            stats.add(&stats.bytes_out, out.len() as u64);
+        }
+        if framing_broken {
+            break;
+        }
     }
+    stats.add(&stats.disconnects, 1);
 }

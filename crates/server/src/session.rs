@@ -267,6 +267,25 @@ impl SessionTable {
         false
     }
 
+    /// Cancel `id` only if its cursor is *currently checked out* by an
+    /// in-flight fetch; returns whether it was. Used by the reactor when
+    /// a connection dies mid-fetch: the running fetch must stop (nobody
+    /// will read its page, and the cursor would otherwise stay busy), but
+    /// a merely *parked* session survives — clients resume sessions
+    /// across reconnects by design.
+    pub fn cancel_if_checked_out(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        if !inner.checked_out.contains(&id) {
+            return false;
+        }
+        if let Some(token) = inner.tokens.get(&id) {
+            token.cancel();
+        }
+        inner.pending_cancel.insert(id);
+        inner.remember_cancelled(id, CancelKind::Explicit);
+        true
+    }
+
     /// Whether `id` was recently cancelled (explicitly or by its
     /// deadline), and why — used to attribute later fetch errors.
     pub fn was_cancelled(&self, id: u64) -> Option<CancelKind> {

@@ -558,3 +558,59 @@ fn robustness_counters_flow_through_stats_and_prometheus() {
         );
     }
 }
+
+#[test]
+fn peer_disconnect_mid_fetch_cancels_the_checked_out_cursor() {
+    let _g = locked();
+    let server = chaos_server(ServerConfig::default());
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", &ServerConfig::default()).unwrap();
+    let mut local = LocalClient::new(Arc::clone(&server));
+    let cancelled_before = local.stats().unwrap().enumeration.cancelled;
+
+    // The session lives on one connection, the doomed fetch on another:
+    // sessions are resumable across connections, so only the cursor's
+    // *checked-out* state at disconnect time decides its fate.
+    let mut owner = TcpClient::connect(handle.addr()).unwrap();
+    let opened = owner.open("dblp", TWO_HOP).unwrap();
+
+    // Stall the fetch long enough to rip the connection out from under it
+    // while the cursor is checked out.
+    re_fault::configure("fetch.next=sleep(400)").unwrap();
+    {
+        let mut doomed = TcpStream::connect(handle.addr()).unwrap();
+        let line = re_server::Request::Fetch {
+            session: opened.session,
+            k: 3,
+        }
+        .encode()
+            + "\n";
+        doomed.write_all(line.as_bytes()).unwrap();
+        doomed.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        // Dropping the stream sends FIN mid-fetch: the reactor tears the
+        // connection down and cancels the in-flight cursor.
+    }
+    std::thread::sleep(Duration::from_millis(600));
+    re_fault::clear();
+
+    let stats = local.stats().unwrap();
+    assert_eq!(
+        stats.sessions_open, 0,
+        "the disconnected fetch's cursor must be released"
+    );
+    assert_eq!(
+        stats.enumeration.cancelled,
+        cancelled_before + 1,
+        "exactly one cancel, attributed to the disconnect"
+    );
+
+    // The owning connection is still healthy, and a later fetch on the id
+    // says *why* the session is gone — not "unknown id".
+    let err = owner.fetch(opened.session, 3).unwrap_err();
+    match &err {
+        re_server::ClientError::Server { code, .. } => assert_eq!(code, "cancelled"),
+        other => panic!("expected a typed server error, got {other}"),
+    }
+    assert_eq!(owner.stats().unwrap().sessions_open, 0);
+    handle.shutdown();
+}

@@ -1,0 +1,195 @@
+//! Reactor front-end integration: idle cost, pipelining order, both
+//! transports on both front-ends, and the reactor's own metrics.
+
+use re_server::{
+    serve, serve_threaded, LocalClient, RankedQueryServer, Request, Response, ServerConfig,
+    TcpClient, Transport, WireProtocol,
+};
+use re_storage::{attr::attrs, Database, Relation};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn coauthor_db() -> Database {
+    let mut db = Database::new();
+    let mut rows = Vec::new();
+    for paper in 0..12u64 {
+        for slot in 0..4u64 {
+            rows.push(vec![(paper * 3 + slot * 7) % 40, 1000 + paper]);
+        }
+    }
+    db.add_relation(Relation::with_tuples("AP", attrs(["aid", "pid"]), rows).unwrap())
+        .unwrap();
+    db
+}
+
+const TWO_HOP: &str = "SELECT DISTINCT AP1.aid, AP2.aid FROM AP AS AP1, AP AS AP2 \
+                       WHERE AP1.pid = AP2.pid ORDER BY AP1.aid + AP2.aid";
+
+fn reactor_server() -> (Arc<RankedQueryServer>, re_server::ServerHandle) {
+    let config = ServerConfig::default();
+    let server = RankedQueryServer::new(config.clone());
+    server.catalog().register("dblp", coauthor_db());
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", &config).unwrap();
+    (server, handle)
+}
+
+fn sample(body: &str, metric: &str) -> f64 {
+    body.lines()
+        .find(|l| l.split(' ').next() == Some(metric))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// The tentpole's economics: a parked session on an idle reactor
+/// connection costs **zero** syscalls — no periodic wakeups, no polling
+/// ticks. The poll wait is infinite until a readable fd or the wakeup
+/// pipe fires.
+#[test]
+fn idle_reactor_connection_causes_no_wakeups() {
+    let (server, handle) = reactor_server();
+    let mut tcp = TcpClient::connect_json(handle.addr()).unwrap();
+    let opened = tcp.open("dblp", TWO_HOP).unwrap();
+    let first = tcp.fetch(opened.session, 3).unwrap();
+    assert_eq!(first.rows.len(), 3);
+
+    // Stats over the in-process client: reading them must not touch the
+    // reactor, so an idle window shows a frozen epoll_waits/wakeups pair.
+    let mut local = LocalClient::new(Arc::clone(&server));
+    let before = local.stats().unwrap().transport;
+    std::thread::sleep(Duration::from_millis(300));
+    let after = local.stats().unwrap().transport;
+    assert_eq!(
+        (after.epoll_waits, after.wakeups),
+        (before.epoll_waits, before.wakeups),
+        "an idle reactor with a parked session must not wake up at all"
+    );
+
+    // The connection is parked, not dead: the next fetch resumes the
+    // cursor exactly where it stopped.
+    let second = tcp.fetch(opened.session, 3).unwrap();
+    assert_eq!(second.rows.len(), 3);
+    assert_ne!(first.rows, second.rows);
+    let final_stats = local.stats().unwrap().transport;
+    assert!(final_stats.epoll_waits > after.epoll_waits);
+    tcp.close(opened.session).unwrap();
+    handle.shutdown();
+}
+
+/// Pipelined requests of mixed types come back strictly in submission
+/// order, one response per request.
+#[test]
+fn pipelined_mixed_requests_answer_in_order() {
+    let (_server, handle) = reactor_server();
+    for protocol in [WireProtocol::Json, WireProtocol::Binary] {
+        let mut client = TcpClient::connect_with(handle.addr(), protocol).unwrap();
+        let responses = client
+            .pipeline(&[
+                Request::Ping,
+                Request::Catalog,
+                Request::Close { session: 999_999 },
+                Request::Ping,
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 4, "{protocol:?}");
+        assert_eq!(responses[0], Response::Pong);
+        assert_eq!(
+            responses[1],
+            Response::Catalog {
+                databases: vec!["dblp".into()]
+            }
+        );
+        assert_eq!(responses[2], Response::Closed { existed: false });
+        assert_eq!(responses[3], Response::Pong);
+    }
+    handle.shutdown();
+}
+
+/// The thread-per-connection front-end stays available behind
+/// `ServerTransport::ThreadPerConn` and speaks both protocols too (it is
+/// the bench baseline and the fallback).
+#[test]
+fn thread_per_conn_front_end_serves_both_protocols() {
+    let config = ServerConfig::default();
+    let server = RankedQueryServer::new(config.clone());
+    server.catalog().register("dblp", coauthor_db());
+    let handle = serve_threaded(Arc::clone(&server), "127.0.0.1:0", &config).unwrap();
+
+    for protocol in [WireProtocol::Json, WireProtocol::Binary] {
+        let mut client = TcpClient::connect_with(handle.addr(), protocol).unwrap();
+        let opened = client.open("dblp", TWO_HOP).unwrap();
+        let page = client.fetch(opened.session, 4).unwrap();
+        assert_eq!(page.rows.len(), 4, "{protocol:?}");
+        assert!(client.close(opened.session).unwrap());
+        // Pipelining works on the blocking front-end as well: requests
+        // are drained per read and answered in order.
+        let responses = client
+            .pipeline(&[Request::Ping, Request::Ping, Request::Ping])
+            .unwrap();
+        assert_eq!(responses, vec![Response::Pong; 3], "{protocol:?}");
+    }
+    handle.shutdown();
+}
+
+/// The `RE_TRANSPORT` knob selects the client protocol end to end.
+#[test]
+fn env_var_selects_the_client_protocol() {
+    // Avoid mutating the process environment (other tests run in
+    // parallel): only assert the default resolution plus the explicit
+    // constructors, and exercise an env-style binary client directly.
+    let (_server, handle) = reactor_server();
+    let mut binary = TcpClient::connect_binary(handle.addr()).unwrap();
+    assert_eq!(binary.protocol(), WireProtocol::Binary);
+    assert_eq!(binary.request(Request::Ping).unwrap(), Response::Pong);
+    let mut json = TcpClient::connect_json(handle.addr()).unwrap();
+    assert_eq!(json.protocol(), WireProtocol::Json);
+    assert_eq!(json.request(Request::Ping).unwrap(), Response::Pong);
+    handle.shutdown();
+}
+
+/// The reactor exports its transport counters through the Prometheus
+/// exposition (`re_reactor_*`) and the stats report.
+#[test]
+fn reactor_counters_flow_into_stats_and_metrics() {
+    let (_server, handle) = reactor_server();
+    let mut client = TcpClient::connect_binary(handle.addr()).unwrap();
+    let outcome = client.query("dblp", &format!("{TWO_HOP} LIMIT 5")).unwrap();
+    assert_eq!(outcome.rows.len(), 5);
+
+    let stats = client.stats().unwrap().transport;
+    assert!(stats.conns_accepted >= 1);
+    assert!(stats.epoll_waits >= 1);
+    assert!(stats.bytes_in > 0);
+    assert!(stats.bytes_out > 0);
+
+    let body = client.metrics().unwrap();
+    re_obs::validate_exposition(&body).expect("well-formed exposition");
+    assert!(sample(&body, "re_reactor_conns_accepted") >= 1.0);
+    assert!(sample(&body, "re_reactor_epoll_waits") >= 1.0);
+    assert!(sample(&body, "re_reactor_bytes_in") > 0.0);
+    assert!(sample(&body, "re_reactor_bytes_out") > 0.0);
+    handle.shutdown();
+}
+
+/// Dropping a connection with a parked (not mid-fetch) session leaves the
+/// session resumable from a new connection — disconnect teardown only
+/// cancels cursors that are checked out at that moment.
+#[test]
+fn parked_sessions_survive_a_disconnect_and_resume_elsewhere() {
+    let (_server, handle) = reactor_server();
+    let session = {
+        let mut first = TcpClient::connect_binary(handle.addr()).unwrap();
+        let opened = first.open("dblp", TWO_HOP).unwrap();
+        let page = first.fetch(opened.session, 2).unwrap();
+        assert_eq!(page.rows.len(), 2);
+        opened.session
+        // `first` drops here: TCP FIN reaches the reactor, which tears
+        // the connection down without touching the parked cursor.
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let mut second = TcpClient::connect_json(handle.addr()).unwrap();
+    let resumed = second.fetch(session, 2).unwrap();
+    assert_eq!(resumed.rows.len(), 2);
+    assert!(second.close(session).unwrap());
+    handle.shutdown();
+}
